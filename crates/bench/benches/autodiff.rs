@@ -1,0 +1,51 @@
+//! Substrate microbench: autodiff graph construction + backward sweep.
+//!
+//! Ablation called out in DESIGN.md §4: the per-step cost of rebuilding the
+//! graph (our design) versus the pure tensor forward, quantifying the
+//! autodiff overhead that PyTorch would amortize with cached kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retia_tensor::{Graph, ParamStore, Tensor};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_autodiff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autodiff");
+    for &n in &[64usize, 256] {
+        let d = 32;
+        let mut store = ParamStore::new(0);
+        store.register_xavier("w1", d, d);
+        store.register_xavier("w2", d, d);
+        let x = Tensor::from_fn(n, d, |i, j| ((i * 7 + j) % 13) as f32 * 0.1 - 0.6);
+        let targets: Rc<Vec<u32>> = Rc::new((0..n as u32).map(|i| i % d as u32).collect());
+
+        group.bench_with_input(BenchmarkId::new("forward_only", n), &n, |b, _| {
+            b.iter(|| {
+                let w1 = store.value("w1");
+                let w2 = store.value("w2");
+                let h = x.matmul(w1).map(|v| v.max(0.0)).matmul(w2);
+                black_box(h.softmax_rows())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("forward_backward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new(false, 0);
+                let xn = g.constant(x.clone());
+                let w1 = g.param(&store, "w1");
+                let w2 = g.param(&store, "w2");
+                let h1 = g.matmul(xn, w1);
+                let a = g.relu(h1);
+                let h2 = g.matmul(a, w2);
+                let loss = g.softmax_xent(h2, targets.clone());
+                g.backward(loss, &mut store);
+                store.zero_grad();
+                black_box(g.num_nodes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_autodiff);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Substrate microbench: Conv-TransE decoding cost versus a plain bilinear
+//! (DistMult-style) decoder — the price of the paper's convolutional score
+//! head per query batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retia_nn::ConvTransE;
+use retia_tensor::{Graph, ParamStore, Tensor};
+use std::hint::black_box;
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoder");
+    let d = 32usize;
+    let n = 300usize;
+    for &q in &[64usize, 256] {
+        let mut store = ParamStore::new(0);
+        store.register_xavier("ent", n, d);
+        let dec = ConvTransE::new(&mut store, "dec", d, 16, 3, 0.0);
+        let a = Tensor::from_fn(q, d, |i, j| ((i + j) % 11) as f32 * 0.1);
+        let b_t = Tensor::from_fn(q, d, |i, j| ((i * 3 + j) % 7) as f32 * 0.1);
+
+        group.bench_with_input(BenchmarkId::new("conv_transe", q), &q, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new(false, 0);
+                let an = g.constant(a.clone());
+                let bn = g.constant(b_t.clone());
+                let cand = g.param(&store, "ent");
+                let scores = dec.forward(&mut g, &store, an, bn, cand);
+                black_box(g.value(scores).sum())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("bilinear", q), &q, |bch, _| {
+            let ent = store.value("ent").clone();
+            bch.iter(|| {
+                let scores = a.mul(&b_t).matmul_nt(&ent);
+                black_box(scores.sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoder);
+criterion_main!(benches);

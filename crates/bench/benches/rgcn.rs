@@ -1,0 +1,101 @@
+//! Substrate microbench: R-GCN weight modes (DESIGN.md §4 ablation).
+//!
+//! Per-relation weight matrices process each relation's edges as a separate
+//! small matmul; basis decomposition runs a few dense matmuls over *all*
+//! edges. The crossover governs which mode the EAM should use as the
+//! relation vocabulary grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use retia_graph::{Quad, Snapshot};
+use retia_nn::{EntityRgcn, WeightMode};
+use retia_tensor::{Graph, ParamStore, Tensor};
+use std::hint::black_box;
+
+fn random_snapshot(n: usize, m: usize, edges: usize, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let quads: Vec<Quad> = (0..edges)
+        .map(|_| {
+            Quad::new(
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..m as u32),
+                rng.gen_range(0..n as u32),
+                0,
+            )
+        })
+        .collect();
+    Snapshot::from_quads(&quads, n, m)
+}
+
+fn bench_rgcn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgcn_weight_mode");
+    let (n, m, d) = (300usize, 24usize, 32usize);
+    let snap = random_snapshot(n, m, 600, 1);
+
+    for (label, mode) in [
+        ("per_relation", WeightMode::PerRelation),
+        ("basis4", WeightMode::Basis(4)),
+    ] {
+        let mut store = ParamStore::new(0);
+        store.register_xavier("ent", n, d);
+        store.register_xavier("rel", 2 * m, d);
+        let rgcn = EntityRgcn::new(&mut store, "g", d, 2 * m, mode, 2, 0.0);
+        group.bench_with_input(BenchmarkId::new(label, "fwd_bwd"), &0, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new(false, 0);
+                let e = g.param(&store, "ent");
+                let r = g.param(&store, "rel");
+                let out = rgcn.forward(&mut g, &store, e, r, &snap);
+                let sq = g.mul(out, out);
+                let loss = g.mean_all(sq);
+                g.backward(loss, &mut store);
+                store.zero_grad();
+                black_box(g.num_nodes())
+            })
+        });
+    }
+
+    // Grouped-scatter vs naive per-edge messaging (the DESIGN.md ablation).
+    let mut store = ParamStore::new(0);
+    store.register_xavier("ent", n, d);
+    store.register_xavier("rel", 2 * m, d);
+    group.bench_function("naive_per_edge_forward", |b| {
+        let ent = store.value("ent").clone();
+        let rel = store.value("rel").clone();
+        b.iter(|| {
+            let mut out = Tensor::zeros(n, d);
+            for i in 0..snap.num_edges() {
+                let (s, r, o) = (
+                    snap.src[i] as usize,
+                    snap.rel[i] as usize,
+                    snap.dst[i] as usize,
+                );
+                let w = snap.edge_norm[i];
+                for k in 0..d {
+                    let v = out.get(o, k) + w * (ent.get(s, k) + rel.get(r, k));
+                    out.set(o, k, v);
+                }
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("grouped_gather_scatter_forward", |b| {
+        let ent = store.value("ent").clone();
+        let rel = store.value("rel").clone();
+        b.iter(|| {
+            let msgs = ent
+                .gather_rows(&snap.src)
+                .add(&rel.gather_rows(&snap.rel));
+            let mut scaled = msgs;
+            for i in 0..scaled.rows() {
+                let w = snap.edge_norm[i];
+                scaled.row_mut(i).iter_mut().for_each(|v| *v *= w);
+            }
+            black_box(scaled.scatter_add_rows(&snap.dst, n))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rgcn);
+criterion_main!(benches);

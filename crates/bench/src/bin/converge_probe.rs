@@ -1,0 +1,39 @@
+//! Convergence probe: trains the headline pair (RETIA vs RE-GCN) well past
+//! the grid's epoch budget on ICEWS14-mini, quantifying how the ordering
+//! evolves with training length. Results go to a separate cache
+//! (`results/cache_long/`) so the uniform-budget grid stays untouched.
+
+use retia_bench::report::Report;
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+
+fn main() {
+    std::env::set_var("RETIA_CACHE_DIR", "results/cache_long");
+    let epochs: usize = std::env::var("RETIA_EPOCHS")
+        .ok()
+        .and_then(|e| e.parse().ok())
+        .unwrap_or(12);
+    let settings = Settings { epochs, ..Default::default() };
+
+    let mut rep = Report::new(&format!(
+        "Convergence probe: RETIA vs RE-GCN vs CEN, ICEWS14-mini, {epochs} epochs"
+    ));
+    rep.blank();
+    rep.line(&format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "model", "ent MRR", "ent H@10", "rel MRR", "final loss"
+    ));
+    for v in [Variant::Regcn, Variant::Cen, Variant::Retia] {
+        let r = run_experiment(DatasetProfile::Icews14, v, &settings);
+        let last_loss = r.loss_history.last().map(|l| l.2).unwrap_or(f64::NAN);
+        rep.line(&format!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>10.4}",
+            v.label(),
+            r.entity_raw.mrr,
+            r.entity_raw.h10,
+            r.relation_raw.mrr,
+            last_loss
+        ));
+    }
+    rep.finish("converge_probe");
+}

@@ -1,0 +1,53 @@
+//! History-length sweep — the paper's §IV-A4 model-selection step ("we chose
+//! the historical length k from {1..10} according to the model performance on
+//! the validation set"). Trains RETIA at several `k` on one dataset and
+//! reports validation entity MRR, reproducing the selection methodology.
+//!
+//! ```sh
+//! cargo run -p retia-bench --release --bin k_sweep [-- icews14]
+//! ```
+
+use retia::{Retia, Split, Trainer};
+use retia_bench::report::Report;
+use retia_bench::{dataset_context, retia_config_for, Settings};
+use retia_data::DatasetProfile;
+
+fn main() {
+    let settings = Settings::from_env();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "yago".into());
+    let profile = match which.as_str() {
+        "icews14" => DatasetProfile::Icews14,
+        "icews0515" => DatasetProfile::Icews0515,
+        "icews18" => DatasetProfile::Icews18,
+        "wiki" => DatasetProfile::Wiki,
+        _ => DatasetProfile::Yago,
+    };
+    let (_ds, ctx) = dataset_context(profile);
+
+    let mut rep = Report::new(&format!("History-length sweep on {}", profile.name()));
+    rep.line("Validation entity MRR as a function of k (the paper's selection");
+    rep.line(&format!(
+        "criterion; it picked k = {} for this dataset at full scale).",
+        profile.paper_history_len()
+    ));
+    rep.blank();
+    rep.line(&format!("{:<4} {:>10} {:>10} {:>12}", "k", "val MRR", "val H@10", "fit secs"));
+    for k in [1usize, 2, 3, 4, 6] {
+        let mut cfg = retia_config_for(profile, &settings);
+        cfg.k = k;
+        cfg.online = false;
+        let model = Retia::with_shape(&cfg, ctx.num_entities, ctx.num_relations);
+        let mut trainer = Trainer::new(model, cfg);
+        let t0 = std::time::Instant::now();
+        trainer.fit(&ctx);
+        let secs = t0.elapsed().as_secs_f64();
+        let report = trainer.evaluate_offline(&ctx, Split::Valid);
+        rep.line(&format!(
+            "{k:<4} {:>10.2} {:>10.2} {:>12.1}",
+            report.entity_raw.mrr() * 100.0,
+            report.entity_raw.hits10() * 100.0,
+            secs
+        ));
+    }
+    rep.finish(&format!("k_sweep_{which}"));
+}

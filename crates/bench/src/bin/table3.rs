@@ -1,0 +1,64 @@
+//! Table III: entity forecasting on the ICEWS series (raw metrics),
+//! paper-reported vs locally measured on the synthetic mini datasets.
+
+use retia_bench::paper::{is_paper_only, TABLE3};
+use retia_bench::report::{cell, Report};
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+
+fn main() {
+    let settings = Settings::from_env();
+    let datasets = [
+        DatasetProfile::Icews14,
+        DatasetProfile::Icews0515,
+        DatasetProfile::Icews18,
+    ];
+
+    let mut rep = Report::new(
+        "Table III: entity forecasting, ICEWS14 / ICEWS05-15 / ICEWS18 (raw)",
+    );
+    rep.line("Measured columns come from the synthetic mini profiles; paper columns");
+    rep.line("are the published full-scale numbers. Compare *orderings*, not values.");
+    rep.blank();
+
+    for (di, &profile) in datasets.iter().enumerate() {
+        rep.line(&format!("--- {} (paper: {}) ---", profile.name(),
+            ["ICEWS14", "ICEWS05-15", "ICEWS18"][di]));
+        rep.line(&format!(
+            "{:<13} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
+            "method", "pMRR", "pH@1", "pH@3", "pH@10", "MRR", "H@1", "H@3", "H@10"
+        ));
+        for (name, rows) in TABLE3 {
+            let p = rows[di];
+            let measured = Variant::for_paper_name(name)
+                .map(|v| run_experiment(profile, v, &settings));
+            let (m, tag) = match &measured {
+                Some(r) => (
+                    [
+                        Some(r.entity_raw.mrr),
+                        Some(r.entity_raw.h1),
+                        Some(r.entity_raw.h3),
+                        Some(r.entity_raw.h10),
+                    ],
+                    "",
+                ),
+                None => ([None; 4], if is_paper_only(name) { "  (paper-reported only)" } else { "" }),
+            };
+            rep.line(&format!(
+                "{:<13} | {} {} {} {} | {} {} {} {}{}",
+                name,
+                cell(p[0]),
+                cell(p[1]),
+                cell(p[2]),
+                cell(p[3]),
+                cell(m[0]),
+                cell(m[1]),
+                cell(m[2]),
+                cell(m[3]),
+                tag
+            ));
+        }
+        rep.blank();
+    }
+    rep.finish("table3");
+}

@@ -1,0 +1,49 @@
+//! Table IV: entity forecasting on YAGO / WIKI (raw MRR / H@3 / H@10).
+
+use retia_bench::paper::{is_paper_only, TABLE4};
+use retia_bench::report::{cell, Report};
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+
+fn main() {
+    let settings = Settings::from_env();
+    let datasets = [DatasetProfile::Yago, DatasetProfile::Wiki];
+
+    let mut rep = Report::new("Table IV: entity forecasting, YAGO / WIKI (raw)");
+    rep.blank();
+    for (di, &profile) in datasets.iter().enumerate() {
+        rep.line(&format!("--- {} (paper: {}) ---", profile.name(), ["YAGO", "WIKI"][di]));
+        rep.line(&format!(
+            "{:<13} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
+            "method", "pMRR", "pH@3", "pH@10", "MRR", "H@3", "H@10"
+        ));
+        for (name, rows) in TABLE4 {
+            let p = rows[di];
+            let measured =
+                Variant::for_paper_name(name).map(|v| run_experiment(profile, v, &settings));
+            let (m, tag) = match &measured {
+                Some(r) => (
+                    [Some(r.entity_raw.mrr), Some(r.entity_raw.h3), Some(r.entity_raw.h10)],
+                    "",
+                ),
+                None => (
+                    [None; 3],
+                    if is_paper_only(name) { "  (paper-reported only)" } else { "" },
+                ),
+            };
+            rep.line(&format!(
+                "{:<13} | {} {} {} | {} {} {}{}",
+                name,
+                cell(p[0]),
+                cell(p[1]),
+                cell(p[2]),
+                cell(m[0]),
+                cell(m[1]),
+                cell(m[2]),
+                tag
+            ));
+        }
+        rep.blank();
+    }
+    rep.finish("table4");
+}

@@ -1,0 +1,37 @@
+//! Table V: dataset statistics — the real benchmarks vs our synthetic
+//! mini-profiles (demonstrating the preserved shape ratios).
+
+use retia_bench::paper::TABLE5;
+use retia_bench::report::Report;
+use retia_data::{DatasetProfile, SyntheticConfig};
+
+fn main() {
+    let mut rep = Report::new("Table V: dataset statistics (paper benchmarks vs synthetic mini profiles)");
+    rep.blank();
+    rep.line(&format!(
+        "{:<18} {:>9} {:>10} {:>9} {:>9} {:>9} {:>12}",
+        "dataset", "entities", "relations", "train", "valid", "test", "granularity"
+    ));
+    for (i, profile) in DatasetProfile::ALL.iter().enumerate() {
+        // Paper ordering in TABLE5 matches DatasetProfile::ALL.
+        let (pname, pstats, pgran) = TABLE5[i];
+        rep.line(&format!(
+            "{pname:<18} {:>9} {:>10} {:>9} {:>9} {:>9} {:>12}",
+            pstats[0], pstats[1], pstats[2], pstats[3], pstats[4], pgran
+        ));
+        let ds = SyntheticConfig::profile(*profile).generate();
+        let s = ds.stats();
+        rep.line(&format!(
+            "{:<18} {:>9} {:>10} {:>9} {:>9} {:>9} {:>12}",
+            ds.name,
+            s.entities,
+            s.relations,
+            s.train,
+            s.valid,
+            s.test,
+            format!("{}", ds.granularity)
+        ));
+        rep.blank();
+    }
+    rep.finish("table5");
+}

@@ -1,0 +1,55 @@
+//! Table VI: module ablation — removing the EAM or the RAM, entity and
+//! relation MRR on all five datasets.
+
+use retia_bench::paper::TABLE6;
+use retia_bench::report::Report;
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+
+fn main() {
+    let settings = Settings::from_env();
+    // Paper column order: YAGO, WIKI, ICEWS14, ICEWS05-15, ICEWS18.
+    let datasets = [
+        DatasetProfile::Yago,
+        DatasetProfile::Wiki,
+        DatasetProfile::Icews14,
+        DatasetProfile::Icews0515,
+        DatasetProfile::Icews18,
+    ];
+    let variants = [
+        ("wo. EAM", Variant::RetiaNoEam),
+        ("wo. RAM", Variant::RetiaRmNone),
+        ("RETIA", Variant::Retia),
+    ];
+
+    let mut rep = Report::new("Table VI: EAM / RAM ablation (MRR, entity | relation)");
+    rep.blank();
+    let header: String = datasets
+        .iter()
+        .map(|d| format!("{:>17}", d.name().trim_end_matches("-mini")))
+        .collect::<Vec<_>>()
+        .join(" ");
+    rep.line(&format!("{:<10} {header}", "module"));
+    for (row_idx, (label, variant)) in variants.iter().enumerate() {
+        // Paper row.
+        let paper = TABLE6[row_idx].1;
+        let pcells: String = paper
+            .iter()
+            .map(|(e, r)| format!("{:>8.2}|{:<8.2}", e, r))
+            .collect::<Vec<_>>()
+            .join(" ");
+        rep.line(&format!("{label:<10} {pcells}   (paper)"));
+        // Measured row.
+        let mcells: String = datasets
+            .iter()
+            .map(|&d| {
+                let res = run_experiment(d, *variant, &settings);
+                format!("{:>8.2}|{:<8.2}", res.entity_raw.mrr, res.relation_raw.mrr)
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        rep.line(&format!("{label:<10} {mcells}   (measured)"));
+        rep.blank();
+    }
+    rep.finish("table6");
+}

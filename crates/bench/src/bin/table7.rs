@@ -1,0 +1,45 @@
+//! Table VII: relation forecasting MRR on all five datasets.
+
+use retia_bench::paper::{is_paper_only, TABLE7};
+use retia_bench::report::{cell, Report};
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+
+fn main() {
+    let settings = Settings::from_env();
+    // Paper column order: YAGO, WIKI, ICEWS14, ICEWS05-15, ICEWS18.
+    let datasets = [
+        DatasetProfile::Yago,
+        DatasetProfile::Wiki,
+        DatasetProfile::Icews14,
+        DatasetProfile::Icews0515,
+        DatasetProfile::Icews18,
+    ];
+
+    let mut rep = Report::new("Table VII: relation forecasting MRR (raw)");
+    rep.blank();
+    let header: String = datasets
+        .iter()
+        .map(|d| format!("{:>11}", d.name().trim_end_matches("-mini")))
+        .collect::<Vec<_>>()
+        .join("");
+    rep.line(&format!("{:<13} {header}", "method"));
+    for (name, paper_vals) in TABLE7 {
+        let pcells: String = paper_vals.iter().map(|v| format!("{v:>11.2}")).collect();
+        rep.line(&format!("{name:<13} {pcells}   (paper)"));
+        if let Some(v) = Variant::for_paper_name(name) {
+            let mcells: String = datasets
+                .iter()
+                .map(|&d| {
+                    let r = run_experiment(d, v, &settings);
+                    format!("{:>11}", cell(Some(r.relation_raw.mrr)).trim().to_string())
+                })
+                .collect();
+            rep.line(&format!("{name:<13} {mcells}   (measured)"));
+        } else if is_paper_only(name) {
+            rep.line(&format!("{name:<13} {:>11}   (paper-reported only)", "-"));
+        }
+        rep.blank();
+    }
+    rep.finish("table7");
+}

@@ -1,0 +1,51 @@
+//! Table VIII: run-time comparison — test-split prediction wall-clock per
+//! method (online methods include their continual-training updates, as in
+//! the paper's protocol).
+
+use std::time::Duration;
+
+use retia_bench::paper::TABLE8;
+use retia_bench::report::Report;
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+use retia_eval::format_duration;
+
+fn main() {
+    let settings = Settings::from_env();
+    // Paper column order: ICEWS14, ICEWS05-15, ICEWS18, YAGO, WIKI.
+    let datasets = [
+        DatasetProfile::Icews14,
+        DatasetProfile::Icews0515,
+        DatasetProfile::Icews18,
+        DatasetProfile::Yago,
+        DatasetProfile::Wiki,
+    ];
+
+    let mut rep = Report::new("Table VIII: prediction run time (test split)");
+    rep.line("Paper rows: full-scale datasets on a Tesla V100. Measured rows: mini");
+    rep.line("profiles on this CPU. Compare the per-method *ordering* per column.");
+    rep.blank();
+    let header: String = datasets
+        .iter()
+        .map(|d| format!("{:>12}", d.name().trim_end_matches("-mini")))
+        .collect();
+    rep.line(&format!("{:<9} {header}", "method"));
+    for (name, paper_times) in TABLE8 {
+        let pcells: String = paper_times.iter().map(|t| format!("{t:>12}")).collect();
+        rep.line(&format!("{name:<9} {pcells}   (paper)"));
+        if let Some(v) = Variant::for_paper_name(name) {
+            let mcells: String = datasets
+                .iter()
+                .map(|&d| {
+                    let r = run_experiment(d, v, &settings);
+                    format!("{:>12}", format_duration(Duration::from_secs_f64(r.eval_secs)))
+                })
+                .collect();
+            rep.line(&format!("{name:<9} {mcells}   (measured)"));
+        } else {
+            rep.line(&format!("{name:<9} {:>12}   (paper-reported only)", "-"));
+        }
+        rep.blank();
+    }
+    rep.finish("table8");
+}

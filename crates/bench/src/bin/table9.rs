@@ -1,0 +1,40 @@
+//! Table IX: the twin-interact module's effect on final forecasting quality
+//! (YAGO and ICEWS14, entity + relation, MRR and Hits@10).
+
+use retia_bench::paper::TABLE9;
+use retia_bench::report::Report;
+use retia_bench::{run_experiment, Settings, Variant};
+use retia_data::DatasetProfile;
+
+fn main() {
+    let settings = Settings::from_env();
+    let datasets = [DatasetProfile::Yago, DatasetProfile::Icews14];
+    let variants = [("wo. TIM", Variant::RetiaNoTim), ("w. TIM", Variant::Retia)];
+
+    let mut rep = Report::new("Table IX: TIM ablation on the test sets (YAGO, ICEWS14)");
+    rep.blank();
+    rep.line(&format!(
+        "{:<9} {:<12} {:>9} {:>9} {:>9} {:>9}",
+        "module", "dataset", "ent MRR", "ent H@10", "rel MRR", "rel H@10"
+    ));
+    for (row, (label, variant)) in variants.iter().enumerate() {
+        for (di, &profile) in datasets.iter().enumerate() {
+            let (pe, peh, pr, prh) = TABLE9[row].1[di];
+            rep.line(&format!(
+                "{label:<9} {:<12} {pe:>9.2} {peh:>9.2} {pr:>9.2} {prh:>9.2}   (paper)",
+                profile.name().trim_end_matches("-mini")
+            ));
+            let r = run_experiment(profile, *variant, &settings);
+            rep.line(&format!(
+                "{label:<9} {:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2}   (measured)",
+                profile.name().trim_end_matches("-mini"),
+                r.entity_raw.mrr,
+                r.entity_raw.h10,
+                r.relation_raw.mrr,
+                r.relation_raw.h10
+            ));
+        }
+        rep.blank();
+    }
+    rep.finish("table9");
+}

@@ -1,0 +1,70 @@
+//! Table-rendering helpers shared by the harness binaries.
+
+use std::fmt::Write as _;
+
+/// Formats an optional percentage cell.
+pub fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:6.2}"),
+        None => format!("{:>6}", "-"),
+    }
+}
+
+/// A growing text report that is printed *and* saved under `results/`.
+pub struct Report {
+    title: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report with a heading.
+    pub fn new(title: &str) -> Self {
+        let mut body = String::new();
+        let _ = writeln!(body, "=== {title} ===");
+        Report { title: title.to_string(), body }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, s: &str) {
+        let _ = writeln!(self.body, "{s}");
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        let _ = writeln!(self.body);
+    }
+
+    /// Prints to stdout and writes `results/<slug>.txt`.
+    pub fn finish(self, slug: &str) {
+        print!("{}", self.body);
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir).ok();
+        std::fs::write(dir.join(format!("{slug}.txt")), &self.body).ok();
+        eprintln!("[retia-bench] saved results/{slug}.txt ({})", self.title);
+    }
+
+    /// Current body (for tests).
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(Some(12.3456)), " 12.35");
+        assert_eq!(cell(None), "     -");
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("T");
+        r.line("a");
+        r.blank();
+        r.line("b");
+        assert!(r.body().contains("=== T ===\na\n\nb\n"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Cached experiment runner: each (dataset, variant) pair trains at most
+//! once; results live in `results/cache/*.json`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use retia::Split;
+use retia_baselines::evaluate_baseline;
+use retia_data::DatasetProfile;
+use retia_eval::Metrics;
+use serde::{Deserialize, Serialize};
+
+use crate::variants::{dataset_context, Variant};
+
+/// Harness-wide knobs. `RETIA_FAST=1` switches to a smoke configuration,
+/// `RETIA_EPOCHS=n` overrides the recurrent-model epoch count,
+/// `RETIA_REFRESH=1` ignores the cache.
+#[derive(Clone, Debug)]
+pub struct Settings {
+    /// Embedding width for every model.
+    pub dim: usize,
+    /// Conv-TransE kernels.
+    pub channels: usize,
+    /// Epochs for the recurrent (RETIA-family) models.
+    pub epochs: usize,
+    /// Epochs for the static/interpolation baselines.
+    pub static_epochs: usize,
+    /// Ignore cached results.
+    pub refresh: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { dim: 32, channels: 16, epochs: 4, static_epochs: 12, refresh: false }
+    }
+}
+
+impl Settings {
+    /// Reads the environment overrides.
+    pub fn from_env() -> Self {
+        let mut s = Settings::default();
+        if std::env::var("RETIA_FAST").map(|v| v == "1").unwrap_or(false) {
+            s.epochs = 2;
+            s.static_epochs = 4;
+        }
+        if let Ok(e) = std::env::var("RETIA_EPOCHS") {
+            if let Ok(n) = e.parse() {
+                s.epochs = n;
+            }
+        }
+        if std::env::var("RETIA_REFRESH").map(|v| v == "1").unwrap_or(false) {
+            s.refresh = true;
+        }
+        s
+    }
+}
+
+/// Serializable snapshot of a [`Metrics`] accumulator (percent scale).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BenchMetrics {
+    /// Mean reciprocal rank × 100.
+    pub mrr: f64,
+    /// Hits@1 × 100.
+    pub h1: f64,
+    /// Hits@3 × 100.
+    pub h3: f64,
+    /// Hits@10 × 100.
+    pub h10: f64,
+    /// Query count.
+    pub count: usize,
+}
+
+impl From<Metrics> for BenchMetrics {
+    fn from(m: Metrics) -> Self {
+        let (mrr, h1, h3, h10) = m.as_percentages();
+        BenchMetrics { mrr, h1, h3, h10, count: m.count() }
+    }
+}
+
+/// One cached experiment outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExpResult {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Variant id.
+    pub variant: String,
+    /// Entity forecasting, raw setting.
+    pub entity_raw: BenchMetrics,
+    /// Entity forecasting, time-aware filtered setting.
+    pub entity_filtered: BenchMetrics,
+    /// Relation forecasting, raw setting.
+    pub relation_raw: BenchMetrics,
+    /// Relation forecasting, time-aware filtered setting.
+    pub relation_filtered: BenchMetrics,
+    /// Training wall-clock (seconds).
+    pub fit_secs: f64,
+    /// Test-set evaluation wall-clock (seconds; includes online updates for
+    /// online models, as the paper's Table VIII does).
+    pub eval_secs: f64,
+    /// Per-epoch `(entity, relation, joint)` training losses.
+    pub loss_history: Vec<(f64, f64, f64)>,
+}
+
+fn cache_path(profile: DatasetProfile, variant: Variant) -> PathBuf {
+    let dir = std::env::var("RETIA_CACHE_DIR").unwrap_or_else(|_| "results/cache".to_string());
+    PathBuf::from(dir).join(format!("{}_{}.json", profile.name(), variant.id()))
+}
+
+/// Runs (or loads) one experiment.
+pub fn run_experiment(profile: DatasetProfile, variant: Variant, settings: &Settings) -> ExpResult {
+    let path = cache_path(profile, variant);
+    if !settings.refresh {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(result) = serde_json::from_str::<ExpResult>(&text) {
+                return result;
+            }
+        }
+    }
+
+    eprintln!("[retia-bench] running {} / {} ...", profile.name(), variant.id());
+    let (_ds, ctx) = dataset_context(profile);
+    let mut model = variant.build(profile, &ctx, settings);
+
+    let t0 = Instant::now();
+    model.fit(&ctx);
+    let fit_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let report = evaluate_baseline(model.as_mut(), &ctx, Split::Test);
+    let eval_secs = t0.elapsed().as_secs_f64();
+
+    let result = ExpResult {
+        dataset: profile.name().to_string(),
+        variant: variant.id().to_string(),
+        entity_raw: report.entity_raw.into(),
+        entity_filtered: report.entity_filtered.into(),
+        relation_raw: report.relation_raw.into(),
+        relation_filtered: report.relation_filtered.into(),
+        fit_secs,
+        eval_secs,
+        loss_history: model.loss_history(),
+    };
+
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Ok(text) = serde_json::to_string_pretty(&result) {
+        std::fs::write(&path, text).ok();
+    }
+    eprintln!(
+        "[retia-bench]   {} / {}: entity MRR {:.2}, relation MRR {:.2} (fit {:.1}s, eval {:.1}s)",
+        profile.name(),
+        variant.id(),
+        result.entity_raw.mrr,
+        result.relation_raw.mrr,
+        fit_secs,
+        eval_secs
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_env_overrides() {
+        // Serialize env mutations inside one test to avoid races.
+        std::env::set_var("RETIA_FAST", "1");
+        std::env::remove_var("RETIA_EPOCHS");
+        std::env::remove_var("RETIA_REFRESH");
+        let s = Settings::from_env();
+        assert_eq!(s.epochs, 2);
+        std::env::set_var("RETIA_EPOCHS", "9");
+        std::env::set_var("RETIA_REFRESH", "1");
+        let s = Settings::from_env();
+        assert_eq!(s.epochs, 9);
+        assert!(s.refresh);
+        std::env::remove_var("RETIA_FAST");
+        std::env::remove_var("RETIA_EPOCHS");
+        std::env::remove_var("RETIA_REFRESH");
+    }
+
+    #[test]
+    fn bench_metrics_from_metrics() {
+        let mut m = Metrics::new();
+        m.record(1.0);
+        m.record(4.0);
+        let b: BenchMetrics = m.into();
+        assert_eq!(b.count, 2);
+        assert!((b.mrr - 62.5).abs() < 1e-9);
+        assert!((b.h3 - 50.0).abs() < 1e-9);
+    }
+}

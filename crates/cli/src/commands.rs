@@ -1,0 +1,213 @@
+//! Subcommand implementations.
+
+use std::path::PathBuf;
+
+use retia::{Retia, RetiaConfig, Split, TkgContext, Trainer};
+use retia_data::{
+    characterize, load_dataset, save_dataset, DatasetProfile, SyntheticConfig, TkgDataset,
+};
+
+use crate::args::Args;
+use crate::config_sidecar;
+
+fn load_data(args: &Args) -> Result<TkgDataset, String> {
+    let dir = PathBuf::from(args.require("data")?);
+    load_dataset(&dir)
+}
+
+/// `retia generate --profile P --out DIR [--seed N]`.
+pub fn generate(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let profile = args.require("profile")?;
+    let out = PathBuf::from(args.require("out")?);
+    let mut cfg = match profile {
+        "icews14" => SyntheticConfig::profile(DatasetProfile::Icews14),
+        "icews0515" => SyntheticConfig::profile(DatasetProfile::Icews0515),
+        "icews18" => SyntheticConfig::profile(DatasetProfile::Icews18),
+        "yago" => SyntheticConfig::profile(DatasetProfile::Yago),
+        "wiki" => SyntheticConfig::profile(DatasetProfile::Wiki),
+        "tiny" => SyntheticConfig::tiny(0),
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    if let Some(seed) = args.get("seed") {
+        cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    let ds = cfg.generate();
+    ds.validate()?;
+    save_dataset(&out, &ds)?;
+    let s = ds.stats();
+    println!(
+        "wrote `{}` to {}: {} entities, {} relations, {} timestamps, {}/{}/{} facts",
+        ds.name,
+        out.display(),
+        s.entities,
+        s.relations,
+        s.timestamps,
+        s.train,
+        s.valid,
+        s.test
+    );
+    Ok(())
+}
+
+/// `retia stats --data DIR`.
+pub fn stats(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let ds = load_data(&args)?;
+    let s = ds.stats();
+    println!("dataset      : {}", ds.name);
+    println!("entities     : {}", s.entities);
+    println!("relations    : {}", s.relations);
+    println!("timestamps   : {}", s.timestamps);
+    println!("granularity  : {}", ds.granularity);
+    println!("train/valid/test facts: {}/{}/{}", s.train, s.valid, s.test);
+    let c = characterize(&ds);
+    println!("temporal structure:");
+    println!("  test repetition rate : {:5.1}%", c.test_repetition_rate * 100.0);
+    println!("  test persistence rate: {:5.1}%", c.test_persistence_rate * 100.0);
+    println!("  test unseen rate     : {:5.1}%", c.test_unseen_rate * 100.0);
+    println!("  mean occurrences/triple: {:.2}", c.mean_occurrences);
+    println!("  mean facts/timestamp   : {:.1}", c.mean_snapshot_size);
+    Ok(())
+}
+
+fn model_config_from(args: &Args) -> Result<RetiaConfig, String> {
+    let mut cfg = RetiaConfig {
+        dim: args.get_or("dim", 32usize)?,
+        k: args.get_or("k", 3usize)?,
+        channels: args.get_or("channels", 16usize)?,
+        epochs: args.get_or("epochs", 10usize)?,
+        lr: args.get_or("lr", 1e-3f32)?,
+        lambda: args.get_or("lambda", 0.7f32)?,
+        seed: args.get_or("seed", 42u64)?,
+        static_weight: args.get_or("static-weight", 0.0f32)?,
+        patience: args.get_or("patience", 0usize)?,
+        online: false,
+        ..Default::default()
+    };
+    if args.flag("no-tim") {
+        cfg.use_tim = false;
+    }
+    if args.flag("no-eam") {
+        cfg.use_eam = false;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// `retia train --data DIR --out FILE [hyperparameters...]`.
+pub fn train(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["no-tim", "no-eam"])?;
+    let ds = load_data(&args)?;
+    let out = PathBuf::from(args.require("out")?);
+    let cfg = model_config_from(&args)?;
+
+    let ctx = TkgContext::new(&ds);
+    let model = Retia::new(&cfg, &ds);
+    println!(
+        "training RETIA on `{}`: {} parameters, k={}, {} epochs",
+        ds.name,
+        model.num_parameters(),
+        cfg.k,
+        cfg.epochs
+    );
+    let mut trainer = Trainer::new(model, cfg.clone());
+    let history = trainer.fit(&ctx);
+    for (i, l) in history.iter().enumerate() {
+        println!("  epoch {:>3}: joint loss {:.4}", i + 1, l.joint);
+    }
+    let report = trainer.evaluate_offline(&ctx, Split::Valid);
+    println!("validation: {}", report.entity_raw);
+
+    trainer
+        .model
+        .store()
+        .save_file(&out)
+        .map_err(|e| e.to_string())?;
+    let sidecar = config_sidecar(&out);
+    std::fs::write(
+        &sidecar,
+        serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("{}: {e}", sidecar.display()))?;
+    println!("saved checkpoint to {} (+ config sidecar)", out.display());
+    Ok(())
+}
+
+fn load_model(args: &Args, ds: &TkgDataset) -> Result<(Retia, RetiaConfig), String> {
+    let path = PathBuf::from(args.require("model")?);
+    let sidecar = config_sidecar(&path);
+    let text = std::fs::read_to_string(&sidecar)
+        .map_err(|e| format!("{}: {e} (train writes it next to the checkpoint)", sidecar.display()))?;
+    let cfg: RetiaConfig = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let mut model = Retia::new(&cfg, ds);
+    model
+        .store_mut()
+        .load_file(&path)
+        .map_err(|e| e.to_string())?;
+    Ok((model, cfg))
+}
+
+/// `retia evaluate --data DIR --model FILE [--split valid|test] [--online] [--filtered]`.
+pub fn evaluate(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["online", "filtered"])?;
+    let ds = load_data(&args)?;
+    let (model, mut cfg) = load_model(&args, &ds)?;
+    cfg.online = args.flag("online");
+    let split = match args.get("split").unwrap_or("test") {
+        "valid" => Split::Valid,
+        "test" => Split::Test,
+        other => return Err(format!("unknown split `{other}`")),
+    };
+    let ctx = TkgContext::new(&ds);
+    let mut trainer = Trainer::new(model, cfg);
+    let report = trainer.evaluate(&ctx, split);
+    if args.flag("filtered") {
+        println!("entity   (time-filtered): {}", report.entity_filtered);
+        println!("relation (time-filtered): {}", report.relation_filtered);
+    } else {
+        println!("entity   (raw): {}", report.entity_raw);
+        println!("relation (raw): {}", report.relation_raw);
+    }
+    Ok(())
+}
+
+/// `retia predict --data DIR --model FILE --subject N --relation N [--topk N]`.
+pub fn predict(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let ds = load_data(&args)?;
+    let (model, cfg) = load_model(&args, &ds)?;
+    let subject: u32 = args
+        .require("subject")?
+        .parse()
+        .map_err(|e| format!("bad --subject: {e}"))?;
+    let relation: u32 = args
+        .require("relation")?
+        .parse()
+        .map_err(|e| format!("bad --relation: {e}"))?;
+    let topk: usize = args.get_or("topk", 10usize)?;
+    if subject as usize >= ds.num_entities {
+        return Err(format!("subject {subject} out of range 0..{}", ds.num_entities));
+    }
+    if relation as usize >= 2 * ds.num_relations {
+        return Err(format!("relation {relation} out of range 0..{}", 2 * ds.num_relations));
+    }
+
+    let ctx = TkgContext::new(&ds);
+    let idx = *ctx
+        .test_idx
+        .first()
+        .ok_or("dataset has no test timestamps")?;
+    let (hist, hypers) = ctx.history(idx, cfg.k);
+    let probs = model.predict_entity(hist, hypers, vec![subject], vec![relation]);
+    let mut ranked: Vec<(usize, f32)> = probs.row(0).iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "top-{topk} objects for (e{subject}, r{relation}, ?, t{}):",
+        ctx.snapshots[idx].t
+    );
+    for (rank, (ent, p)) in ranked.iter().take(topk).enumerate() {
+        println!("  #{:<3} e{:<6} p={:.4}", rank + 1, ent, p);
+    }
+    Ok(())
+}

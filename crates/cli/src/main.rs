@@ -1,0 +1,73 @@
+//! `retia` — command-line interface for the RETIA reproduction.
+//!
+//! ```text
+//! retia generate --profile icews14 --out data/icews14      # synthesize a dataset
+//! retia stats    --data data/icews14                       # Table-V statistics + temporal structure
+//! retia train    --data data/icews14 --out model.bin --epochs 10
+//! retia evaluate --data data/icews14 --model model.bin --split test --online
+//! retia predict  --data data/icews14 --model model.bin --subject 3 --relation 2 --topk 5
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "stats" => commands::stats(rest),
+        "train" => commands::train(rest),
+        "evaluate" => commands::evaluate(rest),
+        "predict" => commands::predict(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+retia — temporal knowledge graph extrapolation (RETIA, ICDE 2023)
+
+USAGE:
+    retia <command> [options]
+
+COMMANDS:
+    generate   synthesize a benchmark-shaped dataset
+               --profile icews14|icews0515|icews18|yago|wiki|tiny  --out DIR [--seed N]
+    stats      print dataset statistics and temporal structure
+               --data DIR
+    train      train a RETIA model and write a checkpoint
+               --data DIR --out FILE [--dim N] [--k N] [--epochs N] [--channels N]
+               [--lr F] [--lambda F] [--seed N] [--no-tim] [--no-eam] [--static-weight F]
+    evaluate   score a checkpoint on a split
+               --data DIR --model FILE [--split valid|test] [--online] [--filtered]
+    predict    rank candidate objects for a query (s, r, ?) at the first test timestamp
+               --data DIR --model FILE --subject N --relation N [--topk N]
+";
+
+/// Shared checkpoint-sidecar: the config a model was trained with.
+pub(crate) fn config_sidecar(model_path: &PathBuf) -> PathBuf {
+    let mut p = model_path.clone();
+    let name = p
+        .file_name()
+        .map(|f| format!("{}.config.json", f.to_string_lossy()))
+        .unwrap_or_else(|| "model.config.json".into());
+    p.set_file_name(name);
+    p
+}

@@ -1,0 +1,149 @@
+//! Precomputed snapshot/hypergraph sequences over a dataset.
+
+use std::collections::HashSet;
+
+use retia_data::TkgDataset;
+use retia_graph::{group_by_timestamp, HyperSnapshot, Quad, Snapshot};
+
+/// Which evaluation split to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// Validation timestamps.
+    Valid,
+    /// Test timestamps.
+    Test,
+}
+
+/// All snapshots of a dataset (train, valid and test), in timestamp order,
+/// with their twin hyperrelation subgraphs precomputed, plus the index ranges
+/// of each split.
+///
+/// Evaluation at timestamp index `i` uses the preceding `k` snapshots as
+/// ground-truth history — the standard RE-GCN protocol (historical facts are
+/// observed once their timestamp has passed).
+pub struct TkgContext {
+    /// Every snapshot, ascending by timestamp.
+    pub snapshots: Vec<Snapshot>,
+    /// Twin hyperrelation subgraphs, parallel with `snapshots`.
+    pub hypers: Vec<HyperSnapshot>,
+    /// Snapshot indices whose facts belong to the training split.
+    pub train_idx: Vec<usize>,
+    /// Snapshot indices of the validation split.
+    pub valid_idx: Vec<usize>,
+    /// Snapshot indices of the test split.
+    pub test_idx: Vec<usize>,
+    /// Number of entities `N`.
+    pub num_entities: usize,
+    /// Number of original relations `M`.
+    pub num_relations: usize,
+}
+
+impl TkgContext {
+    /// Builds the context from a dataset (precomputing every hyperrelation
+    /// subgraph once; they are reused across epochs).
+    pub fn new(ds: &TkgDataset) -> Self {
+        let valid_ts: HashSet<u32> = ds.valid.iter().map(|q| q.t).collect();
+        let test_ts: HashSet<u32> = ds.test.iter().map(|q| q.t).collect();
+
+        let all: Vec<Quad> = ds.all_quads().copied().collect();
+        let groups = group_by_timestamp(&all);
+        let mut snapshots = Vec::with_capacity(groups.len());
+        let mut hypers = Vec::with_capacity(groups.len());
+        let (mut train_idx, mut valid_idx, mut test_idx) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, (t, facts)) in groups.into_iter().enumerate() {
+            let snap = Snapshot::from_quads(&facts, ds.num_entities, ds.num_relations);
+            hypers.push(HyperSnapshot::from_snapshot(&snap));
+            snapshots.push(snap);
+            if test_ts.contains(&t) {
+                test_idx.push(i);
+            } else if valid_ts.contains(&t) {
+                valid_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        TkgContext {
+            snapshots,
+            hypers,
+            train_idx,
+            valid_idx,
+            test_idx,
+            num_entities: ds.num_entities,
+            num_relations: ds.num_relations,
+        }
+    }
+
+    /// The history window of the `k` snapshots strictly before index `i`
+    /// (shorter near the beginning of the sequence).
+    pub fn history(&self, i: usize, k: usize) -> (&[Snapshot], &[HyperSnapshot]) {
+        let start = i.saturating_sub(k);
+        (&self.snapshots[start..i], &self.hypers[start..i])
+    }
+
+    /// Snapshot indices of a split.
+    pub fn split_indices(&self, split: Split) -> &[usize] {
+        match split {
+            Split::Valid => &self.valid_idx,
+            Split::Test => &self.test_idx,
+        }
+    }
+
+    /// Total facts in a split's snapshots.
+    pub fn split_fact_count(&self, split: Split) -> usize {
+        self.split_indices(split)
+            .iter()
+            .map(|&i| self.snapshots[i].facts.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retia_data::SyntheticConfig;
+
+    #[test]
+    fn context_covers_all_snapshots_in_order() {
+        let ds = SyntheticConfig::tiny(0).generate();
+        let ctx = TkgContext::new(&ds);
+        assert_eq!(ctx.snapshots.len(), ctx.hypers.len());
+        for w in ctx.snapshots.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+        let covered = ctx.train_idx.len() + ctx.valid_idx.len() + ctx.test_idx.len();
+        assert_eq!(covered, ctx.snapshots.len());
+    }
+
+    #[test]
+    fn split_indices_are_ordered_train_valid_test() {
+        let ds = SyntheticConfig::tiny(0).generate();
+        let ctx = TkgContext::new(&ds);
+        let max_train = ctx.train_idx.iter().max().unwrap();
+        let min_valid = ctx.valid_idx.iter().min().unwrap();
+        let max_valid = ctx.valid_idx.iter().max().unwrap();
+        let min_test = ctx.test_idx.iter().min().unwrap();
+        assert!(max_train < min_valid);
+        assert!(max_valid < min_test);
+    }
+
+    #[test]
+    fn history_window_sizes() {
+        let ds = SyntheticConfig::tiny(0).generate();
+        let ctx = TkgContext::new(&ds);
+        let (h, hh) = ctx.history(0, 3);
+        assert!(h.is_empty() && hh.is_empty());
+        let (h, _) = ctx.history(2, 3);
+        assert_eq!(h.len(), 2);
+        let (h, _) = ctx.history(10, 3);
+        assert_eq!(h.len(), 3);
+        assert!(h[2].t < ctx.snapshots[10].t);
+    }
+
+    #[test]
+    fn split_fact_counts_match_dataset() {
+        let ds = SyntheticConfig::tiny(0).generate();
+        let ctx = TkgContext::new(&ds);
+        assert_eq!(ctx.split_fact_count(Split::Valid), ds.valid.len());
+        assert_eq!(ctx.split_fact_count(Split::Test), ds.test.len());
+    }
+}

@@ -1,0 +1,625 @@
+//! The RETIA model: parameters, the evolution recurrence (RAM + EAM + TIM)
+//! and the time-variability decoders.
+
+use std::rc::Rc;
+
+use retia_data::TkgDataset;
+use retia_graph::{HyperSnapshot, Snapshot, NUM_HYPERRELS_WITH_INV};
+use retia_nn::{mean_pool_segments, ConvTransE, EntityRgcn, GruCell, LstmCell, RelationRgcn, WeightMode};
+use retia_tensor::{Graph, NodeId, ParamStore, Tensor};
+
+use crate::config::{HyperrelMode, RelationMode, RetiaConfig};
+
+/// The `(E_t, R_t)` pair produced for one historical timestamp.
+#[derive(Clone, Copy, Debug)]
+pub struct EvolvedState {
+    /// Entity embeddings `E_t` (`[N, d]`).
+    pub entities: NodeId,
+    /// Relation embeddings `R_t` (`[2M, d]`, inverses included).
+    pub relations: NodeId,
+}
+
+/// The RETIA model. Holds the parameter store and the module definitions;
+/// each forward pass unrolls the recurrence in a fresh autodiff [`Graph`].
+pub struct Retia {
+    /// Configuration the model was built with.
+    pub cfg: RetiaConfig,
+    num_entities: usize,
+    num_relations: usize,
+    store: ParamStore,
+    ram_rgcn: RelationRgcn,
+    eam_rgcn: EntityRgcn,
+    rel_gru: GruCell,
+    ent_gru: GruCell,
+    tim_lstm: LstmCell,
+    hyper_lstm: LstmCell,
+    dec_entity: ConvTransE,
+    dec_relation: ConvTransE,
+}
+
+impl Retia {
+    /// Builds a model for `ds`, registering all parameters.
+    pub fn new(cfg: &RetiaConfig, ds: &TkgDataset) -> Self {
+        cfg.validate().expect("invalid RetiaConfig");
+        Self::with_shape(cfg, ds.num_entities, ds.num_relations)
+    }
+
+    /// Builds a model from raw entity/relation counts.
+    pub fn with_shape(cfg: &RetiaConfig, num_entities: usize, num_relations: usize) -> Self {
+        let d = cfg.dim;
+        let m2 = 2 * num_relations;
+        let mut store = ParamStore::new(cfg.seed);
+        store.register_xavier("ent0", num_entities, d);
+        store.register_xavier("rel0", m2, d);
+        store.register_xavier("hyper0", NUM_HYPERRELS_WITH_INV, d);
+        // Separate static relation table for the EAM when the TIM channel is
+        // severed ("two different and inconsistent individuals", §IV-D).
+        store.register_xavier("eam_rel0", m2, d);
+
+        let ram_rgcn = RelationRgcn::new(
+            &mut store,
+            "ram",
+            d,
+            WeightMode::PerRelation,
+            cfg.rgcn_layers,
+            cfg.dropout,
+        );
+        let eam_rgcn = EntityRgcn::new(
+            &mut store,
+            "eam",
+            d,
+            m2,
+            WeightMode::Basis(cfg.num_bases.min(m2)),
+            cfg.rgcn_layers,
+            cfg.dropout,
+        );
+        let rel_gru = GruCell::new(&mut store, "rgru_rel", d, d);
+        let ent_gru = GruCell::new(&mut store, "rgru_ent", d, d);
+        let tim_lstm = LstmCell::new(&mut store, "tim_lstm", 2 * d, d);
+        let hyper_lstm = LstmCell::new(&mut store, "hyper_lstm", 2 * d, d);
+        let dec_entity = ConvTransE::new(&mut store, "dec_e", d, cfg.channels, cfg.ksize, cfg.dropout);
+        let dec_relation =
+            ConvTransE::new(&mut store, "dec_r", d, cfg.channels, cfg.ksize, cfg.dropout);
+
+        Retia {
+            cfg: cfg.clone(),
+            num_entities,
+            num_relations,
+            store,
+            ram_rgcn,
+            eam_rgcn,
+            rel_gru,
+            ent_gru,
+            tim_lstm,
+            hyper_lstm,
+            dec_entity,
+            dec_relation,
+        }
+    }
+
+    /// Number of entities `N`.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Number of original relations `M`.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// The parameter store (read access).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// The parameter store (mutable; used by the trainer for backward and
+    /// optimizer steps).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Unrolls the RAM/EAM/TIM recurrence over `history`, returning one
+    /// [`EvolvedState`] per historical snapshot (or a single initial state if
+    /// the history is empty, so decoding is always possible).
+    pub fn evolve(
+        &self,
+        g: &mut Graph,
+        history: &[Snapshot],
+        hypers: &[HyperSnapshot],
+    ) -> Vec<EvolvedState> {
+        assert_eq!(history.len(), hypers.len(), "history/hypergraph length mismatch");
+        let d = self.cfg.dim;
+        let m2 = 2 * self.num_relations;
+
+        // The paper's module ablations freeze the ablated embeddings at their
+        // random initialization (no gradient), so insert constants then.
+        let ent0_raw = if self.cfg.use_eam {
+            g.param(&self.store, "ent0")
+        } else {
+            g.constant(self.store.value("ent0").clone())
+        };
+        let e0 = if self.cfg.normalize_entities {
+            g.normalize_rows(ent0_raw)
+        } else {
+            ent0_raw
+        };
+        let r0 = match self.cfg.relation_mode {
+            RelationMode::None => g.constant(self.store.value("rel0").clone()),
+            _ => g.param(&self.store, "rel0"),
+        };
+        let hr0 = g.param(&self.store, "hyper0");
+
+        if history.is_empty() {
+            return vec![EvolvedState { entities: e0, relations: r0 }];
+        }
+
+        let mut e_prev = e0;
+        let mut r_prev = r0;
+        let mut hr_prev = hr0;
+        let mut c_prev: Option<NodeId> = None;
+        let mut hc_prev: Option<NodeId> = None;
+        let mut states = Vec::with_capacity(history.len());
+
+        for (snap, hyper) in history.iter().zip(hypers.iter()) {
+            // ---- relation update (TIM Eq. 7-8 + RAM Eq. 1-3) ----
+            let r_t = match self.cfg.relation_mode {
+                RelationMode::None | RelationMode::Static => r0,
+                RelationMode::Mp => {
+                    let pooled = mean_pool_segments(g, e_prev, &snap.rel_entities);
+                    Self::fallback_absent(g, pooled, r0, &snap.rel_entities)
+                }
+                RelationMode::MpLstm | RelationMode::MpLstmAgg => {
+                    let r_lstm = if self.cfg.use_tim {
+                        // Eq. 7: R_mean = [R_0 ; MP(E_{t-1}, E_r^t)].
+                        let pooled = mean_pool_segments(g, e_prev, &snap.rel_entities);
+                        let r_mean = g.concat_cols(r0, pooled);
+                        // Eq. 8: LSTM along the snapshot sequence.
+                        let c0 = c_prev
+                            .unwrap_or_else(|| g.constant(Tensor::zeros(m2, d)));
+                        let (h, c) =
+                            self.tim_lstm.forward(g, &self.store, r_mean, r_prev, c0);
+                        c_prev = Some(c);
+                        h
+                    } else {
+                        // TIM severed: no entity→relation channel; relations
+                        // evolve from their previous state alone.
+                        r_prev
+                    };
+
+                    if self.cfg.relation_mode == RelationMode::MpLstmAgg {
+                        // Hyperrelation embeddings entering the RAM (Eq. 9-10).
+                        let hr_t = match self.cfg.hyperrel_mode {
+                            HyperrelMode::Init => hr0,
+                            HyperrelMode::Hmp => {
+                                let pooled =
+                                    mean_pool_segments(g, r_lstm, &hyper.hrel_relations);
+                                Self::fallback_absent(g, pooled, hr0, &hyper.hrel_relations)
+                            }
+                            HyperrelMode::HmpHlstm => {
+                                let pooled =
+                                    mean_pool_segments(g, r_lstm, &hyper.hrel_relations);
+                                let hr_mean = g.concat_cols(hr0, pooled);
+                                let hc0 = hc_prev.unwrap_or_else(|| {
+                                    g.constant(Tensor::zeros(NUM_HYPERRELS_WITH_INV, d))
+                                });
+                                let (h, c) = self
+                                    .hyper_lstm
+                                    .forward(g, &self.store, hr_mean, hr_prev, hc0);
+                                hc_prev = Some(c);
+                                hr_prev = h;
+                                h
+                            }
+                        };
+                        // Eq. 2: aggregate adjacent relations + hyperrelations.
+                        let r_agg = self.ram_rgcn.forward(g, &self.store, r_lstm, hr_t, hyper);
+                        // Eq. 3: residual GRU against the pre-aggregation state.
+                        self.rel_gru.forward(g, &self.store, r_agg, r_lstm)
+                    } else {
+                        r_lstm
+                    }
+                }
+            };
+
+            // ---- entity update (EAM Eq. 4-6) ----
+            let e_t = if self.cfg.use_eam {
+                let rel_for_eam = if self.cfg.use_tim {
+                    r_t
+                } else {
+                    g.param(&self.store, "eam_rel0")
+                };
+                let e_agg = self.eam_rgcn.forward(g, &self.store, e_prev, rel_for_eam, snap);
+                let e = self.ent_gru.forward(g, &self.store, e_agg, e_prev);
+                if self.cfg.normalize_entities {
+                    g.normalize_rows(e)
+                } else {
+                    e
+                }
+            } else {
+                e_prev
+            };
+
+            states.push(EvolvedState { entities: e_t, relations: r_t });
+            e_prev = e_t;
+            r_prev = r_t;
+        }
+        states
+    }
+
+    /// Rows of `pooled` whose segment was empty are replaced by the
+    /// corresponding `fallback` row (absent relations keep their initial
+    /// embedding instead of collapsing to zero).
+    fn fallback_absent(
+        g: &mut Graph,
+        pooled: NodeId,
+        fallback: NodeId,
+        segments: &[Vec<u32>],
+    ) -> NodeId {
+        let absent: Rc<Vec<f32>> = Rc::new(
+            segments
+                .iter()
+                .map(|s| if s.is_empty() { 1.0 } else { 0.0 })
+                .collect(),
+        );
+        let fb = g.row_scale(fallback, absent);
+        g.add(pooled, fb)
+    }
+
+    /// Summed per-timestamp probabilities for entity queries
+    /// (Eq. 11 + the time-variability sum of Eq. 13): `[Q, N]`.
+    ///
+    /// `subjects[i]` and `rels[i]` define query `i`; `rels` may contain
+    /// inverse ids (`r + M`) for subject forecasting.
+    pub fn entity_prob_sum(
+        &self,
+        g: &mut Graph,
+        states: &[EvolvedState],
+        subjects: Rc<Vec<u32>>,
+        rels: Rc<Vec<u32>>,
+    ) -> NodeId {
+        assert!(!states.is_empty(), "need at least one evolved state");
+        let mut probs = Vec::with_capacity(states.len());
+        for st in states {
+            let s_emb = g.gather_rows(st.entities, subjects.clone());
+            let r_emb = g.gather_rows(st.relations, rels.clone());
+            let logits = self
+                .dec_entity
+                .forward(g, &self.store, s_emb, r_emb, st.entities);
+            probs.push(g.softmax_rows(logits));
+        }
+        g.add_n(&probs)
+    }
+
+    /// Summed per-timestamp probabilities for relation queries
+    /// (Eq. 12 + Eq. 14): `[Q, M]` over the original (non-inverse) relations.
+    pub fn relation_prob_sum(
+        &self,
+        g: &mut Graph,
+        states: &[EvolvedState],
+        subjects: Rc<Vec<u32>>,
+        objects: Rc<Vec<u32>>,
+    ) -> NodeId {
+        assert!(!states.is_empty(), "need at least one evolved state");
+        let orig: Rc<Vec<u32>> = Rc::new((0..self.num_relations as u32).collect());
+        let mut probs = Vec::with_capacity(states.len());
+        for st in states {
+            let s_emb = g.gather_rows(st.entities, subjects.clone());
+            let o_emb = g.gather_rows(st.entities, objects.clone());
+            let cand = g.gather_rows(st.relations, orig.clone());
+            let logits = self
+                .dec_relation
+                .forward(g, &self.store, s_emb, o_emb, cand);
+            probs.push(g.softmax_rows(logits));
+        }
+        g.add_n(&probs)
+    }
+
+    /// Joint training loss for forecasting `target`'s facts from `states`
+    /// (Eq. 13/14 with weight `λ`, plus the optional static-consistency
+    /// constraint). Returns `(loss, entity_loss_value, relation_loss_value)`.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        states: &[EvolvedState],
+        target: &Snapshot,
+    ) -> (NodeId, f32, f32) {
+        let (subjects, rels, e_targets) = entity_queries(target, self.num_relations);
+        let (rs, ro, r_targets) = relation_queries(target);
+
+        let pe = self.entity_prob_sum(g, states, Rc::new(subjects), Rc::new(rels));
+        let picked_e = g.gather_cols(pe, Rc::new(e_targets));
+        let ln_e = g.ln(picked_e, 1e-9);
+        let mean_e = g.mean_all(ln_e);
+        let le = g.scale(mean_e, -1.0);
+
+        let pr = self.relation_prob_sum(g, states, Rc::new(rs), Rc::new(ro));
+        let picked_r = g.gather_cols(pr, Rc::new(r_targets));
+        let ln_r = g.ln(picked_r, 1e-9);
+        let mean_r = g.mean_all(ln_r);
+        let lr = g.scale(mean_r, -1.0);
+
+        let le_val = g.value(le).item();
+        let lr_val = g.value(lr).item();
+
+        let we = g.scale(le, self.cfg.lambda);
+        let wr = g.scale(lr, 1.0 - self.cfg.lambda);
+        let mut loss = g.add(we, wr);
+
+        if self.cfg.static_weight > 0.0 && self.cfg.use_eam {
+            let stat = self.static_constraint(g, states);
+            let ws = g.scale(stat, self.cfg.static_weight);
+            loss = g.add(loss, ws);
+        }
+        (loss, le_val, lr_val)
+    }
+
+    /// Static-consistency constraint (the RE-GCN-style auxiliary loss the
+    /// paper enables on the ICEWS datasets): the angle between each evolved
+    /// entity embedding and its initial embedding may grow by at most
+    /// `static_angle_deg` per step; violations are penalized linearly.
+    fn static_constraint(&self, g: &mut Graph, states: &[EvolvedState]) -> NodeId {
+        let ent0 = g.param(&self.store, "ent0");
+        let e0n = g.normalize_rows(ent0);
+        let mut terms = Vec::with_capacity(states.len());
+        for (j, st) in states.iter().enumerate() {
+            let en = if self.cfg.normalize_entities {
+                st.entities
+            } else {
+                g.normalize_rows(st.entities)
+            };
+            let prod = g.mul(en, e0n);
+            let cos = g.sum_rows(prod);
+            let angle = (self.cfg.static_angle_deg * (j + 1) as f32).min(90.0);
+            let thr = angle.to_radians().cos();
+            let neg = g.scale(cos, -1.0);
+            let gap = g.add_scalar(neg, thr);
+            let pen = g.relu(gap);
+            terms.push(g.mean_all(pen));
+        }
+        let total = g.add_n(&terms);
+        g.scale(total, 1.0 / states.len().max(1) as f32)
+    }
+
+    /// Inference: summed entity probabilities as a plain tensor
+    /// (`[Q, N]`, eval mode, no gradients retained).
+    pub fn predict_entity(
+        &self,
+        history: &[Snapshot],
+        hypers: &[HyperSnapshot],
+        subjects: Vec<u32>,
+        rels: Vec<u32>,
+    ) -> Tensor {
+        let mut g = Graph::new(false, 0);
+        let states = self.evolve(&mut g, history, hypers);
+        let last = last_k(&states, self.cfg.k);
+        let p = self.entity_prob_sum(&mut g, last, Rc::new(subjects), Rc::new(rels));
+        g.detach(p)
+    }
+
+    /// Inference: summed relation probabilities (`[Q, M]`).
+    pub fn predict_relation(
+        &self,
+        history: &[Snapshot],
+        hypers: &[HyperSnapshot],
+        subjects: Vec<u32>,
+        objects: Vec<u32>,
+    ) -> Tensor {
+        let mut g = Graph::new(false, 0);
+        let states = self.evolve(&mut g, history, hypers);
+        let last = last_k(&states, self.cfg.k);
+        let p = self.relation_prob_sum(&mut g, last, Rc::new(subjects), Rc::new(objects));
+        g.detach(p)
+    }
+}
+
+/// The last `k` states (all of them if fewer).
+pub(crate) fn last_k(states: &[EvolvedState], k: usize) -> &[EvolvedState] {
+    &states[states.len().saturating_sub(k)..]
+}
+
+/// Entity-forecasting queries of a snapshot: each fact `(s, r, o)` yields the
+/// object query `(s, r) → o` and the subject query `(o, r + M) → s`.
+pub fn entity_queries(snap: &Snapshot, num_relations: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let m = num_relations as u32;
+    let mut subjects = Vec::with_capacity(snap.facts.len() * 2);
+    let mut rels = Vec::with_capacity(snap.facts.len() * 2);
+    let mut targets = Vec::with_capacity(snap.facts.len() * 2);
+    for q in &snap.facts {
+        subjects.push(q.s);
+        rels.push(q.r);
+        targets.push(q.o);
+        subjects.push(q.o);
+        rels.push(q.r + m);
+        targets.push(q.s);
+    }
+    (subjects, rels, targets)
+}
+
+/// Relation-forecasting queries of a snapshot: `(s, o) → r` per original
+/// fact (relation candidates are the `M` original relations, per the paper).
+pub fn relation_queries(snap: &Snapshot) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut subjects = Vec::with_capacity(snap.facts.len());
+    let mut objects = Vec::with_capacity(snap.facts.len());
+    let mut targets = Vec::with_capacity(snap.facts.len());
+    for q in &snap.facts {
+        subjects.push(q.s);
+        objects.push(q.o);
+        targets.push(q.r);
+    }
+    (subjects, objects, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retia_data::SyntheticConfig;
+
+    fn tiny_model() -> (Retia, crate::TkgContext) {
+        let ds = SyntheticConfig::tiny(1).generate();
+        let ctx = crate::TkgContext::new(&ds);
+        let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, dropout: 0.0, ..Default::default() };
+        (Retia::new(&cfg, &ds), ctx)
+    }
+
+    #[test]
+    fn evolve_produces_state_per_snapshot() {
+        let (model, ctx) = tiny_model();
+        let (h, hh) = ctx.history(4, 3);
+        let mut g = Graph::new(false, 0);
+        let states = model.evolve(&mut g, h, hh);
+        assert_eq!(states.len(), 3);
+        for st in &states {
+            assert_eq!(g.value(st.entities).shape(), (model.num_entities(), 8));
+            assert_eq!(g.value(st.relations).shape(), (2 * model.num_relations(), 8));
+            assert!(g.value(st.entities).all_finite());
+            assert!(g.value(st.relations).all_finite());
+        }
+    }
+
+    #[test]
+    fn empty_history_yields_initial_state() {
+        let (model, _) = tiny_model();
+        let mut g = Graph::new(false, 0);
+        let states = model.evolve(&mut g, &[], &[]);
+        assert_eq!(states.len(), 1);
+    }
+
+    #[test]
+    fn entity_probs_are_distributions_times_k() {
+        let (model, ctx) = tiny_model();
+        let (h, hh) = ctx.history(3, 2);
+        let mut g = Graph::new(false, 0);
+        let states = model.evolve(&mut g, h, hh);
+        let p = model.entity_prob_sum(
+            &mut g,
+            &states,
+            Rc::new(vec![0, 1, 2]),
+            Rc::new(vec![0, 1, 2]),
+        );
+        let v = g.value(p);
+        assert_eq!(v.shape(), (3, model.num_entities()));
+        // Each timestep contributes a distribution summing to 1.
+        for i in 0..3 {
+            let s: f32 = v.row(i).iter().sum();
+            assert!((s - states.len() as f32).abs() < 1e-3, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn relation_probs_cover_original_relations_only() {
+        let (model, ctx) = tiny_model();
+        let (h, hh) = ctx.history(3, 2);
+        let mut g = Graph::new(false, 0);
+        let states = model.evolve(&mut g, h, hh);
+        let p =
+            model.relation_prob_sum(&mut g, &states, Rc::new(vec![0, 1]), Rc::new(vec![2, 3]));
+        assert_eq!(g.value(p).shape(), (2, model.num_relations()));
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let (mut model, ctx) = tiny_model();
+        model.cfg.static_weight = 1.0;
+        let idx = ctx.train_idx[3];
+        let (h, hh) = ctx.history(idx, 2);
+        let mut g = Graph::new(true, 7);
+        let states = model.evolve(&mut g, h, hh);
+        let (loss, le, lr) = model.loss(&mut g, &states, &ctx.snapshots[idx]);
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0, "loss {v}");
+        assert!(le > 0.0 && lr > 0.0);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_module_families() {
+        let (mut model, ctx) = tiny_model();
+        let idx = ctx.train_idx[3];
+        let (h, hh) = ctx.history(idx, 2);
+        let mut g = Graph::new(true, 7);
+        let states = model.evolve(&mut g, h, hh);
+        let (loss, _, _) = model.loss(&mut g, &states, &ctx.snapshots[idx].clone());
+        let snap = ctx.snapshots[idx].clone();
+        drop(snap);
+        g.backward(loss, model.store_mut());
+        for name in [
+            "ent0",
+            "rel0",
+            "hyper0",
+            "ram.l0.wself",
+            "eam.l0.wself",
+            "eam.l0.coef",
+            "rgru_rel.w",
+            "rgru_ent.w",
+            "tim_lstm.w",
+            "hyper_lstm.w",
+            "dec_e.conv.w",
+            "dec_r.fc.w",
+        ] {
+            assert!(
+                model.store().grad(name).norm() > 0.0,
+                "no gradient reached `{name}`"
+            );
+        }
+    }
+
+    #[test]
+    fn ablated_modes_still_run() {
+        let ds = SyntheticConfig::tiny(2).generate();
+        let ctx = crate::TkgContext::new(&ds);
+        for (rm, hm, tim, eam) in [
+            (RelationMode::None, HyperrelMode::Init, true, true),
+            (RelationMode::Mp, HyperrelMode::Init, true, true),
+            (RelationMode::MpLstm, HyperrelMode::Init, true, true),
+            (RelationMode::MpLstmAgg, HyperrelMode::Init, true, true),
+            (RelationMode::MpLstmAgg, HyperrelMode::Hmp, true, true),
+            (RelationMode::MpLstmAgg, HyperrelMode::HmpHlstm, false, true),
+            (RelationMode::MpLstmAgg, HyperrelMode::HmpHlstm, true, false),
+        ] {
+            let cfg = RetiaConfig {
+                dim: 8,
+                channels: 4,
+                k: 2,
+                relation_mode: rm,
+                hyperrel_mode: hm,
+                use_tim: tim,
+                use_eam: eam,
+                ..Default::default()
+            };
+            let model = Retia::new(&cfg, &ds);
+            let (h, hh) = ctx.history(3, 2);
+            let mut g = Graph::new(true, 0);
+            let states = model.evolve(&mut g, h, hh);
+            let (loss, _, _) = model.loss(&mut g, &states, &ctx.snapshots[3]);
+            assert!(
+                g.value(loss).item().is_finite(),
+                "non-finite loss for {rm:?}/{hm:?}/tim={tim}/eam={eam}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_builders_cover_both_directions() {
+        let ds = SyntheticConfig::tiny(1).generate();
+        let ctx = crate::TkgContext::new(&ds);
+        let snap = &ctx.snapshots[0];
+        let (s, r, t) = entity_queries(snap, ds.num_relations);
+        assert_eq!(s.len(), snap.facts.len() * 2);
+        assert_eq!(r.len(), t.len());
+        // Inverse queries use relation ids >= M.
+        assert!(r.iter().any(|&x| x >= ds.num_relations as u32));
+        let (rs, ro, rt) = relation_queries(snap);
+        assert_eq!(rs.len(), snap.facts.len());
+        assert_eq!(ro.len(), rt.len());
+        assert!(rt.iter().all(|&x| x < ds.num_relations as u32));
+    }
+
+    #[test]
+    fn num_parameters_reported() {
+        let (model, _) = tiny_model();
+        assert!(model.num_parameters() > 1000);
+    }
+}

@@ -1,0 +1,125 @@
+//! Dataset characterization: the temporal regularity measurements that
+//! determine which model family a dataset favors. Used by the docs and the
+//! harness to verify the synthetic profiles actually carry the intended
+//! structure (recurrence for the ICEWS profiles, persistence for YAGO/WIKI,
+//! emergent mass in the evaluation region).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::TkgDataset;
+
+/// Temporal-structure measurements of a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Fraction of test facts whose `(s, r, o)` appeared at some earlier
+    /// timestamp (one-hop repetition — what copy mechanisms exploit).
+    pub test_repetition_rate: f64,
+    /// Fraction of test facts whose `(s, r)` query was answered by the same
+    /// object at the immediately preceding timestamp (persistence — what
+    /// makes YAGO/WIKI "easy").
+    pub test_persistence_rate: f64,
+    /// Fraction of test facts never seen in train (the emergent mass only
+    /// online continual training can learn).
+    pub test_unseen_rate: f64,
+    /// Mean number of occurrences per distinct triple.
+    pub mean_occurrences: f64,
+    /// Mean facts per timestamp.
+    pub mean_snapshot_size: f64,
+}
+
+/// Measures `ds`.
+pub fn characterize(ds: &TkgDataset) -> Characterization {
+    let mut first_seen: HashMap<(u32, u32, u32), u32> = HashMap::new();
+    let mut occurrences: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    let mut by_timestamp: HashMap<u32, HashSet<(u32, u32, u32)>> = HashMap::new();
+    for q in ds.all_quads() {
+        first_seen.entry(q.triple()).or_insert(q.t);
+        *occurrences.entry(q.triple()).or_default() += 1;
+        by_timestamp.entry(q.t).or_default().insert(q.triple());
+    }
+    let train_triples: HashSet<(u32, u32, u32)> = ds.train.iter().map(|q| q.triple()).collect();
+    let mut timestamps: Vec<u32> = by_timestamp.keys().copied().collect();
+    timestamps.sort_unstable();
+    let prev_of: HashMap<u32, u32> = timestamps.windows(2).map(|w| (w[1], w[0])).collect();
+
+    let n_test = ds.test.len().max(1) as f64;
+    let repeated = ds
+        .test
+        .iter()
+        .filter(|q| first_seen.get(&q.triple()).is_some_and(|&t0| t0 < q.t))
+        .count() as f64;
+    let persistent = ds
+        .test
+        .iter()
+        .filter(|q| {
+            prev_of
+                .get(&q.t)
+                .and_then(|p| by_timestamp.get(p))
+                .is_some_and(|facts| facts.contains(&q.triple()))
+        })
+        .count() as f64;
+    let unseen = ds
+        .test
+        .iter()
+        .filter(|q| !train_triples.contains(&q.triple()))
+        .count() as f64;
+
+    let total_facts: usize = occurrences.values().sum();
+    Characterization {
+        test_repetition_rate: repeated / n_test,
+        test_persistence_rate: persistent / n_test,
+        test_unseen_rate: unseen / n_test,
+        mean_occurrences: total_facts as f64 / occurrences.len().max(1) as f64,
+        mean_snapshot_size: total_facts as f64 / by_timestamp.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DatasetProfile, SyntheticConfig};
+
+    #[test]
+    fn yago_profile_more_persistent_than_icews() {
+        let yago = characterize(&SyntheticConfig::profile(DatasetProfile::Yago).generate());
+        let icews = characterize(&SyntheticConfig::profile(DatasetProfile::Icews14).generate());
+        assert!(
+            yago.test_persistence_rate > icews.test_persistence_rate,
+            "YAGO persistence {} should exceed ICEWS {}",
+            yago.test_persistence_rate,
+            icews.test_persistence_rate
+        );
+        assert!(yago.mean_occurrences > icews.mean_occurrences);
+    }
+
+    #[test]
+    fn profiles_have_emergent_mass_in_test() {
+        for p in DatasetProfile::ALL {
+            let c = characterize(&SyntheticConfig::profile(p).generate());
+            assert!(
+                c.test_unseen_rate > 0.01,
+                "{:?} has no emergent test mass ({})",
+                p,
+                c.test_unseen_rate
+            );
+            assert!(
+                c.test_repetition_rate > 0.3,
+                "{:?} lacks repetition structure ({})",
+                p,
+                c.test_repetition_rate
+            );
+        }
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        let c = characterize(&SyntheticConfig::tiny(5).generate());
+        for v in [c.test_repetition_rate, c.test_persistence_rate, c.test_unseen_rate] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        assert!(c.mean_occurrences >= 1.0);
+        assert!(c.mean_snapshot_size > 0.0);
+    }
+}

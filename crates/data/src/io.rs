@@ -1,0 +1,170 @@
+//! TSV load/save in the standard TKG benchmark format.
+//!
+//! The public ICEWS/YAGO/WIKI releases ship `train.txt` / `valid.txt` /
+//! `test.txt` with one fact per line: `subject\trelation\tobject\ttimestamp`
+//! (integer ids), plus a `stat.txt` with `num_entities\tnum_relations`.
+//! We read and write exactly that layout so real datasets drop in if
+//! available.
+
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use retia_graph::Quad;
+
+use crate::dataset::{Granularity, TkgDataset};
+
+/// Parses quads from TSV text (`s\tr\to\tt` per line; blank lines and `#`
+/// comments ignored). Timestamps may be any non-negative integers; they are
+/// preserved verbatim.
+pub fn parse_quads_tsv(text: &str) -> Result<Vec<Quad>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let mut next = |what: &str| -> Result<u32, String> {
+            fields
+                .next()
+                .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                .trim()
+                .parse::<u32>()
+                .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+        };
+        let s = next("subject")?;
+        let r = next("relation")?;
+        let o = next("object")?;
+        let t = next("timestamp")?;
+        out.push(Quad::new(s, r, o, t));
+    }
+    Ok(out)
+}
+
+/// Reads quads from a TSV file.
+pub fn load_quads_tsv(path: &Path) -> Result<Vec<Quad>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_quads_tsv(&text)
+}
+
+/// Writes quads as TSV.
+pub fn save_quads_tsv(path: &Path, quads: &[Quad]) -> Result<(), String> {
+    let file = fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    for q in quads {
+        writeln!(w, "{}\t{}\t{}\t{}", q.s, q.r, q.o, q.t)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    w.flush().map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Saves a dataset as a benchmark-layout directory:
+/// `train.txt`, `valid.txt`, `test.txt`, `stat.txt`.
+pub fn save_dataset(dir: &Path, ds: &TkgDataset) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    save_quads_tsv(&dir.join("train.txt"), &ds.train)?;
+    save_quads_tsv(&dir.join("valid.txt"), &ds.valid)?;
+    save_quads_tsv(&dir.join("test.txt"), &ds.test)?;
+    let gran = match ds.granularity {
+        Granularity::Day => "day",
+        Granularity::Year => "year",
+    };
+    fs::write(
+        dir.join("stat.txt"),
+        format!("{}\t{}\t{}\t{}\n", ds.num_entities, ds.num_relations, gran, ds.name),
+    )
+    .map_err(|e| format!("{}: {e}", dir.display()))
+}
+
+/// Loads a dataset from a benchmark-layout directory written by
+/// [`save_dataset`] (or a real benchmark release with a compatible
+/// `stat.txt`).
+pub fn load_dataset(dir: &Path) -> Result<TkgDataset, String> {
+    let stat = fs::read_to_string(dir.join("stat.txt"))
+        .map_err(|e| format!("{}: {e}", dir.join("stat.txt").display()))?;
+    let mut fields = stat.trim().split('\t');
+    let num_entities: usize = fields
+        .next()
+        .ok_or("stat.txt: missing entity count")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("stat.txt: bad entity count: {e}"))?;
+    let num_relations: usize = fields
+        .next()
+        .ok_or("stat.txt: missing relation count")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("stat.txt: bad relation count: {e}"))?;
+    let granularity = match fields.next().map(str::trim) {
+        Some("year") => Granularity::Year,
+        _ => Granularity::Day,
+    };
+    let name = fields.next().map(str::trim).unwrap_or("unnamed").to_string();
+
+    let ds = TkgDataset {
+        name,
+        num_entities,
+        num_relations,
+        granularity,
+        train: load_quads_tsv(&dir.join("train.txt"))?,
+        valid: load_quads_tsv(&dir.join("valid.txt"))?,
+        test: load_quads_tsv(&dir.join("test.txt"))?,
+    };
+    ds.validate()?;
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let quads = parse_quads_tsv("0\t1\t2\t3\n4\t5\t6\t7\n").unwrap();
+        assert_eq!(quads, vec![Quad::new(0, 1, 2, 3), Quad::new(4, 5, 6, 7)]);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let quads = parse_quads_tsv("# header\n\n1\t0\t2\t0\n").unwrap();
+        assert_eq!(quads.len(), 1);
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = parse_quads_tsv("1\t2\tx\t4\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_quads_tsv("1\t2\n").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn dataset_roundtrip_through_directory() {
+        let quads: Vec<Quad> = (0..50)
+            .map(|i| Quad::new(i % 4, i % 2, (i + 1) % 4, i / 2))
+            .collect();
+        let ds = TkgDataset::from_quads("roundtrip", 4, 2, Granularity::Year, quads);
+        let dir = std::env::temp_dir().join(format!("retia_io_test_{}", std::process::id()));
+        save_dataset(&dir, &ds).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        assert_eq!(loaded.name, ds.name);
+        assert_eq!(loaded.num_entities, ds.num_entities);
+        assert_eq!(loaded.num_relations, ds.num_relations);
+        assert_eq!(loaded.granularity, ds.granularity);
+        assert_eq!(loaded.train, ds.train);
+        assert_eq!(loaded.valid, ds.valid);
+        assert_eq!(loaded.test, ds.test);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quads_tsv_roundtrip() {
+        let quads = vec![Quad::new(1, 2, 3, 4), Quad::new(0, 0, 0, 0)];
+        let path = std::env::temp_dir().join(format!("retia_quads_{}.tsv", std::process::id()));
+        save_quads_tsv(&path, &quads).unwrap();
+        let loaded = load_quads_tsv(&path).unwrap();
+        assert_eq!(loaded, quads);
+        std::fs::remove_file(&path).ok();
+    }
+}

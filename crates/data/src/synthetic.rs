@@ -1,0 +1,615 @@
+//! Deterministic synthetic TKG generators.
+//!
+//! Each generator mirrors one of the paper's five benchmarks at a reduced
+//! scale (the real datasets are unavailable offline and full-size training is
+//! a GPU-scale job — see DESIGN.md §1). The generated streams carry the
+//! temporal regularities the compared model families differ on:
+//!
+//! * *recurring* templates — periodic re-occurrence (recurrent models win);
+//! * *chain* templates — `(a, r1, b)` implies a correlated `(b, r2, c)` at
+//!   the same timestamp, with a fixed relation-partner map `r1 → r2`
+//!   (hyperrelation aggregation wins);
+//! * *persistent* templates — long validity intervals (dominant in the
+//!   year-granularity YAGO/WIKI profiles, where extrapolation is easier);
+//! * *emergent* templates — events that first appear in the
+//!   validation/test region (online continual training wins);
+//! * uniform one-off *noise*.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retia_graph::Quad;
+
+use crate::dataset::{Granularity, TkgDataset};
+
+/// The five benchmark profiles of the paper's Table V.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// ICEWS14 — daily events of year 2014.
+    Icews14,
+    /// ICEWS05-15 — daily events of 2005–2015 (the longest horizon).
+    Icews0515,
+    /// ICEWS18 — daily events of 2018 (the largest entity set).
+    Icews18,
+    /// YAGO — yearly facts, few relations, highly persistent.
+    Yago,
+    /// WIKI — yearly facts, persistent, larger than YAGO.
+    Wiki,
+}
+
+impl DatasetProfile {
+    /// All profiles in the paper's table order.
+    pub const ALL: [DatasetProfile; 5] = [
+        DatasetProfile::Icews14,
+        DatasetProfile::Icews0515,
+        DatasetProfile::Icews18,
+        DatasetProfile::Yago,
+        DatasetProfile::Wiki,
+    ];
+
+    /// Display name including the `-mini` scale marker.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::Icews14 => "ICEWS14-mini",
+            DatasetProfile::Icews0515 => "ICEWS05-15-mini",
+            DatasetProfile::Icews18 => "ICEWS18-mini",
+            DatasetProfile::Yago => "YAGO-mini",
+            DatasetProfile::Wiki => "WIKI-mini",
+        }
+    }
+
+    /// The historical length `k` the paper selects for this dataset.
+    pub fn paper_history_len(self) -> usize {
+        match self {
+            DatasetProfile::Icews14 | DatasetProfile::Icews0515 => 9,
+            DatasetProfile::Icews18 => 4,
+            DatasetProfile::Yago | DatasetProfile::Wiki => 3,
+        }
+    }
+}
+
+/// Configuration of the synthetic generator. Obtain a benchmark-shaped
+/// configuration with [`SyntheticConfig::profile`], tweak fields, then call
+/// [`SyntheticConfig::generate`].
+///
+/// # Examples
+///
+/// ```
+/// use retia_data::SyntheticConfig;
+///
+/// let mut cfg = SyntheticConfig::tiny(7);
+/// cfg.num_entities = 40;
+/// let ds = cfg.generate();
+/// assert_eq!(ds.num_entities, 40);
+/// ds.validate().unwrap();
+/// // Same seed, same dataset.
+/// assert_eq!(ds.train, cfg.generate().train);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of entities `N`.
+    pub num_entities: usize,
+    /// Number of relations `M`.
+    pub num_relations: usize,
+    /// Number of timestamps `T`.
+    pub num_timestamps: usize,
+    /// Approximate total fact count across all splits.
+    pub target_facts: usize,
+    /// Timestamp granularity.
+    pub granularity: Granularity,
+    /// Fraction of the fact budget from periodic recurring templates.
+    pub recurring_fraction: f64,
+    /// Fraction from long-validity persistent templates.
+    pub persistent_fraction: f64,
+    /// Fraction from uniform one-off noise (the remainder after recurring,
+    /// persistent and emergent mass is also noise).
+    pub noise_fraction: f64,
+    /// Fraction from templates that first appear in the last fifth of the
+    /// time range (the online-training signal).
+    pub emergent_fraction: f64,
+    /// Probability that a structural template spawns a correlated chain
+    /// follower `(o, partner(r), c)` at the same timestamps.
+    pub chain_prob: f64,
+    /// Zipf exponent of entity popularity.
+    pub zipf_exponent: f64,
+    /// Probability that a new structural template reuses an existing
+    /// `(subject, relation)` query prefix with a *different* object —
+    /// creating the competing-answers ambiguity real event streams have
+    /// (without it, one-hop copy heuristics trivially solve the benchmark).
+    pub object_ambiguity: f64,
+    /// Number of entity groups (typed-actor structure): relation `r` only
+    /// connects group `src(r)` to group `dst(r)`, like ICEWS actor types or
+    /// YAGO classes. `0` disables typing. Typed relations are what make
+    /// relation-representation quality matter — the signal RETIA's relation
+    /// aggregation exploits.
+    pub num_groups: usize,
+    /// Generator seed; same seed, same dataset.
+    pub seed: u64,
+}
+
+/// Relation typing helper: source/destination entity groups of a relation.
+fn rel_groups(r: u32, num_groups: usize) -> (u32, u32) {
+    let g = num_groups as u32;
+    let src = r % g;
+    let dst = (r / g + 1 + src) % g;
+    (src, dst)
+}
+
+/// The chain partner of `r`: a relation whose source group matches `r`'s
+/// destination group, so `(a, r, b)` can be followed by `(b, partner(r), c)`.
+fn chain_partner(r: u32, num_relations: usize, num_groups: usize) -> u32 {
+    if num_groups == 0 {
+        let m = num_relations as u32;
+        return (r + 1 + r % 3) % m;
+    }
+    let (_, dst) = rel_groups(r, num_groups);
+    let candidates: Vec<u32> = (0..num_relations as u32)
+        .filter(|&p| rel_groups(p, num_groups).0 == dst)
+        .collect();
+    if candidates.is_empty() {
+        (r + 1) % num_relations as u32
+    } else {
+        candidates[r as usize % candidates.len()]
+    }
+}
+
+impl SyntheticConfig {
+    /// Benchmark-shaped configuration for `profile`. Scales are chosen so the
+    /// full table harness (5 datasets x several models) trains on a laptop
+    /// CPU in minutes; relative dataset characteristics (entity/relation
+    /// ratios, horizon lengths, granularity, persistence) follow Table V.
+    pub fn profile(profile: DatasetProfile) -> Self {
+        match profile {
+            DatasetProfile::Icews14 => SyntheticConfig {
+                name: profile.name().into(),
+                num_entities: 200,
+                num_relations: 24,
+                num_timestamps: 120,
+                target_facts: 10_000,
+                granularity: Granularity::Day,
+                recurring_fraction: 0.55,
+                persistent_fraction: 0.05,
+                noise_fraction: 0.15,
+                emergent_fraction: 0.10,
+                chain_prob: 0.35,
+                zipf_exponent: 0.8,
+                object_ambiguity: 0.6,
+                num_groups: 2,
+                seed: 1401,
+            },
+            DatasetProfile::Icews0515 => SyntheticConfig {
+                name: profile.name().into(),
+                num_entities: 220,
+                num_relations: 26,
+                num_timestamps: 120,
+                target_facts: 10_000,
+                granularity: Granularity::Day,
+                recurring_fraction: 0.60,
+                persistent_fraction: 0.05,
+                noise_fraction: 0.12,
+                emergent_fraction: 0.08,
+                chain_prob: 0.35,
+                zipf_exponent: 0.8,
+                object_ambiguity: 0.6,
+                num_groups: 2,
+                seed: 515,
+            },
+            DatasetProfile::Icews18 => SyntheticConfig {
+                name: profile.name().into(),
+                num_entities: 350,
+                num_relations: 28,
+                num_timestamps: 100,
+                target_facts: 11_000,
+                granularity: Granularity::Day,
+                recurring_fraction: 0.50,
+                persistent_fraction: 0.05,
+                noise_fraction: 0.20,
+                emergent_fraction: 0.10,
+                chain_prob: 0.30,
+                zipf_exponent: 0.9,
+                object_ambiguity: 0.6,
+                num_groups: 2,
+                seed: 1801,
+            },
+            DatasetProfile::Yago => SyntheticConfig {
+                name: profile.name().into(),
+                num_entities: 220,
+                num_relations: 10,
+                num_timestamps: 40,
+                target_facts: 9_000,
+                granularity: Granularity::Year,
+                recurring_fraction: 0.15,
+                persistent_fraction: 0.65,
+                noise_fraction: 0.07,
+                emergent_fraction: 0.08,
+                chain_prob: 0.20,
+                zipf_exponent: 0.7,
+                object_ambiguity: 0.35,
+                num_groups: 3,
+                seed: 3001,
+            },
+            DatasetProfile::Wiki => SyntheticConfig {
+                name: profile.name().into(),
+                num_entities: 260,
+                num_relations: 20,
+                num_timestamps: 45,
+                target_facts: 11_000,
+                granularity: Granularity::Year,
+                recurring_fraction: 0.12,
+                persistent_fraction: 0.70,
+                noise_fraction: 0.07,
+                emergent_fraction: 0.06,
+                chain_prob: 0.20,
+                zipf_exponent: 0.7,
+                object_ambiguity: 0.35,
+                num_groups: 4,
+                seed: 3002,
+            },
+        }
+    }
+
+    /// A tiny configuration for fast unit/integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        SyntheticConfig {
+            name: "tiny".into(),
+            num_entities: 30,
+            num_relations: 6,
+            num_timestamps: 30,
+            target_facts: 600,
+            granularity: Granularity::Day,
+            recurring_fraction: 0.6,
+            persistent_fraction: 0.05,
+            noise_fraction: 0.15,
+            emergent_fraction: 0.1,
+            chain_prob: 0.4,
+            zipf_exponent: 0.8,
+            object_ambiguity: 0.5,
+            num_groups: 2,
+            seed,
+        }
+    }
+
+    /// Samples an entity from `group` with Zipfian popularity (any entity
+    /// when typing is disabled).
+    fn typed_entity(&self, zipf: &ZipfSampler, rng: &mut StdRng, group: u32) -> u32 {
+        let e = zipf.sample(rng);
+        if self.num_groups == 0 {
+            return e;
+        }
+        let g = self.num_groups as u32;
+        let base = (e / g) * g + group;
+        if (base as usize) < self.num_entities {
+            base
+        } else {
+            group
+        }
+    }
+
+    /// Samples a `(subject, object)` pair consistent with relation `r`'s
+    /// typing, avoiding self-loops where possible.
+    fn typed_pair(&self, zipf: &ZipfSampler, rng: &mut StdRng, r: u32) -> (u32, u32) {
+        let (sg, og) = if self.num_groups == 0 {
+            (0, 0)
+        } else {
+            rel_groups(r, self.num_groups)
+        };
+        let s = self.typed_entity(zipf, rng, sg);
+        for _ in 0..8 {
+            let o = self.typed_entity(zipf, rng, og);
+            if o != s {
+                return (s, o);
+            }
+        }
+        (s, (s + 1) % self.num_entities as u32)
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> TkgDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.num_entities, self.zipf_exponent);
+        // Fixed relation-partner map: the chain signal r1 -> partner(r1) must
+        // be systematic for relation aggregation to be learnable.
+        let partner: Vec<u32> = (0..self.num_relations as u32)
+            .map(|r| chain_partner(r, self.num_relations, self.num_groups))
+            .collect();
+
+        let t_max = self.num_timestamps as u32;
+        let mut quads: Vec<Quad> = Vec::with_capacity(self.target_facts + self.target_facts / 4);
+
+        let budget = |frac: f64| (self.target_facts as f64 * frac) as usize;
+        let mut counts = [
+            budget(self.recurring_fraction),
+            budget(self.persistent_fraction),
+            budget(self.emergent_fraction),
+            budget(self.noise_fraction),
+        ];
+        // Remainder of the budget goes to recurring mass.
+        let assigned: usize = counts.iter().sum();
+        counts[0] += self.target_facts.saturating_sub(assigned);
+
+        // Recurring templates. A pool of (s, r) query prefixes is reused with
+        // probability `object_ambiguity`, each reuse drawing a fresh object:
+        // queries then have several competing historical answers, as in the
+        // real event streams.
+        let mut prefix_pool: Vec<(u32, u32)> = Vec::new();
+        let mut emitted = 0usize;
+        while emitted < counts[0] {
+            let (s, r, o) = if !prefix_pool.is_empty() && rng.gen_bool(self.object_ambiguity) {
+                let &(s, r) = &prefix_pool[rng.gen_range(0..prefix_pool.len())];
+                let (_, o) = self.typed_pair(&zipf, &mut rng, r);
+                (s, r, o)
+            } else {
+                let r = rng.gen_range(0..self.num_relations as u32);
+                let (s, o) = self.typed_pair(&zipf, &mut rng, r);
+                prefix_pool.push((s, r));
+                (s, r, o)
+            };
+            let period = rng.gen_range(3..=12u32).min(t_max.max(2) - 1).max(1);
+            let phase = rng.gen_range(0..period);
+            let mut t = phase;
+            let chain = rng.gen_bool(self.chain_prob);
+            let (_, c) = self.typed_pair(&zipf, &mut rng, partner[r as usize]);
+            while t < t_max {
+                quads.push(Quad::new(s, r, o, t));
+                emitted += 1;
+                if chain {
+                    quads.push(Quad::new(o, partner[r as usize], c, t));
+                    emitted += 1;
+                }
+                t += period;
+            }
+        }
+
+        // Persistent templates: contiguous validity intervals.
+        let mut emitted = 0usize;
+        while emitted < counts[1] {
+            let (s, r, o) = if !prefix_pool.is_empty() && rng.gen_bool(self.object_ambiguity) {
+                let &(s, r) = &prefix_pool[rng.gen_range(0..prefix_pool.len())];
+                let (_, o) = self.typed_pair(&zipf, &mut rng, r);
+                (s, r, o)
+            } else {
+                let r = rng.gen_range(0..self.num_relations as u32);
+                let (s, o) = self.typed_pair(&zipf, &mut rng, r);
+                prefix_pool.push((s, r));
+                (s, r, o)
+            };
+            let len = rng.gen_range((t_max / 4).max(1)..=(t_max / 2).max(2));
+            let start = rng.gen_range(0..t_max.saturating_sub(len).max(1));
+            let chain = rng.gen_bool(self.chain_prob);
+            let (_, c) = self.typed_pair(&zipf, &mut rng, partner[r as usize]);
+            for t in start..(start + len).min(t_max) {
+                quads.push(Quad::new(s, r, o, t));
+                emitted += 1;
+                if chain {
+                    quads.push(Quad::new(o, partner[r as usize], c, t));
+                    emitted += 1;
+                }
+            }
+        }
+
+        // Emergent templates: recurring, but first active past the 80%
+        // fact-count split boundary — invisible during general training, so
+        // only online continual training can exploit them. The start
+        // timestamp is computed from the distribution generated so far such
+        // that even after adding the emergent mass the train split ends
+        // strictly before it.
+        let emergent_budget = counts[2].min(quads.len() / 4);
+        let emergent_start = {
+            let mut cnt = vec![0usize; t_max as usize];
+            for q in &quads {
+                cnt[q.t as usize] += 1;
+            }
+            let a = quads.len();
+            let threshold = 0.82 * (a + emergent_budget) as f64;
+            let mut acc = 0usize;
+            let mut t0 = t_max.saturating_sub(2);
+            for (t, c) in cnt.iter().enumerate() {
+                acc += c;
+                if acc as f64 >= threshold {
+                    t0 = (t as u32 + 1).min(t_max.saturating_sub(2));
+                    break;
+                }
+            }
+            t0
+        };
+        let mut emitted = 0usize;
+        while emitted < emergent_budget {
+            let r = rng.gen_range(0..self.num_relations as u32);
+            let (s, o) = self.typed_pair(&zipf, &mut rng, r);
+            let period = rng.gen_range(1..=2u32);
+            let mut t = emergent_start + rng.gen_range(0..period.max(1));
+            while t < t_max {
+                quads.push(Quad::new(s, r, o, t));
+                emitted += 1;
+                t += period;
+            }
+        }
+
+        // One-off noise.
+        for _ in 0..counts[3] {
+            let r = rng.gen_range(0..self.num_relations as u32);
+            let (s, o) = self.typed_pair(&zipf, &mut rng, r);
+            let t = rng.gen_range(0..t_max);
+            quads.push(Quad::new(s, r, o, t));
+        }
+
+        // Deduplicate identical (s, r, o, t).
+        quads.sort_by_key(|q| (q.t, q.s, q.r, q.o));
+        quads.dedup();
+
+        TkgDataset::from_quads(
+            &self.name,
+            self.num_entities,
+            self.num_relations,
+            self.granularity,
+            quads,
+        )
+    }
+}
+
+/// Zipfian sampler over `0..n` via inverse-CDF binary search.
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cdf.last().expect("empty sampler");
+        let x = rng.gen_range(0.0..total);
+        self.cdf.partition_point(|&c| c < x) as u32
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn sample_excluding(&self, rng: &mut StdRng, exclude: u32) -> u32 {
+        for _ in 0..16 {
+            let v = self.sample(rng);
+            if v != exclude {
+                return v;
+            }
+        }
+        // Pathologically skewed fallback.
+        (exclude + 1) % self.cdf.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticConfig::tiny(7).generate();
+        let b = SyntheticConfig::tiny(7).generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.valid, b.valid);
+        assert_eq!(a.test, b.test);
+        let c = SyntheticConfig::tiny(8).generate();
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn generated_datasets_validate() {
+        for p in DatasetProfile::ALL {
+            let ds = SyntheticConfig::profile(p).generate();
+            ds.validate().unwrap_or_else(|e| panic!("{}: {e}", ds.name));
+        }
+    }
+
+    #[test]
+    fn fact_count_near_target() {
+        let cfg = SyntheticConfig::profile(DatasetProfile::Icews14);
+        let ds = cfg.generate();
+        let total = ds.train.len() + ds.valid.len() + ds.test.len();
+        // Dedup removes some mass; within 40% of target is fine.
+        assert!(
+            total as f64 > cfg.target_facts as f64 * 0.6
+                && (total as f64) < cfg.target_facts as f64 * 1.6,
+            "total {total} vs target {}",
+            cfg.target_facts
+        );
+    }
+
+    #[test]
+    fn recurring_facts_repeat() {
+        let ds = SyntheticConfig::tiny(3).generate();
+        // Some triple must appear at 3+ distinct timestamps.
+        let mut occur: std::collections::HashMap<(u32, u32, u32), HashSet<u32>> =
+            std::collections::HashMap::new();
+        for q in ds.all_quads() {
+            occur.entry(q.triple()).or_default().insert(q.t);
+        }
+        let max_rep = occur.values().map(|s| s.len()).max().unwrap();
+        assert!(max_rep >= 3, "max repetitions {max_rep}");
+    }
+
+    #[test]
+    fn chains_share_entities_at_same_timestamp() {
+        let mut cfg = SyntheticConfig::tiny(5);
+        cfg.chain_prob = 1.0;
+        let ds = cfg.generate();
+        // For a sizeable share of facts (a, r, b, t) there is a follower
+        // (b, r', c, t) — i.e. object of one fact is subject of another at
+        // the same timestamp.
+        let by_t_subjects: std::collections::HashMap<u32, HashSet<u32>> = {
+            let mut m: std::collections::HashMap<u32, HashSet<u32>> = Default::default();
+            for q in ds.all_quads() {
+                m.entry(q.t).or_default().insert(q.s);
+            }
+            m
+        };
+        let total = ds.train.len();
+        let chained = ds
+            .train
+            .iter()
+            .filter(|q| by_t_subjects.get(&q.t).is_some_and(|s| s.contains(&q.o)))
+            .count();
+        assert!(
+            chained as f64 / total as f64 > 0.3,
+            "chained fraction {}",
+            chained as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn emergent_templates_absent_from_train() {
+        let mut cfg = SyntheticConfig::tiny(11);
+        cfg.emergent_fraction = 0.3;
+        cfg.noise_fraction = 0.0;
+        let ds = cfg.generate();
+        // There must exist test triples never seen in train (the emergent
+        // signal for online training).
+        let train_triples: HashSet<(u32, u32, u32)> =
+            ds.train.iter().map(|q| q.triple()).collect();
+        let unseen = ds
+            .test
+            .iter()
+            .filter(|q| !train_triples.contains(&q.triple()))
+            .count();
+        assert!(unseen > 0, "no emergent facts in test");
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = ZipfSampler::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "head {} tail {}", counts[0], counts[50]);
+    }
+
+    #[test]
+    fn zipf_excluding_never_returns_excluded() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = ZipfSampler::new(5, 2.0);
+        for _ in 0..200 {
+            assert_ne!(z.sample_excluding(&mut rng, 0), 0);
+        }
+    }
+
+    #[test]
+    fn yago_profile_is_persistent_heavy() {
+        let ds = SyntheticConfig::profile(DatasetProfile::Yago).generate();
+        // Persistent templates produce runs of consecutive timestamps for the
+        // same triple; measure the mean occurrences per distinct triple.
+        let mut occur: std::collections::HashMap<(u32, u32, u32), usize> = Default::default();
+        for q in ds.all_quads() {
+            *occur.entry(q.triple()).or_default() += 1;
+        }
+        let mean = occur.values().sum::<usize>() as f64 / occur.len() as f64;
+        assert!(mean > 3.0, "mean occurrences {mean}");
+    }
+}

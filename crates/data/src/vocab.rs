@@ -1,0 +1,189 @@
+//! String ↔ id vocabularies, for loading real benchmark releases (which ship
+//! `entity2id.txt` / `relation2id.txt`) and for presenting predictions with
+//! names instead of integers.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional name ↔ id mapping with dense ids `0..len`.
+///
+/// # Examples
+///
+/// ```
+/// use retia_data::Vocab;
+///
+/// let mut v = Vocab::new();
+/// let germany = v.intern("Germany");
+/// assert_eq!(v.intern("Germany"), germany); // idempotent
+/// assert_eq!(v.name(germany), Some("Germany"));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name`, if present.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of `id`, if present.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Parses the benchmark `name\tid` format (one entry per line; ids must
+    /// form a dense `0..n` range in any order).
+    pub fn parse_tsv(text: &str) -> Result<Self, String> {
+        let mut pairs: Vec<(String, u32)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Name may contain spaces; the id is the last tab-separated field.
+            let (name, id) = line
+                .rsplit_once('\t')
+                .ok_or_else(|| format!("line {}: expected `name\\tid`", lineno + 1))?;
+            let id: u32 = id
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad id: {e}", lineno + 1))?;
+            pairs.push((name.to_string(), id));
+        }
+        let n = pairs.len() as u32;
+        let mut names = vec![String::new(); n as usize];
+        let mut ids = HashMap::with_capacity(pairs.len());
+        for (name, id) in pairs {
+            if id >= n {
+                return Err(format!("id {id} out of dense range 0..{n}"));
+            }
+            if !names[id as usize].is_empty() {
+                return Err(format!("duplicate id {id}"));
+            }
+            if ids.contains_key(&name) {
+                return Err(format!("duplicate name `{name}`"));
+            }
+            names[id as usize] = name.clone();
+            ids.insert(name, id);
+        }
+        Ok(Vocab { names, ids })
+    }
+
+    /// Loads a `name\tid` file (e.g. `entity2id.txt`).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse_tsv(&text)
+    }
+
+    /// Writes the `name\tid` format.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let f = fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut w = BufWriter::new(f);
+        for (id, name) in self.iter() {
+            writeln!(w, "{name}\t{id}").map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        w.flush().map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("Germany");
+        let b = v.intern("France");
+        assert_eq!(v.intern("Germany"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name(a), Some("Germany"));
+        assert_eq!(v.id("France"), Some(b));
+        assert_eq!(v.id("Spain"), None);
+        assert_eq!(v.name(99), None);
+    }
+
+    #[test]
+    fn parse_tsv_out_of_order_ids() {
+        let v = Vocab::parse_tsv("b\t1\na\t0\nc\t2\n").unwrap();
+        assert_eq!(v.name(0), Some("a"));
+        assert_eq!(v.name(1), Some("b"));
+        assert_eq!(v.name(2), Some("c"));
+    }
+
+    #[test]
+    fn parse_tsv_names_with_spaces_and_tabs() {
+        let v = Vocab::parse_tsv("United Nations\t0\nHost a visit\t1\n").unwrap();
+        assert_eq!(v.id("United Nations"), Some(0));
+        assert_eq!(v.id("Host a visit"), Some(1));
+    }
+
+    #[test]
+    fn parse_tsv_rejects_gaps_and_duplicates() {
+        assert!(Vocab::parse_tsv("a\t0\nb\t2\n").is_err(), "gap accepted");
+        assert!(Vocab::parse_tsv("a\t0\nb\t0\n").is_err(), "dup id accepted");
+        assert!(Vocab::parse_tsv("a\t0\na\t1\n").is_err(), "dup name accepted");
+        assert!(Vocab::parse_tsv("nosep\n").is_err(), "missing tab accepted");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        v.intern("y z");
+        let path = std::env::temp_dir().join(format!("retia_vocab_{}.txt", std::process::id()));
+        v.save(&path).unwrap();
+        let loaded = Vocab::load(&path).unwrap();
+        assert_eq!(loaded.id("x"), Some(0));
+        assert_eq!(loaded.id("y z"), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocab::new();
+        v.intern("p");
+        v.intern("q");
+        let collected: Vec<(u32, &str)> = v.iter().collect();
+        assert_eq!(collected, vec![(0, "p"), (1, "q")]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # retia-eval
+//!
+//! Link-prediction evaluation for TKG extrapolation, following the protocol
+//! of RE-GCN/RETIA:
+//!
+//! * ranks are computed per query over the full candidate set; ties get the
+//!   *average* rank (robust against constant-score degenerate models);
+//! * the paper reports the **raw** setting (no filtering) — this crate also
+//!   implements the **time-aware filtered** setting for completeness;
+//! * entity metrics average the subject- and object-forecasting directions;
+//! * relation forecasting reports MRR over the `M` original relations.
+//!
+//! [`Metrics`] accumulates MRR / Hits@{1,3,10}; [`Stopwatch`] provides the
+//! wall-clock measurements behind the paper's Table VIII.
+
+mod metrics;
+mod ranking;
+mod series;
+mod timing;
+
+pub use metrics::Metrics;
+pub use ranking::{rank_of, rank_of_filtered, FilterSet};
+pub use series::MetricSeries;
+pub use timing::{format_duration, Stopwatch};

@@ -1,0 +1,189 @@
+//! Metric accumulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates MRR and Hits@{1,3,10} over a stream of ranks.
+///
+/// # Examples
+///
+/// ```
+/// use retia_eval::Metrics;
+///
+/// let mut m = Metrics::new();
+/// m.record(1.0); // a query ranked first
+/// m.record(4.0); // a query ranked fourth
+/// assert_eq!(m.mrr(), 0.625);
+/// assert_eq!(m.hits1(), 0.5);
+/// assert_eq!(m.hits10(), 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    sum_rr: f64,
+    hits1: usize,
+    hits3: usize,
+    hits10: usize,
+    count: usize,
+}
+
+impl Metrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query's rank (1 = best; fractional average-tie ranks are
+    /// accepted — a rank of exactly `k` counts for Hits@k).
+    pub fn record(&mut self, rank: f64) {
+        assert!(rank >= 1.0, "ranks start at 1, got {rank}");
+        self.sum_rr += 1.0 / rank;
+        if rank <= 1.0 {
+            self.hits1 += 1;
+        }
+        if rank <= 3.0 {
+            self.hits3 += 1;
+        }
+        if rank <= 10.0 {
+            self.hits10 += 1;
+        }
+        self.count += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.sum_rr += other.sum_rr;
+        self.hits1 += other.hits1;
+        self.hits3 += other.hits3;
+        self.hits10 += other.hits10;
+        self.count += other.count;
+    }
+
+    /// Mean reciprocal rank in `[0, 1]` (0 for an empty accumulator).
+    pub fn mrr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_rr / self.count as f64
+        }
+    }
+
+    /// Hits@1 in `[0, 1]`.
+    pub fn hits1(&self) -> f64 {
+        self.frac(self.hits1)
+    }
+
+    /// Hits@3 in `[0, 1]`.
+    pub fn hits3(&self) -> f64 {
+        self.frac(self.hits3)
+    }
+
+    /// Hits@10 in `[0, 1]`.
+    pub fn hits10(&self) -> f64 {
+        self.frac(self.hits10)
+    }
+
+    fn frac(&self, n: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            n as f64 / self.count as f64
+        }
+    }
+
+    /// Number of recorded queries.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `MRR / H@1 / H@3 / H@10` scaled by 100, the way the paper's tables
+    /// print them.
+    pub fn as_percentages(&self) -> (f64, f64, f64, f64) {
+        (
+            self.mrr() * 100.0,
+            self.hits1() * 100.0,
+            self.hits3() * 100.0,
+            self.hits10() * 100.0,
+        )
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (mrr, h1, h3, h10) = self.as_percentages();
+        write!(
+            f,
+            "MRR {mrr:5.2}  H@1 {h1:5.2}  H@3 {h3:5.2}  H@10 {h10:5.2}  (n={})",
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.mrr(), 0.0);
+        assert_eq!(m.hits10(), 0.0);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn single_perfect_rank() {
+        let mut m = Metrics::new();
+        m.record(1.0);
+        assert_eq!(m.mrr(), 1.0);
+        assert_eq!(m.hits1(), 1.0);
+        assert_eq!(m.hits3(), 1.0);
+    }
+
+    #[test]
+    fn mixed_ranks() {
+        let mut m = Metrics::new();
+        m.record(1.0);
+        m.record(2.0);
+        m.record(4.0);
+        m.record(20.0);
+        assert!((m.mrr() - (1.0 + 0.5 + 0.25 + 0.05) / 4.0).abs() < 1e-12);
+        assert_eq!(m.hits1(), 0.25);
+        assert_eq!(m.hits3(), 0.5);
+        assert_eq!(m.hits10(), 0.75);
+    }
+
+    #[test]
+    fn fractional_tie_rank_counts_boundary() {
+        let mut m = Metrics::new();
+        m.record(1.5);
+        assert_eq!(m.hits1(), 0.0);
+        assert_eq!(m.hits3(), 1.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Metrics::new();
+        a.record(1.0);
+        let mut b = Metrics::new();
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mrr() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks start at 1")]
+    fn rejects_invalid_rank() {
+        Metrics::new().record(0.5);
+    }
+
+    #[test]
+    fn percentages_scale_by_100() {
+        let mut m = Metrics::new();
+        m.record(2.0);
+        let (mrr, h1, h3, h10) = m.as_percentages();
+        assert_eq!(mrr, 50.0);
+        assert_eq!(h1, 0.0);
+        assert_eq!(h3, 100.0);
+        assert_eq!(h10, 100.0);
+    }
+}

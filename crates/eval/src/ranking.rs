@@ -1,0 +1,103 @@
+//! Rank computation under the raw and time-aware filtered settings.
+
+use std::collections::HashSet;
+
+/// Average-tie rank of the candidate at `target` within `scores`
+/// (1 = best). Ties contribute the mean of their occupied positions, so a
+/// constant-score model ranks everything at `(n + 1) / 2` instead of 1.
+///
+/// # Examples
+///
+/// ```
+/// use retia_eval::rank_of;
+///
+/// assert_eq!(rank_of(&[0.1, 0.9, 0.3], 1), 1.0);
+/// assert_eq!(rank_of(&[0.5, 0.5], 0), 1.5); // tie: average of ranks 1 and 2
+/// ```
+pub fn rank_of(scores: &[f32], target: usize) -> f64 {
+    let t = scores[target];
+    let mut greater = 0usize;
+    let mut equal = 0usize; // not counting the target itself
+    for (i, &s) in scores.iter().enumerate() {
+        if s > t {
+            greater += 1;
+        } else if s == t && i != target {
+            equal += 1;
+        }
+    }
+    greater as f64 + 1.0 + equal as f64 / 2.0
+}
+
+/// Candidates to exclude under the time-aware filtered setting: all
+/// ground-truth answers of the *same* query at the *same* timestamp, except
+/// the target being ranked.
+pub type FilterSet = HashSet<u32>;
+
+/// Average-tie rank with the time-aware filter applied: candidates in
+/// `filter` (other than `target`) are ignored entirely.
+pub fn rank_of_filtered(scores: &[f32], target: usize, filter: &FilterSet) -> f64 {
+    let t = scores[target];
+    let mut greater = 0usize;
+    let mut equal = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i != target && filter.contains(&(i as u32)) {
+            continue;
+        }
+        if s > t {
+            greater += 1;
+        } else if s == t && i != target {
+            equal += 1;
+        }
+    }
+    greater as f64 + 1.0 + equal as f64 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_score_ranks_first() {
+        assert_eq!(rank_of(&[0.1, 0.9, 0.3], 1), 1.0);
+    }
+
+    #[test]
+    fn worst_score_ranks_last() {
+        assert_eq!(rank_of(&[0.1, 0.9, 0.3], 0), 3.0);
+    }
+
+    #[test]
+    fn ties_average() {
+        // Target tied with one other at the top: positions 1 and 2 → 1.5.
+        assert_eq!(rank_of(&[0.9, 0.9, 0.3], 0), 1.5);
+        // All equal over 5 candidates → (5 + 1) / 2 = 3.
+        assert_eq!(rank_of(&[1.0; 5], 2), 3.0);
+    }
+
+    #[test]
+    fn filtered_removes_conflicting_truths() {
+        // Candidates 0 and 1 beat the target 2, but 1 is another true answer.
+        let scores = [0.9, 0.8, 0.5];
+        let mut filter = FilterSet::new();
+        filter.insert(1);
+        assert_eq!(rank_of(&scores, 2), 3.0);
+        assert_eq!(rank_of_filtered(&scores, 2, &filter), 2.0);
+    }
+
+    #[test]
+    fn filter_never_removes_target() {
+        let scores = [0.9, 0.5];
+        let mut filter = FilterSet::new();
+        filter.insert(1); // the target itself
+        assert_eq!(rank_of_filtered(&scores, 1, &filter), 2.0);
+    }
+
+    #[test]
+    fn raw_equals_filtered_with_empty_filter() {
+        let scores = [0.4, 0.2, 0.7, 0.1];
+        let filter = FilterSet::new();
+        for t in 0..scores.len() {
+            assert_eq!(rank_of(&scores, t), rank_of_filtered(&scores, t, &filter));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-timestamp metric series — the longitudinal view behind online-
+//! training analyses (how forecasting quality evolves along the evaluation
+//! stream, where regime shifts hurt, and how quickly continual training
+//! recovers).
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Metrics;
+
+/// Metrics broken down by evaluation timestamp, in stream order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricSeries {
+    entries: Vec<(u32, Metrics)>,
+}
+
+impl MetricSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulator for timestamp `t`; timestamps must be appended in
+    /// non-decreasing order (the evaluation stream order).
+    pub fn at(&mut self, t: u32) -> &mut Metrics {
+        match self.entries.last() {
+            Some(&(last, _)) if last == t => {}
+            Some(&(last, _)) => {
+                assert!(t > last, "timestamps must be appended in order ({last} then {t})");
+                self.entries.push((t, Metrics::new()));
+            }
+            None => self.entries.push((t, Metrics::new())),
+        }
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    /// `(timestamp, metrics)` pairs in stream order.
+    pub fn entries(&self) -> &[(u32, Metrics)] {
+        &self.entries
+    }
+
+    /// Aggregate over all timestamps.
+    pub fn total(&self) -> Metrics {
+        let mut out = Metrics::new();
+        for (_, m) in &self.entries {
+            out.merge(m);
+        }
+        out
+    }
+
+    /// MRR values in stream order (for plotting / CSV).
+    pub fn mrr_series(&self) -> Vec<(u32, f64)> {
+        self.entries.iter().map(|(t, m)| (*t, m.mrr())).collect()
+    }
+
+    /// Least-squares slope of MRR over the stream (positive = the model is
+    /// improving as the stream progresses, the signature of effective online
+    /// continual training).
+    pub fn mrr_trend(&self) -> f64 {
+        let n = self.entries.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = self.entries.iter().map(|(_, m)| m.mrr()).collect();
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let num: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let den: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_timestamp() {
+        let mut s = MetricSeries::new();
+        s.at(3).record(1.0);
+        s.at(3).record(2.0);
+        s.at(7).record(4.0);
+        assert_eq!(s.entries().len(), 2);
+        assert_eq!(s.entries()[0].1.count(), 2);
+        assert_eq!(s.total().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn rejects_out_of_order() {
+        let mut s = MetricSeries::new();
+        s.at(5).record(1.0);
+        s.at(2).record(1.0);
+    }
+
+    #[test]
+    fn trend_detects_improvement() {
+        let mut s = MetricSeries::new();
+        // Ranks improve over the stream: 10, 5, 2, 1.
+        for (t, r) in [(0u32, 10.0), (1, 5.0), (2, 2.0), (3, 1.0)] {
+            s.at(t).record(r);
+        }
+        assert!(s.mrr_trend() > 0.0);
+
+        let mut flat = MetricSeries::new();
+        for t in 0..4u32 {
+            flat.at(t).record(4.0);
+        }
+        assert!(flat.mrr_trend().abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_series_matches_entries() {
+        let mut s = MetricSeries::new();
+        s.at(1).record(2.0);
+        s.at(4).record(1.0);
+        let series = s.mrr_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (1, 0.5));
+        assert_eq!(series[1], (4, 1.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Wall-clock measurement for the run-time comparison (Table VIII).
+
+use std::time::{Duration, Instant};
+
+/// A simple cumulative stopwatch: start/stop around the measured region,
+/// read the total at the end.
+#[derive(Debug)]
+pub struct Stopwatch {
+    total: Duration,
+    started: Option<Instant>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch at zero.
+    pub fn new() -> Self {
+        Stopwatch { total: Duration::ZERO, started: None }
+    }
+
+    /// Starts (or restarts) timing. Idempotent while running.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops timing, accumulating the elapsed span. Idempotent while stopped.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.started.take() {
+            self.total += s.elapsed();
+        }
+    }
+
+    /// Total accumulated time (including the current span if running).
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(s) => self.total + s.elapsed(),
+            None => self.total,
+        }
+    }
+
+    /// Times a closure, accumulating its duration, and returns its output.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.start();
+        let out = f();
+        self.stop();
+        out
+    }
+}
+
+/// Formats a duration the way the paper's Table VIII does
+/// (`s` / `min` / `h` / `d` units).
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 60.0 {
+        format!("{secs:.2} s")
+    } else if secs < 3600.0 {
+        format!("{:.2} min", secs / 60.0)
+    } else if secs < 86_400.0 {
+        format!("{:.2} h", secs / 3600.0)
+    } else {
+        format!("{:.2} d", secs / 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_spans() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| std::thread::sleep(Duration::from_millis(5)));
+        let first = sw.elapsed();
+        sw.time(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(sw.elapsed() > first);
+        assert!(sw.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut sw = Stopwatch::new();
+        sw.stop();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn double_start_does_not_reset() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        std::thread::sleep(Duration::from_millis(3));
+        sw.start();
+        sw.stop();
+        assert!(sw.elapsed() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn format_units() {
+        assert_eq!(format_duration(Duration::from_secs_f64(3.33)), "3.33 s");
+        assert_eq!(format_duration(Duration::from_secs(120)), "2.00 min");
+        assert_eq!(format_duration(Duration::from_secs(7200)), "2.00 h");
+        assert_eq!(format_duration(Duration::from_secs(172_800)), "2.00 d");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the ranking functions.
+
+use proptest::prelude::*;
+use retia_eval::{rank_of, rank_of_filtered, FilterSet, Metrics};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rank_bounds(scores in prop::collection::vec(-10.0f32..10.0, 1..50), target_raw in 0usize..50) {
+        let target = target_raw % scores.len();
+        let r = rank_of(&scores, target);
+        prop_assert!(r >= 1.0);
+        prop_assert!(r <= scores.len() as f64);
+    }
+
+    #[test]
+    fn raising_target_score_never_worsens_rank(
+        scores in prop::collection::vec(-5.0f32..5.0, 2..30),
+        target_raw in 0usize..30,
+        boost in 0.1f32..5.0,
+    ) {
+        let target = target_raw % scores.len();
+        let before = rank_of(&scores, target);
+        let mut boosted = scores.clone();
+        boosted[target] += boost;
+        let after = rank_of(&boosted, target);
+        prop_assert!(after <= before, "boosting worsened rank: {} -> {}", before, after);
+    }
+
+    #[test]
+    fn filtering_never_worsens_rank(
+        scores in prop::collection::vec(-5.0f32..5.0, 2..30),
+        target_raw in 0usize..30,
+        filtered in prop::collection::vec(0u32..30, 0..10),
+    ) {
+        let target = target_raw % scores.len();
+        let filter: FilterSet = filtered.into_iter().filter(|&f| (f as usize) < scores.len()).collect();
+        prop_assert!(rank_of_filtered(&scores, target, &filter) <= rank_of(&scores, target));
+    }
+
+    #[test]
+    fn ranks_of_all_candidates_sum_correctly(scores in prop::collection::vec(-5.0f32..5.0, 1..20)) {
+        // Average-tie ranks over all candidates are a permutation-average of
+        // 1..n, so they must sum to n(n+1)/2.
+        let n = scores.len();
+        let total: f64 = (0..n).map(|t| rank_of(&scores, t)).sum();
+        let expected = (n * (n + 1)) as f64 / 2.0;
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn mrr_is_mean_of_reciprocal_ranks(ranks in prop::collection::vec(1.0f64..100.0, 1..50)) {
+        let mut m = Metrics::new();
+        for &r in &ranks {
+            m.record(r);
+        }
+        let expected: f64 = ranks.iter().map(|r| 1.0 / r).sum::<f64>() / ranks.len() as f64;
+        prop_assert!((m.mrr() - expected).abs() < 1e-12);
+        prop_assert!(m.hits1() <= m.hits3() && m.hits3() <= m.hits10());
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_joint_recording(
+        a in prop::collection::vec(1.0f64..50.0, 0..20),
+        b in prop::collection::vec(1.0f64..50.0, 0..20),
+    ) {
+        let mut separate_a = Metrics::new();
+        for &r in &a { separate_a.record(r); }
+        let mut separate_b = Metrics::new();
+        for &r in &b { separate_b.record(r); }
+        separate_a.merge(&separate_b);
+
+        let mut joint = Metrics::new();
+        for &r in a.iter().chain(b.iter()) { joint.record(r); }
+
+        prop_assert!((separate_a.mrr() - joint.mrr()).abs() < 1e-12);
+        prop_assert_eq!(separate_a.count(), joint.count());
+    }
+}

@@ -1,0 +1,422 @@
+//! Twin hyperrelation subgraph construction — Algorithm 1 of the paper.
+//!
+//! The nodes of a [`HyperSnapshot`] are the `2M` relations (inverses
+//! included) of the corresponding [`Snapshot`]; two relation nodes are joined
+//! by one of four *hyperrelations* describing their positional association
+//! through a shared entity:
+//!
+//! | hyperrelation | meaning |
+//! |---|---|
+//! | `o-s` | the object of `r_s` is the subject of `r_o` |
+//! | `s-o` | the subject of `r_s` is the object of `r_o` |
+//! | `o-o` | `r_s` and `r_o` share an object |
+//! | `s-s` | `r_s` and `r_o` share a subject |
+//!
+//! The paper computes these as boolean products of the relation–object and
+//! relation–subject incidence matrices (`OS = RO×RS`, `SO = RS×RO`,
+//! `OO = RO×RO`, `SS = RS×RS`, with zeroed diagonals for `o-o`/`s-s`). We
+//! produce the identical edge sets with per-entity hash joins in `O(nnz)`
+//! time; the dense product is kept in the tests as a reference oracle.
+//!
+//! As with ordinary facts, each hyperedge `(r_s, hr, r_o)` also yields the
+//! inverse hyperedge `(r_o, hr⁻¹, r_s)`, so only in-edges need aggregating.
+
+use std::collections::HashSet;
+
+use crate::snapshot::Snapshot;
+
+/// Number of forward hyperrelation types (`H` in the paper).
+pub const NUM_HYPERRELS: usize = 4;
+/// Forward plus inverse hyperrelation types (`2H`).
+pub const NUM_HYPERRELS_WITH_INV: usize = 2 * NUM_HYPERRELS;
+
+/// The four positional hyperrelations of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HyperRel {
+    /// Object of `r_s` is the subject of `r_o`.
+    ObjectSubject = 0,
+    /// Subject of `r_s` is the object of `r_o`.
+    SubjectObject = 1,
+    /// Shared object.
+    ObjectObject = 2,
+    /// Shared subject.
+    SubjectSubject = 3,
+}
+
+impl HyperRel {
+    /// All four forward hyperrelations in id order.
+    pub const ALL: [HyperRel; 4] = [
+        HyperRel::ObjectSubject,
+        HyperRel::SubjectObject,
+        HyperRel::ObjectObject,
+        HyperRel::SubjectSubject,
+    ];
+
+    /// Numeric id (`0..4`); the inverse type is `id + 4`.
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+}
+
+/// The twin hyperrelation subgraph of one snapshot, prepared for the
+/// relation-aggregating R-GCN (Eq. 1) exactly like [`Snapshot`] is for the
+/// entity-aggregating one: parallel edge arrays sorted by hyperrelation id,
+/// degree normalization and hyperrelation→relation incidence sets.
+///
+/// # Examples
+///
+/// ```
+/// use retia_graph::{HyperRel, HyperSnapshot, Quad, Snapshot};
+///
+/// // (0, r0, 1) then (1, r1, 2): the object of r0 is the subject of r1.
+/// let facts = vec![Quad::new(0, 0, 1, 0), Quad::new(1, 1, 2, 0)];
+/// let snap = Snapshot::from_quads(&facts, 3, 2);
+/// let hyper = HyperSnapshot::from_snapshot(&snap);
+/// assert!(hyper.has_edge(HyperRel::ObjectSubject.id(), 0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HyperSnapshot {
+    /// Timestamp (same as the underlying snapshot).
+    pub t: u32,
+    /// Number of relation nodes, `2M`.
+    pub num_rel_nodes: usize,
+    /// Message sources (`r_s`), parallel with `hrel` / `dst`.
+    pub src: Vec<u32>,
+    /// Hyperrelation type ids in `0..8` (4 forward + 4 inverse), ascending.
+    pub hrel: Vec<u32>,
+    /// Message destinations (`r_o`).
+    pub dst: Vec<u32>,
+    /// Per-edge `1 / c_{r_o, hr}` normalization (Eq. 1).
+    pub edge_norm: Vec<f32>,
+    /// `(start, end)` ranges into the edge arrays per hyperrelation id.
+    pub hrel_ranges: Vec<(usize, usize)>,
+    /// Relations incident to each hyperrelation type regardless of direction
+    /// (the `R_hr^t` sets of Eq. 9); indexed by hyperrelation id in `0..8`.
+    pub hrel_relations: Vec<Vec<u32>>,
+}
+
+impl HyperSnapshot {
+    /// Builds the twin hyperrelation subgraph of `snapshot` (Algorithm 1).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let num_rel_nodes = 2 * snapshot.num_relations;
+
+        // Per-entity incidence: relations having the entity as subject/object.
+        let n = snapshot.num_entities;
+        let mut subj_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut obj_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        {
+            let mut seen_s: HashSet<(u32, u32)> = HashSet::new();
+            let mut seen_o: HashSet<(u32, u32)> = HashSet::new();
+            for i in 0..snapshot.num_edges() {
+                let (s, r, o) = (snapshot.src[i], snapshot.rel[i], snapshot.dst[i]);
+                if seen_s.insert((s, r)) {
+                    subj_of[s as usize].push(r);
+                }
+                if seen_o.insert((o, r)) {
+                    obj_of[o as usize].push(r);
+                }
+            }
+        }
+
+        // Hash-join per entity; HashSet deduplicates pairs reachable through
+        // several shared entities (the boolean product semantics).
+        let mut edge_set: HashSet<(u32, u32, u32)> = HashSet::new();
+        for e in 0..n {
+            let subs = &subj_of[e];
+            let objs = &obj_of[e];
+            if subs.is_empty() && objs.is_empty() {
+                continue;
+            }
+            for &rs in objs {
+                // o-s: object of r_s meets subject of r_o.
+                for &ro in subs {
+                    edge_set.insert((HyperRel::ObjectSubject.id(), rs, ro));
+                }
+                // o-o: shared object; no self-loops (zeroed diagonal).
+                for &ro in objs {
+                    if rs != ro {
+                        edge_set.insert((HyperRel::ObjectObject.id(), rs, ro));
+                    }
+                }
+            }
+            for &rs in subs {
+                // s-o: subject of r_s meets object of r_o.
+                for &ro in objs {
+                    edge_set.insert((HyperRel::SubjectObject.id(), rs, ro));
+                }
+                // s-s: shared subject; no self-loops.
+                for &ro in subs {
+                    if rs != ro {
+                        edge_set.insert((HyperRel::SubjectSubject.id(), rs, ro));
+                    }
+                }
+            }
+        }
+
+        // Inverse hyperedges: (r_o, hr + 4, r_s).
+        let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(edge_set.len() * 2);
+        for &(hr, rs, ro) in &edge_set {
+            edges.push((hr, rs, ro));
+            edges.push((hr + NUM_HYPERRELS as u32, ro, rs));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut src = Vec::with_capacity(edges.len());
+        let mut hrel = Vec::with_capacity(edges.len());
+        let mut dst = Vec::with_capacity(edges.len());
+        for &(h, s, o) in &edges {
+            hrel.push(h);
+            src.push(s);
+            dst.push(o);
+        }
+
+        // 1 / c_{r_o, hr}.
+        let mut degree = std::collections::HashMap::new();
+        for i in 0..hrel.len() {
+            *degree.entry((dst[i], hrel[i])).or_insert(0.0f32) += 1.0;
+        }
+        let edge_norm: Vec<f32> = (0..hrel.len())
+            .map(|i| 1.0 / degree[&(dst[i], hrel[i])])
+            .collect();
+
+        let mut hrel_ranges = vec![(0usize, 0usize); NUM_HYPERRELS_WITH_INV];
+        {
+            let mut i = 0;
+            while i < hrel.len() {
+                let h = hrel[i] as usize;
+                let start = i;
+                while i < hrel.len() && hrel[i] as usize == h {
+                    i += 1;
+                }
+                hrel_ranges[h] = (start, i);
+            }
+        }
+
+        // R_hr^t: relations incident to each hyperrelation type.
+        let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); NUM_HYPERRELS_WITH_INV];
+        for i in 0..hrel.len() {
+            let h = hrel[i] as usize;
+            sets[h].insert(src[i]);
+            sets[h].insert(dst[i]);
+        }
+        let hrel_relations: Vec<Vec<u32>> = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        HyperSnapshot {
+            t: snapshot.t,
+            num_rel_nodes,
+            src,
+            hrel,
+            dst,
+            edge_norm,
+            hrel_ranges,
+            hrel_relations,
+        }
+    }
+
+    /// Number of hyperedges (inverses included).
+    pub fn num_edges(&self) -> usize {
+        self.hrel.len()
+    }
+
+    /// True when a specific hyperedge exists.
+    pub fn has_edge(&self, hr: u32, rs: u32, ro: u32) -> bool {
+        let (a, b) = self.hrel_ranges[hr as usize];
+        (a..b).any(|i| self.src[i] == rs && self.dst[i] == ro)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quad::Quad;
+
+    fn snap(facts: &[(u32, u32, u32)], n: usize, m: usize) -> Snapshot {
+        let quads: Vec<Quad> = facts.iter().map(|&(s, r, o)| Quad::new(s, r, o, 3)).collect();
+        Snapshot::from_quads(&quads, n, m)
+    }
+
+    /// Dense reference implementation: boolean incidence products as written
+    /// in Algorithm 1.
+    #[allow(clippy::needless_range_loop)]
+    fn dense_reference(snapshot: &Snapshot) -> HashSet<(u32, u32, u32)> {
+        let m2 = 2 * snapshot.num_relations;
+        let n = snapshot.num_entities;
+        let mut ro = vec![vec![false; n]; m2]; // relation has entity as object
+        let mut rs = vec![vec![false; n]; m2]; // relation has entity as subject
+        for i in 0..snapshot.num_edges() {
+            rs[snapshot.rel[i] as usize][snapshot.src[i] as usize] = true;
+            ro[snapshot.rel[i] as usize][snapshot.dst[i] as usize] = true;
+        }
+        let product = |a: &Vec<Vec<bool>>, b: &Vec<Vec<bool>>, zero_diag: bool| {
+            let mut out = HashSet::new();
+            for r1 in 0..m2 {
+                for r2 in 0..m2 {
+                    if zero_diag && r1 == r2 {
+                        continue;
+                    }
+                    if (0..n).any(|e| a[r1][e] && b[r2][e]) {
+                        out.insert((r1 as u32, r2 as u32));
+                    }
+                }
+            }
+            out
+        };
+        let mut edges = HashSet::new();
+        for (hr, pairs) in [
+            (0u32, product(&ro, &rs, false)), // o-s
+            (1, product(&rs, &ro, false)),    // s-o
+            (2, product(&ro, &ro, true)),     // o-o
+            (3, product(&rs, &rs, true)),     // s-s
+        ] {
+            for (r1, r2) in pairs {
+                edges.insert((hr, r1, r2));
+                edges.insert((hr + 4, r2, r1));
+            }
+        }
+        edges
+    }
+
+    fn edge_set(h: &HyperSnapshot) -> HashSet<(u32, u32, u32)> {
+        (0..h.num_edges())
+            .map(|i| (h.hrel[i], h.src[i], h.dst[i]))
+            .collect()
+    }
+
+    #[test]
+    fn chain_produces_os_edge() {
+        // (0, r0, 1) and (1, r1, 2): object of r0 is subject of r1.
+        let s = snap(&[(0, 0, 1), (1, 1, 2)], 3, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        assert!(h.has_edge(HyperRel::ObjectSubject.id(), 0, 1));
+        // And symmetrically s-o from r1 to r0.
+        assert!(h.has_edge(HyperRel::SubjectObject.id(), 1, 0));
+    }
+
+    #[test]
+    fn shared_object_produces_oo_edge() {
+        let s = snap(&[(0, 0, 2), (1, 1, 2)], 3, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        assert!(h.has_edge(HyperRel::ObjectObject.id(), 0, 1));
+        assert!(h.has_edge(HyperRel::ObjectObject.id(), 1, 0));
+    }
+
+    #[test]
+    fn shared_subject_produces_ss_edge() {
+        let s = snap(&[(0, 0, 1), (0, 1, 2)], 3, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        assert!(h.has_edge(HyperRel::SubjectSubject.id(), 0, 1));
+        assert!(h.has_edge(HyperRel::SubjectSubject.id(), 1, 0));
+    }
+
+    #[test]
+    fn no_self_loops_for_oo_ss() {
+        // Relation 0 used twice with shared object 2 and shared subject 0.
+        let s = snap(&[(0, 0, 2), (1, 0, 2), (0, 0, 1)], 3, 1);
+        let h = HyperSnapshot::from_snapshot(&s);
+        for i in 0..h.num_edges() {
+            let hr = h.hrel[i] % 4;
+            if hr == HyperRel::ObjectObject.id() || hr == HyperRel::SubjectSubject.id() {
+                assert_ne!(h.src[i], h.dst[i], "self-loop hyperedge produced");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_hyperedges_mirror_forward() {
+        let s = snap(&[(0, 0, 1), (1, 1, 2), (2, 0, 0)], 3, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        for i in 0..h.num_edges() {
+            if h.hrel[i] < 4 {
+                assert!(
+                    h.has_edge(h.hrel[i] + 4, h.dst[i], h.src[i]),
+                    "missing inverse of ({}, {}, {})",
+                    h.hrel[i],
+                    h.src[i],
+                    h.dst[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_reference_small() {
+        let s = snap(
+            &[(0, 0, 1), (1, 1, 2), (2, 0, 0), (0, 2, 2), (3, 1, 1)],
+            4,
+            3,
+        );
+        let h = HyperSnapshot::from_snapshot(&s);
+        assert_eq!(edge_set(&h), dense_reference(&s));
+    }
+
+    #[test]
+    fn matches_dense_reference_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for case in 0..20 {
+            let n = rng.gen_range(2..8);
+            let m = rng.gen_range(1..5);
+            let facts: Vec<(u32, u32, u32)> = (0..rng.gen_range(1..15))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n as u32),
+                        rng.gen_range(0..m as u32),
+                        rng.gen_range(0..n as u32),
+                    )
+                })
+                .collect();
+            let s = snap(&facts, n, m);
+            let h = HyperSnapshot::from_snapshot(&s);
+            assert_eq!(edge_set(&h), dense_reference(&s), "case {case} facts {facts:?}");
+        }
+    }
+
+    #[test]
+    fn edge_norm_sums_to_one_per_dst_type() {
+        let s = snap(&[(0, 0, 1), (1, 1, 2), (0, 2, 2), (2, 1, 0)], 3, 3);
+        let h = HyperSnapshot::from_snapshot(&s);
+        let mut sums = std::collections::HashMap::new();
+        for i in 0..h.num_edges() {
+            *sums.entry((h.dst[i], h.hrel[i])).or_insert(0.0f32) += h.edge_norm[i];
+        }
+        for (&k, &v) in &sums {
+            assert!((v - 1.0).abs() < 1e-5, "norms for {k:?} sum to {v}");
+        }
+    }
+
+    #[test]
+    fn hrel_relations_cover_incident_nodes() {
+        let s = snap(&[(0, 0, 1), (1, 1, 2)], 3, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        let os = &h.hrel_relations[HyperRel::ObjectSubject.id() as usize];
+        assert!(os.contains(&0) && os.contains(&1));
+    }
+
+    #[test]
+    fn empty_snapshot_yields_empty_hypergraph() {
+        let s = Snapshot::empty(0, 4, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.num_rel_nodes, 4);
+    }
+
+    #[test]
+    fn message_islands_are_bridged() {
+        // The paper's motivating example: r0 and r1 share entity 1; in an
+        // entity-centric graph messages cannot cross from r0 to r1, but the
+        // hyperrelation graph connects them directly.
+        let s = snap(&[(0, 0, 1), (1, 1, 2)], 3, 2);
+        let h = HyperSnapshot::from_snapshot(&s);
+        let connected = (0..h.num_edges())
+            .any(|i| (h.src[i] == 0 && h.dst[i] == 1) || (h.src[i] == 1 && h.dst[i] == 0));
+        assert!(connected, "relations sharing an entity must be adjacent");
+    }
+}

@@ -1,0 +1,78 @@
+//! Dated facts and timestamp grouping.
+
+use serde::{Deserialize, Serialize};
+
+/// A temporal fact `(subject, relation, object, timestamp)` with integer ids.
+///
+/// Relation ids are *original* ids in `0..M`; inverse relations (`r + M`) are
+/// introduced only when a [`crate::Snapshot`] is built, matching the paper's
+/// "we add the inverse relation facts to the t-th subgraph".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Quad {
+    /// Subject entity id.
+    pub s: u32,
+    /// Relation id (`0..M`).
+    pub r: u32,
+    /// Object entity id.
+    pub o: u32,
+    /// Timestamp index (`0..T`).
+    pub t: u32,
+}
+
+impl Quad {
+    /// Convenience constructor.
+    pub fn new(s: u32, r: u32, o: u32, t: u32) -> Self {
+        Quad { s, r, o, t }
+    }
+
+    /// The fact without its timestamp.
+    pub fn triple(&self) -> (u32, u32, u32) {
+        (self.s, self.r, self.o)
+    }
+}
+
+/// Groups quads by timestamp, returning `(timestamp, facts)` pairs sorted by
+/// timestamp ascending. Timestamps with no facts are not represented.
+pub fn group_by_timestamp(quads: &[Quad]) -> Vec<(u32, Vec<Quad>)> {
+    let mut sorted: Vec<Quad> = quads.to_vec();
+    sorted.sort_by_key(|q| (q.t, q.s, q.r, q.o));
+    let mut out: Vec<(u32, Vec<Quad>)> = Vec::new();
+    for q in sorted {
+        match out.last_mut() {
+            Some((t, group)) if *t == q.t => group.push(q),
+            _ => out.push((q.t, vec![q])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_by_timestamp_orders_and_buckets() {
+        let quads = vec![
+            Quad::new(1, 0, 2, 5),
+            Quad::new(0, 1, 1, 2),
+            Quad::new(3, 0, 0, 5),
+            Quad::new(2, 2, 2, 0),
+        ];
+        let groups = group_by_timestamp(&quads);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[1].0, 2);
+        assert_eq!(groups[2].0, 5);
+        assert_eq!(groups[2].1.len(), 2);
+    }
+
+    #[test]
+    fn group_by_timestamp_empty() {
+        assert!(group_by_timestamp(&[]).is_empty());
+    }
+
+    #[test]
+    fn triple_drops_time() {
+        assert_eq!(Quad::new(1, 2, 3, 9).triple(), (1, 2, 3));
+    }
+}

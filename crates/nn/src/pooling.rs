@@ -1,0 +1,80 @@
+//! Segment mean pooling — the `MP`/`HMP` operators of Eq. 7 and Eq. 9.
+
+use std::rc::Rc;
+
+use retia_tensor::{Graph, NodeId};
+
+/// Mean-pools rows of `x` (`[n, d]`) over `segments`: output row `i` is the
+/// mean of `x[j]` for `j in segments[i]`. Empty segments yield zero rows
+/// (absent relations / hyperrelations keep no pooled signal, matching the
+/// reference implementation).
+pub fn mean_pool_segments(g: &mut Graph, x: NodeId, segments: &[Vec<u32>]) -> NodeId {
+    let num_segments = segments.len();
+    let mut flat: Vec<u32> = Vec::new();
+    let mut seg_ids: Vec<u32> = Vec::new();
+    let mut inv_counts: Vec<f32> = Vec::with_capacity(num_segments);
+    for (i, seg) in segments.iter().enumerate() {
+        for &j in seg {
+            flat.push(j);
+            seg_ids.push(i as u32);
+        }
+        inv_counts.push(if seg.is_empty() { 0.0 } else { 1.0 / seg.len() as f32 });
+    }
+    if flat.is_empty() {
+        // All segments empty: a zero tensor with no gradient path.
+        let d = g.value(x).cols();
+        return g.constant(retia_tensor::Tensor::zeros(num_segments, d));
+    }
+    let gathered = g.gather_rows(x, Rc::new(flat));
+    let summed = g.scatter_add_rows(gathered, Rc::new(seg_ids), num_segments);
+    g.row_scale(summed, Rc::new(inv_counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retia_tensor::{Graph, ParamStore, Tensor};
+
+    #[test]
+    fn pools_means_per_segment() {
+        let mut g = Graph::new(false, 0);
+        let x = g.constant(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let out = mean_pool_segments(&mut g, x, &[vec![0, 1], vec![2], vec![]]);
+        let v = g.value(out);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(0), &[2.0, 3.0]);
+        assert_eq!(v.row(1), &[5.0, 6.0]);
+        assert_eq!(v.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn repeated_indices_allowed() {
+        let mut g = Graph::new(false, 0);
+        let x = g.constant(Tensor::from_vec(2, 1, vec![1.0, 3.0]));
+        let out = mean_pool_segments(&mut g, x, &[vec![0, 0, 1]]);
+        let v = g.value(out);
+        assert!((v.get(0, 0) - 5.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_empty_segments() {
+        let mut g = Graph::new(false, 0);
+        let x = g.constant(Tensor::ones(2, 3));
+        let out = mean_pool_segments(&mut g, x, &[vec![], vec![]]);
+        assert_eq!(g.value(out).shape(), (2, 3));
+        assert_eq!(g.value(out).sum(), 0.0);
+    }
+
+    #[test]
+    fn gradients_flow_through_pooling() {
+        let mut store = ParamStore::new(0);
+        store.register("x", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut g = Graph::new(false, 0);
+        let x = g.param(&store, "x");
+        let out = mean_pool_segments(&mut g, x, &[vec![0, 1]]);
+        let loss = g.sum_all(out);
+        g.backward(loss, &mut store);
+        // d mean / d each source = 0.5 per column.
+        assert_eq!(store.grad("x").data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+}

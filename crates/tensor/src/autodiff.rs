@@ -1,0 +1,1346 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is an append-only arena of nodes; node ids are therefore a
+//! topological order, and backpropagation is a single reverse sweep. Each
+//! training step builds a fresh graph (the RETIA recurrence unrolls `k`
+//! snapshots inside one graph), calls [`Graph::backward`], and lets the
+//! optimizer consume the gradients accumulated in the [`ParamStore`].
+//!
+//! Ops store the context their backward pass needs (saved masks, index lists,
+//! activation outputs) inside the op enum itself, so backward is a plain
+//! `match` with no dynamic dispatch.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::param::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use crate::RRELU_EVAL_SLOPE;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+enum Op {
+    /// Constant input; no gradient flows past it.
+    Leaf,
+    /// Learnable parameter; gradients are pushed into the [`ParamStore`].
+    Param(ParamId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    /// `x + b` with `b` a `[1, d]` row broadcast over the rows of `x`.
+    AddBias(NodeId, NodeId),
+    /// `x * w` with `w` a `[1, d]` row broadcast over the rows of `x`.
+    MulBias(NodeId, NodeId),
+    /// `x * c` with `c` a `[n, 1]` column broadcast over the columns of `x`.
+    MulCol(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId),
+    MatMul(NodeId, NodeId),
+    /// `a @ b^T`.
+    MatMulNT(NodeId, NodeId),
+    /// Saved value = sigmoid(x).
+    Sigmoid(NodeId),
+    /// Saved value = tanh(x).
+    Tanh(NodeId),
+    Relu(NodeId),
+    /// Elementwise sine (RotatE phase rotations).
+    Sin(NodeId),
+    /// Elementwise cosine.
+    Cos(NodeId),
+    /// Leaky ReLU with a per-element negative slope (implements RReLU).
+    LeakyRelu(NodeId, Tensor),
+    Abs(NodeId),
+    /// Dropout with the saved (already inverse-scaled) mask.
+    Dropout(NodeId, Tensor),
+    GatherRows(NodeId, Rc<Vec<u32>>),
+    /// Scatter rows of `x` into a zero `[out_rows, d]` tensor, adding on
+    /// collision. Field order: (src, indices, out_rows).
+    ScatterAddRows(NodeId, Rc<Vec<u32>>),
+    /// Multiplies row `i` by `weights[i]` (degree normalization in R-GCN).
+    RowScale(NodeId, Rc<Vec<f32>>),
+    ConcatCols(NodeId, NodeId),
+    SliceCols(NodeId, usize, usize),
+    /// Row-wise softmax; saved value = probabilities.
+    SoftmaxRows(NodeId),
+    /// `out[i, 0] = x[i, cols[i]]`.
+    GatherCols(NodeId, Rc<Vec<u32>>),
+    /// `ln(x + eps)` elementwise.
+    Ln(NodeId, f32),
+    MeanAll(NodeId),
+    SumAll(NodeId),
+    /// `out[i, 0] = sum_j x[i, j]`.
+    SumRows(NodeId),
+    /// Sum of several same-shape tensors.
+    AddN(Vec<NodeId>),
+    /// Row-wise L2 normalization; saved value = normalized rows.
+    NormalizeRows(NodeId, f32),
+    /// Row-wise layer normalization (no affine); saved stats (mean, inv_std)
+    /// per row.
+    LayerNormRows(NodeId, Rc<Vec<(f32, f32)>>),
+    /// 1-D convolution: x `[batch, in_ch*width]`, w `[out_ch, in_ch*ksize]`,
+    /// b `[1, out_ch]`, 'same' zero padding. Output `[batch, out_ch*width]`.
+    Conv1d { x: NodeId, w: NodeId, b: NodeId, in_ch: usize, out_ch: usize, ksize: usize },
+    /// Fused softmax + cross-entropy against integer targets; saved probs.
+    SoftmaxXent(NodeId, Rc<Vec<u32>>),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single forward computation with reverse-mode gradients.
+///
+/// `training` toggles stochastic ops (dropout masks, RReLU slope sampling);
+/// `seed` makes them reproducible.
+pub struct Graph {
+    nodes: Vec<Node>,
+    training: bool,
+    rng: StdRng,
+}
+
+impl Graph {
+    /// Creates an empty graph. `training=false` turns dropout into identity
+    /// and RReLU into a fixed-slope leaky ReLU.
+    pub fn new(training: bool, seed: u64) -> Self {
+        Graph { nodes: Vec::new(), training, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Whether stochastic ops are active.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// A detached copy of a node's value (no gradient connection).
+    pub fn detach(&self, id: NodeId) -> Tensor {
+        self.nodes[id.0].value.clone()
+    }
+
+    // ---- inputs -----------------------------------------------------------
+
+    /// Inserts a constant (non-differentiable) input.
+    pub fn constant(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Inserts a learnable parameter by name; its current value is copied out
+    /// of the store and gradients flow back into the store on
+    /// [`Graph::backward`].
+    pub fn param(&mut self, store: &ParamStore, name: &str) -> NodeId {
+        let pid = store.id(name);
+        self.push(store.value(name).clone(), Op::Param(pid))
+    }
+
+    // ---- arithmetic -------------------------------------------------------
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b` (same shape).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// `x + bias` where `bias` is `[1, d]`, broadcast over rows.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let xb = self.value(bias);
+        assert_eq!(xb.rows(), 1, "bias must be a single row");
+        assert_eq!(xb.cols(), self.value(x).cols(), "bias width mismatch");
+        let b = xb.clone();
+        let mut v = self.value(x).clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            for (r, &bb) in row.iter_mut().zip(b.row(0).iter()) {
+                *r += bb;
+            }
+        }
+        self.push(v, Op::AddBias(x, bias))
+    }
+
+    /// `x * w` where `w` is `[1, d]`, broadcast over rows.
+    pub fn mul_bias(&mut self, x: NodeId, w: NodeId) -> NodeId {
+        let xw = self.value(w);
+        assert_eq!(xw.rows(), 1, "broadcast weight must be a single row");
+        assert_eq!(xw.cols(), self.value(x).cols(), "broadcast width mismatch");
+        let wt = xw.clone();
+        let mut v = self.value(x).clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            for (r, &ww) in row.iter_mut().zip(wt.row(0).iter()) {
+                *r *= ww;
+            }
+        }
+        self.push(v, Op::MulBias(x, w))
+    }
+
+    /// `x * c` where `c` is `[n, 1]`, broadcast over columns (per-row learned
+    /// scaling; the basis-coefficient kernel of R-GCN basis decomposition).
+    pub fn mul_col(&mut self, x: NodeId, c: NodeId) -> NodeId {
+        let cv = self.value(c);
+        assert_eq!(cv.cols(), 1, "column broadcast must be a single column");
+        assert_eq!(cv.rows(), self.value(x).rows(), "column broadcast height mismatch");
+        let ct = cv.clone();
+        let mut v = self.value(x).clone();
+        for i in 0..v.rows() {
+            let s = ct.get(i, 0);
+            v.row_mut(i).iter_mut().for_each(|val| *val *= s);
+        }
+        self.push(v, Op::MulCol(x, c))
+    }
+
+    /// `x * s` for a constant scalar.
+    pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
+        let v = self.value(x).scale(s);
+        self.push(v, Op::Scale(x, s))
+    }
+
+    /// `x + s` for a constant scalar.
+    pub fn add_scalar(&mut self, x: NodeId, s: f32) -> NodeId {
+        let v = self.value(x).map(|v| v + s);
+        self.push(v, Op::AddScalar(x))
+    }
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Matrix product `a @ b^T` (decoder scoring kernel).
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(v, Op::MatMulNT(a, b))
+    }
+
+    // ---- activations ------------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|v| v.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::sin);
+        self.push(v, Op::Sin(x))
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::cos);
+        self.push(v, Op::Cos(x))
+    }
+
+    /// Leaky ReLU with a fixed negative slope.
+    pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
+        let (r, c) = self.value(x).shape();
+        let slopes = Tensor::full(r, c, slope);
+        self.leaky_relu_with(x, slopes)
+    }
+
+    /// Randomized leaky ReLU: slopes ~ U(1/8, 1/3) per element in training,
+    /// the mean slope in evaluation — PyTorch `RReLU` semantics, the
+    /// activation used throughout RETIA's R-GCNs.
+    pub fn rrelu(&mut self, x: NodeId) -> NodeId {
+        let (r, c) = self.value(x).shape();
+        let slopes = if self.training {
+            let rng = &mut self.rng;
+            Tensor::from_fn(r, c, |_, _| rng.gen_range(0.125f32..(1.0 / 3.0)))
+        } else {
+            Tensor::full(r, c, RRELU_EVAL_SLOPE)
+        };
+        self.leaky_relu_with(x, slopes)
+    }
+
+    fn leaky_relu_with(&mut self, x: NodeId, slopes: Tensor) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape(), slopes.shape());
+        let v = Tensor::from_fn(xv.rows(), xv.cols(), |i, j| {
+            let val = xv.get(i, j);
+            if val >= 0.0 {
+                val
+            } else {
+                val * slopes.get(i, j)
+            }
+        });
+        self.push(v, Op::LeakyRelu(x, slopes))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::abs);
+        self.push(v, Op::Abs(x))
+    }
+
+    /// Inverted dropout with keep-prob `1 - p`. Identity in evaluation mode
+    /// or when `p == 0`.
+    pub fn dropout(&mut self, x: NodeId, p: f32) -> NodeId {
+        if !self.training || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let (r, c) = self.value(x).shape();
+        let keep = 1.0 - p;
+        let rng = &mut self.rng;
+        let mask = Tensor::from_fn(r, c, |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let v = self.value(x).mul(&mask);
+        self.push(v, Op::Dropout(x, mask))
+    }
+
+    // ---- structure --------------------------------------------------------
+
+    /// Gathers rows of `x` by index (embedding lookup / edge endpoint fetch).
+    pub fn gather_rows(&mut self, x: NodeId, indices: Rc<Vec<u32>>) -> NodeId {
+        let v = self.value(x).gather_rows(&indices);
+        self.push(v, Op::GatherRows(x, indices))
+    }
+
+    /// Scatter-adds the rows of `x` into a fresh `[out_rows, d]` tensor
+    /// (message aggregation in R-GCN).
+    pub fn scatter_add_rows(
+        &mut self,
+        x: NodeId,
+        indices: Rc<Vec<u32>>,
+        out_rows: usize,
+    ) -> NodeId {
+        let v = self.value(x).scatter_add_rows(&indices, out_rows);
+        self.push(v, Op::ScatterAddRows(x, indices))
+    }
+
+    /// Multiplies each row `i` by `weights[i]` (degree normalization).
+    pub fn row_scale(&mut self, x: NodeId, weights: Rc<Vec<f32>>) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.rows(), weights.len(), "row_scale weight count mismatch");
+        let mut v = xv.clone();
+        for i in 0..v.rows() {
+            let w = weights[i];
+            v.row_mut(i).iter_mut().for_each(|val| *val *= w);
+        }
+        self.push(v, Op::RowScale(x, weights))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Columns `start..end` of `x`.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
+        let v = self.value(x).slice_cols(start, end);
+        self.push(v, Op::SliceCols(x, start, end))
+    }
+
+    // ---- probabilistic / reductions ----------------------------------------
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).softmax_rows();
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// `out[i, 0] = x[i, cols[i]]` — picks one entry per row (ground-truth
+    /// probability extraction in the time-variability loss).
+    pub fn gather_cols(&mut self, x: NodeId, cols: Rc<Vec<u32>>) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.rows(), cols.len(), "gather_cols index count mismatch");
+        let v = Tensor::from_fn(xv.rows(), 1, |i, _| xv.get(i, cols[i] as usize));
+        self.push(v, Op::GatherCols(x, cols))
+    }
+
+    /// `ln(x + eps)` elementwise.
+    pub fn ln(&mut self, x: NodeId, eps: f32) -> NodeId {
+        let v = self.value(x).map(|v| (v + eps).ln());
+        self.push(v, Op::Ln(x, eps))
+    }
+
+    /// Mean over all elements, as a `1 x 1` tensor.
+    pub fn mean_all(&mut self, x: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(x).mean());
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Sum over all elements, as a `1 x 1` tensor.
+    pub fn sum_all(&mut self, x: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(x).sum());
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Row sums: `[n, d] -> [n, 1]`.
+    pub fn sum_rows(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let v = Tensor::from_fn(xv.rows(), 1, |i, _| xv.row(i).iter().sum());
+        self.push(v, Op::SumRows(x))
+    }
+
+    /// Sum of several same-shape tensors.
+    pub fn add_n(&mut self, xs: &[NodeId]) -> NodeId {
+        assert!(!xs.is_empty(), "add_n needs at least one input");
+        let mut v = self.value(xs[0]).clone();
+        for &x in &xs[1..] {
+            v.add_assign(self.value(x));
+        }
+        self.push(v, Op::AddN(xs.to_vec()))
+    }
+
+    /// Row-wise L2 normalization (RE-GCN-style embedding normalization).
+    pub fn normalize_rows(&mut self, x: NodeId) -> NodeId {
+        let eps = 1e-12f32;
+        let v = self.value(x).l2_normalize_rows(eps);
+        self.push(v, Op::NormalizeRows(x, eps))
+    }
+
+    /// Row-wise layer normalization without affine parameters; compose with
+    /// [`Graph::mul_bias`] and [`Graph::add_bias`] for the affine form.
+    pub fn layer_norm_rows(&mut self, x: NodeId) -> NodeId {
+        let eps = 1e-5f32;
+        let xv = self.value(x);
+        let mut stats = Vec::with_capacity(xv.rows());
+        let mut v = xv.clone();
+        let d = xv.cols() as f32;
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            row.iter_mut().for_each(|x| *x = (*x - mean) * inv_std);
+            stats.push((mean, inv_std));
+        }
+        self.push(v, Op::LayerNormRows(x, Rc::new(stats)))
+    }
+
+    /// 1-D convolution with 'same' zero padding.
+    ///
+    /// `x` is `[batch, in_ch * width]` (channels-major rows), `w` is
+    /// `[out_ch, in_ch * ksize]`, `b` is `[1, out_ch]`. Output is
+    /// `[batch, out_ch * width]`. This is the Conv-TransE kernel: the decoder
+    /// stacks 2 embeddings as 2 input channels over width `d`.
+    pub fn conv1d(
+        &mut self,
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+        in_ch: usize,
+        out_ch: usize,
+        ksize: usize,
+    ) -> NodeId {
+        let xv = self.value(x);
+        let wv = self.value(w);
+        let bv = self.value(b);
+        assert_eq!(xv.cols() % in_ch, 0, "conv1d: width not divisible by in_ch");
+        assert_eq!(wv.shape(), (out_ch, in_ch * ksize), "conv1d: bad kernel shape");
+        assert_eq!(bv.shape(), (1, out_ch), "conv1d: bad bias shape");
+        let width = xv.cols() / in_ch;
+        let pad = ksize / 2;
+        let batch = xv.rows();
+        let mut out = Tensor::zeros(batch, out_ch * width);
+        for bi in 0..batch {
+            let xr = xv.row(bi);
+            let orow = out.row_mut(bi);
+            for oc in 0..out_ch {
+                let wrow = wv.row(oc);
+                let bias = bv.get(0, oc);
+                for pos in 0..width {
+                    let mut acc = bias;
+                    for ic in 0..in_ch {
+                        for kk in 0..ksize {
+                            let src = pos as isize + kk as isize - pad as isize;
+                            if src < 0 || src >= width as isize {
+                                continue;
+                            }
+                            acc += xr[ic * width + src as usize] * wrow[ic * ksize + kk];
+                        }
+                    }
+                    orow[oc * width + pos] = acc;
+                }
+            }
+        }
+        self.push(out, Op::Conv1d { x, w, b, in_ch, out_ch, ksize })
+    }
+
+    /// Fused softmax cross-entropy against integer class targets; returns the
+    /// mean loss as a `1 x 1` tensor.
+    pub fn softmax_xent(&mut self, logits: NodeId, targets: Rc<Vec<u32>>) -> NodeId {
+        let probs = self.value(logits).softmax_rows();
+        assert_eq!(probs.rows(), targets.len(), "softmax_xent target count mismatch");
+        let mut loss = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            loss -= (probs.get(i, t as usize) + 1e-12).ln();
+        }
+        loss /= targets.len().max(1) as f32;
+        // Save probs as the node "context" by re-deriving in backward; cheaper
+        // to store them in the op? We store targets only and recompute probs
+        // from the saved logits value during backward.
+        self.push(Tensor::scalar(loss), Op::SoftmaxXent(logits, targets))
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Backpropagates from `loss` (must be `1 x 1`), accumulating parameter
+    /// gradients into `store`.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward() expects a scalar loss node"
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for id in (0..=loss.0).rev() {
+            let g = match grads[id].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[id].op {
+                Op::Leaf => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    Self::acc(&mut grads, a, g.clone());
+                    Self::acc(&mut grads, b, g);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    Self::acc(&mut grads, a, g.clone());
+                    Self::acc(&mut grads, b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.mul(&self.nodes[b.0].value);
+                    let gb = g.mul(&self.nodes[a.0].value);
+                    Self::acc(&mut grads, a, ga);
+                    Self::acc(&mut grads, b, gb);
+                }
+                Op::AddBias(x, bias) => {
+                    let (x, bias) = (*x, *bias);
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        let row = g.row(i);
+                        let dst = gb.row_mut(0);
+                        for (d, &s) in dst.iter_mut().zip(row.iter()) {
+                            *d += s;
+                        }
+                    }
+                    Self::acc(&mut grads, x, g);
+                    Self::acc(&mut grads, bias, gb);
+                }
+                Op::MulBias(x, w) => {
+                    let (x, w) = (*x, *w);
+                    let wt = self.nodes[w.0].value.clone();
+                    let xv = self.nodes[x.0].value.clone();
+                    let mut gx = g.clone();
+                    for i in 0..gx.rows() {
+                        let row = gx.row_mut(i);
+                        for (r, &ww) in row.iter_mut().zip(wt.row(0).iter()) {
+                            *r *= ww;
+                        }
+                    }
+                    let mut gw = Tensor::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        for j in 0..g.cols() {
+                            let v = gw.get(0, j) + g.get(i, j) * xv.get(i, j);
+                            gw.set(0, j, v);
+                        }
+                    }
+                    Self::acc(&mut grads, x, gx);
+                    Self::acc(&mut grads, w, gw);
+                }
+                Op::MulCol(x, c) => {
+                    let (x, c) = (*x, *c);
+                    let cv = self.nodes[c.0].value.clone();
+                    let xv = self.nodes[x.0].value.clone();
+                    let mut gx = g.clone();
+                    for i in 0..gx.rows() {
+                        let s = cv.get(i, 0);
+                        gx.row_mut(i).iter_mut().for_each(|v| *v *= s);
+                    }
+                    let mut gc = Tensor::zeros(cv.rows(), 1);
+                    for i in 0..g.rows() {
+                        let dot: f32 = g
+                            .row(i)
+                            .iter()
+                            .zip(xv.row(i).iter())
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        gc.set(i, 0, dot);
+                    }
+                    Self::acc(&mut grads, x, gx);
+                    Self::acc(&mut grads, c, gc);
+                }
+                Op::Scale(x, s) => {
+                    let (x, s) = (*x, *s);
+                    Self::acc(&mut grads, x, g.scale(s));
+                }
+                Op::AddScalar(x) => {
+                    let x = *x;
+                    Self::acc(&mut grads, x, g);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // y = a @ b: da = g @ b^T, db = a^T @ g.
+                    let ga = g.matmul_nt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_tn(&g);
+                    Self::acc(&mut grads, a, ga);
+                    Self::acc(&mut grads, b, gb);
+                }
+                Op::MatMulNT(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // y = a @ b^T: da = g @ b, db = g^T @ a.
+                    let ga = g.matmul(&self.nodes[b.0].value);
+                    let gb = g.matmul_tn(&self.nodes[a.0].value);
+                    Self::acc(&mut grads, a, ga);
+                    Self::acc(&mut grads, b, gb);
+                }
+                Op::Sigmoid(x) => {
+                    let x = *x;
+                    let y = &self.nodes[id].value;
+                    let gx = g.zip(y, |g, y| g * y * (1.0 - y));
+                    Self::acc(&mut grads, x, gx);
+                }
+                Op::Tanh(x) => {
+                    let x = *x;
+                    let y = &self.nodes[id].value;
+                    let gx = g.zip(y, |g, y| g * (1.0 - y * y));
+                    Self::acc(&mut grads, x, gx);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip(xv, |g, x| if x > 0.0 { g } else { 0.0 });
+                    Self::acc(&mut grads, x, gx);
+                }
+                Op::Sin(x) => {
+                    let x = *x;
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip(xv, |g, x| g * x.cos());
+                    Self::acc(&mut grads, x, gx);
+                }
+                Op::Cos(x) => {
+                    let x = *x;
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip(xv, |g, x| -g * x.sin());
+                    Self::acc(&mut grads, x, gx);
+                }
+                Op::LeakyRelu(x, slopes) => {
+                    let xid = *x;
+                    let xv = &self.nodes[xid.0].value;
+                    let gx = Tensor::from_fn(g.rows(), g.cols(), |i, j| {
+                        if xv.get(i, j) >= 0.0 {
+                            g.get(i, j)
+                        } else {
+                            g.get(i, j) * slopes.get(i, j)
+                        }
+                    });
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::Abs(x) => {
+                    let x = *x;
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip(xv, |g, x| if x >= 0.0 { g } else { -g });
+                    Self::acc(&mut grads, x, gx);
+                }
+                Op::Dropout(x, mask) => {
+                    let xid = *x;
+                    let gx = g.mul(mask);
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::GatherRows(x, idx) => {
+                    let xid = *x;
+                    let n = self.nodes[xid.0].value.rows();
+                    let gx = g.scatter_add_rows(idx, n);
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::ScatterAddRows(x, idx) => {
+                    let xid = *x;
+                    let gx = g.gather_rows(idx);
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::RowScale(x, weights) => {
+                    let xid = *x;
+                    let mut gx = g.clone();
+                    for i in 0..gx.rows() {
+                        let w = weights[i];
+                        gx.row_mut(i).iter_mut().for_each(|v| *v *= w);
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ca = self.nodes[a.0].value.cols();
+                    let cb = self.nodes[b.0].value.cols();
+                    let ga = g.slice_cols(0, ca);
+                    let gb = g.slice_cols(ca, ca + cb);
+                    Self::acc(&mut grads, a, ga);
+                    Self::acc(&mut grads, b, gb);
+                }
+                Op::SliceCols(x, start, _end) => {
+                    let (xid, start) = (*x, *start);
+                    let xv = &self.nodes[xid.0].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for i in 0..g.rows() {
+                        for j in 0..g.cols() {
+                            gx.set(i, start + j, g.get(i, j));
+                        }
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::SoftmaxRows(x) => {
+                    let xid = *x;
+                    let p = &self.nodes[id].value;
+                    // dx = p * (g - sum_j g_j p_j) per row.
+                    let mut gx = Tensor::zeros(g.rows(), g.cols());
+                    for i in 0..g.rows() {
+                        let dot: f32 = g
+                            .row(i)
+                            .iter()
+                            .zip(p.row(i).iter())
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        let dst = gx.row_mut(i);
+                        for (j, d) in dst.iter_mut().enumerate() {
+                            *d = p.get(i, j) * (g.get(i, j) - dot);
+                        }
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::GatherCols(x, cols) => {
+                    let xid = *x;
+                    let xv = &self.nodes[xid.0].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for (i, &c) in cols.iter().enumerate() {
+                        gx.set(i, c as usize, g.get(i, 0));
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::Ln(x, eps) => {
+                    let (xid, eps) = (*x, *eps);
+                    let xv = &self.nodes[xid.0].value;
+                    let gx = g.zip(xv, |g, x| g / (x + eps));
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::MeanAll(x) => {
+                    let xid = *x;
+                    let xv = &self.nodes[xid.0].value;
+                    let scale = g.item() / xv.len().max(1) as f32;
+                    let gx = Tensor::full(xv.rows(), xv.cols(), scale);
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::SumAll(x) => {
+                    let xid = *x;
+                    let xv = &self.nodes[xid.0].value;
+                    let gx = Tensor::full(xv.rows(), xv.cols(), g.item());
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::SumRows(x) => {
+                    let xid = *x;
+                    let xv = &self.nodes[xid.0].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for i in 0..xv.rows() {
+                        let gi = g.get(i, 0);
+                        gx.row_mut(i).iter_mut().for_each(|v| *v = gi);
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::AddN(xs) => {
+                    let xs = xs.clone();
+                    for x in xs {
+                        Self::acc(&mut grads, x, g.clone());
+                    }
+                }
+                Op::NormalizeRows(x, eps) => {
+                    let (xid, eps) = (*x, *eps);
+                    let xv = &self.nodes[xid.0].value;
+                    let y = &self.nodes[id].value;
+                    let mut gx = Tensor::zeros(g.rows(), g.cols());
+                    for i in 0..g.rows() {
+                        let n = xv.row(i).iter().map(|&v| v * v).sum::<f32>().sqrt();
+                        if n <= eps {
+                            // Forward was identity on this row.
+                            gx.row_mut(i).copy_from_slice(g.row(i));
+                            continue;
+                        }
+                        let dot: f32 = g
+                            .row(i)
+                            .iter()
+                            .zip(y.row(i).iter())
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        for j in 0..g.cols() {
+                            gx.set(i, j, (g.get(i, j) - dot * y.get(i, j)) / n);
+                        }
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::LayerNormRows(x, stats) => {
+                    let xid = *x;
+                    let stats = stats.clone();
+                    let y = &self.nodes[id].value;
+                    let d = y.cols() as f32;
+                    let mut gx = Tensor::zeros(g.rows(), g.cols());
+                    for i in 0..g.rows() {
+                        let (_, inv_std) = stats[i];
+                        let gsum: f32 = g.row(i).iter().sum();
+                        let gydot: f32 = g
+                            .row(i)
+                            .iter()
+                            .zip(y.row(i).iter())
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        for j in 0..g.cols() {
+                            let v = inv_std
+                                * (g.get(i, j) - gsum / d - y.get(i, j) * gydot / d);
+                            gx.set(i, j, v);
+                        }
+                    }
+                    Self::acc(&mut grads, xid, gx);
+                }
+                Op::Conv1d { x, w, b, in_ch, out_ch, ksize } => {
+                    let (x, w, b) = (*x, *w, *b);
+                    let (in_ch, out_ch, ksize) = (*in_ch, *out_ch, *ksize);
+                    let xv = self.nodes[x.0].value.clone();
+                    let wv = self.nodes[w.0].value.clone();
+                    let width = xv.cols() / in_ch;
+                    let pad = ksize / 2;
+                    let batch = xv.rows();
+                    let mut gx = Tensor::zeros(batch, in_ch * width);
+                    let mut gw = Tensor::zeros(out_ch, in_ch * ksize);
+                    let mut gb = Tensor::zeros(1, out_ch);
+                    for bi in 0..batch {
+                        let xr = xv.row(bi);
+                        let grow = g.row(bi);
+                        for oc in 0..out_ch {
+                            let wrow = wv.row(oc);
+                            for pos in 0..width {
+                                let go = grow[oc * width + pos];
+                                if go == 0.0 {
+                                    continue;
+                                }
+                                let gbv = gb.get(0, oc) + go;
+                                gb.set(0, oc, gbv);
+                                for ic in 0..in_ch {
+                                    for kk in 0..ksize {
+                                        let src = pos as isize + kk as isize - pad as isize;
+                                        if src < 0 || src >= width as isize {
+                                            continue;
+                                        }
+                                        let src = src as usize;
+                                        gx.row_mut(bi)[ic * width + src] +=
+                                            go * wrow[ic * ksize + kk];
+                                        let gwv = gw.get(oc, ic * ksize + kk)
+                                            + go * xr[ic * width + src];
+                                        gw.set(oc, ic * ksize + kk, gwv);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Self::acc(&mut grads, x, gx);
+                    Self::acc(&mut grads, w, gw);
+                    Self::acc(&mut grads, b, gb);
+                }
+                Op::SoftmaxXent(logits, targets) => {
+                    let lid = *logits;
+                    let targets = targets.clone();
+                    let probs = self.nodes[lid.0].value.softmax_rows();
+                    let n = targets.len().max(1) as f32;
+                    let mut gx = probs;
+                    for (i, &t) in targets.iter().enumerate() {
+                        let v = gx.get(i, t as usize) - 1.0;
+                        gx.set(i, t as usize, v);
+                    }
+                    let s = g.item() / n;
+                    gx.map_inplace(|v| v * s);
+                    Self::acc(&mut grads, lid, gx);
+                }
+            }
+        }
+    }
+
+    fn acc(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+        match &mut grads[id.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamStore;
+
+    /// Central finite-difference gradient check for a scalar-valued function
+    /// of a single parameter tensor named "x".
+    fn grad_check(
+        x0: Tensor,
+        build: impl Fn(&mut Graph, NodeId) -> NodeId,
+        tol: f32,
+    ) {
+        let mut store = ParamStore::new(0);
+        store.register("x", x0.clone());
+
+        // Analytic gradient.
+        let mut g = Graph::new(false, 0);
+        let x = g.param(&store, "x");
+        let loss = build(&mut g, x);
+        g.backward(loss, &mut store);
+        let analytic = store.grad("x").clone();
+
+        // Numeric gradient.
+        let h = 1e-3f32;
+        let mut numeric = Tensor::zeros(x0.rows(), x0.cols());
+        for i in 0..x0.rows() {
+            for j in 0..x0.cols() {
+                for (sign, slot) in [(1.0f32, 0), (-1.0f32, 1)] {
+                    let mut xp = x0.clone();
+                    xp.set(i, j, x0.get(i, j) + sign * h);
+                    let mut g = Graph::new(false, 0);
+                    let xn = g.constant(xp);
+                    let l = build(&mut g, xn);
+                    let v = g.value(l).item();
+                    if slot == 0 {
+                        numeric.set(i, j, v);
+                    } else {
+                        let fwd = numeric.get(i, j);
+                        numeric.set(i, j, (fwd - v) / (2.0 * h));
+                    }
+                }
+            }
+        }
+        let diff = analytic.max_abs_diff(&numeric);
+        assert!(
+            diff < tol,
+            "gradient mismatch {diff} > {tol}\nanalytic: {analytic:?}\nnumeric: {numeric:?}"
+        );
+    }
+
+    fn sample(r: usize, c: usize, seed: u64) -> Tensor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_fn(r, c, |_, _| rng.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = sample(3, 2, 1);
+        grad_check(
+            sample(2, 3, 0),
+            move |g, x| {
+                let w = g.constant(w.clone());
+                let y = g.matmul(x, w);
+                let sq = g.mul(y, y);
+                g.mean_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_nt() {
+        let w = sample(4, 3, 2);
+        grad_check(
+            sample(2, 3, 0),
+            move |g, x| {
+                let w = g.constant(w.clone());
+                let y = g.matmul_nt(x, w);
+                let sq = g.mul(y, y);
+                g.mean_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sigmoid_tanh_relu() {
+        grad_check(
+            sample(3, 3, 0),
+            |g, x| {
+                let s = g.sigmoid(x);
+                let t = g.tanh(s);
+                let r = g.leaky_relu(t, 0.1);
+                g.sum_all(r)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_sub_mul_scale() {
+        let b = sample(2, 2, 5);
+        grad_check(
+            sample(2, 2, 0),
+            move |g, x| {
+                let b = g.constant(b.clone());
+                let a = g.add(x, b);
+                let s = g.sub(a, x);
+                let m = g.mul(s, x);
+                let sc = g.scale(m, 0.7);
+                let sh = g.add_scalar(sc, 0.3);
+                g.mean_all(sh)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_bias_broadcast() {
+        grad_check(
+            sample(1, 3, 0),
+            |g, x| {
+                let base = g.constant(sample(4, 3, 9));
+                let y = g.add_bias(base, x);
+                let z = g.mul_bias(y, x);
+                let sq = g.mul(z, z);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_col() {
+        grad_check(
+            sample(3, 1, 0),
+            |g, c| {
+                let x = g.constant(sample(3, 4, 17));
+                let y = g.mul_col(x, c);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+        grad_check(
+            sample(3, 4, 0),
+            |g, x| {
+                let c = g.constant(sample(3, 1, 18));
+                let y = g.mul_col(x, c);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        grad_check(
+            sample(4, 2, 0),
+            |g, x| {
+                let idx = Rc::new(vec![3u32, 0, 3, 1]);
+                let gathered = g.gather_rows(x, idx);
+                let back = g.scatter_add_rows(gathered, Rc::new(vec![0u32, 1, 0, 2]), 3);
+                let sq = g.mul(back, back);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_row_scale() {
+        grad_check(
+            sample(3, 2, 0),
+            |g, x| {
+                let w = Rc::new(vec![0.5f32, -1.0, 2.0]);
+                let y = g.row_scale(x, w);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        grad_check(
+            sample(2, 3, 0),
+            |g, x| {
+                let y = g.concat_cols(x, x);
+                let s = g.slice_cols(y, 1, 5);
+                let sq = g.mul(s, s);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_ln_gather() {
+        grad_check(
+            sample(3, 4, 0),
+            |g, x| {
+                let p = g.softmax_rows(x);
+                let picked = g.gather_cols(p, Rc::new(vec![1u32, 0, 3]));
+                let lp = g.ln(picked, 1e-9);
+                let m = g.mean_all(lp);
+                g.scale(m, -1.0)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_xent_matches_composed() {
+        // The fused op must produce the same loss and gradient as the
+        // composed softmax -> gather -> ln -> mean pipeline.
+        let x0 = sample(5, 7, 0);
+        let targets = vec![2u32, 0, 6, 3, 3];
+
+        let mut store = ParamStore::new(0);
+        store.register("x", x0.clone());
+        let mut g = Graph::new(false, 0);
+        let x = g.param(&store, "x");
+        let loss = g.softmax_xent(x, Rc::new(targets.clone()));
+        let fused_loss = g.value(loss).item();
+        g.backward(loss, &mut store);
+        let fused_grad = store.grad("x").clone();
+
+        let mut store2 = ParamStore::new(0);
+        store2.register("x", x0);
+        let mut g2 = Graph::new(false, 0);
+        let x = g2.param(&store2, "x");
+        let p = g2.softmax_rows(x);
+        let picked = g2.gather_cols(p, Rc::new(targets));
+        let lp = g2.ln(picked, 1e-12);
+        let m = g2.mean_all(lp);
+        let loss2 = g2.scale(m, -1.0);
+        let composed_loss = g2.value(loss2).item();
+        g2.backward(loss2, &mut store2);
+        let composed_grad = store2.grad("x").clone();
+
+        assert!((fused_loss - composed_loss).abs() < 1e-5);
+        assert!(fused_grad.max_abs_diff(&composed_grad) < 1e-5);
+    }
+
+    #[test]
+    fn grad_normalize_rows() {
+        grad_check(
+            sample(3, 4, 0),
+            |g, x| {
+                let y = g.normalize_rows(x);
+                let c = g.constant(sample(3, 4, 11));
+                let m = g.mul(y, c);
+                g.sum_all(m)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        grad_check(
+            sample(3, 5, 0),
+            |g, x| {
+                let y = g.layer_norm_rows(x);
+                let c = g.constant(sample(3, 5, 13));
+                let m = g.mul(y, c);
+                g.sum_all(m)
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_conv1d() {
+        let w0 = sample(3, 2 * 3, 21);
+        let b0 = sample(1, 3, 22);
+        grad_check(
+            sample(2, 2 * 5, 0),
+            move |g, x| {
+                let w = g.constant(w0.clone());
+                let b = g.constant(b0.clone());
+                let y = g.conv1d(x, w, b, 2, 3, 3);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_conv1d_weights() {
+        let x0 = sample(2, 2 * 5, 31);
+        let b0 = sample(1, 3, 32);
+        grad_check(
+            sample(3, 2 * 3, 0),
+            move |g, w| {
+                let x = g.constant(x0.clone());
+                let b = g.constant(b0.clone());
+                let y = g.conv1d(x, w, b, 2, 3, 3);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sin_cos() {
+        grad_check(
+            sample(3, 3, 0),
+            |g, x| {
+                let s = g.sin(x);
+                let c = g.cos(x);
+                let m = g.mul(s, c);
+                g.sum_all(m)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_abs_sum_rows() {
+        grad_check(
+            sample(3, 4, 0),
+            |g, x| {
+                let a = g.abs(x);
+                let s = g.sum_rows(a);
+                let sq = g.mul(s, s);
+                g.mean_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_n() {
+        grad_check(
+            sample(2, 2, 0),
+            |g, x| {
+                let y = g.scale(x, 2.0);
+                let z = g.add_n(&[x, y, x]);
+                let sq = g.mul(z, z);
+                g.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn dropout_identity_in_eval() {
+        let mut g = Graph::new(false, 0);
+        let x = g.constant(sample(3, 3, 0));
+        let y = g.dropout(x, 0.5);
+        assert_eq!(x, y, "eval-mode dropout must be the identity node");
+    }
+
+    #[test]
+    fn dropout_scales_in_train() {
+        let mut g = Graph::new(true, 42);
+        let x = g.constant(Tensor::ones(100, 100));
+        let y = g.dropout(x, 0.5);
+        let v = g.value(y);
+        // Kept elements are scaled to 1/keep = 2.
+        let kept: usize = v.data().iter().filter(|&&x| x > 0.0).count();
+        assert!(v.data().iter().all(|&x| x == 0.0 || (x - 2.0).abs() < 1e-6));
+        let frac = kept as f32 / v.len() as f32;
+        assert!((frac - 0.5).abs() < 0.05, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn rrelu_eval_uses_mean_slope() {
+        let mut g = Graph::new(false, 0);
+        let x = g.constant(Tensor::from_vec(1, 2, vec![-1.0, 2.0]));
+        let y = g.rrelu(x);
+        let v = g.value(y);
+        assert!((v.get(0, 0) + crate::RRELU_EVAL_SLOPE).abs() < 1e-6);
+        assert_eq!(v.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn rrelu_train_slopes_in_range() {
+        let mut g = Graph::new(true, 7);
+        let x = g.constant(Tensor::full(10, 10, -1.0));
+        let y = g.rrelu(x);
+        let v = g.value(y);
+        assert!(v
+            .data()
+            .iter()
+            .all(|&x| (-1.0 / 3.0 - 1e-6..=-0.125 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn param_grads_accumulate_into_store() {
+        let mut store = ParamStore::new(0);
+        store.register("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut g = Graph::new(false, 0);
+        let w = g.param(&store, "w");
+        let sq = g.mul(w, w);
+        let loss = g.sum_all(sq);
+        g.backward(loss, &mut store);
+        // d/dw sum(w^2) = 2w.
+        assert_eq!(store.grad("w").data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn shared_node_grads_sum_over_uses() {
+        let mut store = ParamStore::new(0);
+        store.register("w", Tensor::scalar(3.0));
+        let mut g = Graph::new(false, 0);
+        let w = g.param(&store, "w");
+        // loss = w*w + w => dloss/dw = 2w + 1 = 7.
+        let sq = g.mul(w, w);
+        let s = g.add(sq, w);
+        let loss = g.sum_all(s);
+        g.backward(loss, &mut store);
+        assert_eq!(store.grad("w").item(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut store = ParamStore::new(0);
+        let mut g = Graph::new(false, 0);
+        let x = g.constant(Tensor::ones(2, 2));
+        g.backward(x, &mut store);
+    }
+}

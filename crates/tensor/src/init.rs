@@ -1,0 +1,61 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. This is what the RETIA reference code
+/// uses for embeddings and weight matrices.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Gaussian initialization with mean 0 and the given standard deviation
+/// (Box–Muller; avoids pulling in `rand_distr`).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Uniform initialization `U(lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = normal(100, 100, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / (t.len() as f32);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = uniform(10, 10, -0.5, 0.25, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.25).contains(&x)));
+    }
+}

@@ -1,0 +1,190 @@
+//! First-order optimizers operating on a [`ParamStore`].
+
+use crate::param::ParamStore;
+
+/// Adam optimizer (Kingma & Ba, 2015) — the optimizer the RETIA paper uses
+/// (`lr = 0.001` for both general and online continual training).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style); 0 disables.
+    pub weight_decay: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard `(0.9, 0.999, 1e-8)` hyperparameters.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+    }
+
+    /// Sets decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update using the gradients currently accumulated in the
+    /// store. Does not zero the gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in store.params_mut() {
+            let n = p.value.len();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                let m = self.beta1 * p.m.data()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * p.v.data()[i] + (1.0 - self.beta2) * g * g;
+                p.m.data_mut()[i] = m;
+                p.v.data_mut()[i] = v;
+                let m_hat = m / bc1;
+                let v_hat = v / bc2;
+                let mut val = p.value.data()[i];
+                if self.weight_decay > 0.0 {
+                    val -= self.lr * self.weight_decay * val;
+                }
+                val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                p.value.data_mut()[i] = val;
+            }
+        }
+    }
+}
+
+/// Plain SGD with optional momentum; used by ablation benches to isolate the
+/// optimizer's contribution.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = vanilla SGD).
+    pub momentum: f32,
+}
+
+impl Sgd {
+    /// Vanilla SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0 }
+    }
+
+    /// SGD with classical momentum, reusing the store's `m` buffers.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum }
+    }
+
+    /// Applies one update. Does not zero the gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        for p in store.params_mut() {
+            let n = p.value.len();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                let update = if self.momentum > 0.0 {
+                    let m = self.momentum * p.m.data()[i] + g;
+                    p.m.data_mut()[i] = m;
+                    m
+                } else {
+                    g
+                };
+                p.value.data_mut()[i] -= self.lr * update;
+            }
+        }
+    }
+}
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. This is the standard recurrent-network
+/// stabilizer (RETIA's reference implementation clips at 1.0).
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, Tensor};
+
+    fn quadratic_loss(store: &mut ParamStore) -> f32 {
+        // loss = sum((w - 3)^2)
+        let mut g = Graph::new(false, 0);
+        let w = g.param(store, "w");
+        let t = g.add_scalar(w, -3.0);
+        let sq = g.mul(t, t);
+        let loss = g.sum_all(sq);
+        let v = g.value(loss).item();
+        g.backward(loss, store);
+        v
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new(0);
+        store.register("w", Tensor::from_vec(1, 3, vec![10.0, -5.0, 0.0]));
+        let mut adam = Adam::new(0.3);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            last = quadratic_loss(&mut store);
+            adam.step(&mut store);
+            store.zero_grad();
+        }
+        assert!(last < 1e-3, "loss {last}");
+        for &w in store.value("w").data() {
+            assert!((w - 3.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new(0);
+        store.register("w", Tensor::from_vec(1, 2, vec![8.0, -2.0]));
+        let mut sgd = Sgd::with_momentum(0.05, 0.5);
+        for _ in 0..200 {
+            quadratic_loss(&mut store);
+            sgd.step(&mut store);
+            store.zero_grad();
+        }
+        for &w in store.value("w").data() {
+            assert!((w - 3.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let mut store = ParamStore::new(0);
+        let id = store.register("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(id, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        let pre = clip_grad_norm(&mut store, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+        // Clipping below the threshold is a no-op.
+        let pre2 = clip_grad_norm(&mut store, 10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new(0);
+        store.register("w", Tensor::from_vec(1, 1, vec![1.0]));
+        // Zero gradient, pure decay.
+        let mut adam = Adam::new(0.1).with_weight_decay(0.5);
+        adam.step(&mut store);
+        let w = store.value("w").item();
+        assert!(w < 1.0 && w > 0.9, "w {w}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Checkpointing: a small self-describing binary format for parameter
+//! stores (magic, version, per-parameter name/shape/values). Optimizer state
+//! is intentionally not persisted — checkpoints are for inference and
+//! fine-tuning from fresh optimizer state.
+
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"RETIAPS\0";
+const VERSION: u32 = 1;
+
+/// Serialization failures.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The bytes are not a valid checkpoint (with a description).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt(s) => write!(f, "corrupt checkpoint: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl ParamStore {
+    /// Serializes all parameter values (not gradients / optimizer moments).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        let params: Vec<(&str, &Tensor)> = self.iter().collect();
+        buf.put_u32_le(params.len() as u32);
+        for (name, value) in params {
+            let nb = name.as_bytes();
+            buf.put_u32_le(nb.len() as u32);
+            buf.put_slice(nb);
+            buf.put_u32_le(value.rows() as u32);
+            buf.put_u32_le(value.cols() as u32);
+            for &x in value.data() {
+                buf.put_f32_le(x);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores parameter *values* from bytes produced by
+    /// [`ParamStore::to_bytes`]. The store must already contain parameters
+    /// with matching names and shapes (i.e. build the model first, then load).
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut buf = bytes;
+        if buf.remaining() < MAGIC.len() + 8 {
+            return Err(CheckpointError::Corrupt("truncated header".into()));
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::Corrupt("bad magic".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::Corrupt(format!("unsupported version {version}")));
+        }
+        let count = buf.get_u32_le() as usize;
+        if count != self.num_tensors() {
+            return Err(CheckpointError::Corrupt(format!(
+                "parameter count mismatch: checkpoint {count}, model {}",
+                self.num_tensors()
+            )));
+        }
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return Err(CheckpointError::Corrupt("truncated name length".into()));
+            }
+            let nlen = buf.get_u32_le() as usize;
+            if buf.remaining() < nlen + 8 {
+                return Err(CheckpointError::Corrupt("truncated entry".into()));
+            }
+            let name = String::from_utf8(buf.copy_to_bytes(nlen).to_vec())
+                .map_err(|_| CheckpointError::Corrupt("non-utf8 name".into()))?;
+            let rows = buf.get_u32_le() as usize;
+            let cols = buf.get_u32_le() as usize;
+            if !self.contains(&name) {
+                return Err(CheckpointError::Corrupt(format!("unknown parameter `{name}`")));
+            }
+            if self.value(&name).shape() != (rows, cols) {
+                return Err(CheckpointError::Corrupt(format!(
+                    "shape mismatch for `{name}`: checkpoint {rows}x{cols}, model {:?}",
+                    self.value(&name).shape()
+                )));
+            }
+            if buf.remaining() < rows * cols * 4 {
+                return Err(CheckpointError::Corrupt(format!("truncated data for `{name}`")));
+            }
+            let mut t = Tensor::zeros(rows, cols);
+            for x in t.data_mut() {
+                *x = buf.get_f32_le();
+            }
+            *self.value_mut(&name) = t;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint file.
+    pub fn save_file(&self, path: &Path) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint file into an already-built store.
+    pub fn load_file(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        self.load_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new(5);
+        s.register_xavier("a", 3, 4);
+        s.register_xavier("b.w", 2, 2);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = store();
+        let bytes = src.to_bytes();
+        let mut dst = store();
+        // Perturb, then restore.
+        dst.value_mut("a").set(0, 0, 99.0);
+        dst.load_bytes(&bytes).unwrap();
+        assert_eq!(dst.value("a"), src.value("a"));
+        assert_eq!(dst.value("b.w"), src.value("b.w"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let src = store();
+        let path = std::env::temp_dir().join(format!("retia_ckpt_{}.bin", std::process::id()));
+        src.save_file(&path).unwrap();
+        let mut dst = store();
+        dst.value_mut("a").fill_zero();
+        dst.load_file(&path).unwrap();
+        assert_eq!(dst.value("a"), src.value("a"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = store();
+        let err = dst.load_bytes(b"NOTMAGIC________").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let src = store();
+        let bytes = src.to_bytes();
+        let mut dst = store();
+        let err = dst.load_bytes(&bytes[..bytes.len() - 5]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = store();
+        let bytes = src.to_bytes();
+        let mut other = ParamStore::new(5);
+        other.register_xavier("a", 3, 4);
+        other.register_xavier("b.w", 2, 3); // different shape
+        let err = other.load_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_parameter() {
+        let src = store();
+        let bytes = src.to_bytes();
+        let mut other = ParamStore::new(5);
+        other.register_xavier("a", 3, 4);
+        other.register_xavier("c.w", 2, 2); // different name
+        let err = other.load_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unknown parameter"), "{err}");
+    }
+}

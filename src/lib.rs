@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Workspace root crate: re-exports the RETIA reproduction crates so the
+//! top-level `examples/` and `tests/` can exercise the full public API.
+
+pub use retia;
+pub use retia_baselines as baselines;
+pub use retia_data as data;
+pub use retia_eval as eval;
+pub use retia_graph as graph;
+pub use retia_nn as nn;
+pub use retia_tensor as tensor;

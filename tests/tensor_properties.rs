@@ -1,0 +1,98 @@
+//! Property-based tests on the tensor/autodiff substrate.
+
+use proptest::prelude::*;
+use retia_tensor::Tensor;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(3, 4),
+        b in arb_tensor(4, 2),
+        c in arb_tensor(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_tensor(5, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_of_transpose(a in arb_tensor(3, 4), b in arb_tensor(5, 4)) {
+        let direct = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transpose());
+        prop_assert!(direct.max_abs_diff(&via_t) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul(a in arb_tensor(4, 3), b in arb_tensor(4, 5)) {
+        let direct = a.matmul_tn(&b);
+        let via_t = a.transpose().matmul(&b);
+        prop_assert!(direct.max_abs_diff(&via_t) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in arb_tensor(4, 6)) {
+        let p = a.softmax_rows();
+        for i in 0..p.rows() {
+            let sum: f32 = p.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(i).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in arb_tensor(2, 5), shift in -10.0f32..10.0) {
+        let p1 = a.softmax_rows();
+        let p2 = a.map(|x| x + shift).softmax_rows();
+        prop_assert!(p1.max_abs_diff(&p2) < 1e-4);
+    }
+
+    #[test]
+    fn gather_scatter_are_adjoint(
+        x in arb_tensor(5, 3),
+        y in arb_tensor(4, 3),
+        idx in prop::collection::vec(0u32..5, 4),
+    ) {
+        // <gather(x, idx), y> == <x, scatter_add(y, idx)> — the adjointness
+        // that makes the autodiff backward rules for both ops correct.
+        let lhs: f32 = x.gather_rows(&idx).mul(&y).sum();
+        let rhs: f32 = x.mul(&y.scatter_add_rows(&idx, 5)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_norm(a in arb_tensor(4, 4)) {
+        let n = a.l2_normalize_rows(1e-12);
+        for i in 0..n.rows() {
+            let norm: f32 = n.row(i).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            let orig: f32 = a.row(i).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if orig > 1e-6 {
+                prop_assert!((norm - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(a in arb_tensor(3, 4), b in arb_tensor(3, 2)) {
+        let c = a.concat_cols(&b);
+        prop_assert_eq!(c.slice_cols(0, 4), a);
+        prop_assert_eq!(c.slice_cols(4, 6), b);
+    }
+
+    #[test]
+    fn scatter_preserves_mass(y in arb_tensor(6, 2), idx in prop::collection::vec(0u32..4, 6)) {
+        let s = y.scatter_add_rows(&idx, 4);
+        prop_assert!((s.sum() - y.sum()).abs() < 1e-3);
+    }
+}
