@@ -8,7 +8,7 @@ use retia::Split;
 use retia_baselines::evaluate_baseline;
 use retia_data::DatasetProfile;
 use retia_eval::Metrics;
-use serde::{Deserialize, Serialize};
+use retia_json::Value;
 
 use crate::variants::{dataset_context, Variant};
 
@@ -56,7 +56,7 @@ impl Settings {
 }
 
 /// Serializable snapshot of a [`Metrics`] accumulator (percent scale).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BenchMetrics {
     /// Mean reciprocal rank × 100.
     pub mrr: f64,
@@ -78,7 +78,7 @@ impl From<Metrics> for BenchMetrics {
 }
 
 /// One cached experiment outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExpResult {
     /// Dataset profile name.
     pub dataset: String,
@@ -101,6 +101,78 @@ pub struct ExpResult {
     pub loss_history: Vec<(f64, f64, f64)>,
 }
 
+impl BenchMetrics {
+    fn to_value(self) -> Value {
+        let mut o = Value::object();
+        o.insert("mrr", Value::from(self.mrr));
+        o.insert("h1", Value::from(self.h1));
+        o.insert("h3", Value::from(self.h3));
+        o.insert("h10", Value::from(self.h10));
+        o.insert("count", Value::from(self.count));
+        o
+    }
+
+    fn from_value(v: &Value) -> Option<BenchMetrics> {
+        Some(BenchMetrics {
+            mrr: v.get("mrr")?.as_f64()?,
+            h1: v.get("h1")?.as_f64()?,
+            h3: v.get("h3")?.as_f64()?,
+            h10: v.get("h10")?.as_f64()?,
+            count: v.get("count")?.as_usize()?,
+        })
+    }
+}
+
+impl ExpResult {
+    /// Pretty JSON for the `results/cache` files.
+    pub fn to_json(&self) -> String {
+        let mut o = Value::object();
+        o.insert("dataset", Value::from(self.dataset.as_str()));
+        o.insert("variant", Value::from(self.variant.as_str()));
+        o.insert("entity_raw", self.entity_raw.to_value());
+        o.insert("entity_filtered", self.entity_filtered.to_value());
+        o.insert("relation_raw", self.relation_raw.to_value());
+        o.insert("relation_filtered", self.relation_filtered.to_value());
+        o.insert("fit_secs", Value::from(self.fit_secs));
+        o.insert("eval_secs", Value::from(self.eval_secs));
+        o.insert(
+            "loss_history",
+            Value::Array(
+                self.loss_history
+                    .iter()
+                    .map(|&(e, r, j)| Value::from(vec![e, r, j]))
+                    .collect(),
+            ),
+        );
+        o.to_string_pretty()
+    }
+
+    /// Parses a cache file; `None` on any structural mismatch (the caller
+    /// treats that as a cache miss and reruns the experiment).
+    pub fn from_json(text: &str) -> Option<ExpResult> {
+        let doc = retia_json::parse(text).ok()?;
+        let mut loss_history = Vec::new();
+        for row in doc.get("loss_history")?.as_array()? {
+            let row = row.as_array()?;
+            if row.len() != 3 {
+                return None;
+            }
+            loss_history.push((row[0].as_f64()?, row[1].as_f64()?, row[2].as_f64()?));
+        }
+        Some(ExpResult {
+            dataset: doc.get("dataset")?.as_str()?.to_string(),
+            variant: doc.get("variant")?.as_str()?.to_string(),
+            entity_raw: BenchMetrics::from_value(doc.get("entity_raw")?)?,
+            entity_filtered: BenchMetrics::from_value(doc.get("entity_filtered")?)?,
+            relation_raw: BenchMetrics::from_value(doc.get("relation_raw")?)?,
+            relation_filtered: BenchMetrics::from_value(doc.get("relation_filtered")?)?,
+            fit_secs: doc.get("fit_secs")?.as_f64()?,
+            eval_secs: doc.get("eval_secs")?.as_f64()?,
+            loss_history,
+        })
+    }
+}
+
 fn cache_path(profile: DatasetProfile, variant: Variant) -> PathBuf {
     let dir = std::env::var("RETIA_CACHE_DIR").unwrap_or_else(|_| "results/cache".to_string());
     PathBuf::from(dir).join(format!("{}_{}.json", profile.name(), variant.id()))
@@ -111,7 +183,7 @@ pub fn run_experiment(profile: DatasetProfile, variant: Variant, settings: &Sett
     let path = cache_path(profile, variant);
     if !settings.refresh {
         if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(result) = serde_json::from_str::<ExpResult>(&text) {
+            if let Some(result) = ExpResult::from_json(&text) {
                 return result;
             }
         }
@@ -144,9 +216,7 @@ pub fn run_experiment(profile: DatasetProfile, variant: Variant, settings: &Sett
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).ok();
     }
-    if let Ok(text) = serde_json::to_string_pretty(&result) {
-        std::fs::write(&path, text).ok();
-    }
+    std::fs::write(&path, result.to_json()).ok();
     eprintln!(
         "[retia-bench]   {} / {}: entity MRR {:.2}, relation MRR {:.2} (fit {:.1}s, eval {:.1}s)",
         profile.name(),
@@ -179,6 +249,26 @@ mod tests {
         std::env::remove_var("RETIA_FAST");
         std::env::remove_var("RETIA_EPOCHS");
         std::env::remove_var("RETIA_REFRESH");
+    }
+
+    #[test]
+    fn exp_result_json_roundtrip() {
+        let result = ExpResult {
+            dataset: "icews-mini".into(),
+            variant: "retia".into(),
+            entity_raw: BenchMetrics { mrr: 32.5, h1: 22.0, h3: 36.5, h10: 51.25, count: 400 },
+            entity_filtered: BenchMetrics::default(),
+            relation_raw: BenchMetrics::default(),
+            relation_filtered: BenchMetrics::default(),
+            fit_secs: 12.75,
+            eval_secs: 3.5,
+            loss_history: vec![(3.0, 2.0, 2.7), (2.5, 1.5, 2.2)],
+        };
+        let back = ExpResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(format!("{result:?}"), format!("{back:?}"));
+        // Structural damage is a cache miss, not a panic.
+        assert!(ExpResult::from_json("{\"dataset\": \"x\"}").is_none());
+        assert!(ExpResult::from_json("not json").is_none());
     }
 
     #[test]

@@ -125,11 +125,8 @@ pub fn train(raw: &[String]) -> Result<(), String> {
         .save_file(&out)
         .map_err(|e| e.to_string())?;
     let sidecar = config_sidecar(&out);
-    std::fs::write(
-        &sidecar,
-        serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| format!("{}: {e}", sidecar.display()))?;
+    std::fs::write(&sidecar, cfg.to_json())
+        .map_err(|e| format!("{}: {e}", sidecar.display()))?;
     println!("saved checkpoint to {} (+ config sidecar)", out.display());
     Ok(())
 }
@@ -139,7 +136,7 @@ fn load_model(args: &Args, ds: &TkgDataset) -> Result<(Retia, RetiaConfig), Stri
     let sidecar = config_sidecar(&path);
     let text = std::fs::read_to_string(&sidecar)
         .map_err(|e| format!("{}: {e} (train writes it next to the checkpoint)", sidecar.display()))?;
-    let cfg: RetiaConfig = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let cfg = RetiaConfig::from_json(&text)?;
     let mut model = Retia::new(&cfg, ds);
     model
         .store_mut()

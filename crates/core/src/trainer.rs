@@ -2,7 +2,7 @@
 //! continual training the paper uses at evaluation time (the
 //! time-variability strategy, §III-F).
 
-use retia_eval::{rank_of, rank_of_filtered, FilterSet, Metrics};
+use retia_eval::{collect_paired_metrics, rank_of, rank_of_filtered, FilterSet, Metrics};
 use retia_graph::Snapshot;
 use retia_tensor::optim::{clip_grad_norm, Adam};
 use retia_tensor::Graph;
@@ -53,6 +53,9 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer around a model.
     pub fn new(model: Retia, cfg: RetiaConfig) -> Self {
+        // Results are bit-identical at any thread count, so applying the
+        // config knob here never changes what a run computes — only how fast.
+        retia_tensor::parallel::set_num_threads(cfg.num_threads);
         let opt = Adam::new(cfg.lr);
         Trainer { model, cfg, opt, step_seed: 0x5EED, loss_history: Vec::new() }
     }
@@ -172,26 +175,28 @@ impl Trainer {
             .model
             .predict_entity(history, hypers, subjects.clone(), rels.clone());
         let filters = entity_filters(target, ctx.num_relations);
-        for (i, &t) in targets.iter().enumerate() {
+        // Queries are ranked in parallel over fixed chunks with the partial
+        // accumulators merged in chunk order, so the report is the same at
+        // any thread count.
+        let (raw, filtered) = collect_paired_metrics(targets.len(), probs.cols(), |i| {
             let scores = probs.row(i);
-            report.entity_raw.record(rank_of(scores, t as usize));
-            let f = &filters[i];
-            report
-                .entity_filtered
-                .record(rank_of_filtered(scores, t as usize, f));
-        }
+            let t = targets[i] as usize;
+            (rank_of(scores, t), rank_of_filtered(scores, t, &filters[i]))
+        });
+        report.entity_raw.merge(&raw);
+        report.entity_filtered.merge(&filtered);
 
         // ---- relation forecasting ----
         let (rs, ro, rt) = relation_queries(target);
         let probs = self.model.predict_relation(history, hypers, rs.clone(), ro.clone());
         let rfilters = relation_filters(target);
-        for (i, &t) in rt.iter().enumerate() {
+        let (raw, filtered) = collect_paired_metrics(rt.len(), probs.cols(), |i| {
             let scores = probs.row(i);
-            report.relation_raw.record(rank_of(scores, t as usize));
-            report
-                .relation_filtered
-                .record(rank_of_filtered(scores, t as usize, &rfilters[i]));
-        }
+            let t = rt[i] as usize;
+            (rank_of(scores, t), rank_of_filtered(scores, t, &rfilters[i]))
+        });
+        report.relation_raw.merge(&raw);
+        report.relation_filtered.merge(&filtered);
     }
 }
 

@@ -6,12 +6,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::TkgDataset;
 
 /// Temporal-structure measurements of a dataset.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Characterization {
     /// Fraction of test facts whose `(s, r, o)` appeared at some earlier
     /// timestamp (one-hop repetition — what copy mechanisms exploit).

@@ -1,10 +1,9 @@
 //! The dataset container and its temporal split.
 
 use retia_graph::{group_by_timestamp, Quad, Snapshot};
-use serde::{Deserialize, Serialize};
 
 /// Timestamp granularity of a dataset (Table V's `#Granularity` row).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Granularity {
     /// 24-hour granularity (the ICEWS series).
     Day,
@@ -23,7 +22,7 @@ impl std::fmt::Display for Granularity {
 
 /// A temporal knowledge graph with the standard train/valid/test temporal
 /// split (80%/10%/10% by fact count along the time axis, following RE-GCN).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TkgDataset {
     /// Dataset name (e.g. `"ICEWS14-mini"`).
     pub name: String,
@@ -42,7 +41,7 @@ pub struct TkgDataset {
 }
 
 /// Table V-style summary statistics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DatasetStats {
     /// `N`.
     pub entities: usize,

@@ -7,7 +7,6 @@ use std::fs;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
 
 /// A bidirectional name ↔ id mapping with dense ids `0..len`.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.intern("Germany"), germany); // idempotent
 /// assert_eq!(v.name(germany), Some("Germany"));
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Vocab {
     names: Vec<String>,
     ids: HashMap<String, u32>,

@@ -16,11 +16,13 @@
 //! wall-clock measurements behind the paper's Table VIII.
 
 mod metrics;
+pub mod parallel;
 mod ranking;
 mod series;
 mod timing;
 
 pub use metrics::Metrics;
+pub use parallel::{collect_metrics, collect_paired_metrics};
 pub use ranking::{rank_of, rank_of_filtered, FilterSet};
 pub use series::MetricSeries;
 pub use timing::{format_duration, Stopwatch};

@@ -1,6 +1,5 @@
 //! Metric accumulation.
 
-use serde::{Deserialize, Serialize};
 
 /// Accumulates MRR and Hits@{1,3,10} over a stream of ranks.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.hits1(), 0.5);
 /// assert_eq!(m.hits10(), 1.0);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Metrics {
     sum_rr: f64,
     hits1: usize,

@@ -2,9 +2,29 @@
 
 use std::collections::HashSet;
 
+/// Flags (once per process) that a query's target score was non-finite.
+/// A NaN target makes every `>`/`==` comparison false, which without the
+/// guard in [`rank_of`] would count zero candidates above it and report a
+/// *perfect* rank for a diverged model. Panicking here would instead abort
+/// a whole evaluation run on the first bad query, so the contract is:
+/// worst-case rank, loud warning.
+fn warn_non_finite_target() {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    WARN.call_once(|| {
+        eprintln!(
+            "[retia-eval] warning: non-finite target score encountered; \
+             reporting worst-case ranks (the model has likely diverged)"
+        );
+    });
+}
+
 /// Average-tie rank of the candidate at `target` within `scores`
 /// (1 = best). Ties contribute the mean of their occupied positions, so a
 /// constant-score model ranks everything at `(n + 1) / 2` instead of 1.
+///
+/// A non-finite (NaN/±inf) target score yields the worst rank `n` — never
+/// a silently perfect one. Non-finite *competitor* scores are treated as
+/// worse than any finite target.
 ///
 /// # Examples
 ///
@@ -13,9 +33,14 @@ use std::collections::HashSet;
 ///
 /// assert_eq!(rank_of(&[0.1, 0.9, 0.3], 1), 1.0);
 /// assert_eq!(rank_of(&[0.5, 0.5], 0), 1.5); // tie: average of ranks 1 and 2
+/// assert_eq!(rank_of(&[0.1, f32::NAN, 0.3], 1), 3.0); // diverged → worst
 /// ```
 pub fn rank_of(scores: &[f32], target: usize) -> f64 {
     let t = scores[target];
+    if !t.is_finite() {
+        warn_non_finite_target();
+        return scores.len() as f64;
+    }
     let mut greater = 0usize;
     let mut equal = 0usize; // not counting the target itself
     for (i, &s) in scores.iter().enumerate() {
@@ -25,7 +50,13 @@ pub fn rank_of(scores: &[f32], target: usize) -> f64 {
             equal += 1;
         }
     }
-    greater as f64 + 1.0 + equal as f64 / 2.0
+    let rank = greater as f64 + 1.0 + equal as f64 / 2.0;
+    debug_assert!(
+        rank >= 1.0 && rank <= scores.len() as f64,
+        "rank {rank} out of [1, {}]",
+        scores.len()
+    );
+    rank
 }
 
 /// Candidates to exclude under the time-aware filtered setting: all
@@ -35,21 +66,35 @@ pub type FilterSet = HashSet<u32>;
 
 /// Average-tie rank with the time-aware filter applied: candidates in
 /// `filter` (other than `target`) are ignored entirely.
+///
+/// As with [`rank_of`], a non-finite target score yields the worst rank
+/// over the unfiltered candidate pool.
 pub fn rank_of_filtered(scores: &[f32], target: usize, filter: &FilterSet) -> f64 {
     let t = scores[target];
+    if !t.is_finite() {
+        warn_non_finite_target();
+        let pool = (0..scores.len())
+            .filter(|&i| i == target || !filter.contains(&(i as u32)))
+            .count();
+        return pool as f64;
+    }
     let mut greater = 0usize;
     let mut equal = 0usize;
+    let mut pool = 0usize;
     for (i, &s) in scores.iter().enumerate() {
         if i != target && filter.contains(&(i as u32)) {
             continue;
         }
+        pool += 1;
         if s > t {
             greater += 1;
         } else if s == t && i != target {
             equal += 1;
         }
     }
-    greater as f64 + 1.0 + equal as f64 / 2.0
+    let rank = greater as f64 + 1.0 + equal as f64 / 2.0;
+    debug_assert!(rank >= 1.0 && rank <= pool as f64, "rank {rank} out of [1, {pool}]");
+    rank
 }
 
 #[cfg(test)]
@@ -90,6 +135,44 @@ mod tests {
         let mut filter = FilterSet::new();
         filter.insert(1); // the target itself
         assert_eq!(rank_of_filtered(&scores, 1, &filter), 2.0);
+    }
+
+    #[test]
+    fn nan_target_ranks_worst_not_first() {
+        // The original bug: NaN at the target made every comparison false,
+        // so a diverged model reported rank 1.0 (perfect MRR).
+        assert_eq!(rank_of(&[0.1, f32::NAN, 0.3], 1), 3.0);
+        assert_eq!(rank_of(&[f32::NAN, 0.2], 0), 2.0);
+        // ±inf targets are equally untrustworthy.
+        assert_eq!(rank_of(&[0.1, f32::INFINITY, 0.3], 1), 3.0);
+        assert_eq!(rank_of(&[0.1, f32::NEG_INFINITY, 0.3], 1), 3.0);
+    }
+
+    #[test]
+    fn nan_competitors_rank_below_finite_target() {
+        // Finite target, NaN elsewhere: NaN candidates count as worse.
+        assert_eq!(rank_of(&[f32::NAN, 0.5, f32::NAN], 1), 1.0);
+        assert_eq!(rank_of(&[0.9, 0.5, f32::NAN], 1), 2.0);
+    }
+
+    #[test]
+    fn all_nan_row_ranks_worst() {
+        let scores = [f32::NAN; 7];
+        assert_eq!(rank_of(&scores, 3), 7.0);
+        let filter = FilterSet::new();
+        assert_eq!(rank_of_filtered(&scores, 3, &filter), 7.0);
+    }
+
+    #[test]
+    fn nan_target_filtered_ranks_worst_in_pool() {
+        let scores = [f32::NAN, 0.8, 0.5, 0.2];
+        let mut filter = FilterSet::new();
+        filter.insert(1);
+        // Pool is {0 (target), 2, 3} → worst rank 3, not 1 and not 4.
+        assert_eq!(rank_of_filtered(&scores, 0, &filter), 3.0);
+        // The filter never removes the target itself.
+        filter.insert(0);
+        assert_eq!(rank_of_filtered(&scores, 0, &filter), 3.0);
     }
 
     #[test]

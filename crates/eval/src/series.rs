@@ -3,12 +3,11 @@
 //! stream, where regime shifts hurt, and how quickly continual training
 //! recovers).
 
-use serde::{Deserialize, Serialize};
 
 use crate::metrics::Metrics;
 
 /// Metrics broken down by evaluation timestamp, in stream order.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MetricSeries {
     entries: Vec<(u32, Metrics)>,
 }

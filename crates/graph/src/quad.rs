@@ -1,13 +1,12 @@
 //! Dated facts and timestamp grouping.
 
-use serde::{Deserialize, Serialize};
 
 /// A temporal fact `(subject, relation, object, timestamp)` with integer ids.
 ///
 /// Relation ids are *original* ids in `0..M`; inverse relations (`r + M`) are
 /// introduced only when a [`crate::Snapshot`] is built, matching the paper's
 /// "we add the inverse relation facts to the t-th subgraph".
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Quad {
     /// Subject entity id.
     pub s: u32,

@@ -84,6 +84,11 @@ impl ConvTransE {
 
     /// Scores every candidate for every query:
     /// `(a, b) x candidates -> [queries, num_candidates]` logits.
+    ///
+    /// The `queries x candidates` scoring product dominates evaluation cost;
+    /// it (and the conv/projection above) runs on the chunk-parallel kernels
+    /// in `retia_tensor::parallel`, whose output is bit-identical at any
+    /// `RETIA_NUM_THREADS`.
     pub fn forward(
         &self,
         g: &mut Graph,

@@ -482,27 +482,32 @@ impl Graph {
         let pad = ksize / 2;
         let batch = xv.rows();
         let mut out = Tensor::zeros(batch, out_ch * width);
-        for bi in 0..batch {
-            let xr = xv.row(bi);
-            let orow = out.row_mut(bi);
-            for oc in 0..out_ch {
-                let wrow = wv.row(oc);
-                let bias = bv.get(0, oc);
-                for pos in 0..width {
-                    let mut acc = bias;
-                    for ic in 0..in_ch {
-                        for kk in 0..ksize {
-                            let src = pos as isize + kk as isize - pad as isize;
-                            if src < 0 || src >= width as isize {
-                                continue;
+        let ow = out_ch * width;
+        // Batch rows are independent, so the batch dimension chunks cleanly;
+        // each output value keeps its sequential (ic, kk) accumulation order.
+        let cost = 2 * ow * in_ch * ksize;
+        crate::parallel::for_each_row_chunk(out.data_mut(), ow, cost, |first_row, chunk| {
+            for (d, orow) in chunk.chunks_mut(ow).enumerate() {
+                let xr = xv.row(first_row + d);
+                for oc in 0..out_ch {
+                    let wrow = wv.row(oc);
+                    let bias = bv.get(0, oc);
+                    for pos in 0..width {
+                        let mut acc = bias;
+                        for ic in 0..in_ch {
+                            for kk in 0..ksize {
+                                let src = pos as isize + kk as isize - pad as isize;
+                                if src < 0 || src >= width as isize {
+                                    continue;
+                                }
+                                acc += xr[ic * width + src as usize] * wrow[ic * ksize + kk];
                             }
-                            acc += xr[ic * width + src as usize] * wrow[ic * ksize + kk];
                         }
+                        orow[oc * width + pos] = acc;
                     }
-                    orow[oc * width + pos] = acc;
                 }
             }
-        }
+        });
         self.push(out, Op::Conv1d { x, w, b, in_ch, out_ch, ksize })
     }
 
@@ -851,37 +856,81 @@ impl Graph {
                     let width = xv.cols() / in_ch;
                     let pad = ksize / 2;
                     let batch = xv.rows();
-                    let mut gx = Tensor::zeros(batch, in_ch * width);
-                    let mut gw = Tensor::zeros(out_ch, in_ch * ksize);
-                    let mut gb = Tensor::zeros(1, out_ch);
-                    for bi in 0..batch {
-                        let xr = xv.row(bi);
-                        let grow = g.row(bi);
-                        for oc in 0..out_ch {
-                            let wrow = wv.row(oc);
-                            for pos in 0..width {
-                                let go = grow[oc * width + pos];
-                                if go == 0.0 {
-                                    continue;
-                                }
-                                let gbv = gb.get(0, oc) + go;
-                                gb.set(0, oc, gbv);
-                                for ic in 0..in_ch {
-                                    for kk in 0..ksize {
-                                        let src = pos as isize + kk as isize - pad as isize;
-                                        if src < 0 || src >= width as isize {
+                    let iw = in_ch * width;
+                    let cost = 2 * out_ch * width * in_ch * ksize;
+                    // gx rows depend only on the matching batch row: chunk the
+                    // batch, disjoint writes, same per-element order.
+                    let mut gx = Tensor::zeros(batch, iw);
+                    crate::parallel::for_each_row_chunk(
+                        gx.data_mut(),
+                        iw,
+                        cost,
+                        |first_row, chunk| {
+                            for (d, gxr) in chunk.chunks_mut(iw).enumerate() {
+                                let grow = g.row(first_row + d);
+                                for oc in 0..out_ch {
+                                    let wrow = wv.row(oc);
+                                    for pos in 0..width {
+                                        let go = grow[oc * width + pos];
+                                        if go == 0.0 {
                                             continue;
                                         }
-                                        let src = src as usize;
-                                        gx.row_mut(bi)[ic * width + src] +=
-                                            go * wrow[ic * ksize + kk];
-                                        let gwv = gw.get(oc, ic * ksize + kk)
-                                            + go * xr[ic * width + src];
-                                        gw.set(oc, ic * ksize + kk, gwv);
+                                        for ic in 0..in_ch {
+                                            for kk in 0..ksize {
+                                                let src =
+                                                    pos as isize + kk as isize - pad as isize;
+                                                if src < 0 || src >= width as isize {
+                                                    continue;
+                                                }
+                                                gxr[ic * width + src as usize] +=
+                                                    go * wrow[ic * ksize + kk];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    // gw/gb reduce over the batch: per-chunk partials (each
+                    // accumulated in the sequential order within its chunk)
+                    // merged in ascending chunk order — a fixed function of
+                    // the batch size, independent of thread count.
+                    let partials = crate::parallel::map_row_chunks(batch, cost, |range| {
+                        let mut gw = Tensor::zeros(out_ch, in_ch * ksize);
+                        let mut gb = Tensor::zeros(1, out_ch);
+                        for bi in range {
+                            let xr = xv.row(bi);
+                            let grow = g.row(bi);
+                            for oc in 0..out_ch {
+                                for pos in 0..width {
+                                    let go = grow[oc * width + pos];
+                                    if go == 0.0 {
+                                        continue;
+                                    }
+                                    let gbv = gb.get(0, oc) + go;
+                                    gb.set(0, oc, gbv);
+                                    for ic in 0..in_ch {
+                                        for kk in 0..ksize {
+                                            let src = pos as isize + kk as isize - pad as isize;
+                                            if src < 0 || src >= width as isize {
+                                                continue;
+                                            }
+                                            let src = src as usize;
+                                            let gwv = gw.get(oc, ic * ksize + kk)
+                                                + go * xr[ic * width + src];
+                                            gw.set(oc, ic * ksize + kk, gwv);
+                                        }
                                     }
                                 }
                             }
                         }
+                        (gw, gb)
+                    });
+                    let mut gw = Tensor::zeros(out_ch, in_ch * ksize);
+                    let mut gb = Tensor::zeros(1, out_ch);
+                    for (pw, pb) in partials {
+                        gw.add_assign(&pw);
+                        gb.add_assign(&pb);
                     }
                     Self::acc(&mut grads, x, gx);
                     Self::acc(&mut grads, w, gw);
@@ -1159,6 +1208,34 @@ mod tests {
 
         assert!((fused_loss - composed_loss).abs() < 1e-5);
         assert!(fused_grad.max_abs_diff(&composed_grad) < 1e-5);
+    }
+
+    #[test]
+    fn softmax_xent_survives_fully_masked_row() {
+        // Forward and backward both re-derive probabilities through
+        // `softmax_rows`, so the masked-row stabilization must hold in both
+        // directions: finite loss, finite gradients, no NaN poisoning of
+        // the unmasked rows.
+        let x0 = Tensor::from_vec(
+            2,
+            3,
+            vec![f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY, 0.5, -0.5, 0.25],
+        );
+        let mut store = ParamStore::new(0);
+        store.register("x", x0);
+        let mut g = Graph::new(false, 0);
+        let x = g.param(&store, "x");
+        let loss = g.softmax_xent(x, Rc::new(vec![1u32, 2]));
+        let v = g.value(loss).item();
+        assert!(v.is_finite(), "loss {v}");
+        g.backward(loss, &mut store);
+        let grad = store.grad("x");
+        assert!(grad.all_finite(), "{grad:?}");
+        // Masked row's probabilities are all zero → gradient is exactly
+        // (p - onehot)/n on the target and p/n = 0 elsewhere.
+        assert_eq!(grad.get(0, 0), 0.0);
+        assert_eq!(grad.get(0, 2), 0.0);
+        assert!((grad.get(0, 1) - (-0.5)).abs() < 1e-6);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 mod autodiff;
 pub mod init;
 pub mod optim;
+pub mod parallel;
 mod param;
 mod serialize;
 mod tensor;

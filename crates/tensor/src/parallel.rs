@@ -1,0 +1,254 @@
+//! Deterministic multi-threaded execution of row-chunked kernels.
+//!
+//! Every parallel kernel in this workspace is built from two primitives
+//! here, and both obey one rule: **the execution plan is a pure function of
+//! the operand shapes**. Rows are cut into fixed [`CHUNK_ROWS`]-row chunks,
+//! the sequential/parallel decision ([`should_par`]) looks only at the work
+//! size, and reductions combine per-chunk partials in ascending chunk
+//! order. The configured thread count decides *which OS thread executes
+//! which chunk* — never what is computed or in what order values are
+//! combined — so results are bit-identical at `RETIA_NUM_THREADS=1`, `=2`,
+//! `=8`, or any other setting.
+//!
+//! Workers are `std::thread::scope` threads spawned per call (the only
+//! primitive available without external crates); [`should_par`]'s work
+//! threshold keeps that spawn cost away from small operands.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per chunk. Fixed — never derived from the thread count — so chunk
+/// boundaries (and therefore reduction order) depend only on shape.
+pub const CHUNK_ROWS: usize = 16;
+
+/// Minimum estimated flops before scoped threads are worth spawning
+/// (`thread::scope` costs tens of microseconds per call).
+const MIN_PAR_WORK: usize = 1 << 17;
+
+/// Hard cap on worker threads.
+const MAX_THREADS: usize = 256;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatic thread-count override; `0` returns control to the
+/// `RETIA_NUM_THREADS` environment variable / auto detection. Typically
+/// driven by `RetiaConfig::num_threads`.
+pub fn set_num_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Worker threads used by parallel kernels: the [`set_num_threads`]
+/// override if set, else `RETIA_NUM_THREADS`, else the machine's available
+/// parallelism. Always at least 1. Changing this never changes results.
+pub fn num_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced.min(MAX_THREADS);
+    }
+    if let Ok(v) = std::env::var("RETIA_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get().min(MAX_THREADS)).unwrap_or(1)
+}
+
+/// Whether a kernel of `rows` rows costing `cost_per_row` estimated flops
+/// each should use worker threads. A function of shape only: thread count
+/// does not enter, so the chunked code path (and thus the result) is the
+/// same whether or not threads end up being spawned.
+pub fn should_par(rows: usize, cost_per_row: usize) -> bool {
+    rows > CHUNK_ROWS && rows.saturating_mul(cost_per_row) >= MIN_PAR_WORK
+}
+
+/// The fixed chunk decomposition of `rows`: `[0,16), [16,32), …` with a
+/// short tail. Shared by every kernel and by the partial-reduction merge
+/// order.
+pub fn row_chunks(rows: usize) -> impl Iterator<Item = Range<usize>> {
+    (0..rows.div_ceil(CHUNK_ROWS)).map(move |c| {
+        let start = c * CHUNK_ROWS;
+        start..((start + CHUNK_ROWS).min(rows))
+    })
+}
+
+/// Runs `f(first_row, chunk)` over `out` split into [`CHUNK_ROWS`]·`row_width`
+/// element chunks, in parallel when [`should_par`] says the work justifies
+/// it. Chunks are disjoint `&mut` slices, so any assignment of chunks to
+/// threads writes the identical output; assignment is static round-robin.
+pub fn for_each_row_chunk<F>(out: &mut [f32], row_width: usize, cost_per_row: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let rows = if row_width == 0 { 0 } else { out.len() / row_width };
+    debug_assert_eq!(rows * row_width, out.len(), "out is not a whole number of rows");
+    let chunk_elems = (CHUNK_ROWS * row_width).max(1);
+    let threads = effective_threads(rows, cost_per_row);
+    if threads <= 1 {
+        for (c, chunk) in out.chunks_mut(chunk_elems).enumerate() {
+            f(c * CHUNK_ROWS, chunk);
+        }
+        return;
+    }
+    let mut groups: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (c, chunk) in out.chunks_mut(chunk_elems).enumerate() {
+        groups[c % threads].push((c * CHUNK_ROWS, chunk));
+    }
+    run_groups(groups, &|(first_row, chunk)| f(first_row, chunk));
+}
+
+/// Maps the fixed chunk decomposition of `rows` to per-chunk values,
+/// returned **in chunk order** regardless of which thread produced which
+/// value. Reductions stay deterministic by folding this vector left to
+/// right.
+pub fn map_row_chunks<T, F>(rows: usize, cost_per_row: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges: Vec<Range<usize>> = row_chunks(rows).collect();
+    let mut slots: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
+    let threads = effective_threads(rows, cost_per_row);
+    if threads <= 1 {
+        for (slot, range) in slots.iter_mut().zip(ranges) {
+            *slot = Some(f(range));
+        }
+    } else {
+        let mut groups: Vec<Vec<(&mut Option<T>, Range<usize>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (c, (slot, range)) in slots.iter_mut().zip(ranges).enumerate() {
+            groups[c % threads].push((slot, range));
+        }
+        run_groups(groups, &|(slot, range)| *slot = Some(f(range)));
+    }
+    slots.into_iter().map(|s| s.expect("every chunk visited")).collect()
+}
+
+fn effective_threads(rows: usize, cost_per_row: usize) -> usize {
+    if !should_par(rows, cost_per_row) {
+        return 1;
+    }
+    // No point spawning more workers than there are chunks.
+    num_threads().min(rows.div_ceil(CHUNK_ROWS)).max(1)
+}
+
+/// Executes each group of work items on its own scoped thread; the calling
+/// thread takes group 0 instead of idling in `scope`'s join.
+fn run_groups<I: Send, F: Fn(I) + Sync>(groups: Vec<Vec<I>>, f: &F) {
+    std::thread::scope(|s| {
+        let mut iter = groups.into_iter();
+        let own = iter.next();
+        for group in iter {
+            if !group.is_empty() {
+                s.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        }
+        if let Some(group) = own {
+            for item in group {
+                f(item);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The thread-count override and `RETIA_NUM_THREADS` are process
+    /// globals; tests mutating them serialize on this lock and restore the
+    /// override on drop (even across a panic).
+    struct ThreadGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+    impl ThreadGuard {
+        fn lock() -> Self {
+            static LOCK: Mutex<()> = Mutex::new(());
+            Self(LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+    }
+    impl Drop for ThreadGuard {
+        fn drop(&mut self) {
+            set_num_threads(0);
+        }
+    }
+
+    #[test]
+    fn row_chunks_partition_rows() {
+        for rows in [0usize, 1, 15, 16, 17, 160, 161] {
+            let ranges: Vec<_> = row_chunks(rows).collect();
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, rows, "rows {rows}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            if let Some(last) = ranges.last() {
+                assert_eq!(last.end, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_plan_ignores_thread_count() {
+        let _guard = ThreadGuard::lock();
+        // The partials vector must be identical (values *and* order) at any
+        // thread count — this is the determinism contract itself.
+        let run = |threads: usize| -> Vec<f64> {
+            set_num_threads(threads);
+            map_row_chunks(1000, 1 << 12, |r| r.map(|i| (i as f64).sqrt()).sum())
+        };
+        let one = run(1);
+        for threads in [2usize, 3, 8, 64] {
+            let many = run(threads);
+            assert_eq!(one.len(), many.len());
+            for (a, b) in one.iter().zip(many.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_row_chunk_writes_every_row() {
+        let _guard = ThreadGuard::lock();
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            let (rows, width) = (100usize, 7usize);
+            let mut out = vec![0.0f32; rows * width];
+            for_each_row_chunk(&mut out, width, 1 << 12, |first_row, chunk| {
+                for (d, row) in chunk.chunks_mut(width).enumerate() {
+                    for (j, x) in row.iter_mut().enumerate() {
+                        *x = ((first_row + d) * width + j) as f32;
+                    }
+                }
+            });
+            for (i, &x) in out.iter().enumerate() {
+                assert_eq!(x, i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn small_work_stays_sequential() {
+        assert!(!should_par(8, 1_000_000), "few rows: not worth chunk-parallelism");
+        assert!(!should_par(1_000_000, 0), "zero-cost rows: not worth spawning");
+        assert!(should_par(1_000, 1_000));
+    }
+
+    #[test]
+    fn env_and_override_resolution() {
+        let _guard = ThreadGuard::lock();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        std::env::set_var("RETIA_NUM_THREADS", "5");
+        assert_eq!(num_threads(), 5);
+        std::env::set_var("RETIA_NUM_THREADS", "not-a-number");
+        assert!(num_threads() >= 1);
+        std::env::remove_var("RETIA_NUM_THREADS");
+        assert!(num_threads() >= 1);
+    }
+}

@@ -9,16 +9,15 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::init;
 use crate::tensor::Tensor;
 
 /// Opaque handle to a parameter inside a [`ParamStore`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub(crate) struct Param {
     pub(crate) name: String,
     pub(crate) value: Tensor,
@@ -31,7 +30,7 @@ pub(crate) struct Param {
 
 /// Collection of named learnable tensors with their gradients and optimizer
 /// state. All registration happens up front; training only reads and writes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ParamStore {
     by_name: HashMap<String, ParamId>,
     params: Vec<Param>,

@@ -5,13 +5,39 @@
 
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 8] = b"RETIAPS\0";
 const VERSION: u32 = 1;
+
+/// Bounds-checked little-endian reader over a checkpoint byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+
+    fn get_u32_le(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn get_f32_le(&mut self) -> Option<f32> {
+        self.take(4).map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+    }
+}
 
 /// Serialization failures.
 #[derive(Debug)]
@@ -41,43 +67,42 @@ impl From<std::io::Error> for CheckpointError {
 
 impl ParamStore {
     /// Serializes all parameter values (not gradients / optimizer moments).
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
         let params: Vec<(&str, &Tensor)> = self.iter().collect();
-        buf.put_u32_le(params.len() as u32);
+        buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
         for (name, value) in params {
             let nb = name.as_bytes();
-            buf.put_u32_le(nb.len() as u32);
-            buf.put_slice(nb);
-            buf.put_u32_le(value.rows() as u32);
-            buf.put_u32_le(value.cols() as u32);
+            buf.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+            buf.extend_from_slice(nb);
+            buf.extend_from_slice(&(value.rows() as u32).to_le_bytes());
+            buf.extend_from_slice(&(value.cols() as u32).to_le_bytes());
             for &x in value.data() {
-                buf.put_f32_le(x);
+                buf.extend_from_slice(&x.to_le_bytes());
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Restores parameter *values* from bytes produced by
     /// [`ParamStore::to_bytes`]. The store must already contain parameters
     /// with matching names and shapes (i.e. build the model first, then load).
     pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
-        let mut buf = bytes;
+        let mut buf = Reader { buf: bytes };
         if buf.remaining() < MAGIC.len() + 8 {
             return Err(CheckpointError::Corrupt("truncated header".into()));
         }
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        let magic = buf.take(MAGIC.len()).unwrap();
+        if magic != MAGIC {
             return Err(CheckpointError::Corrupt("bad magic".into()));
         }
-        let version = buf.get_u32_le();
+        let version = buf.get_u32_le().unwrap();
         if version != VERSION {
             return Err(CheckpointError::Corrupt(format!("unsupported version {version}")));
         }
-        let count = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le().unwrap() as usize;
         if count != self.num_tensors() {
             return Err(CheckpointError::Corrupt(format!(
                 "parameter count mismatch: checkpoint {count}, model {}",
@@ -88,14 +113,14 @@ impl ParamStore {
             if buf.remaining() < 4 {
                 return Err(CheckpointError::Corrupt("truncated name length".into()));
             }
-            let nlen = buf.get_u32_le() as usize;
+            let nlen = buf.get_u32_le().unwrap() as usize;
             if buf.remaining() < nlen + 8 {
                 return Err(CheckpointError::Corrupt("truncated entry".into()));
             }
-            let name = String::from_utf8(buf.copy_to_bytes(nlen).to_vec())
+            let name = String::from_utf8(buf.take(nlen).unwrap().to_vec())
                 .map_err(|_| CheckpointError::Corrupt("non-utf8 name".into()))?;
-            let rows = buf.get_u32_le() as usize;
-            let cols = buf.get_u32_le() as usize;
+            let rows = buf.get_u32_le().unwrap() as usize;
+            let cols = buf.get_u32_le().unwrap() as usize;
             if !self.contains(&name) {
                 return Err(CheckpointError::Corrupt(format!("unknown parameter `{name}`")));
             }
@@ -110,7 +135,7 @@ impl ParamStore {
             }
             let mut t = Tensor::zeros(rows, cols);
             for x in t.data_mut() {
-                *x = buf.get_f32_le();
+                *x = buf.get_f32_le().unwrap();
             }
             *self.value_mut(&name) = t;
         }

@@ -6,10 +6,9 @@
 //! row (`[batch, channels * width]`); the convolution op carries the channel
 //! count out-of-band.
 
-use serde::{Deserialize, Serialize};
 
 /// A dense `rows x cols` matrix of `f32` in row-major order.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -231,20 +230,24 @@ impl Tensor {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
         // i-k-j loop order keeps the inner loop streaming over contiguous rows
-        // of `other` and `out`.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        // of `other` and `out`. Output rows are independent, so row-chunked
+        // execution computes each element with the same kk-ascending
+        // accumulation as the sequential loop.
+        crate::parallel::for_each_row_chunk(&mut out, n, 2 * k * n, |first_row, chunk| {
+            for (d, o_row) in chunk.chunks_mut(n).enumerate() {
+                let i = first_row + d;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor { rows: m, cols: n, data: out }
     }
 
@@ -262,18 +265,22 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        // Each output element is an independent dot product; chunking rows
+        // changes nothing about its accumulation order.
+        crate::parallel::for_each_row_chunk(&mut out, n, 2 * k * n, |first_row, chunk| {
+            for (d, o_row) in chunk.chunks_mut(n).enumerate() {
+                let i = first_row + d;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
+        });
         Tensor { rows: m, cols: n, data: out }
     }
 
@@ -290,19 +297,25 @@ impl Tensor {
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        // Restructured from the kk-outer scatter loop to an output-row loop
+        // so rows can be chunked. Per element the accumulation is still
+        // kk-ascending with the same `a == 0.0` skip, so every value is
+        // bit-identical to the sequential kernel's.
+        crate::parallel::for_each_row_chunk(&mut out, n, 2 * k * n, |first_row, chunk| {
+            for (d, o_row) in chunk.chunks_mut(n).enumerate() {
+                let i = first_row + d;
+                for kk in 0..k {
+                    let a = self.data[kk * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor { rows: m, cols: n, data: out }
     }
 
@@ -382,11 +395,16 @@ impl Tensor {
 
     /// Rows selected by `indices` (with repetition allowed), as a new tensor.
     pub fn gather_rows(&self, indices: &[u32]) -> Tensor {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
-        for &i in indices {
-            data.extend_from_slice(self.row(i as usize));
-        }
-        Tensor { rows: indices.len(), cols: self.cols, data }
+        let cols = self.cols;
+        let mut data = vec![0.0f32; indices.len() * cols];
+        // Pure per-row copies; the cost estimate is the row width (a copy,
+        // not flops), so only very large gathers spawn threads.
+        crate::parallel::for_each_row_chunk(&mut data, cols, cols, |first_row, chunk| {
+            for (d, dst) in chunk.chunks_mut(cols).enumerate() {
+                dst.copy_from_slice(self.row(indices[first_row + d] as usize));
+            }
+        });
+        Tensor { rows: indices.len(), cols, data }
     }
 
     /// Scatter-add of rows: `out[indices[i]] += self[i]` into an
@@ -420,24 +438,26 @@ impl Tensor {
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        for i in 0..out.rows {
-            let row = out.row_mut(i);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
-                sum += *x;
+        let cols = self.cols;
+        // Rows are independent; ~4 passes over each row.
+        crate::parallel::for_each_row_chunk(&mut out.data, cols, 4 * cols, |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                Tensor::softmax_row_in_place(row);
             }
-            if sum > 0.0 {
-                row.iter_mut().for_each(|x| *x /= sum);
-            }
-        }
+        });
         out
     }
 
     /// True when all elements are finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Stabilized softmax of one row, shared by the sequential and
+    /// chunked-parallel paths (and by `softmax_xent`'s backward, which must
+    /// reproduce the forward probabilities bit-for-bit).
+    pub(crate) fn softmax_row_in_place(row: &mut [f32]) {
+        softmax_row_in_place(row)
     }
 
     /// Maximum absolute elementwise difference between two same-shape tensors.
@@ -448,6 +468,25 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+}
+
+/// Max-stabilized softmax over one row. A row whose every entry is `-inf`
+/// (a fully masked row) becomes a zero row: the naive stabilization would
+/// compute `exp(-inf - -inf) = exp(NaN)` and poison downstream sums.
+fn softmax_row_in_place(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        row.iter_mut().for_each(|x| *x /= sum);
     }
 }
 
@@ -572,6 +611,32 @@ mod tests {
         let p = t.softmax_rows();
         assert!(p.all_finite());
         assert!(p.get(0, 0) > p.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zero_not_nan() {
+        // `-inf` logits are how callers mask candidates; a row with *every*
+        // candidate masked used to produce `exp(-inf - -inf) = NaN` across
+        // the whole row. The contract is now: fully masked row → zero row.
+        let t = Tensor::from_vec(
+            2,
+            3,
+            vec![f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY, 1.0, 2.0, 3.0],
+        );
+        let p = t.softmax_rows();
+        assert!(p.all_finite());
+        assert_eq!(p.row(0), &[0.0, 0.0, 0.0]);
+        let s: f32 = p.row(1).iter().sum();
+        assert!((s - 1.0).abs() < 1e-6, "unmasked rows are unaffected");
+    }
+
+    #[test]
+    fn softmax_partially_masked_row_renormalizes() {
+        let t = Tensor::from_vec(1, 3, vec![f32::NEG_INFINITY, 0.0, 0.0]);
+        let p = t.softmax_rows();
+        assert_eq!(p.get(0, 0), 0.0);
+        assert!((p.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!((p.get(0, 2) - 0.5).abs() < 1e-6);
     }
 
     #[test]

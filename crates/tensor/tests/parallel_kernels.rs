@@ -1,0 +1,136 @@
+//! Bit-identity of the chunked-parallel kernels across thread counts.
+//!
+//! The parallel layer's contract is that the execution plan is a function of
+//! shape only, so every kernel must produce bit-for-bit the same output at
+//! any `RETIA_NUM_THREADS`. Shapes here are chosen large enough to clear the
+//! `should_par` work threshold, so the multi-thread runs genuinely spawn
+//! workers.
+
+use retia_tensor::{parallel, Graph, ParamStore, Tensor};
+use std::sync::{Mutex, MutexGuard};
+
+/// The thread-count override is process-global; serialize tests that sweep it.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic pseudo-random tensor (SplitMix64, fixed seed per call site).
+fn rand_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed;
+    Tensor::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 40) as f32) / (1u64 << 24) as f32 - 0.5
+    })
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (x, y) in a.data().iter().zip(b.data().iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: value differs across thread counts");
+    }
+}
+
+/// Runs `f` once per thread count and asserts all results are bit-identical.
+fn sweep_threads(what: &str, f: impl Fn() -> Tensor) {
+    let _guard = lock();
+    parallel::set_num_threads(1);
+    let reference = f();
+    for threads in [2usize, 3, 8] {
+        parallel::set_num_threads(threads);
+        let got = f();
+        assert_bits_eq(&reference, &got, what);
+    }
+    parallel::set_num_threads(0);
+}
+
+#[test]
+fn matmul_bit_identical_across_threads() {
+    let a = rand_tensor(200, 64, 1);
+    let b = rand_tensor(64, 80, 2);
+    assert!(parallel::should_par(200, 2 * 64 * 80), "shape must exercise the parallel path");
+    sweep_threads("matmul", || a.matmul(&b));
+}
+
+#[test]
+fn matmul_nt_bit_identical_across_threads() {
+    let a = rand_tensor(200, 64, 3);
+    let b = rand_tensor(80, 64, 4);
+    sweep_threads("matmul_nt", || a.matmul_nt(&b));
+}
+
+#[test]
+fn matmul_tn_bit_identical_across_threads() {
+    let a = rand_tensor(64, 200, 5);
+    let b = rand_tensor(64, 80, 6);
+    assert!(parallel::should_par(200, 2 * 64 * 80));
+    sweep_threads("matmul_tn", || a.matmul_tn(&b));
+}
+
+#[test]
+fn matmul_tn_matches_explicit_transpose() {
+    // The tn kernel was restructured for row-chunking; pin its values to the
+    // unambiguous reference `transpose().matmul()` computed the plain way.
+    let a = rand_tensor(64, 200, 7);
+    let b = rand_tensor(64, 80, 8);
+    let got = a.matmul_tn(&b);
+    let want = a.transpose().matmul(&b);
+    assert_eq!(got.shape(), want.shape());
+    for (x, y) in got.data().iter().zip(want.data().iter()) {
+        // Same multiply-add sequence per element in both kernels.
+        assert_eq!(x.to_bits(), y.to_bits(), "tn kernel drifted from reference");
+    }
+}
+
+#[test]
+fn gather_softmax_bit_identical_across_threads() {
+    let table = rand_tensor(300, 48, 9);
+    let indices: Vec<u32> = (0..4096u32).map(|i| (i * 37) % 300).collect();
+    sweep_threads("gather_rows", || table.gather_rows(&indices));
+
+    let logits = rand_tensor(400, 96, 10);
+    sweep_threads("softmax_rows", || logits.softmax_rows());
+}
+
+#[test]
+fn conv1d_forward_and_backward_bit_identical_across_threads() {
+    let (batch, in_ch, out_ch, width, ksize) = (128usize, 2usize, 3usize, 64usize, 3usize);
+    assert!(parallel::should_par(batch, 2 * out_ch * width * in_ch * ksize));
+    let x0 = rand_tensor(batch, in_ch * width, 11);
+    let w0 = rand_tensor(out_ch, in_ch * ksize, 12);
+    let b0 = rand_tensor(1, out_ch, 13);
+    let targets = std::rc::Rc::new((0..batch as u32).map(|i| i % (out_ch as u32 * width as u32)).collect::<Vec<u32>>());
+
+    let run = || -> (Tensor, Tensor, Tensor, Tensor) {
+        let mut store = ParamStore::new(0);
+        store.register("x", x0.clone());
+        store.register("w", w0.clone());
+        store.register("b", b0.clone());
+        let mut g = Graph::new(true, 0);
+        let x = g.param(&store, "x");
+        let w = g.param(&store, "w");
+        let b = g.param(&store, "b");
+        let y = g.conv1d(x, w, b, in_ch, out_ch, ksize);
+        let loss = g.softmax_xent(y, targets.clone());
+        let out = g.value(y).clone();
+        g.backward(loss, &mut store);
+        (out, store.grad("x").clone(), store.grad("w").clone(), store.grad("b").clone())
+    };
+
+    let _guard = lock();
+    parallel::set_num_threads(1);
+    let (y1, gx1, gw1, gb1) = run();
+    for threads in [2usize, 8] {
+        parallel::set_num_threads(threads);
+        let (y, gx, gw, gb) = run();
+        assert_bits_eq(&y1, &y, "conv1d forward");
+        assert_bits_eq(&gx1, &gx, "conv1d grad x");
+        assert_bits_eq(&gw1, &gw, "conv1d grad w");
+        assert_bits_eq(&gb1, &gb, "conv1d grad b");
+    }
+    parallel::set_num_threads(0);
+}

@@ -36,7 +36,7 @@ fn build_market_tkg() -> TkgDataset {
     // Persistent supply chains within "sectors" (id % 5).
     for s in 0..n {
         for _ in 0..2 {
-            let o = (s + 5 * rng.gen_range(1..4)) % n;
+            let o = (s + 5 * rng.gen_range(1..4u32)) % n;
             let start = rng.gen_range(0..weeks / 2);
             let len = rng.gen_range(weeks / 4..weeks / 2);
             for t in start..(start + len).min(weeks) {
@@ -67,7 +67,7 @@ fn build_market_tkg() -> TkgDataset {
         }
         let t = rng.gen_range(0..weeks - 2);
         quads.push(Quad::new(a, 3, b, t));
-        quads.push(Quad::new(b, 3, a, t + rng.gen_range(1..3)));
+        quads.push(Quad::new(b, 3, a, t + rng.gen_range(1..3u32)));
     }
     // Noise: one-off competitive moves.
     for _ in 0..300 {

@@ -1,0 +1,134 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! crate cannot be downloaded. This shim keeps `cargo bench` runnable: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! cover ~200ms of wall clock, and the mean time per iteration is printed.
+//! There is no statistical analysis, outlier rejection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup { group: name.to_string() }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a report prefix.
+pub struct BenchmarkGroup {
+    group: String,
+}
+
+impl BenchmarkGroup {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.group, name), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group by function name and parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    result_secs: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call, then estimate the per-iter cost.
+        std::hint::black_box(routine());
+        let probe_start = Instant::now();
+        std::hint::black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+
+        // Enough iterations to cover ~200ms, capped to keep slow benches sane.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.result_secs = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { result_secs: 0.0 };
+    f(&mut b);
+    println!("{label:<50} {}", format_secs(b.result_secs));
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s/iter")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms/iter", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs/iter", s * 1e6)
+    } else {
+        format!("{:.1} ns/iter", s * 1e9)
+    }
+}
+
+/// Collects benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

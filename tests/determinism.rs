@@ -45,6 +45,42 @@ fn training_is_reproducible_for_fixed_seed() {
 }
 
 #[test]
+fn results_are_bit_identical_at_any_thread_count() {
+    // The parallel compute layer's contract: chunk boundaries and reduction
+    // order depend only on shape, so losses, parameters and rankings must be
+    // bit-for-bit identical at RETIA_NUM_THREADS = 1, 2 and 8. The trainer
+    // applies `cfg.num_threads` via `set_num_threads` on construction.
+    let ds = SyntheticConfig::tiny(200).generate();
+    let ctx = TkgContext::new(&ds);
+    let run = |threads: usize| {
+        let c = RetiaConfig { num_threads: threads, ..cfg() };
+        let mut t = Trainer::new(Retia::new(&c, &ds), c);
+        let losses = t.fit(&ctx);
+        let report = t.evaluate(&ctx, Split::Test);
+        retia_tensor::parallel::set_num_threads(0);
+        (losses, report)
+    };
+    let (losses1, report1) = run(1);
+    for threads in [2usize, 8] {
+        let (losses, report) = run(threads);
+        assert_eq!(losses1.len(), losses.len());
+        for (a, b) in losses1.iter().zip(losses.iter()) {
+            assert_eq!(
+                a.joint.to_bits(),
+                b.joint.to_bits(),
+                "loss differs at {threads} threads"
+            );
+            assert_eq!(a.entity.to_bits(), b.entity.to_bits());
+            assert_eq!(a.relation.to_bits(), b.relation.to_bits());
+        }
+        assert_eq!(report1.entity_raw, report.entity_raw, "rankings differ at {threads} threads");
+        assert_eq!(report1.entity_filtered, report.entity_filtered);
+        assert_eq!(report1.relation_raw, report.relation_raw);
+        assert_eq!(report1.relation_filtered, report.relation_filtered);
+    }
+}
+
+#[test]
 fn different_seeds_give_different_models() {
     let ds = SyntheticConfig::tiny(200).generate();
     let a = Retia::new(&cfg(), &ds);
