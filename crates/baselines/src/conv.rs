@@ -55,14 +55,7 @@ impl ConvDecoder {
         store.register_xavier("rel", 2 * ctx.num_relations, cfg.dim);
         let decoder = ConvTransE::new(&mut store, "dec_e", cfg.dim, 8, 3, 0.2);
         let rel_decoder = ConvTransE::new(&mut store, "dec_r", cfg.dim, 8, 3, 0.2);
-        ConvDecoder {
-            cfg,
-            flavor,
-            store,
-            decoder,
-            rel_decoder,
-            num_relations: ctx.num_relations,
-        }
+        ConvDecoder { cfg, flavor, store, decoder, rel_decoder, num_relations: ctx.num_relations }
     }
 
     /// Interleaves the ConvE flavor's inputs (a crude stand-in for ConvE's
@@ -105,11 +98,8 @@ impl TkgBaseline for ConvDecoder {
                 let mut loss = g.softmax_xent(logits, targets.clone());
 
                 // Joint relation head (only original-direction facts).
-                let orig: Vec<usize> = chunk
-                    .iter()
-                    .copied()
-                    .filter(|&i| triples[i].1 < m)
-                    .collect();
+                let orig: Vec<usize> =
+                    chunk.iter().copied().filter(|&i| triples[i].1 < m).collect();
                 if !orig.is_empty() {
                     let ss: Rc<Vec<u32>> = Rc::new(orig.iter().map(|&i| triples[i].0).collect());
                     let oo: Rc<Vec<u32>> = Rc::new(orig.iter().map(|&i| triples[i].2).collect());

@@ -43,24 +43,10 @@ impl CyGNetCopy {
         while self.seen_upto < upto {
             let snap = &ctx.snapshots[self.seen_upto];
             for q in &snap.facts {
-                *self
-                    .ent_counts
-                    .entry((q.s, q.r))
-                    .or_default()
-                    .entry(q.o)
-                    .or_insert(0.0) += 1.0;
-                *self
-                    .ent_counts
-                    .entry((q.o, q.r + m))
-                    .or_default()
-                    .entry(q.s)
-                    .or_insert(0.0) += 1.0;
-                *self
-                    .rel_counts
-                    .entry((q.s, q.o))
-                    .or_default()
-                    .entry(q.r)
-                    .or_insert(0.0) += 1.0;
+                *self.ent_counts.entry((q.s, q.r)).or_default().entry(q.o).or_insert(0.0) += 1.0;
+                *self.ent_counts.entry((q.o, q.r + m)).or_default().entry(q.s).or_insert(0.0) +=
+                    1.0;
+                *self.rel_counts.entry((q.s, q.o)).or_default().entry(q.r).or_insert(0.0) += 1.0;
             }
             self.seen_upto += 1;
         }
@@ -108,10 +94,7 @@ impl TkgBaseline for CyGNetCopy {
         subjects: &[u32],
         rels: &[u32],
     ) -> Tensor {
-        let gen = self
-            .gen
-            .entity_scores(ctx, idx, subjects, rels)
-            .softmax_rows();
+        let gen = self.gen.entity_scores(ctx, idx, subjects, rels).softmax_rows();
         let n = ctx.num_entities;
         let mut out = Tensor::zeros(subjects.len(), n);
         for i in 0..subjects.len() {
@@ -131,10 +114,7 @@ impl TkgBaseline for CyGNetCopy {
         subjects: &[u32],
         objects: &[u32],
     ) -> Tensor {
-        let gen = self
-            .gen
-            .relation_scores(ctx, idx, subjects, objects)
-            .softmax_rows();
+        let gen = self.gen.relation_scores(ctx, idx, subjects, objects).softmax_rows();
         let m = self.num_relations;
         let mut out = Tensor::zeros(subjects.len(), m);
         for i in 0..subjects.len() {

@@ -76,8 +76,7 @@ impl TkgBaseline for DistMult {
         subjects: &[u32],
         rels: &[u32],
     ) -> Tensor {
-        self.sr_product(subjects, rels)
-            .matmul_nt(self.store.value("ent"))
+        self.sr_product(subjects, rels).matmul_nt(self.store.value("ent"))
     }
 
     fn relation_scores(
@@ -181,8 +180,7 @@ impl TkgBaseline for ComplEx {
         subjects: &[u32],
         rels: &[u32],
     ) -> Tensor {
-        self.query_vector(subjects, rels)
-            .matmul_nt(self.store.value("ent"))
+        self.query_vector(subjects, rels).matmul_nt(self.store.value("ent"))
     }
 
     fn relation_scores(
@@ -260,9 +258,8 @@ mod tests {
         let ent = m.store.value("ent");
         let rel = m.store.value("rel");
         for r in 0..ctx.num_relations {
-            let manual: f32 = (0..m.cfg.dim)
-                .map(|k| ent.get(3, k) * rel.get(r, k) * ent.get(5, k))
-                .sum();
+            let manual: f32 =
+                (0..m.cfg.dim).map(|k| ent.get(3, k) * rel.get(r, k) * ent.get(5, k)).sum();
             assert!((scores.get(0, r) - manual).abs() < 1e-4);
         }
     }

@@ -155,9 +155,8 @@ impl TkgBaseline for HyTE {
         let w = self.store.value("plane").row(t).to_vec();
         let d = self.cfg.dim;
         // Pre-project all candidate objects once.
-        let projected: Vec<Vec<f32>> = (0..ctx.num_entities)
-            .map(|e| Self::project_eval(ent.row(e), &w))
-            .collect();
+        let projected: Vec<Vec<f32>> =
+            (0..ctx.num_entities).map(|e| Self::project_eval(ent.row(e), &w)).collect();
         Tensor::from_fn(subjects.len(), ctx.num_entities, |i, cand| {
             let ps = Self::project_eval(ent.row(subjects[i] as usize), &w);
             let pr = Self::project_eval(rel.row(rels[i] as usize), &w);
@@ -181,9 +180,8 @@ impl TkgBaseline for HyTE {
         let rel = self.store.value("rel");
         let w = self.store.value("plane").row(t).to_vec();
         let d = self.cfg.dim;
-        let proj_rel: Vec<Vec<f32>> = (0..self.num_relations)
-            .map(|r| Self::project_eval(rel.row(r), &w))
-            .collect();
+        let proj_rel: Vec<Vec<f32>> =
+            (0..self.num_relations).map(|r| Self::project_eval(rel.row(r), &w)).collect();
         Tensor::from_fn(subjects.len(), self.num_relations, |i, r| {
             let ps = Self::project_eval(ent.row(subjects[i] as usize), &w);
             let po = Self::project_eval(ent.row(objects[i] as usize), &w);

@@ -40,6 +40,6 @@ pub use regcn::{Regcn, RegcnFlavor, RetiaBaseline};
 pub use renet::RenetLite;
 pub use rotate::RotatE;
 pub use static_rgcn::StaticRgcn;
-pub use temporal::{TaDistMult, TTransE};
+pub use temporal::{TTransE, TaDistMult};
 pub use tirgn::TirgnLite;
 pub use traits::{evaluate_baseline, StaticTrainConfig, TkgBaseline};

@@ -6,9 +6,7 @@
 //! hyperrelation aggregation; CEN adds online continual training; RGCRN is
 //! the entity GCN + GRU without relation modeling.
 
-use retia::{
-    RelationMode, Retia, RetiaConfig, TkgContext, Trainer,
-};
+use retia::{RelationMode, Retia, RetiaConfig, TkgContext, Trainer};
 use retia_tensor::Tensor;
 
 use crate::traits::TkgBaseline;
@@ -94,9 +92,7 @@ impl TkgBaseline for Regcn {
         rels: &[u32],
     ) -> Tensor {
         let (history, hypers) = ctx.history(idx, self.trainer.cfg.k);
-        self.trainer
-            .model
-            .predict_entity(history, hypers, subjects.to_vec(), rels.to_vec())
+        self.trainer.model.predict_entity(history, hypers, subjects.to_vec(), rels.to_vec())
     }
 
     fn relation_scores(
@@ -107,9 +103,7 @@ impl TkgBaseline for Regcn {
         objects: &[u32],
     ) -> Tensor {
         let (history, hypers) = ctx.history(idx, self.trainer.cfg.k);
-        self.trainer
-            .model
-            .predict_relation(history, hypers, subjects.to_vec(), objects.to_vec())
+        self.trainer.model.predict_relation(history, hypers, subjects.to_vec(), objects.to_vec())
     }
 
     fn end_snapshot(&mut self, ctx: &TkgContext, idx: usize) {
@@ -121,11 +115,7 @@ impl TkgBaseline for Regcn {
     }
 
     fn loss_history(&self) -> Vec<(f64, f64, f64)> {
-        self.trainer
-            .loss_history
-            .iter()
-            .map(|l| (l.entity, l.relation, l.joint))
-            .collect()
+        self.trainer.loss_history.iter().map(|l| (l.entity, l.relation, l.joint)).collect()
     }
 }
 
@@ -171,9 +161,7 @@ impl TkgBaseline for RetiaBaseline {
         rels: &[u32],
     ) -> Tensor {
         let (history, hypers) = ctx.history(idx, self.trainer.cfg.k);
-        self.trainer
-            .model
-            .predict_entity(history, hypers, subjects.to_vec(), rels.to_vec())
+        self.trainer.model.predict_entity(history, hypers, subjects.to_vec(), rels.to_vec())
     }
 
     fn relation_scores(
@@ -184,9 +172,7 @@ impl TkgBaseline for RetiaBaseline {
         objects: &[u32],
     ) -> Tensor {
         let (history, hypers) = ctx.history(idx, self.trainer.cfg.k);
-        self.trainer
-            .model
-            .predict_relation(history, hypers, subjects.to_vec(), objects.to_vec())
+        self.trainer.model.predict_relation(history, hypers, subjects.to_vec(), objects.to_vec())
     }
 
     fn end_snapshot(&mut self, ctx: &TkgContext, idx: usize) {
@@ -198,14 +184,9 @@ impl TkgBaseline for RetiaBaseline {
     }
 
     fn loss_history(&self) -> Vec<(f64, f64, f64)> {
-        self.trainer
-            .loss_history
-            .iter()
-            .map(|l| (l.entity, l.relation, l.joint))
-            .collect()
+        self.trainer.loss_history.iter().map(|l| (l.entity, l.relation, l.joint)).collect()
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -215,14 +196,7 @@ mod tests {
     use retia_data::SyntheticConfig;
 
     fn quick_cfg() -> RetiaConfig {
-        RetiaConfig {
-            dim: 8,
-            channels: 4,
-            k: 2,
-            epochs: 2,
-            patience: 0,
-            ..Default::default()
-        }
+        RetiaConfig { dim: 8, channels: 4, k: 2, epochs: 2, patience: 0, ..Default::default() }
     }
 
     #[test]

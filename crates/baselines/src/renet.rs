@@ -54,10 +54,7 @@ impl RenetLite {
         for i in 0..snap.num_edges() {
             adj.entry(snap.src[i]).or_default().push(snap.dst[i]);
         }
-        subjects
-            .iter()
-            .map(|s| adj.get(s).cloned().unwrap_or_default())
-            .collect()
+        subjects.iter().map(|s| adj.get(s).cloned().unwrap_or_default()).collect()
     }
 
     /// The recurrent neighborhood summary `h_t(s)` for a batch of subjects.

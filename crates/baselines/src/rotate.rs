@@ -36,14 +36,7 @@ impl RotatE {
         store.register_xavier("ent", ctx.num_entities, cfg.dim);
         // Phases in radians.
         store.register_normal("phase", 2 * ctx.num_relations, half, 1.0);
-        RotatE {
-            cfg,
-            store,
-            num_relations: ctx.num_relations,
-            half,
-            gamma: 6.0,
-            num_negatives: 8,
-        }
+        RotatE { cfg, store, num_relations: ctx.num_relations, half, gamma: 6.0, num_negatives: 8 }
     }
 
     /// Rotated query `(s ∘ r)` as `[q_re | q_im]` inside a graph.

@@ -119,9 +119,7 @@ impl TkgBaseline for StaticRgcn {
     ) -> Tensor {
         let enc = self.cached_entities.as_ref().expect("fit() must run first");
         let rel = self.store.value("rel");
-        enc.gather_rows(subjects)
-            .mul(&rel.gather_rows(rels))
-            .matmul_nt(enc)
+        enc.gather_rows(subjects).mul(&rel.gather_rows(rels)).matmul_nt(enc)
     }
 
     fn relation_scores(

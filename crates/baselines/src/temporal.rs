@@ -146,9 +146,8 @@ impl TkgBaseline for TTransE {
         Tensor::from_fn(subjects.len(), ctx.num_entities, |i, cand| {
             let mut dist = 0.0f32;
             for k in 0..d {
-                dist += (s.get(i, k) + r.get(i, k) + tau.get(t as usize, k)
-                    - ent.get(cand, k))
-                .abs();
+                dist +=
+                    (s.get(i, k) + r.get(i, k) + tau.get(t as usize, k) - ent.get(cand, k)).abs();
             }
             -dist
         })
@@ -171,8 +170,7 @@ impl TkgBaseline for TTransE {
         Tensor::from_fn(subjects.len(), self.num_relations, |i, r| {
             let mut dist = 0.0f32;
             for k in 0..d {
-                dist += (s.get(i, k) + rel.get(r, k) + tau.get(t as usize, k) - o.get(i, k))
-                    .abs();
+                dist += (s.get(i, k) + rel.get(r, k) + tau.get(t as usize, k) - o.get(i, k)).abs();
             }
             -dist
         })

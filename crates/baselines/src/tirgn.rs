@@ -30,12 +30,7 @@ impl CopyIndex {
             let snap = &ctx.snapshots[self.seen_upto];
             for q in &snap.facts {
                 *self.entity.entry((q.s, q.r)).or_default().entry(q.o).or_insert(0.0) += 1.0;
-                *self
-                    .entity
-                    .entry((q.o, q.r + m))
-                    .or_default()
-                    .entry(q.s)
-                    .or_insert(0.0) += 1.0;
+                *self.entity.entry((q.o, q.r + m)).or_default().entry(q.s).or_insert(0.0) += 1.0;
                 *self.relation.entry((q.s, q.o)).or_default().entry(q.r).or_insert(0.0) += 1.0;
             }
             self.seen_upto += 1;
@@ -164,14 +159,8 @@ mod tests {
     #[test]
     fn tirgn_lite_trains_and_scores() {
         let ctx = TkgContext::new(&SyntheticConfig::tiny(21).generate());
-        let cfg = RetiaConfig {
-            dim: 8,
-            channels: 4,
-            k: 2,
-            epochs: 2,
-            patience: 0,
-            ..Default::default()
-        };
+        let cfg =
+            RetiaConfig { dim: 8, channels: 4, k: 2, epochs: 2, patience: 0, ..Default::default() };
         let mut m = TirgnLite::new(&cfg, &ctx);
         m.fit(&ctx);
         let rep = evaluate_baseline(&mut m, &ctx, Split::Test);
@@ -182,14 +171,8 @@ mod tests {
     #[test]
     fn global_channel_improves_over_pure_local_on_repetitive_data() {
         let ctx = TkgContext::new(&SyntheticConfig::tiny(22).generate());
-        let cfg = RetiaConfig {
-            dim: 8,
-            channels: 4,
-            k: 2,
-            epochs: 2,
-            patience: 0,
-            ..Default::default()
-        };
+        let cfg =
+            RetiaConfig { dim: 8, channels: 4, k: 2, epochs: 2, patience: 0, ..Default::default() };
         let mut local = Regcn::new(&cfg, RegcnFlavor::Regcn, &ctx);
         local.fit(&ctx);
         let local_rep = evaluate_baseline(&mut local, &ctx, Split::Test);

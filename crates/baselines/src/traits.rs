@@ -23,13 +23,8 @@ pub trait TkgBaseline {
 
     /// Scores `[Q, N]` for entity queries `(subjects[i], rels[i], ?)`
     /// (inverse relation ids `r + M` denote subject queries).
-    fn entity_scores(
-        &self,
-        ctx: &TkgContext,
-        idx: usize,
-        subjects: &[u32],
-        rels: &[u32],
-    ) -> Tensor;
+    fn entity_scores(&self, ctx: &TkgContext, idx: usize, subjects: &[u32], rels: &[u32])
+        -> Tensor;
 
     /// Scores `[Q, M]` for relation queries `(subjects[i], ?, objects[i])`.
     fn relation_scores(
@@ -94,9 +89,7 @@ pub fn evaluate_baseline(
         for (i, &t) in targets.iter().enumerate() {
             let row = scores.row(i);
             report.entity_raw.record(rank_of(row, t as usize));
-            report
-                .entity_filtered
-                .record(rank_of_filtered(row, t as usize, &filters[i]));
+            report.entity_filtered.record(rank_of_filtered(row, t as usize, &filters[i]));
         }
 
         let (rs, ro, rt) = relation_queries(target);
@@ -106,9 +99,7 @@ pub fn evaluate_baseline(
         for (i, &t) in rt.iter().enumerate() {
             let row = scores.row(i);
             report.relation_raw.record(rank_of(row, t as usize));
-            report
-                .relation_filtered
-                .record(rank_of_filtered(row, t as usize, &rfilters[i]));
+            report.relation_filtered.record(rank_of_filtered(row, t as usize, &rfilters[i]));
         }
 
         model.end_snapshot(ctx, idx);
@@ -138,10 +129,7 @@ fn relation_filters(snap: &Snapshot) -> Vec<FilterSet> {
     for q in &snap.facts {
         truths.entry((q.s, q.o)).or_default().insert(q.r);
     }
-    snap.facts
-        .iter()
-        .map(|q| truths[&(q.s, q.o)].clone())
-        .collect()
+    snap.facts.iter().map(|q| truths[&(q.s, q.o)].clone()).collect()
 }
 
 /// All training triples with inverses appended (`(o, r + M, s)`), the static

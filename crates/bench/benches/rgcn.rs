@@ -32,10 +32,9 @@ fn bench_rgcn(c: &mut Criterion) {
     let (n, m, d) = (300usize, 24usize, 32usize);
     let snap = random_snapshot(n, m, 600, 1);
 
-    for (label, mode) in [
-        ("per_relation", WeightMode::PerRelation),
-        ("basis4", WeightMode::Basis(4)),
-    ] {
+    for (label, mode) in
+        [("per_relation", WeightMode::PerRelation), ("basis4", WeightMode::Basis(4))]
+    {
         let mut store = ParamStore::new(0);
         store.register_xavier("ent", n, d);
         store.register_xavier("rel", 2 * m, d);
@@ -65,11 +64,7 @@ fn bench_rgcn(c: &mut Criterion) {
         b.iter(|| {
             let mut out = Tensor::zeros(n, d);
             for i in 0..snap.num_edges() {
-                let (s, r, o) = (
-                    snap.src[i] as usize,
-                    snap.rel[i] as usize,
-                    snap.dst[i] as usize,
-                );
+                let (s, r, o) = (snap.src[i] as usize, snap.rel[i] as usize, snap.dst[i] as usize);
                 let w = snap.edge_norm[i];
                 for k in 0..d {
                     let v = out.get(o, k) + w * (ent.get(s, k) + rel.get(r, k));
@@ -83,9 +78,7 @@ fn bench_rgcn(c: &mut Criterion) {
         let ent = store.value("ent").clone();
         let rel = store.value("rel").clone();
         b.iter(|| {
-            let msgs = ent
-                .gather_rows(&snap.src)
-                .add(&rel.gather_rows(&snap.rel));
+            let msgs = ent.gather_rows(&snap.src).add(&rel.gather_rows(&snap.rel));
             let mut scaled = msgs;
             for i in 0..scaled.rows() {
                 let w = snap.edge_norm[i];

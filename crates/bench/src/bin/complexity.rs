@@ -107,8 +107,7 @@ fn main() {
             let mut store = ParamStore::new(0);
             store.register_xavier("r", 2 * m, d);
             store.register_xavier("h", 8, d);
-            let rgcn =
-                RelationRgcn::new(&mut store, "g", d, WeightMode::PerRelation, 2, 0.0);
+            let rgcn = RelationRgcn::new(&mut store, "g", d, WeightMode::PerRelation, 2, 0.0);
             time_it(10, || {
                 let mut g = Graph::new(false, 0);
                 let r = g.param(&store, "r");
@@ -130,9 +129,8 @@ fn main() {
         let d = 32;
         let run = |p: usize| {
             let mut rng = StdRng::seed_from_u64(5);
-            let segments: Vec<Vec<u32>> = (0..48)
-                .map(|_| (0..p).map(|_| rng.gen_range(0..500u32)).collect())
-                .collect();
+            let segments: Vec<Vec<u32>> =
+                (0..48).map(|_| (0..p).map(|_| rng.gen_range(0..500u32)).collect()).collect();
             let x = Tensor::ones(500, d);
             time_it(20, || {
                 let mut g = Graph::new(false, 0);

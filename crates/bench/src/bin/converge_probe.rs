@@ -9,10 +9,8 @@ use retia_data::DatasetProfile;
 
 fn main() {
     std::env::set_var("RETIA_CACHE_DIR", "results/cache_long");
-    let epochs: usize = std::env::var("RETIA_EPOCHS")
-        .ok()
-        .and_then(|e| e.parse().ok())
-        .unwrap_or(12);
+    let epochs: usize =
+        std::env::var("RETIA_EPOCHS").ok().and_then(|e| e.parse().ok()).unwrap_or(12);
     let settings = Settings { epochs, ..Default::default() };
 
     let mut rep = Report::new(&format!(

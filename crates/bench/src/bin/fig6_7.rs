@@ -23,10 +23,7 @@ fn main() {
     ];
 
     rep.line("Figure 6 — entity forecasting:");
-    rep.line(&format!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8}",
-        "variant", "MRR", "H@1", "H@3", "H@10"
-    ));
+    rep.line(&format!("{:<16} {:>8} {:>8} {:>8} {:>8}", "variant", "MRR", "H@1", "H@3", "H@10"));
     for (label, variant) in variants {
         let r = run_experiment(profile, variant, &settings);
         rep.line(&format!(
@@ -37,10 +34,7 @@ fn main() {
     rep.blank();
 
     rep.line("Figure 7 — relation forecasting:");
-    rep.line(&format!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8}",
-        "variant", "MRR", "H@1", "H@3", "H@10"
-    ));
+    rep.line(&format!("{:<16} {:>8} {:>8} {:>8} {:>8}", "variant", "MRR", "H@1", "H@3", "H@10"));
     for (label, variant) in variants {
         let r = run_experiment(profile, variant, &settings);
         rep.line(&format!(

@@ -85,10 +85,13 @@ fn main() {
 
     let mut root = Value::object();
     root.insert("cores_detected", Value::from(cores));
-    root.insert("note", Value::from(
-        "results are bit-identical at every thread count by construction; \
+    root.insert(
+        "note",
+        Value::from(
+            "results are bit-identical at every thread count by construction; \
          speedup over 1 thread is bounded by cores_detected",
-    ));
+        ),
+    );
 
     let mut baselines: (f64, f64) = (0.0, 0.0);
     let mut checks: (f64, f64) = (0.0, 0.0);
@@ -102,8 +105,16 @@ fn main() {
             baselines = (rgcn_s, dec_s);
             checks = (rgcn_sum, dec_sum);
         } else {
-            assert_eq!(checks.0.to_bits(), rgcn_sum.to_bits(), "rgcn output drifted at {threads} threads");
-            assert_eq!(checks.1.to_bits(), dec_sum.to_bits(), "decoder output drifted at {threads} threads");
+            assert_eq!(
+                checks.0.to_bits(),
+                rgcn_sum.to_bits(),
+                "rgcn output drifted at {threads} threads"
+            );
+            assert_eq!(
+                checks.1.to_bits(),
+                dec_sum.to_bits(),
+                "decoder output drifted at {threads} threads"
+            );
         }
         let mut run = Value::object();
         run.insert("threads", Value::from(threads));

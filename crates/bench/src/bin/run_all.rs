@@ -18,12 +18,8 @@ fn main() {
 
     // Table VI ablations + Figure 8 offline counterpart + RGCRN (Table VII).
     for &p in &all {
-        for v in [
-            Variant::RetiaNoEam,
-            Variant::RetiaRmNone,
-            Variant::RetiaOffline,
-            Variant::Rgcrn,
-        ] {
+        for v in [Variant::RetiaNoEam, Variant::RetiaRmNone, Variant::RetiaOffline, Variant::Rgcrn]
+        {
             run_experiment(p, v, &settings);
         }
     }

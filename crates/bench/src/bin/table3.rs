@@ -8,30 +8,28 @@ use retia_data::DatasetProfile;
 
 fn main() {
     let settings = Settings::from_env();
-    let datasets = [
-        DatasetProfile::Icews14,
-        DatasetProfile::Icews0515,
-        DatasetProfile::Icews18,
-    ];
+    let datasets = [DatasetProfile::Icews14, DatasetProfile::Icews0515, DatasetProfile::Icews18];
 
-    let mut rep = Report::new(
-        "Table III: entity forecasting, ICEWS14 / ICEWS05-15 / ICEWS18 (raw)",
-    );
+    let mut rep =
+        Report::new("Table III: entity forecasting, ICEWS14 / ICEWS05-15 / ICEWS18 (raw)");
     rep.line("Measured columns come from the synthetic mini profiles; paper columns");
     rep.line("are the published full-scale numbers. Compare *orderings*, not values.");
     rep.blank();
 
     for (di, &profile) in datasets.iter().enumerate() {
-        rep.line(&format!("--- {} (paper: {}) ---", profile.name(),
-            ["ICEWS14", "ICEWS05-15", "ICEWS18"][di]));
+        rep.line(&format!(
+            "--- {} (paper: {}) ---",
+            profile.name(),
+            ["ICEWS14", "ICEWS05-15", "ICEWS18"][di]
+        ));
         rep.line(&format!(
             "{:<13} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
             "method", "pMRR", "pH@1", "pH@3", "pH@10", "MRR", "H@1", "H@3", "H@10"
         ));
         for (name, rows) in TABLE3 {
             let p = rows[di];
-            let measured = Variant::for_paper_name(name)
-                .map(|v| run_experiment(profile, v, &settings));
+            let measured =
+                Variant::for_paper_name(name).map(|v| run_experiment(profile, v, &settings));
             let (m, tag) = match &measured {
                 Some(r) => (
                     [
@@ -42,7 +40,9 @@ fn main() {
                     ],
                     "",
                 ),
-                None => ([None; 4], if is_paper_only(name) { "  (paper-reported only)" } else { "" }),
+                None => {
+                    ([None; 4], if is_paper_only(name) { "  (paper-reported only)" } else { "" })
+                }
             };
             rep.line(&format!(
                 "{:<13} | {} {} {} {} | {} {} {} {}{}",

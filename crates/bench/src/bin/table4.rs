@@ -22,14 +22,12 @@ fn main() {
             let measured =
                 Variant::for_paper_name(name).map(|v| run_experiment(profile, v, &settings));
             let (m, tag) = match &measured {
-                Some(r) => (
-                    [Some(r.entity_raw.mrr), Some(r.entity_raw.h3), Some(r.entity_raw.h10)],
-                    "",
-                ),
-                None => (
-                    [None; 3],
-                    if is_paper_only(name) { "  (paper-reported only)" } else { "" },
-                ),
+                Some(r) => {
+                    ([Some(r.entity_raw.mrr), Some(r.entity_raw.h3), Some(r.entity_raw.h10)], "")
+                }
+                None => {
+                    ([None; 3], if is_paper_only(name) { "  (paper-reported only)" } else { "" })
+                }
             };
             rep.line(&format!(
                 "{:<13} | {} {} {} | {} {} {}{}",

@@ -6,7 +6,8 @@ use retia_bench::report::Report;
 use retia_data::{DatasetProfile, SyntheticConfig};
 
 fn main() {
-    let mut rep = Report::new("Table V: dataset statistics (paper benchmarks vs synthetic mini profiles)");
+    let mut rep =
+        Report::new("Table V: dataset statistics (paper benchmarks vs synthetic mini profiles)");
     rep.blank();
     rep.line(&format!(
         "{:<18} {:>9} {:>10} {:>9} {:>9} {:>9} {:>12}",

@@ -25,10 +25,8 @@ fn main() {
     rep.line("Paper rows: full-scale datasets on a Tesla V100. Measured rows: mini");
     rep.line("profiles on this CPU. Compare the per-method *ordering* per column.");
     rep.blank();
-    let header: String = datasets
-        .iter()
-        .map(|d| format!("{:>12}", d.name().trim_end_matches("-mini")))
-        .collect();
+    let header: String =
+        datasets.iter().map(|d| format!("{:>12}", d.name().trim_end_matches("-mini"))).collect();
     rep.line(&format!("{:<9} {header}", "method"));
     for (name, paper_times) in TABLE8 {
         let pcells: String = paper_times.iter().map(|t| format!("{t:>12}")).collect();

@@ -14,173 +14,188 @@ pub type EntityRow = [Option<f64>; 4];
 
 /// Table III — entity forecasting on ICEWS14 / ICEWS05-15 / ICEWS18 (raw).
 pub const TABLE3: &[(&str, [EntityRow; 3])] = &[
-    ("DistMult", [
-        [Some(20.32), Some(6.13), Some(27.59), Some(46.61)],
-        [Some(19.91), Some(5.63), Some(27.22), Some(47.33)],
-        [Some(13.86), Some(5.61), Some(15.22), Some(31.26)],
-    ]),
-    ("ConvE", [
-        [Some(30.30), Some(21.30), Some(34.42), Some(47.89)],
-        [Some(31.40), Some(21.56), Some(35.70), Some(50.96)],
-        [Some(22.81), Some(13.63), Some(25.83), Some(41.43)],
-    ]),
-    ("ComplEx", [
-        [Some(22.61), Some(9.88), Some(28.93), Some(47.57)],
-        [Some(20.26), Some(6.66), Some(26.43), Some(47.31)],
-        [Some(15.45), Some(8.04), Some(17.19), Some(30.73)],
-    ]),
-    ("Conv-TransE", [
-        [Some(31.50), Some(22.46), Some(34.98), Some(50.03)],
-        [Some(30.28), Some(20.79), Some(33.80), Some(49.95)],
-        [Some(23.22), Some(14.26), Some(26.13), Some(41.34)],
-    ]),
-    ("RotatE", [
-        [Some(25.71), Some(16.41), Some(29.01), Some(45.16)],
-        [Some(19.01), Some(10.42), Some(21.35), Some(36.92)],
-        [Some(14.53), Some(6.47), Some(15.78), Some(31.86)],
-    ]),
-    ("R-GCN", [
-        [Some(28.03), Some(19.42), Some(31.95), Some(44.83)],
-        [Some(27.13), Some(18.83), Some(30.41), Some(43.16)],
-        [Some(15.05), Some(8.13), Some(16.49), Some(29.00)],
-    ]),
-    ("TTransE", [
-        [Some(12.86), Some(3.14), Some(15.72), Some(33.65)],
-        [Some(16.53), Some(5.51), Some(20.77), Some(39.26)],
-        [Some(8.44), Some(1.85), Some(8.95), Some(22.38)],
-    ]),
-    ("HyTE", [
-        [Some(16.78), Some(2.13), Some(24.84), Some(43.94)],
-        [Some(16.05), Some(6.53), Some(20.20), Some(34.72)],
-        [Some(7.41), Some(3.10), Some(7.33), Some(16.01)],
-    ]),
-    ("TA-DistMult", [
-        [Some(26.22), Some(16.83), Some(29.72), Some(45.23)],
-        [Some(27.51), Some(17.57), Some(31.46), Some(47.32)],
-        [Some(16.42), Some(8.60), Some(18.13), Some(32.51)],
-    ]),
-    ("RE-NET", [
-        [Some(35.77), Some(25.99), Some(40.10), Some(54.87)],
-        [Some(36.86), Some(26.24), Some(41.85), Some(57.60)],
-        [Some(26.17), Some(16.43), Some(29.89), Some(44.37)],
-    ]),
-    ("CyGNet", [
-        [Some(34.68), Some(25.35), Some(38.88), Some(53.16)],
-        [Some(35.46), Some(25.44), Some(40.20), Some(54.47)],
-        [Some(24.98), Some(15.54), Some(28.58), Some(43.54)],
-    ]),
-    ("xERTE", [
-        [Some(32.23), Some(24.29), Some(36.41), Some(48.76)],
-        [Some(38.07), Some(28.45), Some(43.92), Some(57.62)],
-        [Some(27.98), Some(19.26), Some(32.43), Some(46.00)],
-    ]),
-    ("CluSTeR", [
-        [Some(46.00), Some(33.80), None, Some(71.20)],
-        [Some(44.60), Some(34.90), None, Some(63.00)],
-        [Some(32.30), Some(20.60), None, Some(55.90)],
-    ]),
-    ("RE-GCN", [
-        [Some(41.50), Some(30.86), Some(46.60), Some(62.47)],
-        [Some(46.41), Some(35.17), Some(52.76), Some(67.64)],
-        [Some(30.55), Some(20.00), Some(34.73), Some(51.46)],
-    ]),
-    ("TITer", [
-        [Some(40.90), Some(31.77), Some(45.84), Some(57.67)],
-        [Some(46.62), Some(36.46), Some(52.29), Some(65.23)],
-        [Some(28.44), Some(20.06), Some(32.07), Some(44.33)],
-    ]),
-    ("TLogic", [
-        [Some(41.80), Some(31.93), Some(47.23), Some(60.53)],
-        [Some(45.99), Some(34.49), Some(52.89), Some(67.39)],
-        [Some(28.41), Some(18.74), Some(32.71), Some(47.97)],
-    ]),
-    ("CEN", [
-        [Some(41.64), Some(31.22), Some(46.55), Some(61.59)],
-        [Some(49.57), Some(37.86), Some(56.42), Some(71.32)],
-        [Some(29.70), Some(19.38), Some(33.91), Some(49.90)],
-    ]),
-    ("TiRGN", [
-        [Some(43.88), Some(33.12), Some(49.48), Some(64.98)],
-        [Some(48.72), Some(37.17), Some(55.48), Some(70.53)],
-        [Some(32.06), Some(21.08), Some(36.75), Some(53.62)],
-    ]),
-    ("RETIA", [
-        [Some(45.29), Some(34.60), Some(50.88), Some(66.06)],
-        [Some(52.17), Some(40.21), Some(59.42), Some(73.98)],
-        [Some(34.16), Some(22.97), Some(39.27), Some(55.96)],
-    ]),
+    (
+        "DistMult",
+        [
+            [Some(20.32), Some(6.13), Some(27.59), Some(46.61)],
+            [Some(19.91), Some(5.63), Some(27.22), Some(47.33)],
+            [Some(13.86), Some(5.61), Some(15.22), Some(31.26)],
+        ],
+    ),
+    (
+        "ConvE",
+        [
+            [Some(30.30), Some(21.30), Some(34.42), Some(47.89)],
+            [Some(31.40), Some(21.56), Some(35.70), Some(50.96)],
+            [Some(22.81), Some(13.63), Some(25.83), Some(41.43)],
+        ],
+    ),
+    (
+        "ComplEx",
+        [
+            [Some(22.61), Some(9.88), Some(28.93), Some(47.57)],
+            [Some(20.26), Some(6.66), Some(26.43), Some(47.31)],
+            [Some(15.45), Some(8.04), Some(17.19), Some(30.73)],
+        ],
+    ),
+    (
+        "Conv-TransE",
+        [
+            [Some(31.50), Some(22.46), Some(34.98), Some(50.03)],
+            [Some(30.28), Some(20.79), Some(33.80), Some(49.95)],
+            [Some(23.22), Some(14.26), Some(26.13), Some(41.34)],
+        ],
+    ),
+    (
+        "RotatE",
+        [
+            [Some(25.71), Some(16.41), Some(29.01), Some(45.16)],
+            [Some(19.01), Some(10.42), Some(21.35), Some(36.92)],
+            [Some(14.53), Some(6.47), Some(15.78), Some(31.86)],
+        ],
+    ),
+    (
+        "R-GCN",
+        [
+            [Some(28.03), Some(19.42), Some(31.95), Some(44.83)],
+            [Some(27.13), Some(18.83), Some(30.41), Some(43.16)],
+            [Some(15.05), Some(8.13), Some(16.49), Some(29.00)],
+        ],
+    ),
+    (
+        "TTransE",
+        [
+            [Some(12.86), Some(3.14), Some(15.72), Some(33.65)],
+            [Some(16.53), Some(5.51), Some(20.77), Some(39.26)],
+            [Some(8.44), Some(1.85), Some(8.95), Some(22.38)],
+        ],
+    ),
+    (
+        "HyTE",
+        [
+            [Some(16.78), Some(2.13), Some(24.84), Some(43.94)],
+            [Some(16.05), Some(6.53), Some(20.20), Some(34.72)],
+            [Some(7.41), Some(3.10), Some(7.33), Some(16.01)],
+        ],
+    ),
+    (
+        "TA-DistMult",
+        [
+            [Some(26.22), Some(16.83), Some(29.72), Some(45.23)],
+            [Some(27.51), Some(17.57), Some(31.46), Some(47.32)],
+            [Some(16.42), Some(8.60), Some(18.13), Some(32.51)],
+        ],
+    ),
+    (
+        "RE-NET",
+        [
+            [Some(35.77), Some(25.99), Some(40.10), Some(54.87)],
+            [Some(36.86), Some(26.24), Some(41.85), Some(57.60)],
+            [Some(26.17), Some(16.43), Some(29.89), Some(44.37)],
+        ],
+    ),
+    (
+        "CyGNet",
+        [
+            [Some(34.68), Some(25.35), Some(38.88), Some(53.16)],
+            [Some(35.46), Some(25.44), Some(40.20), Some(54.47)],
+            [Some(24.98), Some(15.54), Some(28.58), Some(43.54)],
+        ],
+    ),
+    (
+        "xERTE",
+        [
+            [Some(32.23), Some(24.29), Some(36.41), Some(48.76)],
+            [Some(38.07), Some(28.45), Some(43.92), Some(57.62)],
+            [Some(27.98), Some(19.26), Some(32.43), Some(46.00)],
+        ],
+    ),
+    (
+        "CluSTeR",
+        [
+            [Some(46.00), Some(33.80), None, Some(71.20)],
+            [Some(44.60), Some(34.90), None, Some(63.00)],
+            [Some(32.30), Some(20.60), None, Some(55.90)],
+        ],
+    ),
+    (
+        "RE-GCN",
+        [
+            [Some(41.50), Some(30.86), Some(46.60), Some(62.47)],
+            [Some(46.41), Some(35.17), Some(52.76), Some(67.64)],
+            [Some(30.55), Some(20.00), Some(34.73), Some(51.46)],
+        ],
+    ),
+    (
+        "TITer",
+        [
+            [Some(40.90), Some(31.77), Some(45.84), Some(57.67)],
+            [Some(46.62), Some(36.46), Some(52.29), Some(65.23)],
+            [Some(28.44), Some(20.06), Some(32.07), Some(44.33)],
+        ],
+    ),
+    (
+        "TLogic",
+        [
+            [Some(41.80), Some(31.93), Some(47.23), Some(60.53)],
+            [Some(45.99), Some(34.49), Some(52.89), Some(67.39)],
+            [Some(28.41), Some(18.74), Some(32.71), Some(47.97)],
+        ],
+    ),
+    (
+        "CEN",
+        [
+            [Some(41.64), Some(31.22), Some(46.55), Some(61.59)],
+            [Some(49.57), Some(37.86), Some(56.42), Some(71.32)],
+            [Some(29.70), Some(19.38), Some(33.91), Some(49.90)],
+        ],
+    ),
+    (
+        "TiRGN",
+        [
+            [Some(43.88), Some(33.12), Some(49.48), Some(64.98)],
+            [Some(48.72), Some(37.17), Some(55.48), Some(70.53)],
+            [Some(32.06), Some(21.08), Some(36.75), Some(53.62)],
+        ],
+    ),
+    (
+        "RETIA",
+        [
+            [Some(45.29), Some(34.60), Some(50.88), Some(66.06)],
+            [Some(52.17), Some(40.21), Some(59.42), Some(73.98)],
+            [Some(34.16), Some(22.97), Some(39.27), Some(55.96)],
+        ],
+    ),
 ];
 
 /// Table IV — entity forecasting on YAGO / WIKI (raw; `[MRR, H@3, H@10]`).
 pub const TABLE4: &[(&str, [[Option<f64>; 3]; 2])] = &[
-    ("DistMult", [
-        [Some(44.05), Some(49.70), Some(59.94)],
-        [Some(27.96), Some(32.45), Some(39.51)],
-    ]),
-    ("ConvE", [
-        [Some(41.22), Some(47.03), Some(59.90)],
-        [Some(26.03), Some(30.51), Some(39.18)],
-    ]),
-    ("ComplEx", [
-        [Some(44.09), Some(49.57), Some(59.64)],
-        [Some(27.69), Some(31.99), Some(38.61)],
-    ]),
-    ("Conv-TransE", [
-        [Some(46.67), Some(52.22), Some(62.52)],
-        [Some(30.89), Some(34.30), Some(41.45)],
-    ]),
-    ("RotatE", [
-        [Some(42.08), Some(46.77), Some(59.39)],
-        [Some(26.08), Some(31.63), Some(38.51)],
-    ]),
-    ("R-GCN", [
-        [Some(20.25), Some(24.01), Some(37.30)],
-        [Some(13.96), Some(15.75), Some(22.05)],
-    ]),
-    ("TTransE", [
-        [Some(26.10), Some(36.28), Some(47.73)],
-        [Some(20.66), Some(23.88), Some(33.04)],
-    ]),
-    ("HyTE", [
-        [Some(14.42), Some(39.73), Some(46.98)],
-        [Some(25.40), Some(29.16), Some(37.54)],
-    ]),
-    ("TA-DistMult", [
-        [Some(44.98), Some(50.64), Some(61.11)],
-        [Some(26.44), Some(31.36), Some(38.97)],
-    ]),
-    ("RE-NET", [
-        [Some(46.81), Some(52.71), Some(61.93)],
-        [Some(30.87), Some(33.55), Some(41.27)],
-    ]),
-    ("CyGNet", [
-        [Some(46.72), Some(52.48), Some(61.52)],
-        [Some(30.77), Some(33.83), Some(41.19)],
-    ]),
-    ("xERTE", [
-        [Some(64.29), Some(74.50), Some(87.38)],
-        [Some(52.85), Some(60.96), Some(71.89)],
-    ]),
-    ("RE-GCN", [
-        [Some(63.07), Some(71.17), Some(82.07)],
-        [Some(51.53), Some(58.29), Some(69.53)],
-    ]),
-    ("TITer", [
-        [Some(64.97), Some(74.80), Some(87.44)],
-        [Some(57.36), Some(63.80), Some(72.52)],
-    ]),
-    ("CEN", [
-        [Some(63.39), Some(71.68), Some(83.16)],
-        [Some(51.98), Some(58.96), Some(70.61)],
-    ]),
-    ("TiRGN", [
-        [Some(64.71), Some(74.17), Some(87.01)],
-        [Some(53.20), Some(60.78), Some(72.07)],
-    ]),
-    ("RETIA", [
-        [Some(67.58), Some(78.42), Some(88.06)],
-        [Some(70.11), Some(78.30), Some(84.77)],
-    ]),
+    (
+        "DistMult",
+        [[Some(44.05), Some(49.70), Some(59.94)], [Some(27.96), Some(32.45), Some(39.51)]],
+    ),
+    ("ConvE", [[Some(41.22), Some(47.03), Some(59.90)], [Some(26.03), Some(30.51), Some(39.18)]]),
+    ("ComplEx", [[Some(44.09), Some(49.57), Some(59.64)], [Some(27.69), Some(31.99), Some(38.61)]]),
+    (
+        "Conv-TransE",
+        [[Some(46.67), Some(52.22), Some(62.52)], [Some(30.89), Some(34.30), Some(41.45)]],
+    ),
+    ("RotatE", [[Some(42.08), Some(46.77), Some(59.39)], [Some(26.08), Some(31.63), Some(38.51)]]),
+    ("R-GCN", [[Some(20.25), Some(24.01), Some(37.30)], [Some(13.96), Some(15.75), Some(22.05)]]),
+    ("TTransE", [[Some(26.10), Some(36.28), Some(47.73)], [Some(20.66), Some(23.88), Some(33.04)]]),
+    ("HyTE", [[Some(14.42), Some(39.73), Some(46.98)], [Some(25.40), Some(29.16), Some(37.54)]]),
+    (
+        "TA-DistMult",
+        [[Some(44.98), Some(50.64), Some(61.11)], [Some(26.44), Some(31.36), Some(38.97)]],
+    ),
+    ("RE-NET", [[Some(46.81), Some(52.71), Some(61.93)], [Some(30.87), Some(33.55), Some(41.27)]]),
+    ("CyGNet", [[Some(46.72), Some(52.48), Some(61.52)], [Some(30.77), Some(33.83), Some(41.19)]]),
+    ("xERTE", [[Some(64.29), Some(74.50), Some(87.38)], [Some(52.85), Some(60.96), Some(71.89)]]),
+    ("RE-GCN", [[Some(63.07), Some(71.17), Some(82.07)], [Some(51.53), Some(58.29), Some(69.53)]]),
+    ("TITer", [[Some(64.97), Some(74.80), Some(87.44)], [Some(57.36), Some(63.80), Some(72.52)]]),
+    ("CEN", [[Some(63.39), Some(71.68), Some(83.16)], [Some(51.98), Some(58.96), Some(70.61)]]),
+    ("TiRGN", [[Some(64.71), Some(74.17), Some(87.01)], [Some(53.20), Some(60.78), Some(72.07)]]),
+    ("RETIA", [[Some(67.58), Some(78.42), Some(88.06)], [Some(70.11), Some(78.30), Some(84.77)]]),
 ];
 
 /// Table V — the real benchmarks' statistics
@@ -196,27 +211,9 @@ pub const TABLE5: &[(&str, [usize; 5], &str)] = &[
 /// Table VI — ablation MRRs `(entity, relation)` per dataset, order:
 /// YAGO, WIKI, ICEWS14, ICEWS05-15, ICEWS18.
 pub const TABLE6: &[(&str, [(f64, f64); 5])] = &[
-    ("wo. EAM", [
-        (2.34, 57.34),
-        (0.61, 36.21),
-        (0.13, 13.72),
-        (11.31, 19.94),
-        (0.08, 14.66),
-    ]),
-    ("wo. RAM", [
-        (61.30, 15.94),
-        (45.78, 12.39),
-        (29.95, 3.63),
-        (30.54, 3.90),
-        (15.66, 2.49),
-    ]),
-    ("RETIA", [
-        (67.58, 98.91),
-        (70.11, 98.21),
-        (45.29, 42.05),
-        (52.17, 43.19),
-        (34.16, 41.78),
-    ]),
+    ("wo. EAM", [(2.34, 57.34), (0.61, 36.21), (0.13, 13.72), (11.31, 19.94), (0.08, 14.66)]),
+    ("wo. RAM", [(61.30, 15.94), (45.78, 12.39), (29.95, 3.63), (30.54, 3.90), (15.66, 2.49)]),
+    ("RETIA", [(67.58, 98.91), (70.11, 98.21), (45.29, 42.05), (52.17, 43.19), (34.16, 41.78)]),
 ];
 
 /// Table VII — relation forecasting MRR, order:
@@ -253,8 +250,7 @@ pub const TABLE9: &[(&str, [(f64, f64, f64, f64); 2])] = &[
 ];
 
 /// Methods whose rows are *only* paper-reported (not reimplemented).
-pub const PAPER_ONLY: &[&str] =
-    &["xERTE", "CluSTeR", "TITer", "TLogic"];
+pub const PAPER_ONLY: &[&str] = &["xERTE", "CluSTeR", "TITer", "TLogic"];
 
 /// True if a method name is paper-reported only.
 pub fn is_paper_only(name: &str) -> bool {

@@ -138,10 +138,7 @@ impl ExpResult {
         o.insert(
             "loss_history",
             Value::Array(
-                self.loss_history
-                    .iter()
-                    .map(|&(e, r, j)| Value::from(vec![e, r, j]))
-                    .collect(),
+                self.loss_history.iter().map(|&(e, r, j)| Value::from(vec![e, r, j])).collect(),
             ),
         );
         o.to_string_pretty()

@@ -3,8 +3,9 @@
 
 use retia::{HyperrelMode, RelationMode, RetiaConfig, TkgContext};
 use retia_baselines::{
-    ComplEx, ConvDecoder, ConvFlavor, CyGNetCopy, DistMult, Regcn, RegcnFlavor, RetiaBaseline,
-    HyTE, RenetLite, RotatE, StaticRgcn, StaticTrainConfig, TTransE, TaDistMult, TirgnLite, TkgBaseline,
+    ComplEx, ConvDecoder, ConvFlavor, CyGNetCopy, DistMult, HyTE, Regcn, RegcnFlavor, RenetLite,
+    RetiaBaseline, RotatE, StaticRgcn, StaticTrainConfig, TTransE, TaDistMult, TirgnLite,
+    TkgBaseline,
 };
 use retia_data::{DatasetProfile, SyntheticConfig, TkgDataset};
 
@@ -186,7 +187,12 @@ impl Variant {
     }
 
     /// Instantiates the untrained model for a dataset.
-    pub fn build(self, profile: DatasetProfile, ctx: &TkgContext, s: &Settings) -> Box<dyn TkgBaseline> {
+    pub fn build(
+        self,
+        profile: DatasetProfile,
+        ctx: &TkgContext,
+        s: &Settings,
+    ) -> Box<dyn TkgBaseline> {
         let base = retia_config_for(profile, s);
         let static_cfg = StaticTrainConfig {
             dim: s.dim,

@@ -25,9 +25,7 @@ impl Args {
                 flags.push(name.to_string());
                 i += 1;
             } else {
-                let value = raw
-                    .get(i + 1)
-                    .ok_or_else(|| format!("missing value for --{name}"))?;
+                let value = raw.get(i + 1).ok_or_else(|| format!("missing value for --{name}"))?;
                 values.insert(name.to_string(), value.clone());
                 i += 2;
             }

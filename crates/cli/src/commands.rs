@@ -1,11 +1,12 @@
 //! Subcommand implementations.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use retia::{Retia, RetiaConfig, Split, TkgContext, Trainer};
 use retia_data::{
     characterize, load_dataset, save_dataset, DatasetProfile, SyntheticConfig, TkgDataset,
 };
+use retia_obs::{event, Level};
 
 use crate::args::Args;
 use crate::config_sidecar;
@@ -13,6 +14,48 @@ use crate::config_sidecar;
 fn load_data(args: &Args) -> Result<TkgDataset, String> {
     let dir = PathBuf::from(args.require("data")?);
     load_dataset(&dir)
+}
+
+/// Applies the shared observability options: `--log-level` overrides the
+/// `RETIA_LOG` stderr verbosity, `--trace-out FILE` installs a JSONL sink
+/// receiving every span and event, and the per-module timing aggregate is
+/// switched on so commands can print a wall-clock summary. Returns the
+/// sink id to detach in [`finish_obs`].
+fn init_obs(args: &Args) -> Result<Option<retia_obs::SinkId>, String> {
+    if let Some(level) = args.get("log-level") {
+        retia_obs::set_log_level(Level::parse(level).map_err(|e| format!("--log-level: {e}"))?);
+    }
+    retia_obs::reset_timing();
+    retia_obs::set_timing(true);
+    // At debug verbosity and above, also time individual tensor kernels.
+    retia_obs::set_kernel_timing(retia_obs::log_level() >= Level::Debug);
+    match args.get("trace-out") {
+        None => Ok(None),
+        Some(path) => {
+            let sink = retia_obs::JsonlSink::create(Path::new(path))
+                .map_err(|e| format!("--trace-out {path}: {e}"))?;
+            Ok(Some(retia_obs::add_sink(Box::new(sink))))
+        }
+    }
+}
+
+/// Flushes and detaches the `--trace-out` sink installed by [`init_obs`].
+fn finish_obs(sink: Option<retia_obs::SinkId>) {
+    retia_obs::flush_sinks();
+    if let Some(id) = sink {
+        retia_obs::remove_sink(id);
+    }
+}
+
+/// Prints the flame-style per-module wall-clock summary collected during
+/// this command (kernel timers included when they were enabled).
+fn print_timing_summary() {
+    let mut rows = retia_obs::timing_snapshot();
+    rows.extend(retia_obs::kernel_timing_snapshot());
+    if !rows.is_empty() {
+        println!("\nper-module wall clock:");
+        print!("{}", retia_obs::render_timing_table(&rows));
+    }
 }
 
 /// `retia generate --profile P --out DIR [--seed N]`.
@@ -98,56 +141,60 @@ fn model_config_from(args: &Args) -> Result<RetiaConfig, String> {
 /// `retia train --data DIR --out FILE [hyperparameters...]`.
 pub fn train(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["no-tim", "no-eam"])?;
+    let trace = init_obs(&args)?;
     let ds = load_data(&args)?;
     let out = PathBuf::from(args.require("out")?);
     let cfg = model_config_from(&args)?;
 
     let ctx = TkgContext::new(&ds);
     let model = Retia::new(&cfg, &ds);
-    println!(
-        "training RETIA on `{}`: {} parameters, k={}, {} epochs",
-        ds.name,
-        model.num_parameters(),
-        cfg.k,
-        cfg.epochs
+    // Progress goes through the tracing pipeline (stderr at the RETIA_LOG
+    // level plus any --trace-out sink); per-epoch losses are emitted live by
+    // the trainer itself. Stdout stays reserved for the result tables.
+    event!(
+        Level::Info,
+        "train.start",
+        parameters = model.num_parameters(),
+        k = cfg.k,
+        epochs = cfg.epochs;
+        format!(
+            "training RETIA on `{}`: {} parameters, k={}, {} epochs",
+            ds.name,
+            model.num_parameters(),
+            cfg.k,
+            cfg.epochs
+        )
     );
     let mut trainer = Trainer::new(model, cfg.clone());
-    let history = trainer.fit(&ctx);
-    for (i, l) in history.iter().enumerate() {
-        println!("  epoch {:>3}: joint loss {:.4}", i + 1, l.joint);
-    }
+    trainer.fit(&ctx);
     let report = trainer.evaluate_offline(&ctx, Split::Valid);
     println!("validation: {}", report.entity_raw);
 
-    trainer
-        .model
-        .store()
-        .save_file(&out)
-        .map_err(|e| e.to_string())?;
+    trainer.model.store().save_file(&out).map_err(|e| e.to_string())?;
     let sidecar = config_sidecar(&out);
-    std::fs::write(&sidecar, cfg.to_json())
-        .map_err(|e| format!("{}: {e}", sidecar.display()))?;
+    std::fs::write(&sidecar, cfg.to_json()).map_err(|e| format!("{}: {e}", sidecar.display()))?;
     println!("saved checkpoint to {} (+ config sidecar)", out.display());
+    print_timing_summary();
+    finish_obs(trace);
     Ok(())
 }
 
 fn load_model(args: &Args, ds: &TkgDataset) -> Result<(Retia, RetiaConfig), String> {
     let path = PathBuf::from(args.require("model")?);
     let sidecar = config_sidecar(&path);
-    let text = std::fs::read_to_string(&sidecar)
-        .map_err(|e| format!("{}: {e} (train writes it next to the checkpoint)", sidecar.display()))?;
+    let text = std::fs::read_to_string(&sidecar).map_err(|e| {
+        format!("{}: {e} (train writes it next to the checkpoint)", sidecar.display())
+    })?;
     let cfg = RetiaConfig::from_json(&text)?;
     let mut model = Retia::new(&cfg, ds);
-    model
-        .store_mut()
-        .load_file(&path)
-        .map_err(|e| e.to_string())?;
+    model.store_mut().load_file(&path).map_err(|e| e.to_string())?;
     Ok((model, cfg))
 }
 
 /// `retia evaluate --data DIR --model FILE [--split valid|test] [--online] [--filtered]`.
 pub fn evaluate(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["online", "filtered"])?;
+    let trace = init_obs(&args)?;
     let ds = load_data(&args)?;
     let (model, mut cfg) = load_model(&args, &ds)?;
     cfg.online = args.flag("online");
@@ -166,6 +213,29 @@ pub fn evaluate(raw: &[String]) -> Result<(), String> {
         println!("entity   (raw): {}", report.entity_raw);
         println!("relation (raw): {}", report.relation_raw);
     }
+    print_timing_summary();
+    finish_obs(trace);
+    Ok(())
+}
+
+/// `retia report --trace FILE`: per-module time breakdown of a JSONL trace.
+pub fn report(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let path = PathBuf::from(args.require("trace")?);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let events =
+        retia_obs::report::parse_trace(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rows = retia_obs::report::module_breakdown(&events);
+    if rows.is_empty() {
+        println!(
+            "{}: {} events, no timing spans (was the producer run with --trace-out?)",
+            path.display(),
+            events.len()
+        );
+        return Ok(());
+    }
+    println!("per-module time breakdown of {} ({} events):", path.display(), events.len());
+    print!("{}", retia_obs::report::render_breakdown(&rows));
     Ok(())
 }
 
@@ -174,14 +244,10 @@ pub fn predict(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &[])?;
     let ds = load_data(&args)?;
     let (model, cfg) = load_model(&args, &ds)?;
-    let subject: u32 = args
-        .require("subject")?
-        .parse()
-        .map_err(|e| format!("bad --subject: {e}"))?;
-    let relation: u32 = args
-        .require("relation")?
-        .parse()
-        .map_err(|e| format!("bad --relation: {e}"))?;
+    let subject: u32 =
+        args.require("subject")?.parse().map_err(|e| format!("bad --subject: {e}"))?;
+    let relation: u32 =
+        args.require("relation")?.parse().map_err(|e| format!("bad --relation: {e}"))?;
     let topk: usize = args.get_or("topk", 10usize)?;
     if subject as usize >= ds.num_entities {
         return Err(format!("subject {subject} out of range 0..{}", ds.num_entities));
@@ -191,18 +257,12 @@ pub fn predict(raw: &[String]) -> Result<(), String> {
     }
 
     let ctx = TkgContext::new(&ds);
-    let idx = *ctx
-        .test_idx
-        .first()
-        .ok_or("dataset has no test timestamps")?;
+    let idx = *ctx.test_idx.first().ok_or("dataset has no test timestamps")?;
     let (hist, hypers) = ctx.history(idx, cfg.k);
     let probs = model.predict_entity(hist, hypers, vec![subject], vec![relation]);
     let mut ranked: Vec<(usize, f32)> = probs.row(0).iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!(
-        "top-{topk} objects for (e{subject}, r{relation}, ?, t{}):",
-        ctx.snapshots[idx].t
-    );
+    println!("top-{topk} objects for (e{subject}, r{relation}, ?, t{}):", ctx.snapshots[idx].t);
     for (rank, (ent, p)) in ranked.iter().take(topk).enumerate() {
         println!("  #{:<3} e{:<6} p={:.4}", rank + 1, ent, p);
     }

@@ -8,7 +8,7 @@
 //! retia predict  --data data/icews14 --model model.bin --subject 3 --relation 2 --topk 5
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod args;
@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         "train" => commands::train(rest),
         "evaluate" => commands::evaluate(rest),
         "predict" => commands::predict(rest),
+        "report" => commands::report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -55,15 +56,25 @@ COMMANDS:
     train      train a RETIA model and write a checkpoint
                --data DIR --out FILE [--dim N] [--k N] [--epochs N] [--channels N]
                [--lr F] [--lambda F] [--seed N] [--no-tim] [--no-eam] [--static-weight F]
+               [--log-level L] [--trace-out FILE]
     evaluate   score a checkpoint on a split
                --data DIR --model FILE [--split valid|test] [--online] [--filtered]
+               [--log-level L] [--trace-out FILE]
     predict    rank candidate objects for a query (s, r, ?) at the first test timestamp
                --data DIR --model FILE --subject N --relation N [--topk N]
+    report     per-module time breakdown of a JSONL trace written by --trace-out
+               --trace FILE
+
+OBSERVABILITY:
+    --log-level L     stderr log verbosity: off|error|warn|info|debug|trace
+                      (defaults to the RETIA_LOG environment variable, then `info`)
+    --trace-out FILE  append every span/event as JSON lines to FILE
+                      (feed it to `retia report --trace FILE`)
 ";
 
 /// Shared checkpoint-sidecar: the config a model was trained with.
-pub(crate) fn config_sidecar(model_path: &PathBuf) -> PathBuf {
-    let mut p = model_path.clone();
+pub(crate) fn config_sidecar(model_path: &Path) -> PathBuf {
+    let mut p = model_path.to_path_buf();
     let name = p
         .file_name()
         .map(|f| format!("{}.config.json", f.to_string_lossy()))

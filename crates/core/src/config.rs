@@ -235,11 +235,11 @@ impl RetiaConfig {
         field!("num_threads", cfg.num_threads, as_u64, "a non-negative integer");
         if let Some(v) = doc.get("relation_mode") {
             let s = v.as_str().ok_or("relation_mode must be a string")?;
-            cfg.relation_mode = RelationMode::from_str(s)?;
+            cfg.relation_mode = s.parse()?;
         }
         if let Some(v) = doc.get("hyperrel_mode") {
             let s = v.as_str().ok_or("hyperrel_mode must be a string")?;
-            cfg.hyperrel_mode = HyperrelMode::from_str(s)?;
+            cfg.hyperrel_mode = s.parse()?;
         }
         Ok(cfg)
     }
@@ -256,9 +256,13 @@ impl RelationMode {
             RelationMode::MpLstmAgg => "mp_lstm_agg",
         }
     }
+}
+
+impl std::str::FromStr for RelationMode {
+    type Err = String;
 
     /// Inverse of [`RelationMode::as_str`].
-    pub fn from_str(s: &str) -> Result<Self, String> {
+    fn from_str(s: &str) -> Result<Self, String> {
         match s {
             "none" => Ok(RelationMode::None),
             "static" => Ok(RelationMode::Static),
@@ -279,9 +283,13 @@ impl HyperrelMode {
             HyperrelMode::HmpHlstm => "hmp_hlstm",
         }
     }
+}
+
+impl std::str::FromStr for HyperrelMode {
+    type Err = String;
 
     /// Inverse of [`HyperrelMode::as_str`].
-    pub fn from_str(s: &str) -> Result<Self, String> {
+    fn from_str(s: &str) -> Result<Self, String> {
         match s {
             "init" => Ok(HyperrelMode::Init),
             "hmp" => Ok(HyperrelMode::Hmp),

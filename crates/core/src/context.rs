@@ -90,10 +90,7 @@ impl TkgContext {
 
     /// Total facts in a split's snapshots.
     pub fn split_fact_count(&self, split: Split) -> usize {
-        self.split_indices(split)
-            .iter()
-            .map(|&i| self.snapshots[i].facts.len())
-            .sum()
+        self.split_indices(split).iter().map(|&i| self.snapshots[i].facts.len()).sum()
     }
 }
 

@@ -5,7 +5,9 @@ use std::rc::Rc;
 
 use retia_data::TkgDataset;
 use retia_graph::{HyperSnapshot, Snapshot, NUM_HYPERRELS_WITH_INV};
-use retia_nn::{mean_pool_segments, ConvTransE, EntityRgcn, GruCell, LstmCell, RelationRgcn, WeightMode};
+use retia_nn::{
+    mean_pool_segments, ConvTransE, EntityRgcn, GruCell, LstmCell, RelationRgcn, WeightMode,
+};
 use retia_tensor::{Graph, NodeId, ParamStore, Tensor};
 
 use crate::config::{HyperrelMode, RelationMode, RetiaConfig};
@@ -77,7 +79,8 @@ impl Retia {
         let ent_gru = GruCell::new(&mut store, "rgru_ent", d, d);
         let tim_lstm = LstmCell::new(&mut store, "tim_lstm", 2 * d, d);
         let hyper_lstm = LstmCell::new(&mut store, "hyper_lstm", 2 * d, d);
-        let dec_entity = ConvTransE::new(&mut store, "dec_e", d, cfg.channels, cfg.ksize, cfg.dropout);
+        let dec_entity =
+            ConvTransE::new(&mut store, "dec_e", d, cfg.channels, cfg.ksize, cfg.dropout);
         let dec_relation =
             ConvTransE::new(&mut store, "dec_r", d, cfg.channels, cfg.ksize, cfg.dropout);
 
@@ -143,11 +146,7 @@ impl Retia {
         } else {
             g.constant(self.store.value("ent0").clone())
         };
-        let e0 = if self.cfg.normalize_entities {
-            g.normalize_rows(ent0_raw)
-        } else {
-            ent0_raw
-        };
+        let e0 = if self.cfg.normalize_entities { g.normalize_rows(ent0_raw) } else { ent0_raw };
         let r0 = match self.cfg.relation_mode {
             RelationMode::None => g.constant(self.store.value("rel0").clone()),
             _ => g.param(&self.store, "rel0"),
@@ -175,14 +174,13 @@ impl Retia {
                 }
                 RelationMode::MpLstm | RelationMode::MpLstmAgg => {
                     let r_lstm = if self.cfg.use_tim {
+                        let _t = retia_obs::span!("tim.lstm");
                         // Eq. 7: R_mean = [R_0 ; MP(E_{t-1}, E_r^t)].
                         let pooled = mean_pool_segments(g, e_prev, &snap.rel_entities);
                         let r_mean = g.concat_cols(r0, pooled);
                         // Eq. 8: LSTM along the snapshot sequence.
-                        let c0 = c_prev
-                            .unwrap_or_else(|| g.constant(Tensor::zeros(m2, d)));
-                        let (h, c) =
-                            self.tim_lstm.forward(g, &self.store, r_mean, r_prev, c0);
+                        let c0 = c_prev.unwrap_or_else(|| g.constant(Tensor::zeros(m2, d)));
+                        let (h, c) = self.tim_lstm.forward(g, &self.store, r_mean, r_prev, c0);
                         c_prev = Some(c);
                         h
                     } else {
@@ -192,24 +190,22 @@ impl Retia {
                     };
 
                     if self.cfg.relation_mode == RelationMode::MpLstmAgg {
+                        let _t = retia_obs::span!("ram.aggregate");
                         // Hyperrelation embeddings entering the RAM (Eq. 9-10).
                         let hr_t = match self.cfg.hyperrel_mode {
                             HyperrelMode::Init => hr0,
                             HyperrelMode::Hmp => {
-                                let pooled =
-                                    mean_pool_segments(g, r_lstm, &hyper.hrel_relations);
+                                let pooled = mean_pool_segments(g, r_lstm, &hyper.hrel_relations);
                                 Self::fallback_absent(g, pooled, hr0, &hyper.hrel_relations)
                             }
                             HyperrelMode::HmpHlstm => {
-                                let pooled =
-                                    mean_pool_segments(g, r_lstm, &hyper.hrel_relations);
+                                let pooled = mean_pool_segments(g, r_lstm, &hyper.hrel_relations);
                                 let hr_mean = g.concat_cols(hr0, pooled);
                                 let hc0 = hc_prev.unwrap_or_else(|| {
                                     g.constant(Tensor::zeros(NUM_HYPERRELS_WITH_INV, d))
                                 });
-                                let (h, c) = self
-                                    .hyper_lstm
-                                    .forward(g, &self.store, hr_mean, hr_prev, hc0);
+                                let (h, c) =
+                                    self.hyper_lstm.forward(g, &self.store, hr_mean, hr_prev, hc0);
                                 hc_prev = Some(c);
                                 hr_prev = h;
                                 h
@@ -227,11 +223,9 @@ impl Retia {
 
             // ---- entity update (EAM Eq. 4-6) ----
             let e_t = if self.cfg.use_eam {
-                let rel_for_eam = if self.cfg.use_tim {
-                    r_t
-                } else {
-                    g.param(&self.store, "eam_rel0")
-                };
+                let _t = retia_obs::span!("eam.rgcn");
+                let rel_for_eam =
+                    if self.cfg.use_tim { r_t } else { g.param(&self.store, "eam_rel0") };
                 let e_agg = self.eam_rgcn.forward(g, &self.store, e_prev, rel_for_eam, snap);
                 let e = self.ent_gru.forward(g, &self.store, e_agg, e_prev);
                 if self.cfg.normalize_entities {
@@ -259,12 +253,8 @@ impl Retia {
         fallback: NodeId,
         segments: &[Vec<u32>],
     ) -> NodeId {
-        let absent: Rc<Vec<f32>> = Rc::new(
-            segments
-                .iter()
-                .map(|s| if s.is_empty() { 1.0 } else { 0.0 })
-                .collect(),
-        );
+        let absent: Rc<Vec<f32>> =
+            Rc::new(segments.iter().map(|s| if s.is_empty() { 1.0 } else { 0.0 }).collect());
         let fb = g.row_scale(fallback, absent);
         g.add(pooled, fb)
     }
@@ -282,13 +272,12 @@ impl Retia {
         rels: Rc<Vec<u32>>,
     ) -> NodeId {
         assert!(!states.is_empty(), "need at least one evolved state");
+        let _t = retia_obs::span!("decode.entity", timestamps = states.len());
         let mut probs = Vec::with_capacity(states.len());
         for st in states {
             let s_emb = g.gather_rows(st.entities, subjects.clone());
             let r_emb = g.gather_rows(st.relations, rels.clone());
-            let logits = self
-                .dec_entity
-                .forward(g, &self.store, s_emb, r_emb, st.entities);
+            let logits = self.dec_entity.forward(g, &self.store, s_emb, r_emb, st.entities);
             probs.push(g.softmax_rows(logits));
         }
         g.add_n(&probs)
@@ -304,15 +293,14 @@ impl Retia {
         objects: Rc<Vec<u32>>,
     ) -> NodeId {
         assert!(!states.is_empty(), "need at least one evolved state");
+        let _t = retia_obs::span!("decode.relation", timestamps = states.len());
         let orig: Rc<Vec<u32>> = Rc::new((0..self.num_relations as u32).collect());
         let mut probs = Vec::with_capacity(states.len());
         for st in states {
             let s_emb = g.gather_rows(st.entities, subjects.clone());
             let o_emb = g.gather_rows(st.entities, objects.clone());
             let cand = g.gather_rows(st.relations, orig.clone());
-            let logits = self
-                .dec_relation
-                .forward(g, &self.store, s_emb, o_emb, cand);
+            let logits = self.dec_relation.forward(g, &self.store, s_emb, o_emb, cand);
             probs.push(g.softmax_rows(logits));
         }
         g.add_n(&probs)
@@ -494,12 +482,8 @@ mod tests {
         let (h, hh) = ctx.history(3, 2);
         let mut g = Graph::new(false, 0);
         let states = model.evolve(&mut g, h, hh);
-        let p = model.entity_prob_sum(
-            &mut g,
-            &states,
-            Rc::new(vec![0, 1, 2]),
-            Rc::new(vec![0, 1, 2]),
-        );
+        let p =
+            model.entity_prob_sum(&mut g, &states, Rc::new(vec![0, 1, 2]), Rc::new(vec![0, 1, 2]));
         let v = g.value(p);
         assert_eq!(v.shape(), (3, model.num_entities()));
         // Each timestep contributes a distribution summing to 1.
@@ -515,8 +499,7 @@ mod tests {
         let (h, hh) = ctx.history(3, 2);
         let mut g = Graph::new(false, 0);
         let states = model.evolve(&mut g, h, hh);
-        let p =
-            model.relation_prob_sum(&mut g, &states, Rc::new(vec![0, 1]), Rc::new(vec![2, 3]));
+        let p = model.relation_prob_sum(&mut g, &states, Rc::new(vec![0, 1]), Rc::new(vec![2, 3]));
         assert_eq!(g.value(p).shape(), (2, model.num_relations()));
     }
 
@@ -559,10 +542,7 @@ mod tests {
             "dec_e.conv.w",
             "dec_r.fc.w",
         ] {
-            assert!(
-                model.store().grad(name).norm() > 0.0,
-                "no gradient reached `{name}`"
-            );
+            assert!(model.store().grad(name).norm() > 0.0, "no gradient reached `{name}`");
         }
     }
 

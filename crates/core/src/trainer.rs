@@ -46,6 +46,7 @@ pub struct Trainer {
     pub cfg: RetiaConfig,
     opt: Adam,
     step_seed: u64,
+    steps: u64,
     /// Loss history of the last `fit` call.
     pub loss_history: Vec<EpochLoss>,
 }
@@ -57,12 +58,15 @@ impl Trainer {
         // config knob here never changes what a run computes — only how fast.
         retia_tensor::parallel::set_num_threads(cfg.num_threads);
         let opt = Adam::new(cfg.lr);
-        Trainer { model, cfg, opt, step_seed: 0x5EED, loss_history: Vec::new() }
+        Trainer { model, cfg, opt, step_seed: 0x5EED, steps: 0, loss_history: Vec::new() }
     }
 
     /// One gradient step: forecast snapshot `target_idx` from its history.
     /// Returns the (entity, relation, joint) loss values.
     pub fn train_step(&mut self, ctx: &TkgContext, target_idx: usize) -> EpochLoss {
+        self.steps += 1;
+        let step = self.steps;
+        let _t = retia_obs::span!("train.step", step = step);
         let (history, hypers) = ctx.history(target_idx, self.cfg.k);
         let target = &ctx.snapshots[target_idx];
         self.step_seed = self.step_seed.wrapping_add(1);
@@ -71,11 +75,48 @@ impl Trainer {
         let decode_states = last_k(&states, self.cfg.k).to_vec();
         let (loss, le, lr) = self.model.loss(&mut g, &decode_states, target);
         let joint = g.value(loss).item() as f64;
-        g.backward(loss, self.model.store_mut());
-        clip_grad_norm(self.model.store_mut(), self.cfg.grad_clip);
-        self.opt.step(self.model.store_mut());
-        self.model.store_mut().zero_grad();
+        retia_obs::watchdog::check_value("loss.joint", step, joint);
+        retia_obs::watchdog::check_value("loss.entity", step, le as f64);
+        retia_obs::watchdog::check_value("loss.relation", step, lr as f64);
+        retia_obs::metrics::observe("loss.joint", joint);
+        {
+            let _bw = retia_obs::span!("backward.autodiff");
+            g.backward(loss, self.model.store_mut());
+        }
+        {
+            let _opt = retia_obs::span!("backward.optim");
+            self.check_gradients(step);
+            // clip_grad_norm returns the pre-clip global norm: a free
+            // training-health gauge. NaN gradients pass through clipping
+            // unscaled (`NaN > max` is false), which is why the watchdog
+            // scan above sits between backward and the optimizer step.
+            let norm = clip_grad_norm(self.model.store_mut(), self.cfg.grad_clip);
+            retia_obs::metrics::set_gauge("grad.norm", norm as f64);
+            retia_obs::metrics::observe("grad.norm", norm as f64);
+            self.opt.step(self.model.store_mut());
+            self.model.store_mut().zero_grad();
+        }
+        retia_obs::metrics::inc("train.steps");
         EpochLoss { entity: le as f64, relation: lr as f64, joint }
+    }
+
+    /// Scans every parameter gradient for non-finite values (the NaN
+    /// watchdog) and, at `Debug` verbosity, records per-parameter L2-norm
+    /// gauges. The common all-finite path is a single pass per tensor.
+    fn check_gradients(&self, step: u64) {
+        if !retia_obs::enabled() {
+            return;
+        }
+        let per_param = retia_obs::log_level() >= retia_obs::Level::Debug;
+        for (name, grad) in self.model.store().iter_grads() {
+            if per_param {
+                let norm = (grad.norm_sq() as f64).sqrt();
+                retia_obs::metrics::set_gauge(&format!("grad.norm.{name}"), norm);
+            }
+            if retia_obs::watchdog::count_non_finite(grad.data()) > 0 {
+                retia_obs::watchdog::check_slice(&format!("grad.{name}"), step, grad.data());
+            }
+        }
     }
 
     /// General training: iterates chronologically over the training
@@ -88,7 +129,7 @@ impl Trainer {
         let mut best_params: Option<retia_tensor::ParamStore> = None;
         let mut bad_epochs = 0usize;
 
-        for _epoch in 0..self.cfg.epochs {
+        for epoch in 0..self.cfg.epochs {
             let (mut se, mut sr, mut sj) = (0.0f64, 0.0f64, 0.0f64);
             let mut n = 0usize;
             // Skip index 0: there is no history to forecast it from.
@@ -103,15 +144,31 @@ impl Trainer {
                 n += 1;
             }
             let denom = n.max(1) as f64;
-            self.loss_history.push(EpochLoss {
-                entity: se / denom,
-                relation: sr / denom,
-                joint: sj / denom,
-            });
+            let mean = EpochLoss { entity: se / denom, relation: sr / denom, joint: sj / denom };
+            self.loss_history.push(mean);
+            retia_obs::metrics::set_gauge("loss.epoch.entity", mean.entity);
+            retia_obs::metrics::set_gauge("loss.epoch.relation", mean.relation);
+            retia_obs::metrics::set_gauge("loss.epoch.joint", mean.joint);
+            retia_obs::event!(
+                retia_obs::Level::Info,
+                "train.epoch",
+                epoch = epoch,
+                entity = mean.entity,
+                relation = mean.relation,
+                joint = mean.joint;
+                format!(
+                    "epoch {:>3}  loss {:.4} (entity {:.4}, relation {:.4})",
+                    epoch, mean.joint, mean.entity, mean.relation
+                )
+            );
 
             if self.cfg.patience > 0 {
-                let report = self.evaluate_offline(ctx, Split::Valid);
+                let report = {
+                    let _t = retia_obs::span!("eval.validation", epoch = epoch);
+                    self.evaluate_offline(ctx, Split::Valid)
+                };
                 let mrr = report.entity_raw.mrr();
+                retia_obs::metrics::set_gauge("valid.entity_mrr", mrr);
                 if mrr > best_mrr {
                     best_mrr = mrr;
                     best_params = Some(self.model.store().clone());
@@ -119,6 +176,15 @@ impl Trainer {
                 } else {
                     bad_epochs += 1;
                     if bad_epochs >= self.cfg.patience {
+                        retia_obs::event!(
+                            retia_obs::Level::Info,
+                            "train.early_stop",
+                            epoch = epoch,
+                            best_mrr = best_mrr;
+                            format!(
+                                "early stop at epoch {epoch}: validation MRR stalled at {best_mrr:.4}"
+                            )
+                        );
                         break;
                     }
                 }
@@ -166,14 +232,13 @@ impl Trainer {
 
     /// Scores one snapshot's queries into `report`.
     fn score_snapshot(&self, ctx: &TkgContext, idx: usize, report: &mut EvalReport) {
+        let _t = retia_obs::span!("eval.snapshot", idx = idx);
         let (history, hypers) = ctx.history(idx, self.cfg.k);
         let target = &ctx.snapshots[idx];
 
         // ---- entity forecasting (both directions) ----
         let (subjects, rels, targets) = entity_queries(target, ctx.num_relations);
-        let probs = self
-            .model
-            .predict_entity(history, hypers, subjects.clone(), rels.clone());
+        let probs = self.model.predict_entity(history, hypers, subjects.clone(), rels.clone());
         let filters = entity_filters(target, ctx.num_relations);
         // Queries are ranked in parallel over fixed chunks with the partial
         // accumulators merged in chunk order, so the report is the same at
@@ -227,10 +292,7 @@ fn relation_filters(snap: &Snapshot) -> Vec<FilterSet> {
     for q in &snap.facts {
         truths.entry((q.s, q.o)).or_default().insert(q.r);
     }
-    snap.facts
-        .iter()
-        .map(|q| truths[&(q.s, q.o)].clone())
-        .collect()
+    snap.facts.iter().map(|q| truths[&(q.s, q.o)].clone()).collect()
 }
 
 #[cfg(test)]
@@ -277,10 +339,7 @@ mod tests {
         for _ in 0..60 {
             last = trainer.train_step(&ctx, idx).joint;
         }
-        assert!(
-            last < first * 0.8,
-            "loss did not decrease: first {first}, last {last}"
-        );
+        assert!(last < first * 0.8, "loss did not decrease: first {first}, last {last}");
     }
 
     #[test]
@@ -328,6 +387,72 @@ mod tests {
         let r2 = trainer.evaluate_offline(&ctx, Split::Test);
         assert_eq!(before, *trainer.model.store().value("ent0"));
         assert_eq!(r1.entity_raw, r2.entity_raw, "offline eval must be deterministic");
+    }
+
+    #[test]
+    fn nan_watchdog_fires_within_first_steps_of_divergent_run() {
+        let (sink, handle) = retia_obs::CaptureSink::new();
+        let id = retia_obs::add_sink(Box::new(sink));
+        let me = retia_obs::current_thread();
+        retia_obs::watchdog::reset();
+
+        let ds = SyntheticConfig::tiny(4).generate();
+        let ctx = TkgContext::new(&ds);
+        // An absurd learning rate makes Adam catapult the parameters to
+        // ~1e30 in one step; the next forward overflows into inf/NaN.
+        let cfg = RetiaConfig {
+            dim: 8,
+            channels: 4,
+            k: 2,
+            lr: 1e30,
+            dropout: 0.0,
+            patience: 0,
+            online: false,
+            ..Default::default()
+        };
+        let model = Retia::new(&cfg, &ds);
+        let mut trainer = Trainer::new(model, cfg);
+        let idx = *ctx.train_idx.last().unwrap();
+        for _ in 0..6 {
+            trainer.train_step(&ctx, idx);
+        }
+        retia_obs::remove_sink(id);
+
+        let events: Vec<_> = handle
+            .events()
+            .into_iter()
+            .filter(|e| e.thread == me && e.name.starts_with("nonfinite."))
+            .collect();
+        assert!(!events.is_empty(), "divergent run must trip the NaN watchdog");
+        for ev in &events {
+            assert_eq!(ev.level, retia_obs::Level::Warn);
+            let step = ev.fields.iter().find(|(k, _)| k == "step").map(|(_, v)| *v);
+            assert!(
+                matches!(step, Some(s) if (1.0..=6.0).contains(&s)),
+                "watchdog fired outside the first steps: {step:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_watchdog_stays_quiet_on_healthy_run() {
+        let (sink, handle) = retia_obs::CaptureSink::new();
+        let id = retia_obs::add_sink(Box::new(sink));
+        let me = retia_obs::current_thread();
+
+        let (mut trainer, ctx) = tiny_setup(1);
+        let idx = *ctx.train_idx.last().unwrap();
+        for _ in 0..5 {
+            trainer.train_step(&ctx, idx);
+        }
+        retia_obs::remove_sink(id);
+
+        let fired: Vec<_> = handle
+            .events()
+            .into_iter()
+            .filter(|e| e.thread == me && e.name.starts_with("nonfinite."))
+            .collect();
+        assert!(fired.is_empty(), "healthy run fired the watchdog: {fired:?}");
     }
 
     #[test]

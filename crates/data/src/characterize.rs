@@ -6,7 +6,6 @@
 
 use std::collections::{HashMap, HashSet};
 
-
 use crate::dataset::TkgDataset;
 
 /// Temporal-structure measurements of a dataset.
@@ -44,11 +43,9 @@ pub fn characterize(ds: &TkgDataset) -> Characterization {
     let prev_of: HashMap<u32, u32> = timestamps.windows(2).map(|w| (w[1], w[0])).collect();
 
     let n_test = ds.test.len().max(1) as f64;
-    let repeated = ds
-        .test
-        .iter()
-        .filter(|q| first_seen.get(&q.triple()).is_some_and(|&t0| t0 < q.t))
-        .count() as f64;
+    let repeated =
+        ds.test.iter().filter(|q| first_seen.get(&q.triple()).is_some_and(|&t0| t0 < q.t)).count()
+            as f64;
     let persistent = ds
         .test
         .iter()
@@ -59,11 +56,7 @@ pub fn characterize(ds: &TkgDataset) -> Characterization {
                 .is_some_and(|facts| facts.contains(&q.triple()))
         })
         .count() as f64;
-    let unseen = ds
-        .test
-        .iter()
-        .filter(|q| !train_triples.contains(&q.triple()))
-        .count() as f64;
+    let unseen = ds.test.iter().filter(|q| !train_triples.contains(&q.triple())).count() as f64;
 
     let total_facts: usize = occurrences.values().sum();
     Characterization {

@@ -156,8 +156,7 @@ impl TkgDataset {
     /// Validates internal consistency (id ranges, split ordering). Returns a
     /// human-readable error description on failure.
     pub fn validate(&self) -> Result<(), String> {
-        for (split, quads) in
-            [("train", &self.train), ("valid", &self.valid), ("test", &self.test)]
+        for (split, quads) in [("train", &self.train), ("valid", &self.valid), ("test", &self.test)]
         {
             for q in quads.iter() {
                 if q.s as usize >= self.num_entities || q.o as usize >= self.num_entities {
@@ -202,13 +201,7 @@ mod tests {
 
     #[test]
     fn split_proportions_roughly_80_10_10() {
-        let ds = TkgDataset::from_quads(
-            "toy",
-            5,
-            3,
-            Granularity::Day,
-            uniform_quads(100, 10),
-        );
+        let ds = TkgDataset::from_quads("toy", 5, 3, Granularity::Day, uniform_quads(100, 10));
         let total = 1000.0;
         assert!((ds.train.len() as f64 / total - 0.8).abs() < 0.02);
         assert!((ds.valid.len() as f64 / total - 0.1).abs() < 0.02);

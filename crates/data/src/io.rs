@@ -141,9 +141,8 @@ mod tests {
 
     #[test]
     fn dataset_roundtrip_through_directory() {
-        let quads: Vec<Quad> = (0..50)
-            .map(|i| Quad::new(i % 4, i % 2, (i + 1) % 4, i / 2))
-            .collect();
+        let quads: Vec<Quad> =
+            (0..50).map(|i| Quad::new(i % 4, i % 2, (i + 1) % 4, i / 2)).collect();
         let ds = TkgDataset::from_quads("roundtrip", 4, 2, Granularity::Year, quads);
         let dir = std::env::temp_dir().join(format!("retia_io_test_{}", std::process::id()));
         save_dataset(&dir, &ds).unwrap();

@@ -30,8 +30,8 @@ mod io;
 mod synthetic;
 mod vocab;
 
+pub use characterize::{characterize, Characterization};
 pub use dataset::{DatasetStats, Granularity, TkgDataset};
 pub use io::{load_dataset, load_quads_tsv, save_dataset, save_quads_tsv};
-pub use characterize::{characterize, Characterization};
 pub use synthetic::{DatasetProfile, SyntheticConfig};
 pub use vocab::Vocab;

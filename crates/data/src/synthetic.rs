@@ -144,9 +144,8 @@ fn chain_partner(r: u32, num_relations: usize, num_groups: usize) -> u32 {
         return (r + 1 + r % 3) % m;
     }
     let (_, dst) = rel_groups(r, num_groups);
-    let candidates: Vec<u32> = (0..num_relations as u32)
-        .filter(|&p| rel_groups(p, num_groups).0 == dst)
-        .collect();
+    let candidates: Vec<u32> =
+        (0..num_relations as u32).filter(|&p| rel_groups(p, num_groups).0 == dst).collect();
     if candidates.is_empty() {
         (r + 1) % num_relations as u32
     } else {
@@ -289,11 +288,7 @@ impl SyntheticConfig {
     /// Samples a `(subject, object)` pair consistent with relation `r`'s
     /// typing, avoiding self-loops where possible.
     fn typed_pair(&self, zipf: &ZipfSampler, rng: &mut StdRng, r: u32) -> (u32, u32) {
-        let (sg, og) = if self.num_groups == 0 {
-            (0, 0)
-        } else {
-            rel_groups(r, self.num_groups)
-        };
+        let (sg, og) = if self.num_groups == 0 { (0, 0) } else { rel_groups(r, self.num_groups) };
         let s = self.typed_entity(zipf, rng, sg);
         for _ in 0..8 {
             let o = self.typed_entity(zipf, rng, og);
@@ -570,13 +565,8 @@ mod tests {
         let ds = cfg.generate();
         // There must exist test triples never seen in train (the emergent
         // signal for online training).
-        let train_triples: HashSet<(u32, u32, u32)> =
-            ds.train.iter().map(|q| q.triple()).collect();
-        let unseen = ds
-            .test
-            .iter()
-            .filter(|q| !train_triples.contains(&q.triple()))
-            .count();
+        let train_triples: HashSet<(u32, u32, u32)> = ds.train.iter().map(|q| q.triple()).collect();
+        let unseen = ds.test.iter().filter(|q| !train_triples.contains(&q.triple())).count();
         assert!(unseen > 0, "no emergent facts in test");
     }
 

@@ -7,7 +7,6 @@ use std::fs;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-
 /// A bidirectional name ↔ id mapping with dense ids `0..len`.
 ///
 /// # Examples
@@ -81,10 +80,8 @@ impl Vocab {
             let (name, id) = line
                 .rsplit_once('\t')
                 .ok_or_else(|| format!("line {}: expected `name\\tid`", lineno + 1))?;
-            let id: u32 = id
-                .trim()
-                .parse()
-                .map_err(|e| format!("line {}: bad id: {e}", lineno + 1))?;
+            let id: u32 =
+                id.trim().parse().map_err(|e| format!("line {}: bad id: {e}", lineno + 1))?;
             pairs.push((name.to_string(), id));
         }
         let n = pairs.len() as u32;

@@ -1,6 +1,5 @@
 //! Metric accumulation.
 
-
 /// Accumulates MRR and Hits@{1,3,10} over a stream of ranks.
 ///
 /// # Examples
@@ -96,23 +95,14 @@ impl Metrics {
     /// `MRR / H@1 / H@3 / H@10` scaled by 100, the way the paper's tables
     /// print them.
     pub fn as_percentages(&self) -> (f64, f64, f64, f64) {
-        (
-            self.mrr() * 100.0,
-            self.hits1() * 100.0,
-            self.hits3() * 100.0,
-            self.hits10() * 100.0,
-        )
+        (self.mrr() * 100.0, self.hits1() * 100.0, self.hits3() * 100.0, self.hits10() * 100.0)
     }
 }
 
 impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (mrr, h1, h3, h10) = self.as_percentages();
-        write!(
-            f,
-            "MRR {mrr:5.2}  H@1 {h1:5.2}  H@3 {h3:5.2}  H@10 {h10:5.2}  (n={})",
-            self.count
-        )
+        write!(f, "MRR {mrr:5.2}  H@1 {h1:5.2}  H@3 {h3:5.2}  H@10 {h10:5.2}  (n={})", self.count)
     }
 }
 

@@ -21,6 +21,7 @@ pub fn collect_metrics<F>(n_queries: usize, candidates: usize, rank_of_query: F)
 where
     F: Fn(usize) -> f64 + Sync,
 {
+    let _t = retia_obs::span!("eval.rank", queries = n_queries);
     let partials = map_row_chunks(n_queries, candidates, |range| {
         let mut m = Metrics::new();
         for q in range {
@@ -46,6 +47,7 @@ pub fn collect_paired_metrics<F>(
 where
     F: Fn(usize) -> (f64, f64) + Sync,
 {
+    let _t = retia_obs::span!("eval.rank_paired", queries = n_queries);
     let partials = map_row_chunks(n_queries, candidates, |range| {
         let mut raw = Metrics::new();
         let mut filtered = Metrics::new();

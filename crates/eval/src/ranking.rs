@@ -9,11 +9,14 @@ use std::collections::HashSet;
 /// a whole evaluation run on the first bad query, so the contract is:
 /// worst-case rank, loud warning.
 fn warn_non_finite_target() {
+    retia_obs::metrics::inc("eval.nonfinite_target");
     static WARN: std::sync::Once = std::sync::Once::new();
     WARN.call_once(|| {
-        eprintln!(
-            "[retia-eval] warning: non-finite target score encountered; \
-             reporting worst-case ranks (the model has likely diverged)"
+        retia_obs::event!(
+            retia_obs::Level::Warn,
+            "eval.nonfinite_target";
+            "non-finite target score encountered; reporting worst-case ranks \
+             (the model has likely diverged)"
         );
     });
 }
@@ -73,9 +76,8 @@ pub fn rank_of_filtered(scores: &[f32], target: usize, filter: &FilterSet) -> f6
     let t = scores[target];
     if !t.is_finite() {
         warn_non_finite_target();
-        let pool = (0..scores.len())
-            .filter(|&i| i == target || !filter.contains(&(i as u32)))
-            .count();
+        let pool =
+            (0..scores.len()).filter(|&i| i == target || !filter.contains(&(i as u32))).count();
         return pool as f64;
     }
     let mut greater = 0usize;

@@ -3,7 +3,6 @@
 //! stream, where regime shifts hurt, and how quickly continual training
 //! recovers).
 
-
 use crate::metrics::Metrics;
 
 /// Metrics broken down by evaluation timestamp, in stream order.

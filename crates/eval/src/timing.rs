@@ -2,8 +2,12 @@
 
 use std::time::{Duration, Instant};
 
-/// A simple cumulative stopwatch: start/stop around the measured region,
-/// read the total at the end.
+/// A cumulative stopwatch. Measured regions are scoped with [`guard`]
+/// (RAII: the span ends when the guard drops, on every exit path including
+/// panics) or the [`time`] closure wrapper.
+///
+/// [`guard`]: Stopwatch::guard
+/// [`time`]: Stopwatch::time
 #[derive(Debug)]
 pub struct Stopwatch {
     total: Duration,
@@ -22,7 +26,17 @@ impl Stopwatch {
         Stopwatch { total: Duration::ZERO, started: None }
     }
 
+    /// Opens a measured span that ends (and accumulates) when the returned
+    /// guard is dropped. The borrow makes overlapping manual spans on the
+    /// same stopwatch impossible.
+    #[must_use = "the span is measured until the guard drops; binding it to _ ends it immediately"]
+    pub fn guard(&mut self) -> StopwatchGuard<'_> {
+        StopwatchGuard { start: Instant::now(), sw: self }
+    }
+
     /// Starts (or restarts) timing. Idempotent while running.
+    #[deprecated(note = "manual start/stop is easy to unbalance across early \
+                         returns and panics; scope the region with `guard()` or `time()`")]
     pub fn start(&mut self) {
         if self.started.is_none() {
             self.started = Some(Instant::now());
@@ -30,13 +44,16 @@ impl Stopwatch {
     }
 
     /// Stops timing, accumulating the elapsed span. Idempotent while stopped.
+    #[deprecated(note = "manual start/stop is easy to unbalance across early \
+                         returns and panics; scope the region with `guard()` or `time()`")]
     pub fn stop(&mut self) {
         if let Some(s) = self.started.take() {
             self.total += s.elapsed();
         }
     }
 
-    /// Total accumulated time (including the current span if running).
+    /// Total accumulated time (including the current span if one is open
+    /// via the deprecated `start`).
     pub fn elapsed(&self) -> Duration {
         match self.started {
             Some(s) => self.total + s.elapsed(),
@@ -45,11 +62,23 @@ impl Stopwatch {
     }
 
     /// Times a closure, accumulating its duration, and returns its output.
+    /// The duration is recorded even if the closure panics.
     pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        self.start();
-        let out = f();
-        self.stop();
-        out
+        let _g = self.guard();
+        f()
+    }
+}
+
+/// An open measured span on a [`Stopwatch`]; accumulates on drop.
+#[derive(Debug)]
+pub struct StopwatchGuard<'a> {
+    sw: &'a mut Stopwatch,
+    start: Instant,
+}
+
+impl Drop for StopwatchGuard<'_> {
+    fn drop(&mut self) {
+        self.sw.total += self.start.elapsed();
     }
 }
 
@@ -73,25 +102,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn accumulates_across_spans() {
+    fn guard_accumulates_across_spans() {
         let mut sw = Stopwatch::new();
-        sw.time(|| std::thread::sleep(Duration::from_millis(5)));
+        {
+            let _g = sw.guard();
+            std::thread::sleep(Duration::from_millis(5));
+        }
         let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(5));
         sw.time(|| std::thread::sleep(Duration::from_millis(5)));
         assert!(sw.elapsed() > first);
         assert!(sw.elapsed() >= Duration::from_millis(10));
     }
 
     #[test]
-    fn stop_without_start_is_noop() {
+    fn guard_records_on_panic() {
         let mut sw = Stopwatch::new();
-        sw.stop();
-        assert_eq!(sw.elapsed(), Duration::ZERO);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sw.time(|| {
+                std::thread::sleep(Duration::from_millis(3));
+                panic!("measured region panics");
+            })
+        }));
+        assert!(caught.is_err());
+        assert!(sw.elapsed() >= Duration::from_millis(3), "panicked span was lost");
     }
 
     #[test]
-    fn double_start_does_not_reset() {
+    #[allow(deprecated)]
+    fn deprecated_start_stop_still_work() {
         let mut sw = Stopwatch::new();
+        sw.stop();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
         sw.start();
         std::thread::sleep(Duration::from_millis(3));
         sw.start();
@@ -105,5 +147,17 @@ mod tests {
         assert_eq!(format_duration(Duration::from_secs(120)), "2.00 min");
         assert_eq!(format_duration(Duration::from_secs(7200)), "2.00 h");
         assert_eq!(format_duration(Duration::from_secs(172_800)), "2.00 d");
+    }
+
+    #[test]
+    fn format_unit_boundaries() {
+        // Just under / exactly at each unit rollover.
+        assert_eq!(format_duration(Duration::from_secs_f64(59.9)), "59.90 s");
+        assert_eq!(format_duration(Duration::from_secs(60)), "1.00 min");
+        assert_eq!(format_duration(Duration::from_secs_f64(3599.4)), "59.99 min");
+        assert_eq!(format_duration(Duration::from_secs(3600)), "1.00 h");
+        assert_eq!(format_duration(Duration::from_secs(86_399)), "24.00 h");
+        assert_eq!(format_duration(Duration::from_secs(86_400)), "1.00 d");
+        assert_eq!(format_duration(Duration::ZERO), "0.00 s");
     }
 }

@@ -5,11 +5,17 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retia_eval::{collect_metrics, collect_paired_metrics, rank_of, rank_of_filtered, FilterSet, Metrics};
+use retia_eval::{
+    collect_metrics, collect_paired_metrics, rank_of, rank_of_filtered, FilterSet, Metrics,
+};
 use retia_tensor::parallel;
 
 /// A synthetic evaluation: `n` queries over `candidates` scores each.
-fn synthetic_scores(n: usize, candidates: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>, Vec<FilterSet>) {
+fn synthetic_scores(
+    n: usize,
+    candidates: usize,
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<usize>, Vec<FilterSet>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rows = Vec::with_capacity(n);
     let mut targets = Vec::with_capacity(n);

@@ -176,9 +176,8 @@ impl HyperSnapshot {
         for i in 0..hrel.len() {
             *degree.entry((dst[i], hrel[i])).or_insert(0.0f32) += 1.0;
         }
-        let edge_norm: Vec<f32> = (0..hrel.len())
-            .map(|i| 1.0 / degree[&(dst[i], hrel[i])])
-            .collect();
+        let edge_norm: Vec<f32> =
+            (0..hrel.len()).map(|i| 1.0 / degree[&(dst[i], hrel[i])]).collect();
 
         let mut hrel_ranges = vec![(0usize, 0usize); NUM_HYPERRELS_WITH_INV];
         {
@@ -285,9 +284,7 @@ mod tests {
     }
 
     fn edge_set(h: &HyperSnapshot) -> HashSet<(u32, u32, u32)> {
-        (0..h.num_edges())
-            .map(|i| (h.hrel[i], h.src[i], h.dst[i]))
-            .collect()
+        (0..h.num_edges()).map(|i| (h.hrel[i], h.src[i], h.dst[i])).collect()
     }
 
     #[test]
@@ -348,11 +345,7 @@ mod tests {
 
     #[test]
     fn matches_dense_reference_small() {
-        let s = snap(
-            &[(0, 0, 1), (1, 1, 2), (2, 0, 0), (0, 2, 2), (3, 1, 1)],
-            4,
-            3,
-        );
+        let s = snap(&[(0, 0, 1), (1, 1, 2), (2, 0, 0), (0, 2, 2), (3, 1, 1)], 4, 3);
         let h = HyperSnapshot::from_snapshot(&s);
         assert_eq!(edge_set(&h), dense_reference(&s));
     }

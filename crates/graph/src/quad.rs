@@ -1,6 +1,5 @@
 //! Dated facts and timestamp grouping.
 
-
 /// A temporal fact `(subject, relation, object, timestamp)` with integer ids.
 ///
 /// Relation ids are *original* ids in `0..M`; inverse relations (`r + M`) are

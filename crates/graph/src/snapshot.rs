@@ -95,9 +95,7 @@ impl Snapshot {
         for i in 0..rel.len() {
             *degree.entry((dst[i], rel[i])).or_insert(0.0) += 1.0;
         }
-        let edge_norm: Vec<f32> = (0..rel.len())
-            .map(|i| 1.0 / degree[&(dst[i], rel[i])])
-            .collect();
+        let edge_norm: Vec<f32> = (0..rel.len()).map(|i| 1.0 / degree[&(dst[i], rel[i])]).collect();
 
         // Contiguous per-relation ranges (empty for absent relations).
         let mut rel_ranges = vec![(0usize, 0usize); 2 * m];

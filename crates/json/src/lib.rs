@@ -182,14 +182,16 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Array(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
             write_value(out, &items[i], indent, depth + 1)
         }),
-        Value::Object(entries) => write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
-            write_string(out, &entries[i].0);
-            out.push(':');
-            if indent.is_some() {
-                out.push(' ');
-            }
-            write_value(out, &entries[i].1, indent, depth + 1);
-        }),
+        Value::Object(entries) => {
+            write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, depth + 1);
+            })
+        }
     }
 }
 
@@ -213,13 +215,13 @@ fn write_seq(
         }
         if let Some(w) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
         }
         item(out, i);
     }
     if let Some(w) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
     out.push(close);
 }
@@ -438,8 +440,8 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let len = utf8_len(rest[0]);
-                    let chunk = std::str::from_utf8(&rest[..len])
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let chunk =
+                        std::str::from_utf8(&rest[..len]).map_err(|_| self.err("invalid utf-8"))?;
                     s.push_str(chunk);
                     self.pos += len;
                 }
@@ -539,6 +541,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)] // the over-long literal is the test
     fn f64_roundtrip_is_exact() {
         for n in [0.1, 1.0 / 3.0, f64::MAX, 5e-324, -0.0, 123456789.123456789] {
             let text = Value::Number(n).to_string_compact();

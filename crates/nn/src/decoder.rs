@@ -55,13 +55,7 @@ impl ConvTransE {
 
     /// Embeds a query pair into a `[queries, dim]` representation (the part
     /// of the decoder before candidate scoring).
-    pub fn query_repr(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        a: NodeId,
-        b: NodeId,
-    ) -> NodeId {
+    pub fn query_repr(&self, g: &mut Graph, store: &ParamStore, a: NodeId, b: NodeId) -> NodeId {
         assert_eq!(g.value(a).cols(), self.dim, "decoder input width mismatch");
         assert_eq!(g.value(a).shape(), g.value(b).shape(), "query part shape mismatch");
         // Channels-major stacking: [a | b] is channel 0 then channel 1.
@@ -161,9 +155,8 @@ mod tests {
         let r_emb = g.gather_rows(rel, rels);
         let scores = dec.forward(&mut g, &store, s_emb, r_emb, ent);
         let sc = g.value(scores);
-        let correct = (0..queries.len())
-            .filter(|&i| sc.argmax_row(i) == targets[i] as usize)
-            .count();
+        let correct =
+            (0..queries.len()).filter(|&i| sc.argmax_row(i) == targets[i] as usize).count();
         assert!(correct >= 5, "only {correct}/6 queries ranked correctly");
     }
 

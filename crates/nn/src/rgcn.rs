@@ -65,14 +65,7 @@ impl RgcnCore {
                 }
             }
         }
-        RgcnCore {
-            prefix: prefix.to_string(),
-            dim,
-
-            mode,
-            num_layers,
-            dropout,
-        }
+        RgcnCore { prefix: prefix.to_string(), dim, mode, num_layers, dropout }
     }
 
     /// One layer: `h_nodes` `[n, d]`, `edge_emb` `[num_edge_types, d]`
@@ -135,8 +128,7 @@ impl RgcnCore {
                         let mr = g.gather_rows(msg, rows);
                         let wr = g.param(store, &format!("{}.l{layer}.w{r}", self.prefix));
                         let t = g.matmul(mr, wr);
-                        let part =
-                            g.scatter_add_rows(t, Rc::new(dst[a..b].to_vec()), num_nodes);
+                        let part = g.scatter_add_rows(t, Rc::new(dst[a..b].to_vec()), num_nodes);
                         acc = Some(match acc {
                             Some(x) => g.add(x, part),
                             None => part,
@@ -189,11 +181,7 @@ impl EntityRgcn {
         snap: &Snapshot,
     ) -> NodeId {
         assert_eq!(g.value(entities).rows(), snap.num_entities, "entity count mismatch");
-        assert_eq!(
-            g.value(relations).rows(),
-            2 * snap.num_relations,
-            "relation count mismatch"
-        );
+        assert_eq!(g.value(relations).rows(), 2 * snap.num_relations, "relation count mismatch");
         let mut h = entities;
         for l in 0..self.core.num_layers {
             h = self.core.layer(
@@ -254,11 +242,7 @@ impl RelationRgcn {
         hyperrelations: NodeId,
         hyper: &HyperSnapshot,
     ) -> NodeId {
-        assert_eq!(
-            g.value(relations).rows(),
-            hyper.num_rel_nodes,
-            "relation node count mismatch"
-        );
+        assert_eq!(g.value(relations).rows(), hyper.num_rel_nodes, "relation node count mismatch");
         assert_eq!(
             g.value(hyperrelations).rows(),
             NUM_HYPERRELS_WITH_INV,
@@ -291,11 +275,7 @@ mod tests {
     use retia_tensor::{Tensor, RRELU_EVAL_SLOPE};
 
     fn toy_snapshot() -> Snapshot {
-        let quads = vec![
-            Quad::new(0, 0, 1, 0),
-            Quad::new(2, 1, 1, 0),
-            Quad::new(1, 0, 3, 0),
-        ];
+        let quads = vec![Quad::new(0, 0, 1, 0), Quad::new(2, 1, 1, 0), Quad::new(1, 0, 3, 0)];
         Snapshot::from_quads(&quads, 4, 2)
     }
 
@@ -350,11 +330,7 @@ mod tests {
             let mut msg = Tensor::from_vec(
                 1,
                 d,
-                ent.row(s)
-                    .iter()
-                    .zip(rel.row(rr).iter())
-                    .map(|(&a, &b)| a + b)
-                    .collect(),
+                ent.row(s).iter().zip(rel.row(rr).iter()).map(|(&a, &b)| a + b).collect(),
             );
             msg = msg.scale(snap.edge_norm[i]).matmul(wr);
             for j in 0..d {
@@ -363,11 +339,7 @@ mod tests {
             }
         }
         expected.map_inplace(rrelu_eval);
-        assert!(
-            got.max_abs_diff(&expected) < 1e-5,
-            "diff {}",
-            got.max_abs_diff(&expected)
-        );
+        assert!(got.max_abs_diff(&expected) < 1e-5, "diff {}", got.max_abs_diff(&expected));
     }
 
     #[test]
@@ -399,12 +371,10 @@ mod tests {
         let sq = g.mul(out, out);
         let loss = g.sum_all(sq);
         g.backward(loss, &mut store);
-        for name in ["ent", "rel", "e.l0.wself", "e.l0.basis0", "e.l0.basis1", "e.l0.coef", "e.l1.wself"]
+        for name in
+            ["ent", "rel", "e.l0.wself", "e.l0.basis0", "e.l0.basis1", "e.l0.coef", "e.l1.wself"]
         {
-            assert!(
-                store.grad(name).norm() > 0.0,
-                "no gradient reached `{name}`"
-            );
+            assert!(store.grad(name).norm() > 0.0, "no gradient reached `{name}`");
         }
         let _ = rgcn; // silence unused in non-test builds
     }

@@ -1,0 +1,282 @@
+//! Event records and sinks.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use retia_json::Value;
+
+use crate::Level;
+
+/// Whether an [`Event`] is a completed timing span or a point-in-time event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span; `dur_ns` is set.
+    Span,
+    /// A point event (log line, watchdog firing, epoch summary).
+    Point,
+}
+
+impl EventKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Point => "event",
+        }
+    }
+}
+
+/// One observability record. Spans are emitted when their guard drops (so a
+/// trace file lists children before their parent); point events are emitted
+/// immediately.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Span or point.
+    pub kind: EventKind,
+    /// Stderr verbosity class.
+    pub level: Level,
+    /// Dotted name; the first segment is the module the report groups by.
+    pub name: String,
+    /// Dense id of the emitting thread ([`crate::current_thread`]).
+    pub thread: u64,
+    /// Span-nesting depth on the emitting thread at start time.
+    pub depth: u32,
+    /// Start time, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Span duration; `None` for point events.
+    pub dur_ns: Option<u64>,
+    /// Numeric key/value payload.
+    pub fields: Vec<(String, f64)>,
+    /// Optional free-text message.
+    pub message: Option<String>,
+}
+
+impl Event {
+    /// JSON-lines form (one compact object; see DESIGN.md §7 for the schema).
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::object();
+        doc.insert("kind", Value::from(self.kind.as_str()));
+        doc.insert("level", Value::from(self.level.as_str()));
+        doc.insert("name", Value::from(self.name.as_str()));
+        doc.insert("thread", Value::from(self.thread));
+        doc.insert("depth", Value::from(self.depth as u64));
+        doc.insert("start_ns", Value::from(self.start_ns));
+        if let Some(d) = self.dur_ns {
+            doc.insert("dur_ns", Value::from(d));
+        }
+        if !self.fields.is_empty() {
+            let mut f = Value::object();
+            for (k, v) in &self.fields {
+                f.insert(k, Value::from(*v));
+            }
+            doc.insert("fields", f);
+        }
+        if let Some(m) = &self.message {
+            doc.insert("msg", Value::from(m.as_str()));
+        }
+        doc
+    }
+
+    /// Inverse of [`Event::to_json`]; used by the trace report tool.
+    pub fn from_json(doc: &Value) -> Result<Event, String> {
+        let kind = match doc.get("kind").and_then(Value::as_str) {
+            Some("span") => EventKind::Span,
+            Some("event") => EventKind::Point,
+            other => return Err(format!("bad event kind {other:?}")),
+        };
+        let level =
+            Level::parse(doc.get("level").and_then(Value::as_str).ok_or("missing event level")?)?;
+        let name = doc.get("name").and_then(Value::as_str).ok_or("missing event name")?.to_string();
+        let need_u64 = |key: &str| {
+            doc.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let fields = match doc.get("fields") {
+            Some(Value::Object(entries)) => entries
+                .iter()
+                .map(|(k, v)| {
+                    // Non-finite field values degrade to JSON null on write;
+                    // read them back as NaN rather than failing the record.
+                    Ok((k.clone(), v.as_f64().unwrap_or(f64::NAN)))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+            Some(_) => return Err("event `fields` must be an object".to_string()),
+        };
+        Ok(Event {
+            kind,
+            level,
+            name,
+            thread: need_u64("thread")?,
+            depth: need_u64("depth")? as u32,
+            start_ns: need_u64("start_ns")?,
+            dur_ns: doc.get("dur_ns").and_then(Value::as_u64),
+            fields,
+            message: doc.get("msg").and_then(Value::as_str).map(str::to_string),
+        })
+    }
+
+    /// The stderr rendering: `[  1.234s WARN ] nonfinite.grad step=3 count=2 — msg`.
+    pub fn format_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let secs = self.start_ns as f64 / 1e9;
+        let _ = write!(out, "[{secs:>9.3}s {:<5}] ", self.level.as_str().to_ascii_uppercase());
+        for _ in 0..self.depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        if let Some(d) = self.dur_ns {
+            let _ = write!(out, " [{:.3} ms]", d as f64 / 1e6);
+        }
+        for (k, v) in &self.fields {
+            let _ = write!(out, " {k}={v:.6}");
+        }
+        if let Some(m) = &self.message {
+            let _ = write!(out, " — {m}");
+        }
+        out
+    }
+}
+
+/// Destination for events. Sinks receive *every* event regardless of the
+/// stderr level — a trace file carries everything; filtering is a read-time
+/// concern.
+pub trait Sink: Send {
+    /// Delivers one event.
+    fn record(&mut self, ev: &Event);
+    /// Flushes buffered output (called by [`crate::flush_sinks`] and on drop).
+    fn flush(&mut self) {}
+}
+
+/// JSON-lines file sink: one compact `retia-json` object per event per line.
+pub struct JsonlSink {
+    w: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing to it.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink { w: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, ev: &Event) {
+        // Serialization errors on a best-effort trace must not kill training.
+        let _ = writeln!(self.w, "{}", ev.to_json().to_string_compact());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// In-memory sink for tests: clones every event into a shared buffer read
+/// through the paired [`CaptureHandle`].
+pub struct CaptureSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+/// Reader half of a [`CaptureSink`].
+#[derive(Clone)]
+pub struct CaptureHandle {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl CaptureSink {
+    /// A fresh sink/handle pair.
+    pub fn new() -> (CaptureSink, CaptureHandle) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (CaptureSink { events: events.clone() }, CaptureHandle { events })
+    }
+}
+
+impl Sink for CaptureSink {
+    fn record(&mut self, ev: &Event) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(ev.clone());
+    }
+}
+
+impl CaptureHandle {
+    /// Snapshot of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: EventKind, dur: Option<u64>) -> Event {
+        Event {
+            kind,
+            level: Level::Debug,
+            name: "eam.rgcn".to_string(),
+            thread: 3,
+            depth: 2,
+            start_ns: 123_456_789,
+            dur_ns: dur,
+            fields: vec![("step".to_string(), 7.0), ("loss".to_string(), 0.25)],
+            message: Some("hello \"world\"\n".to_string()),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        for ev in [sample(EventKind::Span, Some(42_000)), sample(EventKind::Point, None)] {
+            let text = ev.to_json().to_string_compact();
+            let back = Event::from_json(&retia_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(ev, back);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_records() {
+        for bad in [
+            r#"{"level":"info","name":"x","thread":0,"depth":0,"start_ns":0}"#,
+            r#"{"kind":"span","name":"x","thread":0,"depth":0,"start_ns":0}"#,
+            r#"{"kind":"span","level":"info","thread":0,"depth":0,"start_ns":0}"#,
+            r#"{"kind":"span","level":"info","name":"x","depth":0,"start_ns":0}"#,
+        ] {
+            let doc = retia_json::parse(bad).unwrap();
+            assert!(Event::from_json(&doc).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn human_format_contains_name_fields_and_message() {
+        let line = sample(EventKind::Span, Some(1_500_000)).format_human();
+        assert!(line.contains("eam.rgcn"));
+        assert!(line.contains("step=7"));
+        assert!(line.contains("DEBUG"));
+        assert!(line.contains("1.500 ms"));
+        assert!(line.contains("hello"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("retia_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record(&sample(EventKind::Span, Some(10)));
+            sink.record(&sample(EventKind::Point, None));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::from_json(&retia_json::parse(line).unwrap()).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

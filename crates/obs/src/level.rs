@@ -1,0 +1,132 @@
+//! Log levels and the `RETIA_LOG` knob.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of an event, ordered `Off < Error < Warn < Info < Debug <
+/// Trace`. The stderr logger prints an event when `event.level <=
+/// log_level()`; `Off` silences everything (no event carries level `Off`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Print nothing (only meaningful as a filter setting).
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious conditions — the NaN watchdog fires here.
+    Warn = 2,
+    /// Run progress: epochs, losses, checkpoints. The default.
+    Info = 3,
+    /// Per-step detail: spans, per-parameter gradient norms.
+    Debug = 4,
+    /// Everything, including per-kernel timing.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses the `RETIA_LOG` / `--log-level` spelling (case-insensitive).
+    pub fn parse(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected off|error|warn|info|debug|trace)"
+            )),
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Info,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active stderr log level: the [`set_log_level`] override if any, else
+/// `RETIA_LOG` (read once), else [`Level::Info`].
+pub fn log_level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNSET {
+        return Level::from_u8(v);
+    }
+    let initial =
+        std::env::var("RETIA_LOG").ok().and_then(|s| Level::parse(&s).ok()).unwrap_or(Level::Info);
+    // First caller wins; a concurrent set_log_level simply overwrites.
+    let _ = LEVEL.compare_exchange(UNSET, initial as u8, Ordering::Relaxed, Ordering::Relaxed);
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Programmatic override of the stderr log level (`--log-level`).
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_spellings() {
+        assert_eq!(Level::parse("OFF").unwrap(), Level::Off);
+        assert_eq!(Level::parse("Error").unwrap(), Level::Error);
+        assert_eq!(Level::parse("warning").unwrap(), Level::Warn);
+        assert_eq!(Level::parse("info").unwrap(), Level::Info);
+        assert_eq!(Level::parse("debug").unwrap(), Level::Debug);
+        assert_eq!(Level::parse("trace").unwrap(), Level::Trace);
+        assert!(Level::parse("loud").is_err());
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert!(Level::Off < Level::Error);
+    }
+
+    #[test]
+    fn as_str_roundtrips() {
+        for l in [Level::Off, Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(l.as_str()).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn set_log_level_overrides() {
+        let _guard = crate::test_lock::lock();
+        let before = log_level();
+        set_log_level(Level::Error);
+        assert_eq!(log_level(), Level::Error);
+        set_log_level(before);
+    }
+}

@@ -1,0 +1,299 @@
+//! Process-wide metrics registry: counters, gauges and log-bucketed
+//! histograms, exportable as a JSON snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use retia_json::Value;
+
+/// Summary statistics of a histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Approximate median from the log buckets.
+    pub p50: f64,
+    /// Approximate 99th percentile from the log buckets.
+    pub p99: f64,
+}
+
+/// Power-of-two-bucketed histogram over absolute magnitudes: bucket `i`
+/// holds values with `2^(i-64) <= |v| < 2^(i-63)` (bucket 0 also absorbs
+/// zero and anything smaller). Quantiles are bucket upper bounds — within a
+/// factor of 2, which is plenty for loss/duration dashboards.
+#[derive(Clone, Debug)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; 128],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 128],
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        let mag = v.abs();
+        if !mag.is_finite() {
+            return 127;
+        }
+        if mag == 0.0 {
+            return 0;
+        }
+        // exponent in [-64, 63] clamped into buckets [0, 127].
+        (mag.log2().floor() as i64 + 64).clamp(0, 127) as usize
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i - 63).
+                return (2.0f64).powi(i as i32 - 63);
+            }
+        }
+        self.max
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            mean: if self.count == 0 { f64::NAN } else { self.sum / self.count as f64 },
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named metrics, shared process-wide via [`registry`]. All methods are
+/// no-ops while [`crate::enabled`] is false.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry { inner: Mutex::new(Inner::default()) })
+}
+
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `by` to a counter, returning the new value.
+    pub fn inc_by(&self, name: &str, by: u64) -> u64 {
+        if !crate::enabled() {
+            return 0;
+        }
+        let mut g = self.lock();
+        let c = g.counters.entry(name.to_string()).or_insert(0);
+        *c += by;
+        *c
+    }
+
+    /// Adds 1 to a counter.
+    pub fn inc(&self, name: &str) -> u64 {
+        self.inc_by(name, 1)
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Last gauge value, if any.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.lock().histograms.entry(name.to_string()).or_insert_with(Histogram::new).observe(v);
+    }
+
+    /// Summary of a histogram, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.lock().histograms.get(name).map(Histogram::summary)
+    }
+
+    /// Every metric as one JSON document (`counters` / `gauges` /
+    /// `histograms` objects, keys in lexicographic order).
+    pub fn snapshot(&self) -> Value {
+        let g = self.lock();
+        let mut counters = Value::object();
+        for (k, v) in &g.counters {
+            counters.insert(k, Value::from(*v));
+        }
+        let mut gauges = Value::object();
+        for (k, v) in &g.gauges {
+            gauges.insert(k, Value::from(*v));
+        }
+        let mut hists = Value::object();
+        for (k, h) in &g.histograms {
+            let s = h.summary();
+            let mut doc = Value::object();
+            doc.insert("count", Value::from(s.count));
+            doc.insert("sum", Value::from(s.sum));
+            doc.insert("min", Value::from(s.min));
+            doc.insert("max", Value::from(s.max));
+            doc.insert("mean", Value::from(s.mean));
+            doc.insert("p50", Value::from(s.p50));
+            doc.insert("p99", Value::from(s.p99));
+            hists.insert(k, doc);
+        }
+        let mut out = Value::object();
+        out.insert("counters", counters);
+        out.insert("gauges", gauges);
+        out.insert("histograms", hists);
+        out
+    }
+
+    /// Clears everything (tests; fresh CLI runs).
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        g.counters.clear();
+        g.gauges.clear();
+        g.histograms.clear();
+    }
+}
+
+/// Shorthand for `registry().inc(name)`.
+pub fn inc(name: &str) -> u64 {
+    registry().inc(name)
+}
+
+/// Shorthand for `registry().inc_by(name, by)`.
+pub fn inc_by(name: &str, by: u64) -> u64 {
+    registry().inc_by(name, by)
+}
+
+/// Shorthand for `registry().set_gauge(name, v)`.
+pub fn set_gauge(name: &str, v: f64) {
+    registry().set_gauge(name, v);
+}
+
+/// Shorthand for `registry().observe(name, v)`.
+pub fn observe(name: &str, v: f64) {
+    registry().observe(name, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let _guard = test_lock::lock();
+        registry().reset();
+        assert_eq!(registry().counter("c"), 0);
+        assert_eq!(registry().inc("c"), 1);
+        assert_eq!(registry().inc_by("c", 4), 5);
+        registry().set_gauge("g", -2.5);
+        assert_eq!(registry().gauge("g"), Some(-2.5));
+        assert_eq!(registry().gauge("missing"), None);
+        for v in [1.0, 2.0, 4.0, 1000.0] {
+            registry().observe("h", v);
+        }
+        let h = registry().histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean - 251.75).abs() < 1e-9);
+        assert!(h.p50 >= 1.0 && h.p50 <= 4.0, "p50 {}", h.p50);
+        assert!(h.p99 >= 512.0, "p99 {}", h.p99);
+        registry().reset();
+        assert_eq!(registry().counter("c"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json() {
+        let _guard = test_lock::lock();
+        registry().reset();
+        registry().inc("steps");
+        registry().set_gauge("loss", 0.5);
+        registry().observe("dur", 3.0);
+        let text = registry().snapshot().to_string_pretty();
+        let doc = retia_json::parse(&text).unwrap();
+        assert_eq!(doc.get("counters").unwrap().get("steps").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("gauges").unwrap().get("loss").unwrap().as_f64(), Some(0.5));
+        let h = doc.get("histograms").unwrap().get("dur").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn disabled_registry_is_a_noop() {
+        let _guard = test_lock::lock();
+        registry().reset();
+        crate::set_enabled(false);
+        inc("nope");
+        set_gauge("nope", 1.0);
+        observe("nope", 1.0);
+        crate::set_enabled(true);
+        assert_eq!(registry().counter("nope"), 0);
+        assert_eq!(registry().gauge("nope"), None);
+        assert!(registry().histogram("nope").is_none());
+    }
+
+    #[test]
+    fn extreme_magnitudes_land_in_end_buckets() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), 127);
+        assert_eq!(Histogram::bucket_of(1e-300), 0);
+        assert_eq!(Histogram::bucket_of(1e300), 127);
+        assert_eq!(Histogram::bucket_of(1.5), 64);
+    }
+}

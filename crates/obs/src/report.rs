@@ -1,0 +1,184 @@
+//! Turning a JSON-lines trace into a per-module time breakdown.
+//!
+//! A trace file lists spans in *end order* per thread (guards drop children
+//! before parents), which permits a one-pass exclusive-time computation:
+//! per thread, keep an accumulator of completed child time per depth; a
+//! span at depth `d` subtracts the accumulator at `d + 1` and adds its own
+//! duration to the accumulator at `d`.
+
+use std::collections::HashMap;
+
+use crate::{Event, EventKind};
+
+/// Aggregated time for one module (first dotted segment of span names).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleShare {
+    /// Module name (`eam`, `ram`, `tim`, `decode`, `backward`, …).
+    pub module: String,
+    /// Spans aggregated into this module.
+    pub count: u64,
+    /// Inclusive nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive nanoseconds (children subtracted).
+    pub exclusive_ns: u64,
+    /// Fraction of the trace's total exclusive time, in percent. Shares
+    /// over all modules sum to ~100 by construction.
+    pub share_pct: f64,
+}
+
+/// Parses a JSON-lines trace, keeping line order. Fails on the first
+/// malformed line with its 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = retia_json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(Event::from_json(&doc).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// First dotted segment of a span name.
+fn module_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Groups the trace's spans by module and computes inclusive/exclusive time
+/// and exclusive-time shares. Events must be in file order (see module
+/// docs); point events are ignored.
+pub fn module_breakdown(events: &[Event]) -> Vec<ModuleShare> {
+    struct Acc {
+        count: u64,
+        total_ns: u64,
+        exclusive_ns: u64,
+    }
+    let mut per_module: HashMap<String, Acc> = HashMap::new();
+    // thread -> (depth -> completed child nanoseconds awaiting their parent)
+    let mut pending_child: HashMap<u64, HashMap<u32, u64>> = HashMap::new();
+
+    for ev in events {
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        let dur = ev.dur_ns.unwrap_or(0);
+        let depths = pending_child.entry(ev.thread).or_default();
+        let child_ns = depths.remove(&(ev.depth + 1)).unwrap_or(0);
+        *depths.entry(ev.depth).or_insert(0) += dur;
+        let acc = per_module.entry(module_of(&ev.name).to_string()).or_insert(Acc {
+            count: 0,
+            total_ns: 0,
+            exclusive_ns: 0,
+        });
+        acc.count += 1;
+        acc.total_ns += dur;
+        acc.exclusive_ns += dur.saturating_sub(child_ns);
+    }
+
+    let grand: u64 = per_module.values().map(|a| a.exclusive_ns).sum();
+    let mut out: Vec<ModuleShare> = per_module
+        .into_iter()
+        .map(|(module, a)| ModuleShare {
+            module,
+            count: a.count,
+            total_ns: a.total_ns,
+            exclusive_ns: a.exclusive_ns,
+            share_pct: if grand == 0 { 0.0 } else { 100.0 * a.exclusive_ns as f64 / grand as f64 },
+        })
+        .collect();
+    out.sort_by(|a, b| b.exclusive_ns.cmp(&a.exclusive_ns).then(a.module.cmp(&b.module)));
+    out
+}
+
+/// Renders the breakdown as the table the CLI `report` subcommand prints.
+pub fn render_breakdown(rows: &[ModuleShare]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>12} {:>12} {:>7}",
+        "module", "spans", "total", "exclusive", "share"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>10.3}ms {:>10.3}ms {:>6.2}%",
+            r.module,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.exclusive_ns as f64 / 1e6,
+            r.share_pct
+        );
+    }
+    let total_share: f64 = rows.iter().map(|r| r.share_pct).sum();
+    let _ = writeln!(out, "{:<12} {:>8} {:>12} {:>12} {:>6.2}%", "(sum)", "", "", "", total_share);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Level;
+
+    fn span(name: &str, thread: u64, depth: u32, start_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            kind: EventKind::Span,
+            level: Level::Debug,
+            name: name.to_string(),
+            thread,
+            depth,
+            start_ns,
+            dur_ns: Some(dur_ns),
+            fields: Vec::new(),
+            message: None,
+        }
+    }
+
+    #[test]
+    fn breakdown_subtracts_children_and_shares_sum_to_100() {
+        // End-order trace: eam child (depth 1) ends before its train parent
+        // (depth 0); a second thread contributes an independent ram span.
+        let events = vec![
+            span("eam.rgcn", 0, 1, 10, 300),
+            span("decode.entity", 0, 1, 320, 200),
+            span("train.step", 0, 0, 0, 1000),
+            span("ram.rgcn", 1, 0, 0, 500),
+        ];
+        let rows = module_breakdown(&events);
+        let get = |m: &str| rows.iter().find(|r| r.module == m).unwrap();
+        assert_eq!(get("eam").exclusive_ns, 300);
+        assert_eq!(get("decode").exclusive_ns, 200);
+        assert_eq!(get("train").total_ns, 1000);
+        assert_eq!(get("train").exclusive_ns, 500, "children subtracted");
+        assert_eq!(get("ram").exclusive_ns, 500);
+        let total: f64 = rows.iter().map(|r| r.share_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn point_events_are_ignored() {
+        let mut ev = span("train.step", 0, 0, 0, 100);
+        ev.kind = EventKind::Point;
+        ev.dur_ns = None;
+        assert!(module_breakdown(&[ev]).is_empty());
+    }
+
+    #[test]
+    fn parse_trace_reports_line_numbers() {
+        let good = span("a.b", 0, 0, 0, 5).to_json().to_string_compact();
+        let text = format!("{good}\n\nnot json\n");
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.starts_with("line 3"), "{err}");
+        assert_eq!(parse_trace(&good).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn render_includes_sum_row() {
+        let events = vec![span("eam.rgcn", 0, 0, 0, 100)];
+        let table = render_breakdown(&module_breakdown(&events));
+        assert!(table.contains("eam"));
+        assert!(table.contains("(sum)"));
+        assert!(table.contains("100.00%"));
+    }
+}

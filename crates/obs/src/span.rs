@@ -1,0 +1,386 @@
+//! RAII timing spans, the per-module wall-clock aggregate and per-kernel
+//! timers.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::{enabled, have_sinks, log_level, now_ns, Event, EventKind, Level};
+
+// ---------------------------------------------------------------------------
+// Activation
+// ---------------------------------------------------------------------------
+
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Turns the in-process per-module wall-clock aggregate on or off. Spans are
+/// live whenever this is on, a sink is installed, or the stderr level is at
+/// least `debug`; otherwise [`SpanGuard::enter`] is an atomic-load no-op.
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the per-module aggregate is collecting.
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+fn spans_active() -> bool {
+    enabled() && (timing_enabled() || have_sinks() || log_level() >= Level::Debug)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local span stack
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-frame accumulator of completed child-span nanoseconds; the
+    /// parent subtracts it on drop to get its exclusive time. One stack per
+    /// thread makes spans opened inside parallel workers independent.
+    static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn current_depth() -> u32 {
+    CHILD_NS.with(|s| s.borrow().len() as u32)
+}
+
+// ---------------------------------------------------------------------------
+// Module aggregate
+// ---------------------------------------------------------------------------
+
+/// Aggregated wall-clock for one span name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleTime {
+    /// Dotted span name (e.g. `eam.rgcn`).
+    pub name: String,
+    /// Times the span ran.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive nanoseconds: total minus time spent in child spans.
+    pub exclusive_ns: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    exclusive_ns: u64,
+}
+
+fn aggregate() -> &'static Mutex<HashMap<String, Agg>> {
+    static AGG: OnceLock<Mutex<HashMap<String, Agg>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn record_module(name: &str, total_ns: u64, exclusive_ns: u64) {
+    let mut agg = aggregate().lock().unwrap_or_else(|e| e.into_inner());
+    let e = agg.entry(name.to_string()).or_default();
+    e.count += 1;
+    e.total_ns += total_ns;
+    e.exclusive_ns += exclusive_ns;
+}
+
+/// Snapshot of the per-module aggregate, sorted by exclusive time
+/// descending.
+pub fn timing_snapshot() -> Vec<ModuleTime> {
+    let agg = aggregate().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<ModuleTime> = agg
+        .iter()
+        .map(|(name, a)| ModuleTime {
+            name: name.clone(),
+            count: a.count,
+            total_ns: a.total_ns,
+            exclusive_ns: a.exclusive_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| b.exclusive_ns.cmp(&a.exclusive_ns).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Clears the per-module aggregate (tests; fresh CLI runs).
+pub fn reset_timing() {
+    aggregate().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    kernel_aggregate().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Renders the flame-style summary: exclusive-time shares sum to 100%.
+pub fn render_timing_table(rows: &[ModuleTime]) -> String {
+    use std::fmt::Write as _;
+    let grand: u64 = rows.iter().map(|m| m.exclusive_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>12} {:>12} {:>7}",
+        "span", "count", "total", "exclusive", "share"
+    );
+    for m in rows {
+        let share = if grand == 0 { 0.0 } else { 100.0 * m.exclusive_ns as f64 / grand as f64 };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10.3}ms {:>10.3}ms {:>6.2}%",
+            m.name,
+            m.count,
+            m.total_ns as f64 / 1e6,
+            m.exclusive_ns as f64 / 1e6,
+            share
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SpanGuard
+// ---------------------------------------------------------------------------
+
+struct ActiveSpan {
+    name: String,
+    fields: Vec<(String, f64)>,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// RAII guard for one timing span; created by the [`crate::span!`] macro.
+/// Recording happens on drop, so a panicking region is still measured and
+/// the thread-local stack unwinds correctly.
+#[must_use = "a span ends when its guard drops — bind it to a variable"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Opens a span (inert when tracing is inactive).
+    pub fn enter(name: &str, fields: &[(&str, f64)]) -> SpanGuard {
+        if !spans_active() {
+            return SpanGuard { active: None };
+        }
+        let depth = CHILD_NS.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push(0);
+            stack.len() as u32 - 1
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name: name.to_string(),
+                fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                start: Instant::now(),
+                start_ns: now_ns(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        let child_ns = CHILD_NS.with(|s| {
+            let mut stack = s.borrow_mut();
+            let own_children = stack.pop().unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                *parent += dur_ns;
+            }
+            own_children
+        });
+        record_module(&span.name, dur_ns, dur_ns.saturating_sub(child_ns));
+        if have_sinks() || log_level() >= Level::Debug {
+            crate::emit(Event {
+                kind: EventKind::Span,
+                level: Level::Debug,
+                name: span.name,
+                thread: crate::current_thread(),
+                depth: span.depth,
+                start_ns: span.start_ns,
+                dur_ns: Some(dur_ns),
+                fields: span.fields,
+                message: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel timers
+// ---------------------------------------------------------------------------
+
+static KERNEL: AtomicBool = AtomicBool::new(false);
+
+/// Enables per-kernel timing ([`kernel_span`] call sites inside
+/// `retia-tensor`). Off by default: kernels run orders of magnitude more
+/// often than module spans, so this is a separate, opt-in knob (the CLI
+/// turns it on at `--log-level trace`).
+pub fn set_kernel_timing(on: bool) {
+    KERNEL.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel timers are live.
+pub fn kernel_timing_enabled() -> bool {
+    KERNEL.load(Ordering::Relaxed) && enabled()
+}
+
+fn kernel_aggregate() -> &'static Mutex<HashMap<&'static str, Agg>> {
+    static AGG: OnceLock<Mutex<HashMap<&'static str, Agg>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// RAII timer for one tensor-kernel invocation. Aggregate-only: kernel
+/// timings never produce per-call events (they would flood a trace), they
+/// feed [`kernel_timing_snapshot`].
+pub struct KernelGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Opens a kernel timer when kernel timing is enabled; `None` otherwise
+/// (one atomic load on the fast path).
+#[inline]
+pub fn kernel_span(name: &'static str) -> Option<KernelGuard> {
+    if !kernel_timing_enabled() {
+        return None;
+    }
+    Some(KernelGuard { name, start: Instant::now() })
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed().as_nanos() as u64;
+        let mut agg = kernel_aggregate().lock().unwrap_or_else(|e| e.into_inner());
+        let e = agg.entry(self.name).or_default();
+        e.count += 1;
+        e.total_ns += dur;
+        e.exclusive_ns += dur;
+    }
+}
+
+/// Snapshot of per-kernel wall-clock, sorted by total time descending.
+pub fn kernel_timing_snapshot() -> Vec<ModuleTime> {
+    let agg = kernel_aggregate().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<ModuleTime> = agg
+        .iter()
+        .map(|(name, a)| ModuleTime {
+            name: format!("kernel.{name}"),
+            count: a.count,
+            total_ns: a.total_ns,
+            exclusive_ns: a.exclusive_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn find<'a>(rows: &'a [ModuleTime], name: &str) -> &'a ModuleTime {
+        rows.iter().find(|m| m.name == name).unwrap_or_else(|| panic!("no row `{name}`"))
+    }
+
+    #[test]
+    fn nested_spans_split_inclusive_and_exclusive_time() {
+        let _guard = test_lock::lock();
+        reset_timing();
+        set_timing(true);
+        {
+            let _outer = crate::span!("outer.total");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = crate::span!("outer.child", step = 1);
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        set_timing(false);
+        let rows = timing_snapshot();
+        let outer = find(&rows, "outer.total");
+        let child = find(&rows, "outer.child");
+        assert_eq!(outer.count, 1);
+        assert_eq!(child.count, 1);
+        assert!(outer.total_ns >= child.total_ns + 3_000_000, "outer contains child");
+        assert!(
+            outer.exclusive_ns <= outer.total_ns - child.total_ns,
+            "exclusive excludes the child: {outer:?} vs {child:?}"
+        );
+        assert_eq!(child.exclusive_ns, child.total_ns, "leaf span is all exclusive");
+    }
+
+    #[test]
+    fn inert_spans_record_nothing() {
+        let _guard = test_lock::lock();
+        reset_timing();
+        set_timing(false);
+        {
+            let _s = crate::span!("inert.nothing");
+        }
+        assert!(timing_snapshot().iter().all(|m| m.name != "inert.nothing"));
+    }
+
+    #[test]
+    fn spans_survive_panics() {
+        let _guard = test_lock::lock();
+        reset_timing();
+        set_timing(true);
+        let r = std::panic::catch_unwind(|| {
+            let _s = crate::span!("panicky.region");
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        set_timing(false);
+        let rows = timing_snapshot();
+        assert_eq!(find(&rows, "panicky.region").count, 1);
+        assert_eq!(current_depth(), 0, "stack unwound cleanly");
+    }
+
+    #[test]
+    fn spans_on_worker_threads_are_independent() {
+        let _guard = test_lock::lock();
+        reset_timing();
+        set_timing(true);
+        let _outer = crate::span!("main.outer");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _w = crate::span!("worker.span");
+                });
+            }
+        });
+        drop(_outer);
+        set_timing(false);
+        let rows = timing_snapshot();
+        let w = find(&rows, "worker.span");
+        assert_eq!(w.count, 4);
+        // Worker spans are roots of their own thread's stack, so they do not
+        // subtract from the main thread's span.
+        assert_eq!(w.exclusive_ns, w.total_ns);
+    }
+
+    #[test]
+    fn kernel_timer_is_optin_and_aggregates() {
+        let _guard = test_lock::lock();
+        reset_timing();
+        set_kernel_timing(false);
+        assert!(kernel_span("matmul").is_none());
+        set_kernel_timing(true);
+        for _ in 0..3 {
+            let _k = kernel_span("matmul");
+        }
+        set_kernel_timing(false);
+        let rows = kernel_timing_snapshot();
+        assert_eq!(find(&rows, "kernel.matmul").count, 3);
+    }
+
+    #[test]
+    fn render_table_shares_sum_to_100() {
+        let rows = vec![
+            ModuleTime { name: "a".into(), count: 2, total_ns: 600, exclusive_ns: 600 },
+            ModuleTime { name: "b".into(), count: 1, total_ns: 400, exclusive_ns: 400 },
+        ];
+        let table = render_timing_table(&rows);
+        assert!(table.contains("60.00%"), "{table}");
+        assert!(table.contains("40.00%"), "{table}");
+    }
+}

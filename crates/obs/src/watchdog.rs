@@ -1,0 +1,141 @@
+//! Non-finite-value watchdog.
+//!
+//! Recurrent TKG models diverge silently: a NaN born in one LSTM gate
+//! propagates through ranking and only surfaces as a suspicious final MRR
+//! (the PR-1 NaN-blind-ranking bug). The watchdog scans tensors the trainer
+//! hands it and fires a **warn event on the first step** a tag goes
+//! non-finite, plus counters for every occurrence:
+//!
+//! * counter `nonfinite.values` — total non-finite scalars seen;
+//! * counter `nonfinite.<tag>` — per-tag occurrences;
+//! * gauge `nonfinite.first_step.<tag>` — the step of first detection.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+use crate::{metrics, Level};
+
+fn seen() -> &'static Mutex<HashSet<String>> {
+    static SEEN: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    SEEN.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Number of NaN/±inf values in `xs` (plain scan; autovectorizes).
+pub fn count_non_finite(xs: &[f32]) -> usize {
+    xs.iter().filter(|x| !x.is_finite()).count()
+}
+
+/// Scans a tensor's data under `tag` at `step`. Returns the non-finite
+/// count, firing the watchdog on the first hit for this tag.
+pub fn check_slice(tag: &str, step: u64, xs: &[f32]) -> usize {
+    if !crate::enabled() {
+        return 0;
+    }
+    let n = count_non_finite(xs);
+    if n > 0 {
+        fire(tag, step, n as u64, xs.len() as u64);
+    }
+    n
+}
+
+/// Checks one scalar (a loss value) under `tag` at `step`. Returns true if
+/// it was non-finite.
+pub fn check_value(tag: &str, step: u64, v: f64) -> bool {
+    if !crate::enabled() {
+        return false;
+    }
+    let bad = !v.is_finite();
+    if bad {
+        fire(tag, step, 1, 1);
+    }
+    bad
+}
+
+fn fire(tag: &str, step: u64, count: u64, total: u64) {
+    metrics::inc_by("nonfinite.values", count);
+    metrics::inc_by(&format!("nonfinite.{tag}"), count);
+    let first = {
+        let mut s = seen().lock().unwrap_or_else(|e| e.into_inner());
+        s.insert(tag.to_string())
+    };
+    if first {
+        metrics::set_gauge(&format!("nonfinite.first_step.{tag}"), step as f64);
+        crate::emit_event(
+            Level::Warn,
+            &format!("nonfinite.{tag}"),
+            &[("step", step as f64), ("count", count as f64), ("total", total as f64)],
+            Some(&format!(
+                "`{tag}` first went non-finite at step {step} ({count}/{total} values); \
+                 the run has likely diverged"
+            )),
+        );
+    }
+}
+
+/// Whether the watchdog has already fired for `tag` in this process.
+pub fn fired(tag: &str) -> bool {
+    seen().lock().unwrap_or_else(|e| e.into_inner()).contains(tag)
+}
+
+/// Forgets all first-fire state (tests).
+pub fn reset() {
+    seen().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counts_non_finite_values() {
+        assert_eq!(count_non_finite(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(count_non_finite(&[f32::NAN, 1.0, f32::INFINITY, f32::NEG_INFINITY]), 3);
+        assert_eq!(count_non_finite(&[]), 0);
+    }
+
+    #[test]
+    fn fires_warn_event_once_per_tag() {
+        let _guard = test_lock::lock();
+        reset();
+        crate::metrics::registry().reset();
+        let (sink, handle) = crate::CaptureSink::new();
+        let id = crate::add_sink(Box::new(sink));
+        let me = crate::current_thread();
+
+        assert_eq!(check_slice("grad.test_w", 3, &[1.0, f32::NAN, f32::NAN]), 2);
+        assert_eq!(check_slice("grad.test_w", 4, &[f32::NAN]), 1);
+        crate::remove_sink(id);
+
+        let events: Vec<_> = handle
+            .events()
+            .into_iter()
+            .filter(|e| e.thread == me && e.name == "nonfinite.grad.test_w")
+            .collect();
+        assert_eq!(events.len(), 1, "warn event fires only on first detection");
+        assert_eq!(events[0].level, Level::Warn);
+        assert!(events[0].fields.iter().any(|(k, v)| k == "step" && *v == 3.0));
+        assert!(fired("grad.test_w"));
+        assert_eq!(crate::metrics::registry().counter("nonfinite.grad.test_w"), 3);
+        assert_eq!(crate::metrics::registry().gauge("nonfinite.first_step.grad.test_w"), Some(3.0));
+    }
+
+    #[test]
+    fn healthy_values_never_fire() {
+        let _guard = test_lock::lock();
+        reset();
+        assert_eq!(check_slice("grad.healthy", 1, &[0.5, -0.5, 1e30]), 0);
+        assert!(!check_value("loss.healthy", 1, 0.25));
+        assert!(!fired("grad.healthy"));
+        assert!(!fired("loss.healthy"));
+    }
+
+    #[test]
+    fn scalar_check_detects_nan_and_inf() {
+        let _guard = test_lock::lock();
+        reset();
+        assert!(check_value("loss.test_scalar", 2, f64::NAN));
+        assert!(check_value("loss.test_scalar", 3, f64::INFINITY));
+        assert!(fired("loss.test_scalar"));
+    }
+}

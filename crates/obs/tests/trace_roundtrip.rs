@@ -1,0 +1,55 @@
+//! End-to-end trace test: spans and events written through a [`JsonlSink`]
+//! round-trip through `retia-json` and feed the per-module report.
+
+use retia_obs::{event, report, span, JsonlSink, Level};
+
+#[test]
+fn jsonl_trace_roundtrips_and_reports() {
+    let dir = std::env::temp_dir().join(format!("retia_obs_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+
+    let id = retia_obs::add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+    {
+        let _step = span!("train.step", step = 1);
+        {
+            let _eam = span!("eam.rgcn", t = 0);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _dec = span!("decode.entity");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        event!(Level::Info, "train.epoch", epoch = 1, joint = 0.5; "epoch done");
+    }
+    retia_obs::flush_sinks();
+    retia_obs::remove_sink(id);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let me = retia_obs::current_thread();
+    // Other tests in this binary may interleave events; keep only ours.
+    let events: Vec<_> =
+        report::parse_trace(&text).unwrap().into_iter().filter(|e| e.thread == me).collect();
+
+    // Span guards drop children before parents, so the file is in end order.
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    let pos = |n: &str| names.iter().position(|x| *x == n).unwrap_or_else(|| panic!("missing {n}"));
+    assert!(pos("eam.rgcn") < pos("train.step"));
+    assert!(pos("decode.entity") < pos("train.step"));
+
+    let epoch = &events[pos("train.epoch")];
+    assert_eq!(epoch.level, Level::Info);
+    assert_eq!(epoch.message.as_deref(), Some("epoch done"));
+    assert!(epoch.fields.iter().any(|(k, v)| k == "epoch" && *v == 1.0));
+
+    let rows = report::module_breakdown(&events);
+    let get = |m: &str| rows.iter().find(|r| r.module == m).unwrap_or_else(|| panic!("no {m}"));
+    assert!(get("eam").exclusive_ns >= 1_000_000);
+    assert!(get("decode").exclusive_ns >= 1_000_000);
+    // train.step's exclusive time excludes both children.
+    assert!(get("train").exclusive_ns < get("train").total_ns);
+    let share_sum: f64 = rows.iter().map(|r| r.share_pct).sum();
+    assert!((share_sum - 100.0).abs() < 1e-6, "shares sum to {share_sum}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -83,7 +83,14 @@ enum Op {
     LayerNormRows(NodeId, Rc<Vec<(f32, f32)>>),
     /// 1-D convolution: x `[batch, in_ch*width]`, w `[out_ch, in_ch*ksize]`,
     /// b `[1, out_ch]`, 'same' zero padding. Output `[batch, out_ch*width]`.
-    Conv1d { x: NodeId, w: NodeId, b: NodeId, in_ch: usize, out_ch: usize, ksize: usize },
+    Conv1d {
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+        in_ch: usize,
+        out_ch: usize,
+        ksize: usize,
+    },
     /// Fused softmax + cross-entropy against integer targets; saved probs.
     SoftmaxXent(NodeId, Rc<Vec<u32>>),
 }
@@ -324,13 +331,8 @@ impl Graph {
         let (r, c) = self.value(x).shape();
         let keep = 1.0 - p;
         let rng = &mut self.rng;
-        let mask = Tensor::from_fn(r, c, |_, _| {
-            if rng.gen::<f32>() < keep {
-                1.0 / keep
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            Tensor::from_fn(r, c, |_, _| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 });
         let v = self.value(x).mul(&mask);
         self.push(v, Op::Dropout(x, mask))
     }
@@ -481,6 +483,7 @@ impl Graph {
         let width = xv.cols() / in_ch;
         let pad = ksize / 2;
         let batch = xv.rows();
+        let _t = retia_obs::kernel_span("conv1d");
         let mut out = Tensor::zeros(batch, out_ch * width);
         let ow = out_ch * width;
         // Batch rows are independent, so the batch dimension chunks cleanly;
@@ -532,11 +535,7 @@ impl Graph {
     /// Backpropagates from `loss` (must be `1 x 1`), accumulating parameter
     /// gradients into `store`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
-        assert_eq!(
-            self.value(loss).shape(),
-            (1, 1),
-            "backward() expects a scalar loss node"
-        );
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward() expects a scalar loss node");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
@@ -610,12 +609,8 @@ impl Graph {
                     }
                     let mut gc = Tensor::zeros(cv.rows(), 1);
                     for i in 0..g.rows() {
-                        let dot: f32 = g
-                            .row(i)
-                            .iter()
-                            .zip(xv.row(i).iter())
-                            .map(|(&a, &b)| a * b)
-                            .sum();
+                        let dot: f32 =
+                            g.row(i).iter().zip(xv.row(i).iter()).map(|(&a, &b)| a * b).sum();
                         gc.set(i, 0, dot);
                     }
                     Self::acc(&mut grads, x, gx);
@@ -744,12 +739,8 @@ impl Graph {
                     // dx = p * (g - sum_j g_j p_j) per row.
                     let mut gx = Tensor::zeros(g.rows(), g.cols());
                     for i in 0..g.rows() {
-                        let dot: f32 = g
-                            .row(i)
-                            .iter()
-                            .zip(p.row(i).iter())
-                            .map(|(&a, &b)| a * b)
-                            .sum();
+                        let dot: f32 =
+                            g.row(i).iter().zip(p.row(i).iter()).map(|(&a, &b)| a * b).sum();
                         let dst = gx.row_mut(i);
                         for (j, d) in dst.iter_mut().enumerate() {
                             *d = p.get(i, j) * (g.get(i, j) - dot);
@@ -813,12 +804,8 @@ impl Graph {
                             gx.row_mut(i).copy_from_slice(g.row(i));
                             continue;
                         }
-                        let dot: f32 = g
-                            .row(i)
-                            .iter()
-                            .zip(y.row(i).iter())
-                            .map(|(&a, &b)| a * b)
-                            .sum();
+                        let dot: f32 =
+                            g.row(i).iter().zip(y.row(i).iter()).map(|(&a, &b)| a * b).sum();
                         for j in 0..g.cols() {
                             gx.set(i, j, (g.get(i, j) - dot * y.get(i, j)) / n);
                         }
@@ -834,15 +821,10 @@ impl Graph {
                     for i in 0..g.rows() {
                         let (_, inv_std) = stats[i];
                         let gsum: f32 = g.row(i).iter().sum();
-                        let gydot: f32 = g
-                            .row(i)
-                            .iter()
-                            .zip(y.row(i).iter())
-                            .map(|(&a, &b)| a * b)
-                            .sum();
+                        let gydot: f32 =
+                            g.row(i).iter().zip(y.row(i).iter()).map(|(&a, &b)| a * b).sum();
                         for j in 0..g.cols() {
-                            let v = inv_std
-                                * (g.get(i, j) - gsum / d - y.get(i, j) * gydot / d);
+                            let v = inv_std * (g.get(i, j) - gsum / d - y.get(i, j) * gydot / d);
                             gx.set(i, j, v);
                         }
                     }
@@ -877,8 +859,7 @@ impl Graph {
                                         }
                                         for ic in 0..in_ch {
                                             for kk in 0..ksize {
-                                                let src =
-                                                    pos as isize + kk as isize - pad as isize;
+                                                let src = pos as isize + kk as isize - pad as isize;
                                                 if src < 0 || src >= width as isize {
                                                     continue;
                                                 }
@@ -969,11 +950,7 @@ mod tests {
 
     /// Central finite-difference gradient check for a scalar-valued function
     /// of a single parameter tensor named "x".
-    fn grad_check(
-        x0: Tensor,
-        build: impl Fn(&mut Graph, NodeId) -> NodeId,
-        tol: f32,
-    ) {
+    fn grad_check(x0: Tensor, build: impl Fn(&mut Graph, NodeId) -> NodeId, tol: f32) {
         let mut store = ParamStore::new(0);
         store.register("x", x0.clone());
 
@@ -1379,10 +1356,7 @@ mod tests {
         let x = g.constant(Tensor::full(10, 10, -1.0));
         let y = g.rrelu(x);
         let v = g.value(y);
-        assert!(v
-            .data()
-            .iter()
-            .all(|&x| (-1.0 / 3.0 - 1e-6..=-0.125 + 1e-6).contains(&x)));
+        assert!(v.data().iter().all(|&x| (-1.0 / 3.0 - 1e-6..=-0.125 + 1e-6).contains(&x)));
     }
 
     #[test]

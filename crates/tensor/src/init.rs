@@ -46,8 +46,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let t = normal(100, 100, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / (t.len() as f32);
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / (t.len() as f32);
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

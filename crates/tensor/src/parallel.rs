@@ -81,7 +81,7 @@ pub fn for_each_row_chunk<F>(out: &mut [f32], row_width: usize, cost_per_row: us
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    let rows = if row_width == 0 { 0 } else { out.len() / row_width };
+    let rows = out.len().checked_div(row_width).unwrap_or(0);
     debug_assert_eq!(rows * row_width, out.len(), "out is not a whole number of rows");
     let chunk_elems = (CHUNK_ROWS * row_width).max(1);
     let threads = effective_threads(rows, cost_per_row);
@@ -127,10 +127,21 @@ where
 
 fn effective_threads(rows: usize, cost_per_row: usize) -> usize {
     if !should_par(rows, cost_per_row) {
+        if retia_obs::kernel_timing_enabled() {
+            retia_obs::metrics::inc("parallel.dispatch.seq");
+        }
         return 1;
     }
     // No point spawning more workers than there are chunks.
-    num_threads().min(rows.div_ceil(CHUNK_ROWS)).max(1)
+    let threads = num_threads().min(rows.div_ceil(CHUNK_ROWS)).max(1);
+    if retia_obs::kernel_timing_enabled() {
+        retia_obs::metrics::inc(if threads > 1 {
+            "parallel.dispatch.par"
+        } else {
+            "parallel.dispatch.seq"
+        });
+    }
+    threads
 }
 
 /// Executes each group of work items on its own scoped thread; the calling

@@ -49,10 +49,7 @@ impl ParamStore {
     /// # Panics
     /// Panics if a parameter with the same name already exists.
     pub fn register(&mut self, name: &str, value: Tensor) -> ParamId {
-        assert!(
-            !self.by_name.contains_key(name),
-            "parameter `{name}` registered twice"
-        );
+        assert!(!self.by_name.contains_key(name), "parameter `{name}` registered twice");
         let (r, c) = value.shape();
         let id = ParamId(self.params.len());
         self.params.push(Param {
@@ -96,10 +93,7 @@ impl ParamStore {
     /// # Panics
     /// Panics if no such parameter exists.
     pub fn id(&self, name: &str) -> ParamId {
-        *self
-            .by_name
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown parameter `{name}`"))
+        *self.by_name.get(name).unwrap_or_else(|| panic!("unknown parameter `{name}`"))
     }
 
     /// True if a parameter with this name exists.
@@ -155,13 +149,15 @@ impl ParamStore {
         self.params.iter().map(|p| (p.name.as_str(), &p.value))
     }
 
+    /// Iterates over `(name, gradient)` pairs in registration order. Used by
+    /// training-health instrumentation (per-parameter norms, NaN scans).
+    pub fn iter_grads(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|p| (p.name.as_str(), &p.grad))
+    }
+
     /// Global gradient L2 norm over all parameters.
     pub fn grad_norm(&self) -> f32 {
-        self.params
-            .iter()
-            .map(|p| p.grad.norm_sq())
-            .sum::<f32>()
-            .sqrt()
+        self.params.iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt()
     }
 
     /// Scales all gradients by `s` (used by gradient clipping).

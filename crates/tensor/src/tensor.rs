@@ -6,7 +6,6 @@
 //! row (`[batch, channels * width]`); the convolution op carries the channel
 //! count out-of-band.
 
-
 /// A dense `rows x cols` matrix of `f32` in row-major order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
@@ -149,11 +148,7 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` elementwise in place.
@@ -184,12 +179,7 @@ impl Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -222,12 +212,14 @@ impl Tensor {
     /// Matrix product `self @ other` (`[m,k] @ [k,n] -> [m,n]`).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} @ {:?}",
             self.shape(),
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let _t = retia_obs::kernel_span("matmul");
         let mut out = vec![0.0f32; m * n];
         // i-k-j loop order keeps the inner loop streaming over contiguous rows
         // of `other` and `out`. Output rows are independent, so row-chunked
@@ -258,12 +250,14 @@ impl Tensor {
     /// fused avoids materializing large transposed embedding tables.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} @ {:?}^T",
             self.shape(),
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        let _t = retia_obs::kernel_span("matmul_nt");
         let mut out = vec![0.0f32; m * n];
         // Each output element is an independent dot product; chunking rows
         // changes nothing about its accumulation order.
@@ -290,12 +284,14 @@ impl Tensor {
     /// This is the weight-gradient kernel (`x^T @ dy`).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?}^T @ {:?}",
             self.shape(),
             other.shape()
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        let _t = retia_obs::kernel_span("matmul_tn");
         let mut out = vec![0.0f32; m * n];
         // Restructured from the kk-outer scatter loop to an output-row loop
         // so rows can be chunked. Per element the accumulation is still
@@ -396,6 +392,7 @@ impl Tensor {
     /// Rows selected by `indices` (with repetition allowed), as a new tensor.
     pub fn gather_rows(&self, indices: &[u32]) -> Tensor {
         let cols = self.cols;
+        let _t = retia_obs::kernel_span("gather_rows");
         let mut data = vec![0.0f32; indices.len() * cols];
         // Pure per-row copies; the cost estimate is the row width (a copy,
         // not flops), so only very large gathers spawn threads.
@@ -411,6 +408,7 @@ impl Tensor {
     /// `out_rows x cols` zero tensor.
     pub fn scatter_add_rows(&self, indices: &[u32], out_rows: usize) -> Tensor {
         assert_eq!(indices.len(), self.rows, "scatter_add_rows index count mismatch");
+        let _t = retia_obs::kernel_span("scatter_add_rows");
         let mut out = Tensor::zeros(out_rows, self.cols);
         for (i, &dst) in indices.iter().enumerate() {
             let src = self.row(i);
@@ -437,6 +435,7 @@ impl Tensor {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
+        let _t = retia_obs::kernel_span("softmax_rows");
         let mut out = self.clone();
         let cols = self.cols;
         // Rows are independent; ~4 passes over each row.
@@ -463,11 +462,7 @@ impl Tensor {
     /// Maximum absolute elementwise difference between two same-shape tensors.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

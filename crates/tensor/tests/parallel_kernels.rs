@@ -103,7 +103,9 @@ fn conv1d_forward_and_backward_bit_identical_across_threads() {
     let x0 = rand_tensor(batch, in_ch * width, 11);
     let w0 = rand_tensor(out_ch, in_ch * ksize, 12);
     let b0 = rand_tensor(1, out_ch, 13);
-    let targets = std::rc::Rc::new((0..batch as u32).map(|i| i % (out_ch as u32 * width as u32)).collect::<Vec<u32>>());
+    let targets = std::rc::Rc::new(
+        (0..batch as u32).map(|i| i % (out_ch as u32 * width as u32)).collect::<Vec<u32>>(),
+    );
 
     let run = || -> (Tensor, Tensor, Tensor, Tensor) {
         let mut store = ParamStore::new(0);

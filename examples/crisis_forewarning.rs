@@ -12,12 +12,18 @@ use retia_data::{DatasetProfile, SyntheticConfig};
 /// Human-readable labels for the synthetic ids, ICEWS-flavoured.
 fn actor_name(id: u32) -> String {
     const ROLES: [&str; 8] = [
-        "Government", "Opposition", "Military", "Police", "Citizen Group", "Media",
-        "Business Lobby", "NGO",
+        "Government",
+        "Opposition",
+        "Military",
+        "Police",
+        "Citizen Group",
+        "Media",
+        "Business Lobby",
+        "NGO",
     ];
     const PLACES: [&str; 10] = [
-        "Aldova", "Berun", "Cadria", "Dorvik", "Elbonia", "Freleng", "Gondal", "Hestia",
-        "Ithria", "Jundland",
+        "Aldova", "Berun", "Cadria", "Dorvik", "Elbonia", "Freleng", "Gondal", "Hestia", "Ithria",
+        "Jundland",
     ];
     format!(
         "{} ({})",
@@ -28,9 +34,18 @@ fn actor_name(id: u32) -> String {
 
 fn relation_name(id: u32, num_relations: usize) -> String {
     const VERBS: [&str; 12] = [
-        "Make statement", "Consult", "Engage in diplomatic cooperation", "Provide aid",
-        "Demand", "Threaten", "Protest against", "Reduce relations with", "Impose sanctions on",
-        "Negotiate with", "Host a visit by", "Accuse",
+        "Make statement",
+        "Consult",
+        "Engage in diplomatic cooperation",
+        "Provide aid",
+        "Demand",
+        "Threaten",
+        "Protest against",
+        "Reduce relations with",
+        "Impose sanctions on",
+        "Negotiate with",
+        "Host a visit by",
+        "Accuse",
     ];
     if (id as usize) < num_relations {
         VERBS[id as usize % VERBS.len()].to_string()
@@ -84,9 +99,7 @@ fn main() {
     let mut hits = 0usize;
     let monitored: Vec<_> = day.facts.iter().take(6).collect();
     for fact in &monitored {
-        let probs = trainer
-            .model
-            .predict_entity(hist, hypers, vec![fact.s], vec![fact.r]);
+        let probs = trainer.model.predict_entity(hist, hypers, vec![fact.s], vec![fact.r]);
         let mut ranked: Vec<(usize, f32)> = probs.row(0).iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top = ranked[0].0 as u32;

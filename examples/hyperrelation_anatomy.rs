@@ -26,7 +26,11 @@ fn main() {
     let snap = Snapshot::from_quads(&facts, 6, 5);
     let hyper = HyperSnapshot::from_snapshot(&snap);
 
-    println!("original subgraph: {} facts -> {} edges (inverses added)", facts.len(), snap.num_edges());
+    println!(
+        "original subgraph: {} facts -> {} edges (inverses added)",
+        facts.len(),
+        snap.num_edges()
+    );
     println!("twin hyperrelation subgraph: {} hyperedges\n", hyper.num_edges());
 
     // In an entity-centric GCN, messages from r1 stop at o3 ("message
@@ -57,7 +61,15 @@ fn main() {
     let ds = dcfg.generate();
     let ctx = TkgContext::new(&ds);
 
-    let base = RetiaConfig { dim: 16, channels: 8, k: 3, epochs: 5, patience: 0, online: false, ..Default::default() };
+    let base = RetiaConfig {
+        dim: 16,
+        channels: 8,
+        k: 3,
+        epochs: 5,
+        patience: 0,
+        online: false,
+        ..Default::default()
+    };
     println!("\ntraining full RETIA and the no-RAM ablation on a chain-heavy TKG...");
 
     let mut full = Trainer::new(Retia::new(&base, &ds), base.clone());
@@ -69,11 +81,13 @@ fn main() {
     ablated.fit(&ctx);
     let ablated_rep = ablated.evaluate(&ctx, Split::Test);
 
-    println!("relation forecasting MRR: full {:.2} vs wo. RAM {:.2}",
+    println!(
+        "relation forecasting MRR: full {:.2} vs wo. RAM {:.2}",
         full_rep.relation_raw.mrr() * 100.0,
         ablated_rep.relation_raw.mrr() * 100.0
     );
-    println!("entity   forecasting MRR: full {:.2} vs wo. RAM {:.2}",
+    println!(
+        "entity   forecasting MRR: full {:.2} vs wo. RAM {:.2}",
         full_rep.entity_raw.mrr() * 100.0,
         ablated_rep.entity_raw.mrr() * 100.0
     );

@@ -19,7 +19,12 @@ fn main() {
     let stats = ds.stats();
     println!(
         "dataset `{}`: {} entities, {} relations, {} timestamps, {}/{}/{} facts",
-        ds.name, stats.entities, stats.relations, stats.timestamps, stats.train, stats.valid,
+        ds.name,
+        stats.entities,
+        stats.relations,
+        stats.timestamps,
+        stats.train,
+        stats.valid,
         stats.test
     );
 
@@ -70,9 +75,7 @@ fn main() {
     let test_idx = ctx.test_idx[0];
     let fact = ctx.snapshots[test_idx].facts[0];
     let (hist, hypers) = ctx.history(test_idx, trainer.cfg.k);
-    let probs = trainer
-        .model
-        .predict_entity(hist, hypers, vec![fact.s], vec![fact.r]);
+    let probs = trainer.model.predict_entity(hist, hypers, vec![fact.s], vec![fact.r]);
     let mut ranked: Vec<(usize, f32)> = probs.row(0).iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(

@@ -15,15 +15,40 @@ use retia_data::{Granularity, TkgDataset};
 use retia_graph::Quad;
 
 const COMPANIES: [&str; 30] = [
-    "Acme", "Borealis", "Cygnus", "Dynamo", "Everest", "Fulcrum", "Gigawatt", "Helios",
-    "Ionix", "Juniper", "Kestrel", "Lumen", "Meridian", "Nimbus", "Orion", "Pinnacle",
-    "Quasar", "Rubicon", "Solstice", "Tempest", "Umbra", "Vertex", "Wavefront", "Xenon",
-    "Yonder", "Zephyr", "Argent", "Bastion", "Cobalt", "Drift",
+    "Acme",
+    "Borealis",
+    "Cygnus",
+    "Dynamo",
+    "Everest",
+    "Fulcrum",
+    "Gigawatt",
+    "Helios",
+    "Ionix",
+    "Juniper",
+    "Kestrel",
+    "Lumen",
+    "Meridian",
+    "Nimbus",
+    "Orion",
+    "Pinnacle",
+    "Quasar",
+    "Rubicon",
+    "Solstice",
+    "Tempest",
+    "Umbra",
+    "Vertex",
+    "Wavefront",
+    "Xenon",
+    "Yonder",
+    "Zephyr",
+    "Argent",
+    "Bastion",
+    "Cobalt",
+    "Drift",
 ];
 
-const RELATIONS: [&str; 6] = [
-    "supplies", "invests in", "partners with", "sues", "acquires stake in", "competes with",
-];
+const RELATIONS: [&str; 6] =
+    ["supplies", "invests in", "partners with", "sues", "acquires stake in", "competes with"];
 
 /// Builds a weekly corporate-event stream with sector structure: supply
 /// chains are persistent, partnerships recur quarterly, lawsuits are bursts.
@@ -136,9 +161,7 @@ fn main() {
         );
         // And what kind of event connects `watch` to its top counterparty?
         let top = ranked[0].0 as u32;
-        let rprobs = trainer
-            .model
-            .predict_relation(hist, hypers, vec![watch], vec![top]);
+        let rprobs = trainer.model.predict_relation(hist, hypers, vec![watch], vec![top]);
         let best_rel = rprobs.argmax_row(0);
         println!(
             "    most likely event type toward {}: \"{}\"",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the RETIA reproduction: build, tests, formatting, lints.
+# Run from anywhere; operates on the whole workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -204,7 +204,7 @@ tuple_strategy! {
 
 /// Collection strategies (`prop::collection::vec`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 

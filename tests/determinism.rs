@@ -65,11 +65,7 @@ fn results_are_bit_identical_at_any_thread_count() {
         let (losses, report) = run(threads);
         assert_eq!(losses1.len(), losses.len());
         for (a, b) in losses1.iter().zip(losses.iter()) {
-            assert_eq!(
-                a.joint.to_bits(),
-                b.joint.to_bits(),
-                "loss differs at {threads} threads"
-            );
+            assert_eq!(a.joint.to_bits(), b.joint.to_bits(), "loss differs at {threads} threads");
             assert_eq!(a.entity.to_bits(), b.entity.to_bits());
             assert_eq!(a.relation.to_bits(), b.relation.to_bits());
         }

@@ -92,19 +92,11 @@ fn ablations_degrade_their_target_task() {
 fn every_ablation_combination_produces_finite_metrics() {
     let ds = SyntheticConfig::tiny(102).generate();
     let ctx = TkgContext::new(&ds);
-    for rm in [
-        RelationMode::None,
-        RelationMode::Mp,
-        RelationMode::MpLstm,
-        RelationMode::MpLstmAgg,
-    ] {
+    for rm in [RelationMode::None, RelationMode::Mp, RelationMode::MpLstm, RelationMode::MpLstmAgg]
+    {
         for hm in [HyperrelMode::Init, HyperrelMode::Hmp, HyperrelMode::HmpHlstm] {
-            let cfg = RetiaConfig {
-                relation_mode: rm,
-                hyperrel_mode: hm,
-                epochs: 1,
-                ..smoke_config()
-            };
+            let cfg =
+                RetiaConfig { relation_mode: rm, hyperrel_mode: hm, epochs: 1, ..smoke_config() };
             let mut trainer = Trainer::new(Retia::new(&cfg, &ds), cfg);
             trainer.fit(&ctx);
             let report = trainer.evaluate(&ctx, Split::Valid);

@@ -7,11 +7,7 @@ use retia_graph::{group_by_timestamp, HyperSnapshot, Quad, Snapshot};
 
 fn arb_facts(max_n: u32, max_m: u32) -> impl Strategy<Value = (Vec<(u32, u32, u32)>, u32, u32)> {
     (2..max_n, 1..max_m).prop_flat_map(|(n, m)| {
-        (
-            prop::collection::vec((0..n, 0..m, 0..n), 1..30),
-            Just(n),
-            Just(m),
-        )
+        (prop::collection::vec((0..n, 0..m, 0..n), 1..30), Just(n), Just(m))
     })
 }
 

@@ -54,9 +54,8 @@ fn full_model_gradient_matches_finite_differences() {
         let grad = model.store().grad(name).clone();
         let (rows, cols) = grad.shape();
         // Probe up to 4 coordinates per tensor, spread deterministically.
-        let probes: Vec<(usize, usize)> = (0..4)
-            .map(|i| ((i * 7 + 1) % rows, (i * 13 + 2) % cols))
-            .collect();
+        let probes: Vec<(usize, usize)> =
+            (0..4).map(|i| ((i * 7 + 1) % rows, (i * 13 + 2) % cols)).collect();
         for (r, c) in probes {
             let orig = model.store().value(name).get(r, c);
             model.store_mut().value_mut(name).set(r, c, orig + h);
