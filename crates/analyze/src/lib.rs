@@ -1,0 +1,22 @@
+//! Static analysis for the RETIA stack.
+//!
+//! Two halves, both dependency-free:
+//!
+//! - [`shape`] — an abstract shape interpreter. [`ShapeCtx`] replays the
+//!   model's op sequence over [`ShapeTensor`]s (shapes only, no allocation),
+//!   so a full EAM→RAM→TIM→decode→loss→backward pass can be dry-run at
+//!   startup and every dimension/index-space mismatch reported with the
+//!   module and paper-equation name attached. NN layers expose `validate`
+//!   methods built on this; `retia check` and the pre-`train`/`eval` guard
+//!   in the CLI surface it.
+//! - [`lint`] — the repo-specific source lint behind the `retia-lint` binary
+//!   (`cargo run -p retia-analyze --bin retia-lint`), with an exact-count
+//!   allowlist ratchet in `scripts/lint-allowlist.txt`.
+//!
+//! The parallel-plan race prover lives next to the kernels it checks, in
+//! `retia_tensor::parallel`, because the plan type is private to that crate.
+
+pub mod lint;
+pub mod shape;
+
+pub use shape::{ShapeCtx, ShapeIssue, ShapeReport, ShapeTensor};

@@ -1,0 +1,724 @@
+//! Repo-specific source lint (the `retia-lint` binary).
+//!
+//! Four rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as the
+//! evidence corpus for the kernel rule):
+//!
+//! - **no-unwrap** — library crates must not call `.unwrap()`, `panic!`, or
+//!   `.expect("")` (an `expect` with an actionable message is fine). The CLI
+//!   and bench crates are exempt; so is test code.
+//! - **no-println** — stdout belongs to the CLI. Library crates must route
+//!   diagnostics through `retia-obs` (stderr via `eprintln!` is allowed —
+//!   that is the obs sink itself).
+//! - **kernel-bit-identity** — every kernel registered with
+//!   `retia_obs::kernel_span("name")` in `crates/tensor/src` must be named in
+//!   a test under `crates/tensor/tests`, keeping the thread-count
+//!   bit-identity sweep in lockstep with the kernel set.
+//! - **layer-validate** — every public NN layer struct in `crates/nn/src`
+//!   must expose a `validate` method replaying its shapes through
+//!   [`crate::ShapeCtx`].
+//!
+//! Grandfathered sites live in `scripts/lint-allowlist.txt` as exact
+//! `path rule count` entries. The ratchet is two-sided: more violations than
+//! allowed fails, and *fewer* also fails (with instructions to lower the
+//! entry), so the committed allowlist always matches reality and the count
+//! can only go down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Crates under `crates/` whose `src` is exempt from the in-library rules
+/// (`no-unwrap`, `no-println`): binaries talking to a terminal.
+const EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
+
+/// One source file presented to the lint engine, path relative to the repo
+/// root with forward slashes.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    pub path: String,
+    pub content: String,
+}
+
+/// One rule violation at a specific line.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.detail)
+    }
+}
+
+/// Result of a full lint run after the allowlist is applied.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    pub files_scanned: usize,
+    pub violations_found: usize,
+    pub violations_allowed: usize,
+    /// Human-readable failure lines; empty means the lint passed.
+    pub failures: Vec<String>,
+}
+
+impl LintOutcome {
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+// ---- code stripping --------------------------------------------------------
+
+/// Returns `content` line by line with comments removed and string contents
+/// replaced by a placeholder (empty strings stay empty, so `.expect("")`
+/// remains detectable). Rule patterns match against these stripped lines,
+/// never raw source, so a rule name inside a comment or string is not a hit.
+fn strip_code(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut chars = content.chars().peekable();
+    let mut block_comment = 0usize;
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            out.push(std::mem::take(&mut line));
+            continue;
+        }
+        if block_comment > 0 {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                block_comment -= 1;
+            } else if c == '/' && chars.peek() == Some(&'*') {
+                chars.next();
+                block_comment += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => {
+                // Line comment: drop the rest of the line.
+                for d in chars.by_ref() {
+                    if d == '\n' {
+                        out.push(std::mem::take(&mut line));
+                        break;
+                    }
+                }
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                block_comment += 1;
+            }
+            '"' => {
+                line.push('"');
+                let mut empty = true;
+                while let Some(d) = chars.next() {
+                    match d {
+                        '\\' => {
+                            chars.next();
+                            empty = false;
+                        }
+                        '"' => break,
+                        _ => empty = false,
+                    }
+                }
+                if !empty {
+                    line.push('S');
+                }
+                line.push('"');
+            }
+            'r' if chars.peek() == Some(&'"') || chars.peek() == Some(&'#') => {
+                // Raw string r"..." / r#"..."# (no escapes inside).
+                let mut hashes = 0usize;
+                while chars.peek() == Some(&'#') {
+                    chars.next();
+                    hashes += 1;
+                }
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    line.push_str("\"S\"");
+                    let closer: String =
+                        std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+                    let mut tail = String::new();
+                    for d in chars.by_ref() {
+                        tail.push(d);
+                        if tail.ends_with(&closer) {
+                            break;
+                        }
+                    }
+                } else {
+                    // `r#ident` raw identifier, not a string.
+                    line.push('r');
+                    for _ in 0..hashes {
+                        line.push('#');
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: 'x' / '\n' are literals; 'a in
+                // `&'a str` is a lifetime (no closing quote right after).
+                let mut ahead = chars.clone();
+                match (ahead.next(), ahead.next()) {
+                    (Some('\\'), _) => {
+                        // Escaped char literal: consume through closing quote.
+                        chars.next();
+                        chars.next(); // the escaped char
+                        for d in chars.by_ref() {
+                            if d == '\'' {
+                                break;
+                            }
+                        }
+                        line.push_str("'C'");
+                    }
+                    (Some(_), Some('\'')) => {
+                        chars.next();
+                        chars.next();
+                        line.push_str("'C'");
+                    }
+                    _ => line.push('\''), // lifetime marker
+                }
+            }
+            _ => line.push(c),
+        }
+    }
+    if !line.is_empty() {
+        out.push(line);
+    }
+    out
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated blocks. Returns one flag per
+/// stripped line; `true` means "test code, skip in-library rules".
+fn test_block_mask(stripped: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; stripped.len()];
+    let mut i = 0usize;
+    while i < stripped.len() {
+        if stripped[i].contains("#[cfg(test)]") {
+            // Skip until the block opened after the attribute closes. A `;`
+            // before any `{` means the attribute gated a single item.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < stripped.len() {
+                mask[j] = true;
+                for c in stripped[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened => {
+                            depth = -1; // single gated item, stop here
+                        }
+                        _ => {}
+                    }
+                    if opened && depth == 0 {
+                        break;
+                    }
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                if (opened && depth == 0) || depth < 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+// ---- rules -----------------------------------------------------------------
+
+/// Crate name if `path` is a library source file (`crates/<name>/src/...`).
+fn library_crate(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (krate, tail) = rest.split_once('/')?;
+    if !tail.starts_with("src/") || EXEMPT_CRATES.contains(&krate) {
+        return None;
+    }
+    Some(krate)
+}
+
+/// Occurrences of `pat` in `line` that start at a token boundary (not
+/// preceded by an identifier character), so `eprintln!` is not a `println!`
+/// hit and `reprint!` is not a `print!` hit.
+fn token_hits(line: &str, pat: &str) -> usize {
+    // Patterns starting with `.` carry their own boundary; identifier-led
+    // patterns must not be preceded by an identifier character.
+    let needs_boundary = pat.starts_with(|c: char| c.is_alphanumeric() || c == '_');
+    line.match_indices(pat)
+        .filter(|(pos, _)| {
+            !needs_boundary || !line[..*pos].ends_with(|c: char| c.is_alphanumeric() || c == '_')
+        })
+        .count()
+}
+
+fn scan_in_library_rules(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if library_crate(&file.path).is_none() {
+        return;
+    }
+    let stripped = strip_code(&file.content);
+    let mask = test_block_mask(&stripped);
+    let unwrap_patterns: [(&str, &str); 3] = [
+        (
+            ".unwrap()",
+            "`.unwrap()` in library code: return a typed error or `expect` with an actionable \
+             message",
+        ),
+        ("panic!", "`panic!` in library code: return a typed error instead"),
+        (".expect(\"\")", "`.expect(\"\")` with an empty message: say what invariant failed"),
+    ];
+    for (idx, line) in stripped.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        for (pat, detail) in unwrap_patterns {
+            for _ in 0..token_hits(line, pat) {
+                violations.push(Violation {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: "no-unwrap",
+                    detail: detail.to_string(),
+                });
+            }
+        }
+        for _ in 0..(token_hits(line, "println!") + token_hits(line, "print!(")) {
+            violations.push(Violation {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "no-println",
+                detail: "stdout printing in library code: route through retia-obs".to_string(),
+            });
+        }
+    }
+}
+
+/// Extracts kernel names registered via `kernel_span("...")`.
+fn kernel_names(stripped: &[String]) -> Vec<(usize, String)> {
+    let mut names = Vec::new();
+    for (idx, line) in stripped.iter().enumerate() {
+        let mut rest = line.as_str();
+        while let Some(pos) = rest.find("kernel_span(\"") {
+            rest = &rest[pos + "kernel_span(\"".len()..];
+            if let Some(end) = rest.find('"') {
+                names.push((idx + 1, rest[..end].to_string()));
+                rest = &rest[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// Rule `kernel-bit-identity`: every tensor kernel name must appear (quoted)
+/// in `crates/tensor/tests`.
+fn scan_kernel_rule(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    let test_corpus: String = files
+        .iter()
+        .filter(|f| f.path.starts_with("crates/tensor/tests/"))
+        .map(|f| f.content.as_str())
+        .collect();
+    for file in files {
+        if !file.path.starts_with("crates/tensor/src/") {
+            continue;
+        }
+        // Placeholder-stripped lines still carry kernel_span("S") markers, so
+        // extract names from the raw content but drop commented-out lines.
+        let stripped = strip_code(&file.content);
+        let raw_lines: Vec<&str> = file.content.lines().collect();
+        for (lineno, _) in kernel_names(&stripped) {
+            let raw = raw_lines.get(lineno - 1).copied().unwrap_or("");
+            for (_, name) in kernel_names(&[raw.to_string()]) {
+                if !test_corpus.contains(&format!("\"{name}\"")) {
+                    violations.push(Violation {
+                        path: file.path.clone(),
+                        line: lineno,
+                        rule: "kernel-bit-identity",
+                        detail: format!(
+                            "kernel `{name}` has no bit-identity test naming it in \
+                             crates/tensor/tests"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule `layer-validate`: every `pub struct` in `crates/nn/src` must have a
+/// `validate` method in one of its `impl` blocks (same file).
+fn scan_layer_validate_rule(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    for file in files {
+        if !file.path.starts_with("crates/nn/src/") {
+            continue;
+        }
+        let stripped = strip_code(&file.content);
+        let mask = test_block_mask(&stripped);
+        let mut structs: Vec<(usize, String)> = Vec::new();
+        for (idx, line) in stripped.iter().enumerate() {
+            if mask[idx] {
+                continue;
+            }
+            if let Some(pos) = line.find("pub struct ") {
+                let name: String = line[pos + "pub struct ".len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    structs.push((idx + 1, name));
+                }
+            }
+        }
+        for (lineno, name) in structs {
+            if !impl_blocks_contain(&stripped, &name, "fn validate") {
+                violations.push(Violation {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: "layer-validate",
+                    detail: format!(
+                        "public layer `{name}` has no `validate` method replaying its shapes \
+                         through retia_analyze::ShapeCtx"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True if any `impl <name>` block in `stripped` contains `needle`.
+fn impl_blocks_contain(stripped: &[String], name: &str, needle: &str) -> bool {
+    let mut idx = 0usize;
+    while idx < stripped.len() {
+        let line = stripped[idx].trim_start();
+        let is_impl_for_name = line.strip_prefix("impl ").is_some_and(|rest| {
+            rest.strip_prefix(name)
+                .is_some_and(|after| !after.starts_with(|c: char| c.is_alphanumeric() || c == '_'))
+        });
+        if !is_impl_for_name {
+            idx += 1;
+            continue;
+        }
+        // Walk the impl block by brace depth, searching for the needle.
+        let mut depth = 0i64;
+        let mut opened = false;
+        while idx < stripped.len() {
+            if stripped[idx].contains(needle) {
+                return true;
+            }
+            for c in stripped[idx].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            idx += 1;
+            if opened && depth <= 0 {
+                break;
+            }
+        }
+    }
+    false
+}
+
+/// Runs every rule over the given sources. Pure function of the inputs.
+pub fn scan_sources(files: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for file in files {
+        scan_in_library_rules(file, &mut violations);
+    }
+    scan_kernel_rule(files, &mut violations);
+    scan_layer_validate_rule(files, &mut violations);
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    violations
+}
+
+// ---- allowlist -------------------------------------------------------------
+
+/// Parses `path rule count` lines (blank lines and `#` comments ignored).
+pub fn parse_allowlist(text: &str) -> Result<BTreeMap<(String, String), usize>, String> {
+    let mut allow = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (path, rule, count) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(r), Some(c), None) => (p, r, c),
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `path rule count`, got `{line}`",
+                    lineno + 1
+                ))
+            }
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", lineno + 1))?;
+        if allow.insert((path.to_string(), rule.to_string()), count).is_some() {
+            return Err(format!(
+                "allowlist line {}: duplicate entry for {path} {rule}",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(allow)
+}
+
+/// Applies the exact-count ratchet: per `(path, rule)`, more violations than
+/// allowed fails with the sites listed; fewer also fails, demanding the
+/// allowlist entry be lowered. Returns failure lines (empty = pass).
+pub fn apply_allowlist(
+    violations: &[Violation],
+    allow: &BTreeMap<(String, String), usize>,
+) -> Vec<String> {
+    let mut by_key: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        by_key.entry((v.path.clone(), v.rule.to_string())).or_default().push(v);
+    }
+    let mut failures = Vec::new();
+    for (key, group) in &by_key {
+        let allowed = allow.get(key).copied().unwrap_or(0);
+        if group.len() > allowed {
+            let mut msg =
+                format!("{} {}: {} violation(s), {} allowed:", key.0, key.1, group.len(), allowed);
+            for v in group {
+                let _ = write!(msg, "\n    {v}");
+            }
+            failures.push(msg);
+        } else if group.len() < allowed {
+            failures.push(format!(
+                "{} {}: allowlist grants {} but only {} found — lower the entry (the ratchet \
+                 only goes down)",
+                key.0,
+                key.1,
+                allowed,
+                group.len()
+            ));
+        }
+    }
+    for (key, &allowed) in allow {
+        if allowed > 0 && !by_key.contains_key(key) {
+            failures.push(format!(
+                "{} {}: allowlist grants {} but none found — remove the stale entry",
+                key.0, key.1, allowed
+            ));
+        }
+    }
+    failures
+}
+
+// ---- filesystem driver -----------------------------------------------------
+
+fn push_rs_files(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            push_rs_files(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push(SourceFile { path: rel, content: std::fs::read_to_string(&path)? });
+        }
+    }
+    Ok(())
+}
+
+/// Collects every `crates/*/src/**.rs` and `crates/*/tests/**.rs` file under
+/// the workspace root.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crates: Vec<_> = std::fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
+    crates.sort_by_key(|e| e.path());
+    for krate in crates {
+        if krate.path().is_dir() {
+            push_rs_files(&krate.path().join("src"), root, &mut files)?;
+            push_rs_files(&krate.path().join("tests"), root, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+/// Full lint run: collect sources, scan, apply the allowlist at
+/// `scripts/lint-allowlist.txt` (missing file = empty allowlist).
+pub fn run(root: &Path) -> std::io::Result<LintOutcome> {
+    let files = collect_workspace_sources(root)?;
+    let violations = scan_sources(&files);
+    let allow_path = root.join("scripts/lint-allowlist.txt");
+    let allow_text = match std::fs::read_to_string(&allow_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let mut outcome = LintOutcome {
+        files_scanned: files.len(),
+        violations_found: violations.len(),
+        ..LintOutcome::default()
+    };
+    match parse_allowlist(&allow_text) {
+        Ok(allow) => {
+            outcome.violations_allowed = allow.values().sum();
+            outcome.failures = apply_allowlist(&violations, &allow);
+        }
+        Err(e) => outcome.failures.push(e),
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(content: &str) -> SourceFile {
+        SourceFile { path: "crates/tensor/src/x.rs".to_string(), content: content.to_string() }
+    }
+
+    #[test]
+    fn unwrap_rule_fires_in_library_code() {
+        let v = scan_sources(&[lib_file("fn f() { x.unwrap(); }\n")]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn panic_and_empty_expect_fire() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { y.expect(\"\"); }\n";
+        let v = scan_sources(&[lib_file(src)]);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "no-unwrap"));
+    }
+
+    #[test]
+    fn expect_with_message_is_allowed() {
+        let v = scan_sources(&[lib_file("fn f() { y.expect(\"index precomputed above\"); }\n")]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn comments_strings_and_test_mods_are_skipped() {
+        let src = "\
+// x.unwrap() in a comment\n\
+/* panic!(\"no\") */\n\
+fn f() { let s = \".unwrap()\"; }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn g() { x.unwrap(); println!(\"ok\"); }\n\
+}\n";
+        let v = scan_sources(&[lib_file(src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cli_and_bench_are_exempt() {
+        for path in ["crates/cli/src/main.rs", "crates/bench/src/lib.rs"] {
+            let f = SourceFile {
+                path: path.to_string(),
+                content: "fn f() { println!(\"hi\"); x.unwrap(); }\n".to_string(),
+            };
+            assert!(scan_sources(&[f]).is_empty());
+        }
+    }
+
+    #[test]
+    fn println_rule_allows_eprintln() {
+        let src = "fn f() { eprintln!(\"diag\"); }\nfn g() { println!(\"out\"); }\n";
+        let v = scan_sources(&[lib_file(src)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-println");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn kernel_rule_requires_named_test() {
+        let kernel = SourceFile {
+            path: "crates/tensor/src/k.rs".to_string(),
+            content: "fn m() { let _t = retia_obs::kernel_span(\"mystery_kernel\"); }\n"
+                .to_string(),
+        };
+        let v = scan_sources(std::slice::from_ref(&kernel));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "kernel-bit-identity");
+        let test = SourceFile {
+            path: "crates/tensor/tests/sweep.rs".to_string(),
+            content: "fn t() { sweep(\"mystery_kernel\"); }\n".to_string(),
+        };
+        assert!(scan_sources(&[kernel, test]).is_empty());
+    }
+
+    #[test]
+    fn layer_validate_rule() {
+        let missing = SourceFile {
+            path: "crates/nn/src/l.rs".to_string(),
+            content: "pub struct Thing { x: usize }\nimpl Thing { pub fn forward(&self) {} }\n"
+                .to_string(),
+        };
+        let v = scan_sources(&[missing]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "layer-validate");
+        let present = SourceFile {
+            path: "crates/nn/src/l.rs".to_string(),
+            content: "pub struct Thing { x: usize }\n\
+                      impl Thing {\n    pub fn validate(&self) {}\n}\n"
+                .to_string(),
+        };
+        assert!(scan_sources(&[present]).is_empty());
+    }
+
+    #[test]
+    fn allowlist_exact_count_ratchet() {
+        let v = scan_sources(&[lib_file("fn f() { x.unwrap(); y.unwrap(); }\n")]);
+        assert_eq!(v.len(), 2);
+        let exact =
+            parse_allowlist("crates/tensor/src/x.rs no-unwrap 2\n").expect("well-formed allowlist");
+        assert!(apply_allowlist(&v, &exact).is_empty());
+        let low =
+            parse_allowlist("crates/tensor/src/x.rs no-unwrap 1\n").expect("well-formed allowlist");
+        assert_eq!(apply_allowlist(&v, &low).len(), 1);
+        let high =
+            parse_allowlist("crates/tensor/src/x.rs no-unwrap 3\n").expect("well-formed allowlist");
+        let failures = apply_allowlist(&v, &high);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("ratchet"), "{failures:?}");
+        let stale =
+            parse_allowlist("crates/other/src/y.rs no-unwrap 1\n").expect("well-formed allowlist");
+        assert!(apply_allowlist(&v, &stale).iter().any(|f| f.contains("stale")));
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(parse_allowlist("just-a-path\n").is_err());
+        assert!(parse_allowlist("p r not-a-number\n").is_err());
+        assert!(parse_allowlist("p r 1\np r 2\n").is_err());
+        assert!(parse_allowlist("# comment\n\np r 3\n").is_ok());
+    }
+
+    #[test]
+    fn stripper_handles_lifetimes_chars_and_raw_strings() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; \
+                   let r = r\"panic!\"; let h = r#\"u.unwrap()\"#; c }\n";
+        let stripped = strip_code(src);
+        assert_eq!(stripped.len(), 1);
+        assert!(!stripped[0].contains("panic!"), "{}", stripped[0]);
+        assert!(!stripped[0].contains(".unwrap()"), "{}", stripped[0]);
+        assert!(stripped[0].contains("fn f<'a>"), "{}", stripped[0]);
+    }
+}

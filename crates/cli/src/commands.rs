@@ -138,6 +138,39 @@ fn model_config_from(args: &Args) -> Result<RetiaConfig, String> {
     Ok(cfg)
 }
 
+/// `retia check [--data DIR] [hyperparameters...]`: abstract shape
+/// interpretation of one full training step — evolve, decode, loss,
+/// backward — without touching any floating-point data. Reports every
+/// shape/broadcast/index-space mismatch with the module and paper-equation
+/// name, in milliseconds even at paper scale.
+pub fn check(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["no-tim", "no-eam"])?;
+    let cfg = model_config_from(&args)?;
+    let (name, n, m) = match args.get("data") {
+        Some(_) => {
+            let ds = load_data(&args)?;
+            (ds.name.clone(), ds.num_entities, ds.num_relations)
+        }
+        // No dataset on hand: check against a stand-in shape (the wiring
+        // issues this catches are independent of N and M).
+        None => ("stand-in shape".to_string(), 128, 16),
+    };
+    let start = std::time::Instant::now();
+    let report = retia::validate_config(&cfg, n, m);
+    if report.is_clean() {
+        println!(
+            "ok: {} ops shape-checked against `{name}` ({n} entities, {m} relations) in {:.1?}",
+            report.ops_checked,
+            start.elapsed()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "shape validation failed against `{name}` ({n} entities, {m} relations):\n{report}"
+        ))
+    }
+}
+
 /// `retia train --data DIR --out FILE [hyperparameters...]`.
 pub fn train(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["no-tim", "no-eam"])?;

@@ -3,6 +3,7 @@
 //! ```text
 //! retia generate --profile icews14 --out data/icews14      # synthesize a dataset
 //! retia stats    --data data/icews14                       # Table-V statistics + temporal structure
+//! retia check    --data data/icews14 --dim 200             # dry-run the model's shapes (no training)
 //! retia train    --data data/icews14 --out model.bin --epochs 10
 //! retia evaluate --data data/icews14 --model model.bin --split test --online
 //! retia predict  --data data/icews14 --model model.bin --subject 3 --relation 2 --topk 5
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
+        "check" => commands::check(rest),
         "train" => commands::train(rest),
         "evaluate" => commands::evaluate(rest),
         "predict" => commands::predict(rest),
@@ -53,6 +55,10 @@ COMMANDS:
                --profile icews14|icews0515|icews18|yago|wiki|tiny  --out DIR [--seed N]
     stats      print dataset statistics and temporal structure
                --data DIR
+    check      dry-run a configuration's shapes (evolve -> decode -> loss ->
+               backward) without training; reports every mismatch with the
+               module and paper-equation name
+               [--data DIR] [--dim N] [--k N] [--channels N] [--no-tim] [--no-eam]
     train      train a RETIA model and write a checkpoint
                --data DIR --out FILE [--dim N] [--k N] [--epochs N] [--channels N]
                [--lr F] [--lambda F] [--seed N] [--no-tim] [--no-eam] [--static-weight F]

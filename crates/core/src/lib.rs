@@ -50,8 +50,11 @@ mod config;
 mod context;
 mod model;
 mod trainer;
+mod validate;
 
 pub use config::{HyperrelMode, RelationMode, RetiaConfig};
 pub use context::{Split, TkgContext};
 pub use model::{entity_queries, relation_queries, EvolvedState, Retia};
+pub use retia_analyze::{ShapeIssue, ShapeReport};
 pub use trainer::{EpochLoss, EvalReport, Trainer};
+pub use validate::validate_config;

@@ -29,8 +29,8 @@ pub struct Retia {
     num_entities: usize,
     num_relations: usize,
     store: ParamStore,
-    ram_rgcn: RelationRgcn,
-    eam_rgcn: EntityRgcn,
+    pub(crate) ram_rgcn: RelationRgcn,
+    pub(crate) eam_rgcn: EntityRgcn,
     rel_gru: GruCell,
     ent_gru: GruCell,
     tim_lstm: LstmCell,

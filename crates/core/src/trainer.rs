@@ -100,6 +100,15 @@ impl Trainer {
         EpochLoss { entity: le as f64, relation: lr as f64, joint }
     }
 
+    /// Shape dry run (milliseconds, no floating-point work) before
+    /// committing to hours of gradient steps: a mis-wired configuration
+    /// fails here with the module and paper equation named instead of deep
+    /// inside an epoch.
+    fn check_wiring(&self) {
+        let report = self.model.validate();
+        assert!(report.is_clean(), "model failed shape validation:\n{report}");
+    }
+
     /// Scans every parameter gradient for non-finite values (the NaN
     /// watchdog) and, at `Debug` verbosity, records per-parameter L2-norm
     /// gauges. The common all-finite path is a single pass per tensor.
@@ -124,6 +133,7 @@ impl Trainer {
     /// not improved for `cfg.patience` consecutive epochs (the paper's
     /// protocol). Returns the per-epoch loss history.
     pub fn fit(&mut self, ctx: &TkgContext) -> Vec<EpochLoss> {
+        self.check_wiring();
         self.loss_history.clear();
         let mut best_mrr = f64::NEG_INFINITY;
         let mut best_params: Option<retia_tensor::ParamStore> = None;
@@ -201,6 +211,7 @@ impl Trainer {
     /// `cfg.online_steps` gradient steps) after being scored, before moving
     /// to the next timestamp — the paper's time-variability strategy.
     pub fn evaluate(&mut self, ctx: &TkgContext, split: Split) -> EvalReport {
+        self.check_wiring();
         if self.cfg.online {
             self.evaluate_online(ctx, split)
         } else {

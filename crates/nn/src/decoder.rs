@@ -11,6 +11,7 @@
 //! layer norm here (our substrate has no running-statistics batch norm);
 //! the substitution is recorded in DESIGN.md.
 
+use retia_analyze::{ShapeCtx, ShapeTensor};
 use retia_tensor::{Graph, NodeId, ParamStore};
 
 /// Convolutional decoder producing `[queries, candidates]` score matrices.
@@ -56,6 +57,7 @@ impl ConvTransE {
     /// Embeds a query pair into a `[queries, dim]` representation (the part
     /// of the decoder before candidate scoring).
     pub fn query_repr(&self, g: &mut Graph, store: &ParamStore, a: NodeId, b: NodeId) -> NodeId {
+        let _m = retia_obs::module_scope("ConvTransE");
         assert_eq!(g.value(a).cols(), self.dim, "decoder input width mismatch");
         assert_eq!(g.value(a).shape(), g.value(b).shape(), "query part shape mismatch");
         // Channels-major stacking: [a | b] is channel 0 then channel 1.
@@ -93,6 +95,59 @@ impl ConvTransE {
     ) -> NodeId {
         let q = self.query_repr(g, store, a, b);
         g.matmul_nt(q, candidates)
+    }
+
+    /// Shape-only replay of [`ConvTransE::forward`]: stacks the two query
+    /// parts, runs the conv/projection op sequence, and scores against
+    /// `candidates`, recording any mismatch in `ctx`.
+    pub fn validate(
+        &self,
+        ctx: &mut ShapeCtx,
+        a: ShapeTensor,
+        b: ShapeTensor,
+        candidates: ShapeTensor,
+    ) -> ShapeTensor {
+        Self::validate_dims(ctx, self.dim, self.channels, self.ksize, a, b, candidates)
+    }
+
+    /// Static form of [`ConvTransE::validate`]: checks the op sequence for
+    /// the given dimensions without constructing the layer.
+    pub fn validate_dims(
+        ctx: &mut ShapeCtx,
+        dim: usize,
+        channels: usize,
+        ksize: usize,
+        a: ShapeTensor,
+        b: ShapeTensor,
+        candidates: ShapeTensor,
+    ) -> ShapeTensor {
+        ctx.scoped("ConvTransE", Some("Eq. 11/12"), |ctx| {
+            ctx.check("query_width", a.cols == dim, || {
+                format!("query part is {a}, decoder embedding width is {dim}")
+            });
+            ctx.check("query_parts", a.shape() == b.shape(), || {
+                format!("query parts disagree: {a} vs {b}")
+            });
+            let stacked = ctx.concat_cols(a, b);
+            let x = ctx.unary("dropout", stacked);
+            let conv = ctx.conv1d(
+                x,
+                ShapeTensor::new(channels, 2 * ksize),
+                ShapeTensor::new(1, channels),
+                2,
+                channels,
+                ksize,
+            );
+            let normed = ctx.unary("layer_norm_rows", conv);
+            let act = ctx.unary("relu", normed);
+            let act = ctx.unary("dropout", act);
+            let proj = ctx.matmul(act, ShapeTensor::new(channels * dim, dim));
+            let proj = ctx.add_bias(proj, ShapeTensor::new(1, dim));
+            let normed2 = ctx.unary("layer_norm_rows", proj);
+            let act2 = ctx.unary("relu", normed2);
+            let q = ctx.unary("dropout", act2);
+            ctx.matmul_nt(q, candidates)
+        })
     }
 }
 

@@ -17,6 +17,12 @@
 //! Modules register their parameters under a prefix in a shared
 //! [`retia_tensor::ParamStore`] at construction and are pure at forward time:
 //! `forward(&self, &mut Graph, &ParamStore, ...)`.
+//!
+//! Every layer also exposes a `validate` twin — a shape-only replay of its
+//! forward op sequence over [`retia_analyze::ShapeTensor`]s that records
+//! mismatches in a [`retia_analyze::ShapeCtx`] instead of panicking. The
+//! model-level dry run in `retia`'s `validate` module composes these to
+//! check an entire configuration before any training step.
 
 mod decoder;
 mod linear;
@@ -26,6 +32,6 @@ mod rnn;
 
 pub use decoder::ConvTransE;
 pub use linear::Linear;
-pub use pooling::mean_pool_segments;
+pub use pooling::{mean_pool_segments, validate_mean_pool_segments};
 pub use rgcn::{EntityRgcn, RelationRgcn, WeightMode};
 pub use rnn::{GruCell, LstmCell};

@@ -1,5 +1,6 @@
 //! Affine projection.
 
+use retia_analyze::{ShapeCtx, ShapeTensor};
 use retia_tensor::{Graph, NodeId, ParamStore};
 
 /// `y = x @ W + b` with Xavier-initialized `W` and zero `b`.
@@ -24,11 +25,32 @@ impl Linear {
 
     /// Applies the projection to `x` (`[n, in_dim] -> [n, out_dim]`).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        let _m = retia_obs::module_scope("Linear");
         assert_eq!(g.value(x).cols(), self.in_dim, "Linear input width mismatch");
         let w = g.param(store, &self.w);
         let b = g.param(store, &self.b);
         let y = g.matmul(x, w);
         g.add_bias(y, b)
+    }
+
+    /// Shape-only replay of [`Linear::forward`]: same op sequence over
+    /// [`ShapeTensor`]s, issues recorded in `ctx` instead of panics.
+    pub fn validate(&self, ctx: &mut ShapeCtx, x: ShapeTensor) -> ShapeTensor {
+        Self::validate_dims(ctx, self.in_dim, self.out_dim, x)
+    }
+
+    /// Static form of [`Linear::validate`]: checks the op sequence for the
+    /// given dimensions without constructing the layer (no parameters).
+    pub fn validate_dims(
+        ctx: &mut ShapeCtx,
+        in_dim: usize,
+        out_dim: usize,
+        x: ShapeTensor,
+    ) -> ShapeTensor {
+        ctx.scoped("Linear", None, |ctx| {
+            let y = ctx.matmul(x, ShapeTensor::new(in_dim, out_dim));
+            ctx.add_bias(y, ShapeTensor::new(1, out_dim))
+        })
     }
 
     /// Output width.

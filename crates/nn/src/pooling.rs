@@ -2,6 +2,7 @@
 
 use std::rc::Rc;
 
+use retia_analyze::{ShapeCtx, ShapeTensor};
 use retia_tensor::{Graph, NodeId};
 
 /// Mean-pools rows of `x` (`[n, d]`) over `segments`: output row `i` is the
@@ -9,6 +10,7 @@ use retia_tensor::{Graph, NodeId};
 /// (absent relations / hyperrelations keep no pooled signal, matching the
 /// reference implementation).
 pub fn mean_pool_segments(g: &mut Graph, x: NodeId, segments: &[Vec<u32>]) -> NodeId {
+    let _m = retia_obs::module_scope("mean_pool_segments");
     let num_segments = segments.len();
     let mut flat: Vec<u32> = Vec::new();
     let mut seg_ids: Vec<u32> = Vec::new();
@@ -28,6 +30,32 @@ pub fn mean_pool_segments(g: &mut Graph, x: NodeId, segments: &[Vec<u32>]) -> No
     let gathered = g.gather_rows(x, Rc::new(flat));
     let summed = g.scatter_add_rows(gathered, Rc::new(seg_ids), num_segments);
     g.row_scale(summed, Rc::new(inv_counts))
+}
+
+/// Shape-only replay of [`mean_pool_segments`]: same gather/scatter/scale op
+/// sequence over [`ShapeTensor`]s, issues recorded in `ctx`.
+pub fn validate_mean_pool_segments(
+    ctx: &mut ShapeCtx,
+    x: ShapeTensor,
+    segments: &[Vec<u32>],
+) -> ShapeTensor {
+    ctx.scoped("mean_pool_segments", Some("Eq. 7/9"), |ctx| {
+        let num_segments = segments.len();
+        let mut flat: Vec<u32> = Vec::new();
+        let mut seg_ids: Vec<u32> = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            for &j in seg {
+                flat.push(j);
+                seg_ids.push(i as u32);
+            }
+        }
+        if flat.is_empty() {
+            return ShapeTensor::new(num_segments, x.cols);
+        }
+        let gathered = ctx.gather_rows(x, &flat);
+        let summed = ctx.scatter_add_rows(gathered, &seg_ids, num_segments);
+        ctx.row_scale(summed, num_segments)
+    })
 }
 
 #[cfg(test)]

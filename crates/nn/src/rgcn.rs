@@ -16,6 +16,7 @@
 
 use std::rc::Rc;
 
+use retia_analyze::{ShapeCtx, ShapeTensor};
 use retia_graph::{HyperSnapshot, Snapshot, NUM_HYPERRELS_WITH_INV};
 use retia_tensor::{Graph, NodeId, ParamStore};
 
@@ -33,6 +34,7 @@ pub enum WeightMode {
 struct RgcnCore {
     prefix: String,
     dim: usize,
+    num_edge_types: usize,
     mode: WeightMode,
     num_layers: usize,
     dropout: f32,
@@ -65,7 +67,7 @@ impl RgcnCore {
                 }
             }
         }
-        RgcnCore { prefix: prefix.to_string(), dim, mode, num_layers, dropout }
+        RgcnCore { prefix: prefix.to_string(), dim, num_edge_types, mode, num_layers, dropout }
     }
 
     /// One layer: `h_nodes` `[n, d]`, `edge_emb` `[num_edge_types, d]`
@@ -145,6 +147,92 @@ impl RgcnCore {
         let activated = g.rrelu(out);
         g.dropout(activated, self.dropout)
     }
+
+    /// Shape-only replay of [`RgcnCore::layer`]: same op sequence over
+    /// [`ShapeTensor`]s and the real edge arrays, issues recorded in `ctx`.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_layer(
+        &self,
+        ctx: &mut ShapeCtx,
+        layer: usize,
+        h_nodes: ShapeTensor,
+        edge_emb: ShapeTensor,
+        src: &[u32],
+        etype: &[u32],
+        dst: &[u32],
+        norm: &[f32],
+        type_ranges: &[(usize, usize)],
+        num_nodes: usize,
+    ) -> ShapeTensor {
+        let scope = format!("layer {layer}");
+        ctx.scoped(&scope, None, |ctx| {
+            let w0 = ShapeTensor::new(self.dim, self.dim);
+            let self_part = ctx.matmul(h_nodes, w0);
+            let mut out = self_part;
+            if !src.is_empty() {
+                ctx.check("edge_types", type_ranges.len() == self.num_edge_types, || {
+                    format!(
+                        "{} type ranges for {} registered edge-type weights",
+                        type_ranges.len(),
+                        self.num_edge_types
+                    )
+                });
+                let h_src = ctx.gather_rows(h_nodes, src);
+                let e_edge = ctx.gather_rows(edge_emb, etype);
+                let raw = ctx.add(h_src, e_edge);
+                let msg = ctx.row_scale(raw, norm.len());
+                let transformed = match self.mode {
+                    WeightMode::Basis(nb) => {
+                        let coef = ShapeTensor::new(self.num_edge_types, nb);
+                        let coef_per_edge = ctx.gather_rows(coef, etype);
+                        let mut acc: Option<ShapeTensor> = None;
+                        for b in 0..nb {
+                            let vb = ShapeTensor::new(self.dim, self.dim);
+                            let xb = ctx.matmul(msg, vb);
+                            let cb = ctx.slice_cols(coef_per_edge, b, b + 1);
+                            let scaled = ctx.mul_col(xb, cb);
+                            acc = Some(match acc {
+                                Some(a) => ctx.add(a, scaled),
+                                None => scaled,
+                            });
+                        }
+                        ctx.check("basis_count", acc.is_some(), || {
+                            "basis decomposition with zero bases".to_string()
+                        });
+                        let t = acc.unwrap_or(msg);
+                        ctx.scatter_add_rows(t, dst, num_nodes)
+                    }
+                    WeightMode::PerRelation => {
+                        let mut acc: Option<ShapeTensor> = None;
+                        for (r, &(a, b)) in type_ranges.iter().enumerate() {
+                            if b == a {
+                                continue;
+                            }
+                            ctx.check("edge_type_id", r < self.num_edge_types, || {
+                                format!(
+                                    "edge type {r} has no registered weight (only {} types)",
+                                    self.num_edge_types
+                                )
+                            });
+                            let rows: Vec<u32> = (a as u32..b as u32).collect();
+                            let mr = ctx.gather_rows(msg, &rows);
+                            let wr = ShapeTensor::new(self.dim, self.dim);
+                            let t = ctx.matmul(mr, wr);
+                            let part = ctx.scatter_add_rows(t, &dst[a..b], num_nodes);
+                            acc = Some(match acc {
+                                Some(x) => ctx.add(x, part),
+                                None => part,
+                            });
+                        }
+                        acc.unwrap_or(ShapeTensor::new(num_nodes, self.dim))
+                    }
+                };
+                out = ctx.add(out, transformed);
+            }
+            let activated = ctx.unary("rrelu", out);
+            ctx.unary("dropout", activated)
+        })
+    }
 }
 
 /// The entity-aggregating R-GCN (Eq. 4).
@@ -180,6 +268,7 @@ impl EntityRgcn {
         relations: NodeId,
         snap: &Snapshot,
     ) -> NodeId {
+        let _m = retia_obs::module_scope("EntityRgcn");
         assert_eq!(g.value(entities).rows(), snap.num_entities, "entity count mismatch");
         assert_eq!(g.value(relations).rows(), 2 * snap.num_relations, "relation count mismatch");
         let mut h = entities;
@@ -199,6 +288,47 @@ impl EntityRgcn {
             );
         }
         h
+    }
+
+    /// Shape-only replay of [`EntityRgcn::forward`] over `snap`'s real edge
+    /// arrays: `entities [N, d]`, `relations [2M, d]` -> `[N, d]`.
+    pub fn validate(
+        &self,
+        ctx: &mut ShapeCtx,
+        entities: ShapeTensor,
+        relations: ShapeTensor,
+        snap: &Snapshot,
+    ) -> ShapeTensor {
+        ctx.scoped("EntityRgcn", None, |ctx| {
+            ctx.check("entity_count", entities.rows == snap.num_entities, || {
+                format!(
+                    "entity embeddings are {entities}, snapshot has {} entities",
+                    snap.num_entities
+                )
+            });
+            ctx.check("relation_count", relations.rows == 2 * snap.num_relations, || {
+                format!(
+                    "relation embeddings are {relations}, expected {} rows (2M with inverses)",
+                    2 * snap.num_relations
+                )
+            });
+            let mut h = entities;
+            for l in 0..self.core.num_layers {
+                h = self.core.validate_layer(
+                    ctx,
+                    l,
+                    h,
+                    relations,
+                    &snap.src,
+                    &snap.rel,
+                    &snap.dst,
+                    &snap.edge_norm,
+                    &snap.rel_ranges,
+                    snap.num_entities,
+                );
+            }
+            h
+        })
     }
 }
 
@@ -242,6 +372,7 @@ impl RelationRgcn {
         hyperrelations: NodeId,
         hyper: &HyperSnapshot,
     ) -> NodeId {
+        let _m = retia_obs::module_scope("RelationRgcn");
         assert_eq!(g.value(relations).rows(), hyper.num_rel_nodes, "relation node count mismatch");
         assert_eq!(
             g.value(hyperrelations).rows(),
@@ -265,6 +396,48 @@ impl RelationRgcn {
             );
         }
         h
+    }
+
+    /// Shape-only replay of [`RelationRgcn::forward`] over `hyper`'s real
+    /// edge arrays: `relations [2M, d]`, `hyperrelations [2H, d]` ->
+    /// `[2M, d]`.
+    pub fn validate(
+        &self,
+        ctx: &mut ShapeCtx,
+        relations: ShapeTensor,
+        hyperrelations: ShapeTensor,
+        hyper: &HyperSnapshot,
+    ) -> ShapeTensor {
+        ctx.scoped("RelationRgcn", None, |ctx| {
+            ctx.check("relation_node_count", relations.rows == hyper.num_rel_nodes, || {
+                format!(
+                    "relation embeddings are {relations}, hypergraph has {} relation nodes",
+                    hyper.num_rel_nodes
+                )
+            });
+            ctx.check("hyperrelation_count", hyperrelations.rows == NUM_HYPERRELS_WITH_INV, || {
+                format!(
+                    "hyperrelation embeddings are {hyperrelations}, expected \
+                         {NUM_HYPERRELS_WITH_INV} rows"
+                )
+            });
+            let mut h = relations;
+            for l in 0..self.core.num_layers {
+                h = self.core.validate_layer(
+                    ctx,
+                    l,
+                    h,
+                    hyperrelations,
+                    &hyper.src,
+                    &hyper.hrel,
+                    &hyper.dst,
+                    &hyper.edge_norm,
+                    &hyper.hrel_ranges,
+                    hyper.num_rel_nodes,
+                );
+            }
+            h
+        })
     }
 }
 

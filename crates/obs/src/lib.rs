@@ -40,9 +40,9 @@ pub mod watchdog;
 pub use event::{CaptureHandle, CaptureSink, Event, EventKind, JsonlSink, Sink};
 pub use level::{log_level, set_log_level, Level};
 pub use span::{
-    kernel_span, kernel_timing_enabled, kernel_timing_snapshot, render_timing_table, reset_timing,
-    set_kernel_timing, set_timing, timing_enabled, timing_snapshot, KernelGuard, ModuleTime,
-    SpanGuard,
+    current_module, kernel_span, kernel_timing_enabled, kernel_timing_snapshot, module_scope,
+    render_timing_table, reset_timing, set_kernel_timing, set_timing, timing_enabled,
+    timing_snapshot, KernelGuard, ModuleTagGuard, ModuleTime, SpanGuard,
 };
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,44 @@ pub(crate) fn current_depth() -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// Module tags
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Stack of model-module tags (`eam.rgcn`, `decode.entity`, ...) pushed
+    /// by layer forward passes via [`module_scope`]. Unlike spans, this is
+    /// always on — it exists so low-level kernels can name the module that
+    /// called them in diagnostics (e.g. gather bounds violations), and a
+    /// `&'static str` push/pop costs nanoseconds.
+    static MODULE_TAGS: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard that pops the module tag pushed by [`module_scope`].
+pub struct ModuleTagGuard(());
+
+impl Drop for ModuleTagGuard {
+    fn drop(&mut self) {
+        MODULE_TAGS.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Tags the current thread as executing inside `name` until the returned
+/// guard drops. Kernels read it back with [`current_module`] to attribute
+/// index/bounds diagnostics to the layer that issued the op.
+pub fn module_scope(name: &'static str) -> ModuleTagGuard {
+    MODULE_TAGS.with(|s| s.borrow_mut().push(name));
+    ModuleTagGuard(())
+}
+
+/// Innermost module tag on this thread, or `"<untagged>"` when no layer is
+/// on the stack (direct kernel calls, tests).
+pub fn current_module() -> &'static str {
+    MODULE_TAGS.with(|s| s.borrow().last().copied().unwrap_or("<untagged>"))
+}
+
+// ---------------------------------------------------------------------------
 // Module aggregate
 // ---------------------------------------------------------------------------
 

@@ -394,6 +394,16 @@ impl Graph {
     pub fn gather_cols(&mut self, x: NodeId, cols: Rc<Vec<u32>>) -> NodeId {
         let xv = self.value(x);
         assert_eq!(xv.rows(), cols.len(), "gather_cols index count mismatch");
+        #[cfg(debug_assertions)]
+        for (pos, &c) in cols.iter().enumerate() {
+            assert!(
+                (c as usize) < xv.cols(),
+                "gather_cols: column index {c} (row {pos}) out of range for {} columns \
+                 (called from {})",
+                xv.cols(),
+                retia_obs::current_module(),
+            );
+        }
         let v = Tensor::from_fn(xv.rows(), 1, |i, _| xv.get(i, cols[i] as usize));
         self.push(v, Op::GatherCols(x, cols))
     }

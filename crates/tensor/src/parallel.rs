@@ -14,8 +14,10 @@
 //! primitive available without external crates); [`should_par`]'s work
 //! threshold keeps that spawn cost away from small operands.
 
+use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Rows per chunk. Fixed — never derived from the thread count — so chunk
 /// boundaries (and therefore reduction order) depend only on shape.
@@ -73,29 +75,186 @@ pub fn row_chunks(rows: usize) -> impl Iterator<Item = Range<usize>> {
     })
 }
 
+/// Why a chunk plan (or an observed write-set) fails verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A chunk's end precedes its start.
+    Inverted {
+        /// The inverted row range.
+        chunk: Range<usize>,
+    },
+    /// A chunk reaches past the output rows.
+    OutOfBounds {
+        /// The offending row range.
+        chunk: Range<usize>,
+        /// Total rows in the output.
+        rows: usize,
+    },
+    /// Two chunks claim the same rows — a write-write race under threads.
+    Overlap {
+        /// The first (lower-starting) of the colliding chunks.
+        a: Range<usize>,
+        /// The chunk that re-claims rows already covered by `a`.
+        b: Range<usize>,
+    },
+    /// Rows `from..to` are claimed by no chunk — output left unwritten.
+    Gap {
+        /// First uncovered row.
+        from: usize,
+        /// One past the last uncovered row.
+        to: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Inverted { chunk } => {
+                write!(f, "inverted chunk {}..{}", chunk.start, chunk.end)
+            }
+            PlanError::OutOfBounds { chunk, rows } => {
+                write!(f, "chunk {}..{} exceeds {rows} rows", chunk.start, chunk.end)
+            }
+            PlanError::Overlap { a, b } => write!(
+                f,
+                "chunks {}..{} and {}..{} overlap (write-write race)",
+                a.start, a.end, b.start, b.end
+            ),
+            PlanError::Gap { from, to } => write!(f, "rows {from}..{to} covered by no chunk"),
+        }
+    }
+}
+
+/// Proves a chunk plan safe: every chunk in bounds, pairwise disjoint, and
+/// together covering `0..rows` exactly. Interval arithmetic over row ranges
+/// — the disjointness half is exactly the no-data-race argument for handing
+/// the chunks to different threads, the coverage half guarantees no row of
+/// the output is left unwritten. Chunk order does not matter; zero-length
+/// chunks contribute nothing and are tolerated.
+pub fn verify_row_plan(rows: usize, chunks: &[Range<usize>]) -> Result<(), PlanError> {
+    let mut sorted: Vec<Range<usize>> = Vec::with_capacity(chunks.len());
+    for c in chunks {
+        if c.end < c.start {
+            return Err(PlanError::Inverted { chunk: c.clone() });
+        }
+        if c.end > rows {
+            return Err(PlanError::OutOfBounds { chunk: c.clone(), rows });
+        }
+        if !c.is_empty() {
+            sorted.push(c.clone());
+        }
+    }
+    sorted.sort_by_key(|c| c.start);
+    let mut covered = 0usize;
+    let mut prev: Range<usize> = 0..0;
+    for c in sorted {
+        if c.start < covered {
+            return Err(PlanError::Overlap { a: prev, b: c });
+        }
+        if c.start > covered {
+            return Err(PlanError::Gap { from: covered, to: c.start });
+        }
+        covered = c.end;
+        prev = c;
+    }
+    if covered < rows {
+        return Err(PlanError::Gap { from: covered, to: rows });
+    }
+    Ok(())
+}
+
+/// Debug-assertions write-set tracker: a deterministic race detector.
+///
+/// When tracking is on (debug builds with [`writeset::set_tracking`] or
+/// `RETIA_WRITE_TRACK=1`), [`for_each_row_chunk`] records the row range each
+/// chunk closure actually receives and, after the kernel completes, asserts
+/// the observed write-set is pairwise disjoint and covers the output exactly
+/// (via [`verify_row_plan`]). This checks the *executed* writes, not just
+/// the plan, so a future refactor that hands two threads overlapping slices
+/// fails loudly in the debug test pass instead of corrupting floats.
+pub mod writeset {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static VERIFIED: AtomicUsize = AtomicUsize::new(0);
+
+    fn env_enabled() -> bool {
+        static ENV: OnceLock<bool> = OnceLock::new();
+        *ENV.get_or_init(|| std::env::var("RETIA_WRITE_TRACK").is_ok_and(|v| v == "1"))
+    }
+
+    /// Turns tracking on/off programmatically (tests). Debug builds only:
+    /// release builds never track, whatever this says.
+    pub fn set_tracking(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether kernels should record and verify their write-sets.
+    pub fn tracking() -> bool {
+        cfg!(debug_assertions) && (ENABLED.load(Ordering::Relaxed) || env_enabled())
+    }
+
+    /// Number of kernel invocations whose write-set has been verified since
+    /// process start. Tests assert this moves to prove the detector ran.
+    pub fn verified_count() -> usize {
+        VERIFIED.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn record_verified() {
+        VERIFIED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Runs `f(first_row, chunk)` over `out` split into [`CHUNK_ROWS`]·`row_width`
 /// element chunks, in parallel when [`should_par`] says the work justifies
 /// it. Chunks are disjoint `&mut` slices, so any assignment of chunks to
 /// threads writes the identical output; assignment is static round-robin.
+///
+/// Debug builds verify the chunk plan with [`verify_row_plan`]; with
+/// [`writeset`] tracking on, the rows each closure actually received are
+/// re-verified after the kernel completes.
 pub fn for_each_row_chunk<F>(out: &mut [f32], row_width: usize, cost_per_row: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     let rows = out.len().checked_div(row_width).unwrap_or(0);
     debug_assert_eq!(rows * row_width, out.len(), "out is not a whole number of rows");
+    debug_assert!(
+        verify_row_plan(rows, &row_chunks(rows).collect::<Vec<_>>()).is_ok(),
+        "row_chunks produced an unsafe plan for {rows} rows"
+    );
+    let track = writeset::tracking();
+    let written: Mutex<Vec<Range<usize>>> = Mutex::new(Vec::new());
+    let g = |first_row: usize, chunk: &mut [f32]| {
+        if track {
+            let chunk_rows = chunk.len().checked_div(row_width).unwrap_or(0);
+            written
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(first_row..first_row + chunk_rows);
+        }
+        f(first_row, chunk);
+    };
     let chunk_elems = (CHUNK_ROWS * row_width).max(1);
     let threads = effective_threads(rows, cost_per_row);
     if threads <= 1 {
         for (c, chunk) in out.chunks_mut(chunk_elems).enumerate() {
-            f(c * CHUNK_ROWS, chunk);
+            g(c * CHUNK_ROWS, chunk);
         }
-        return;
+    } else {
+        let mut groups: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (c, chunk) in out.chunks_mut(chunk_elems).enumerate() {
+            groups[c % threads].push((c * CHUNK_ROWS, chunk));
+        }
+        run_groups(groups, &|(first_row, chunk)| g(first_row, chunk));
     }
-    let mut groups: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
-    for (c, chunk) in out.chunks_mut(chunk_elems).enumerate() {
-        groups[c % threads].push((c * CHUNK_ROWS, chunk));
+    if track && row_width > 0 {
+        let writes = written.into_inner().unwrap_or_else(|e| e.into_inner());
+        verify_row_plan(rows, &writes)
+            .expect("write-set tracker: chunk writes must be disjoint and cover the output");
+        writeset::record_verified();
     }
-    run_groups(groups, &|(first_row, chunk)| f(first_row, chunk));
 }
 
 /// Maps the fixed chunk decomposition of `rows` to per-chunk values,
@@ -108,6 +267,10 @@ where
     F: Fn(Range<usize>) -> T + Sync,
 {
     let ranges: Vec<Range<usize>> = row_chunks(rows).collect();
+    debug_assert!(
+        verify_row_plan(rows, &ranges).is_ok(),
+        "row_chunks produced an unsafe plan for {rows} rows"
+    );
     let mut slots: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
     let threads = effective_threads(rows, cost_per_row);
     if threads <= 1 {
@@ -240,6 +403,69 @@ mod tests {
                 assert_eq!(x, i as f32);
             }
         }
+    }
+
+    #[test]
+    fn prover_accepts_generated_plans() {
+        for rows in [0usize, 1, 15, 16, 17, 160, 161, 1000] {
+            let plan: Vec<_> = row_chunks(rows).collect();
+            assert_eq!(verify_row_plan(rows, &plan), Ok(()), "rows {rows}");
+        }
+        // Order must not matter: a shuffled plan is still safe.
+        let mut plan: Vec<_> = row_chunks(100).collect();
+        plan.reverse();
+        assert_eq!(verify_row_plan(100, &plan), Ok(()));
+    }
+
+    #[test]
+    fn prover_rejects_crafted_overlapping_plan() {
+        // Two chunks both claim rows 8..16 — a write-write race.
+        let racy = vec![0..16, 8..32];
+        match verify_row_plan(32, &racy) {
+            Err(PlanError::Overlap { a, b }) => {
+                assert_eq!((a, b), (0..16, 8..32));
+            }
+            other => panic!("expected Overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init, clippy::reversed_empty_ranges)]
+    fn prover_rejects_gaps_and_out_of_bounds() {
+        assert_eq!(verify_row_plan(32, &[0..16]), Err(PlanError::Gap { from: 16, to: 32 }));
+        assert_eq!(verify_row_plan(32, &[0..8, 16..32]), Err(PlanError::Gap { from: 8, to: 16 }));
+        assert_eq!(
+            verify_row_plan(16, &[0..16, 16..24]),
+            Err(PlanError::OutOfBounds { chunk: 16..24, rows: 16 })
+        );
+        let inverted = vec![8..4];
+        assert_eq!(verify_row_plan(16, &inverted), Err(PlanError::Inverted { chunk: 8..4 }));
+        // Empty plans only cover empty outputs.
+        assert_eq!(verify_row_plan(0, &[]), Ok(()));
+        assert_eq!(verify_row_plan(4, &[]), Err(PlanError::Gap { from: 0, to: 4 }));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn write_set_tracker_verifies_kernel_writes() {
+        let _guard = ThreadGuard::lock();
+        writeset::set_tracking(true);
+        let before = writeset::verified_count();
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            let (rows, width) = (200usize, 8usize);
+            let mut out = vec![0.0f32; rows * width];
+            for_each_row_chunk(&mut out, width, 1 << 12, |first_row, chunk| {
+                for (d, row) in chunk.chunks_mut(width).enumerate() {
+                    row.iter_mut().for_each(|x| *x = (first_row + d) as f32);
+                }
+            });
+        }
+        writeset::set_tracking(false);
+        assert!(
+            writeset::verified_count() >= before + 2,
+            "tracker did not verify the kernel invocations"
+        );
     }
 
     #[test]

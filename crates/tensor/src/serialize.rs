@@ -11,31 +11,30 @@ use crate::tensor::Tensor;
 const MAGIC: &[u8; 8] = b"RETIAPS\0";
 const VERSION: u32 = 1;
 
-/// Bounds-checked little-endian reader over a checkpoint byte slice.
+/// Bounds-checked little-endian reader over a checkpoint byte slice. Every
+/// accessor names what it was reading, so a truncated file fails with a
+/// [`CheckpointError::Corrupt`] describing the missing field instead of a
+/// panic.
 struct Reader<'a> {
     buf: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
         if self.buf.len() < n {
-            return None;
+            return Err(CheckpointError::Corrupt(format!(
+                "truncated {what}: need {n} byte(s), {} left",
+                self.buf.len()
+            )));
         }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
-        Some(head)
+        Ok(head)
     }
 
-    fn get_u32_le(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-    }
-
-    fn get_f32_le(&mut self) -> Option<f32> {
-        self.take(4).map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+    fn get_u32_le(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
 
@@ -91,18 +90,15 @@ impl ParamStore {
     /// with matching names and shapes (i.e. build the model first, then load).
     pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
         let mut buf = Reader { buf: bytes };
-        if buf.remaining() < MAGIC.len() + 8 {
-            return Err(CheckpointError::Corrupt("truncated header".into()));
-        }
-        let magic = buf.take(MAGIC.len()).unwrap();
+        let magic = buf.take(MAGIC.len(), "magic")?;
         if magic != MAGIC {
             return Err(CheckpointError::Corrupt("bad magic".into()));
         }
-        let version = buf.get_u32_le().unwrap();
+        let version = buf.get_u32_le("version")?;
         if version != VERSION {
             return Err(CheckpointError::Corrupt(format!("unsupported version {version}")));
         }
-        let count = buf.get_u32_le().unwrap() as usize;
+        let count = buf.get_u32_le("parameter count")? as usize;
         if count != self.num_tensors() {
             return Err(CheckpointError::Corrupt(format!(
                 "parameter count mismatch: checkpoint {count}, model {}",
@@ -110,17 +106,11 @@ impl ParamStore {
             )));
         }
         for _ in 0..count {
-            if buf.remaining() < 4 {
-                return Err(CheckpointError::Corrupt("truncated name length".into()));
-            }
-            let nlen = buf.get_u32_le().unwrap() as usize;
-            if buf.remaining() < nlen + 8 {
-                return Err(CheckpointError::Corrupt("truncated entry".into()));
-            }
-            let name = String::from_utf8(buf.take(nlen).unwrap().to_vec())
+            let nlen = buf.get_u32_le("name length")? as usize;
+            let name = String::from_utf8(buf.take(nlen, "name")?.to_vec())
                 .map_err(|_| CheckpointError::Corrupt("non-utf8 name".into()))?;
-            let rows = buf.get_u32_le().unwrap() as usize;
-            let cols = buf.get_u32_le().unwrap() as usize;
+            let rows = buf.get_u32_le("rows")? as usize;
+            let cols = buf.get_u32_le("cols")? as usize;
             if !self.contains(&name) {
                 return Err(CheckpointError::Corrupt(format!("unknown parameter `{name}`")));
             }
@@ -130,12 +120,10 @@ impl ParamStore {
                     self.value(&name).shape()
                 )));
             }
-            if buf.remaining() < rows * cols * 4 {
-                return Err(CheckpointError::Corrupt(format!("truncated data for `{name}`")));
-            }
+            let data = buf.take(rows * cols * 4, &format!("data for `{name}`"))?;
             let mut t = Tensor::zeros(rows, cols);
-            for x in t.data_mut() {
-                *x = buf.get_f32_le().unwrap();
+            for (x, b) in t.data_mut().iter_mut().zip(data.chunks_exact(4)) {
+                *x = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
             }
             *self.value_mut(&name) = t;
         }

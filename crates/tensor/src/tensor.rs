@@ -390,8 +390,23 @@ impl Tensor {
     }
 
     /// Rows selected by `indices` (with repetition allowed), as a new tensor.
+    ///
+    /// Debug builds check every index up front and name the offending index,
+    /// the row count, and the calling module; release builds rely on the raw
+    /// slice bounds check.
     pub fn gather_rows(&self, indices: &[u32]) -> Tensor {
         let cols = self.cols;
+        #[cfg(debug_assertions)]
+        for (pos, &ix) in indices.iter().enumerate() {
+            assert!(
+                (ix as usize) < self.rows,
+                "gather_rows: index {ix} (position {pos} of {}) out of range for {} rows \
+                 (called from {})",
+                indices.len(),
+                self.rows,
+                retia_obs::current_module(),
+            );
+        }
         let _t = retia_obs::kernel_span("gather_rows");
         let mut data = vec![0.0f32; indices.len() * cols];
         // Pure per-row copies; the cost estimate is the row width (a copy,
@@ -406,8 +421,21 @@ impl Tensor {
 
     /// Scatter-add of rows: `out[indices[i]] += self[i]` into an
     /// `out_rows x cols` zero tensor.
+    ///
+    /// Debug builds check every destination index up front and name the
+    /// offending index, the output row count, and the calling module.
     pub fn scatter_add_rows(&self, indices: &[u32], out_rows: usize) -> Tensor {
         assert_eq!(indices.len(), self.rows, "scatter_add_rows index count mismatch");
+        #[cfg(debug_assertions)]
+        for (pos, &ix) in indices.iter().enumerate() {
+            assert!(
+                (ix as usize) < out_rows,
+                "scatter_add_rows: destination index {ix} (position {pos} of {}) out of range \
+                 for {out_rows} output rows (called from {})",
+                indices.len(),
+                retia_obs::current_module(),
+            );
+        }
         let _t = retia_obs::kernel_span("scatter_add_rows");
         let mut out = Tensor::zeros(out_rows, self.cols);
         for (i, &dst) in indices.iter().enumerate() {

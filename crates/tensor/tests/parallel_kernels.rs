@@ -97,6 +97,41 @@ fn gather_softmax_bit_identical_across_threads() {
 }
 
 #[test]
+fn scatter_add_rows_bit_identical_across_threads() {
+    // scatter_add_rows executes sequentially by design (destination rows
+    // collide), but it sits in the same kernel family and its output must
+    // still be invariant to the configured thread count.
+    let msgs = rand_tensor(4096, 48, 14);
+    let indices: Vec<u32> = (0..4096u32).map(|i| (i * 131) % 300).collect();
+    sweep_threads("scatter_add_rows", || msgs.scatter_add_rows(&indices, 300));
+}
+
+#[test]
+fn kernels_pass_write_set_tracking() {
+    // Debug-assertions race detector: run the row-chunked kernels with
+    // write-set recording on and assert each invocation verified disjoint,
+    // exactly-covering chunk writes (release builds: tracking is a no-op).
+    let _guard = lock();
+    parallel::writeset::set_tracking(true);
+    let before = parallel::writeset::verified_count();
+    parallel::set_num_threads(4);
+    let a = rand_tensor(200, 64, 15);
+    let b = rand_tensor(64, 80, 16);
+    let _ = a.matmul(&b);
+    let table = rand_tensor(300, 48, 17);
+    let indices: Vec<u32> = (0..4096u32).map(|i| (i * 37) % 300).collect();
+    let _ = table.gather_rows(&indices);
+    parallel::set_num_threads(0);
+    parallel::writeset::set_tracking(false);
+    if cfg!(debug_assertions) {
+        assert!(
+            parallel::writeset::verified_count() > before,
+            "write-set tracker verified nothing in a debug build"
+        );
+    }
+}
+
+#[test]
 fn conv1d_forward_and_backward_bit_identical_across_threads() {
     let (batch, in_ch, out_ch, width, ksize) = (128usize, 2usize, 3usize, 64usize, 3usize);
     assert!(parallel::should_par(batch, 2 * out_ch * width * in_ch * ksize));

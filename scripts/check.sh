@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> retia-lint (source conventions; allowlist: scripts/lint-allowlist.txt)"
+cargo run -q -p retia-analyze --bin retia-lint
+
+echo "==> write-set-tracked kernel pass (debug assertions + RETIA_WRITE_TRACK=1)"
+RETIA_WRITE_TRACK=1 cargo test -q -p retia-tensor
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

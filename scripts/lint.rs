@@ -1,0 +1,42 @@
+//! `retia-lint`: repo-specific static lint gate.
+//!
+//! Run as `cargo run -p retia-analyze --bin retia-lint` (wired into
+//! `scripts/check.sh`). Scans `crates/*/src` with the rules in
+//! `retia_analyze::lint` and applies the exact-count allowlist at
+//! `scripts/lint-allowlist.txt`. Exit code 0 = clean, 1 = violations.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // CARGO_MANIFEST_DIR is crates/analyze; the workspace root is two up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.ancestors().nth(2).unwrap_or(manifest);
+    let outcome = match retia_analyze::lint::run(root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("retia-lint: failed to read sources under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if outcome.is_clean() {
+        println!(
+            "retia-lint: clean — {} file(s) scanned, {} finding(s) all grandfathered in \
+             scripts/lint-allowlist.txt",
+            outcome.files_scanned, outcome.violations_found
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "retia-lint: FAILED — {} file(s) scanned, {} finding(s), {} grandfathered:",
+            outcome.files_scanned, outcome.violations_found, outcome.violations_allowed
+        );
+        for failure in &outcome.failures {
+            eprintln!("  {failure}");
+        }
+        eprintln!(
+            "(grandfathered sites live in scripts/lint-allowlist.txt; the count only goes down)"
+        );
+        ExitCode::FAILURE
+    }
+}
