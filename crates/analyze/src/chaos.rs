@@ -1,0 +1,269 @@
+//! Deterministic fault injection for fault-tolerance testing.
+//!
+//! A [`ChaosPlan`] says *what goes wrong and when*: poison gradients with
+//! NaN/inf at chosen training steps, flip or truncate checkpoint bytes,
+//! fail a write partway through to simulate a crash, or corrupt dataset
+//! rows. Plans are built in tests or parsed from the `RETIA_CHAOS`
+//! environment variable:
+//!
+//! ```text
+//! RETIA_CHAOS="grad-nan@3,7;grad-inf@10-12"
+//! ```
+//!
+//! Grammar: `kind@steps` clauses joined by `;`, where `kind` is `grad-nan`
+//! or `grad-inf` and `steps` is a comma list of zero-based step numbers or
+//! inclusive `N-M` ranges.
+//!
+//! Everything here is pure and deterministic — no clocks, no RNG — so a
+//! chaos run is exactly reproducible, which is what lets the integration
+//! suite assert bit-identical recovery. The trainer asks
+//! [`ChaosPlan::grad_fault`] at each step and applies the poison itself;
+//! byte-level corruption helpers ([`bit_flipped`], [`truncated`],
+//! [`partial_write`], [`corrupt_tsv_field`]) are free functions usable
+//! against any file format.
+
+use std::io::Write;
+
+/// A gradient fault to inject at a training step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GradFault {
+    /// Overwrite one gradient entry with NaN (models a numerical blow-up).
+    Nan,
+    /// Overwrite one gradient entry with +inf (models an overflow).
+    Inf,
+}
+
+impl GradFault {
+    /// The poison value this fault writes into a gradient.
+    pub fn value(self) -> f32 {
+        match self {
+            GradFault::Nan => f32::NAN,
+            GradFault::Inf => f32::INFINITY,
+        }
+    }
+}
+
+/// A deterministic fault schedule: which [`GradFault`] (if any) fires at
+/// each zero-based training step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    faults: Vec<(GradFault, u64, u64)>, // (fault, first_step, last_step) inclusive
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// True if the plan has no scheduled faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a gradient fault at a single step (builder style).
+    pub fn with_grad_fault(mut self, fault: GradFault, step: u64) -> Self {
+        self.faults.push((fault, step, step));
+        self
+    }
+
+    /// Adds a gradient fault over an inclusive step range (builder style).
+    pub fn with_grad_fault_range(mut self, fault: GradFault, first: u64, last: u64) -> Self {
+        self.faults.push((fault, first, last));
+        self
+    }
+
+    /// The fault scheduled for `step`, if any (first matching clause wins).
+    pub fn grad_fault(&self, step: u64) -> Option<GradFault> {
+        self.faults.iter().find(|(_, lo, hi)| (*lo..=*hi).contains(&step)).map(|(f, _, _)| *f)
+    }
+
+    /// Parses the `RETIA_CHAOS` grammar: `kind@steps[;kind@steps]` with
+    /// `kind ∈ {grad-nan, grad-inf}` and `steps` a comma list of `N` or
+    /// `N-M` (inclusive). An empty string is the empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = ChaosPlan::none();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind, steps) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("chaos clause `{clause}`: expected `kind@steps`"))?;
+            let fault = match kind.trim() {
+                "grad-nan" => GradFault::Nan,
+                "grad-inf" => GradFault::Inf,
+                other => {
+                    return Err(format!(
+                        "chaos clause `{clause}`: unknown fault kind `{other}` \
+                         (expected grad-nan or grad-inf)"
+                    ));
+                }
+            };
+            for part in steps.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                let (lo, hi) = match part.split_once('-') {
+                    Some((a, b)) => (parse_step(clause, a)?, parse_step(clause, b)?),
+                    None => {
+                        let s = parse_step(clause, part)?;
+                        (s, s)
+                    }
+                };
+                if lo > hi {
+                    return Err(format!("chaos clause `{clause}`: empty range `{part}`"));
+                }
+                plan.faults.push((fault, lo, hi));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from the `RETIA_CHAOS` environment variable; unset or
+    /// empty means no chaos.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("RETIA_CHAOS") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Ok(ChaosPlan::none()),
+        }
+    }
+}
+
+fn parse_step(clause: &str, s: &str) -> Result<u64, String> {
+    s.trim().parse().map_err(|_| format!("chaos clause `{clause}`: `{s}` is not a step number"))
+}
+
+/// A copy of `bytes` with the bit at `bit_offset` (counting from byte 0,
+/// LSB first) flipped. Offsets past the end wrap — callers iterating
+/// `0..bytes.len() * 8` hit every bit exactly once.
+pub fn bit_flipped(bytes: &[u8], bit_offset: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if !out.is_empty() {
+        let i = (bit_offset / 8) % out.len();
+        out[i] ^= 1 << (bit_offset % 8);
+    }
+    out
+}
+
+/// A copy of `bytes` cut to the first `len` bytes (a torn read / partial
+/// download).
+pub fn truncated(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
+/// A writer callback for `retia_tensor::serialize::atomic_write_with` that
+/// writes only the first `budget` bytes and then fails — simulating the
+/// process dying mid-checkpoint. The atomic-save protocol must leave the
+/// previous checkpoint untouched when this fires.
+pub fn partial_write(budget: usize) -> impl FnOnce(&mut dyn Write, &[u8]) -> std::io::Result<()> {
+    move |w, bytes| {
+        let n = budget.min(bytes.len());
+        w.write_all(&bytes[..n])?;
+        Err(std::io::Error::other(format!("chaos: crashed after {n} of {} bytes", bytes.len())))
+    }
+}
+
+/// Corrupts one tab-separated field of one line (both zero-based) in a TSV
+/// blob, replacing it with `garbage`. Lines or fields out of range leave
+/// the text unchanged — the caller's corruption test should assert the
+/// loader *rejects* the result, so silently missing the target would show
+/// up as a test failure.
+pub fn corrupt_tsv_field(text: &str, line: usize, field: usize, garbage: &str) -> String {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i != line {
+                return l.to_string();
+            }
+            let mut fields: Vec<&str> = l.split('\t').collect();
+            if field < fields.len() {
+                fields[field] = garbage;
+            }
+            fields.join("\t")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_and_range() {
+        let plan = ChaosPlan::parse("grad-nan@3,7;grad-inf@10-12").unwrap();
+        assert_eq!(plan.grad_fault(3), Some(GradFault::Nan));
+        assert_eq!(plan.grad_fault(7), Some(GradFault::Nan));
+        assert_eq!(plan.grad_fault(10), Some(GradFault::Inf));
+        assert_eq!(plan.grad_fault(11), Some(GradFault::Inf));
+        assert_eq!(plan.grad_fault(12), Some(GradFault::Inf));
+        assert_eq!(plan.grad_fault(13), None);
+        assert_eq!(plan.grad_fault(0), None);
+    }
+
+    #[test]
+    fn parse_empty_is_no_chaos() {
+        assert!(ChaosPlan::parse("").unwrap().is_empty());
+        assert!(ChaosPlan::parse("  ;  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["nan@1", "grad-nan", "grad-nan@x", "grad-nan@5-2", "grad-nan@"] {
+            let r = ChaosPlan::parse(bad);
+            if bad == "grad-nan@" {
+                // No step parts at all: clause contributes nothing.
+                assert!(r.unwrap().is_empty());
+            } else {
+                assert!(r.is_err(), "`{bad}` should be rejected");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = ChaosPlan::none().with_grad_fault(GradFault::Nan, 3).with_grad_fault_range(
+            GradFault::Inf,
+            5,
+            6,
+        );
+        let parsed = ChaosPlan::parse("grad-nan@3;grad-inf@5-6").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn fault_values_are_non_finite() {
+        assert!(GradFault::Nan.value().is_nan());
+        assert!(GradFault::Inf.value().is_infinite());
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let orig = vec![0u8; 4];
+        for bit in 0..32 {
+            let mutated = bit_flipped(&orig, bit);
+            let diff: u32 = orig.iter().zip(&mutated).map(|(a, b)| (a ^ b).count_ones()).sum();
+            assert_eq!(diff, 1, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn truncate_clamps() {
+        assert_eq!(truncated(b"abcdef", 3), b"abc");
+        assert_eq!(truncated(b"abc", 99), b"abc");
+        assert!(truncated(b"abc", 0).is_empty());
+    }
+
+    #[test]
+    fn partial_write_fails_after_budget() {
+        let mut sink = Vec::new();
+        let f = partial_write(4);
+        let err = f(&mut sink, b"0123456789").unwrap_err();
+        assert_eq!(sink, b"0123");
+        assert!(err.to_string().contains("chaos"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_tsv_hits_the_right_cell() {
+        let text = "a\tb\tc\nd\te\tf";
+        assert_eq!(corrupt_tsv_field(text, 1, 1, "XX"), "a\tb\tc\nd\tXX\tf");
+        // Out-of-range targets leave the text unchanged.
+        assert_eq!(corrupt_tsv_field(text, 9, 0, "XX"), text);
+        assert_eq!(corrupt_tsv_field(text, 0, 9, "XX"), text);
+    }
+}

@@ -1,6 +1,6 @@
-//! Static analysis for the RETIA stack.
+//! Static analysis and fault injection for the RETIA stack.
 //!
-//! Two halves, both dependency-free:
+//! Three parts, all dependency-free:
 //!
 //! - [`shape`] — an abstract shape interpreter. [`ShapeCtx`] replays the
 //!   model's op sequence over [`ShapeTensor`]s (shapes only, no allocation),
@@ -12,11 +12,18 @@
 //! - [`lint`] — the repo-specific source lint behind the `retia-lint` binary
 //!   (`cargo run -p retia-analyze --bin retia-lint`), with an exact-count
 //!   allowlist ratchet in `scripts/lint-allowlist.txt`.
+//! - [`chaos`] — deterministic fault injection ([`ChaosPlan`]): NaN/inf
+//!   gradient storms at scheduled steps, checkpoint bit-flips and
+//!   truncation, crash-mid-write writers, and dataset-row corruption. The
+//!   trainer consumes plans (via `RETIA_CHAOS` or the test API); the
+//!   fault-tolerance integration suite uses the byte-level helpers.
 //!
 //! The parallel-plan race prover lives next to the kernels it checks, in
 //! `retia_tensor::parallel`, because the plan type is private to that crate.
 
+pub mod chaos;
 pub mod lint;
 pub mod shape;
 
+pub use chaos::{ChaosPlan, GradFault};
 pub use shape::{ShapeCtx, ShapeIssue, ShapeReport, ShapeTensor};

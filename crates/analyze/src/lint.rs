@@ -1,6 +1,6 @@
 //! Repo-specific source lint (the `retia-lint` binary).
 //!
-//! Four rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as the
+//! Five rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as the
 //! evidence corpus for the kernel rule):
 //!
 //! - **no-unwrap** — library crates must not call `.unwrap()`, `panic!`, or
@@ -9,6 +9,9 @@
 //! - **no-println** — stdout belongs to the CLI. Library crates must route
 //!   diagnostics through `retia-obs` (stderr via `eprintln!` is allowed —
 //!   that is the obs sink itself).
+//! - **no-process-exit** — library crates must not call
+//!   `std::process::exit`: it skips destructors and steals the exit-code
+//!   decision from the binary. Return an error and let `main` decide.
 //! - **kernel-bit-identity** — every kernel registered with
 //!   `retia_obs::kernel_span("name")` in `crates/tensor/src` must be named in
 //!   a test under `crates/tensor/tests`, keeping the thread-count
@@ -28,7 +31,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Crates under `crates/` whose `src` is exempt from the in-library rules
-/// (`no-unwrap`, `no-println`): binaries talking to a terminal.
+/// (`no-unwrap`, `no-println`, `no-process-exit`): binaries talking to a
+/// terminal.
 const EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
 
 /// One source file presented to the lint engine, path relative to the repo
@@ -296,6 +300,16 @@ fn scan_in_library_rules(file: &SourceFile, violations: &mut Vec<Violation>) {
                 line: lineno,
                 rule: "no-println",
                 detail: "stdout printing in library code: route through retia-obs".to_string(),
+            });
+        }
+        for _ in 0..token_hits(line, "process::exit") {
+            violations.push(Violation {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "no-process-exit",
+                detail: "`std::process::exit` in library code: it skips destructors and \
+                         preempts the binary's exit-code policy — return an error instead"
+                    .to_string(),
             });
         }
     }
@@ -645,6 +659,22 @@ mod tests {\n\
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-println");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn process_exit_rule_fires_in_library_code() {
+        let v = scan_sources(&[lib_file("fn f() { std::process::exit(1); }\n")]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-process-exit");
+        // The CLI is a binary and may exit.
+        let cli = SourceFile {
+            path: "crates/cli/src/main.rs".to_string(),
+            content: "fn f() { std::process::exit(1); }\n".to_string(),
+        };
+        assert!(scan_sources(&[cli]).is_empty());
+        // `std::process::id()` and a comment mention are not hits.
+        let ok = lib_file("fn f() -> u32 { std::process::id() } // process::exit\n");
+        assert!(scan_sources(&[ok]).is_empty());
     }
 
     #[test]

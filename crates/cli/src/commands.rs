@@ -13,7 +13,7 @@ use crate::config_sidecar;
 
 fn load_data(args: &Args) -> Result<TkgDataset, String> {
     let dir = PathBuf::from(args.require("data")?);
-    load_dataset(&dir)
+    load_dataset(&dir).map_err(|e| e.to_string())
 }
 
 /// Applies the shared observability options: `--log-level` overrides the
@@ -77,7 +77,7 @@ pub fn generate(raw: &[String]) -> Result<(), String> {
     }
     let ds = cfg.generate();
     ds.validate()?;
-    save_dataset(&out, &ds)?;
+    save_dataset(&out, &ds).map_err(|e| e.to_string())?;
     let s = ds.stats();
     println!(
         "wrote `{}` to {}: {} entities, {} relations, {} timestamps, {}/{}/{} facts",
@@ -171,41 +171,103 @@ pub fn check(raw: &[String]) -> Result<(), String> {
     }
 }
 
-/// `retia train --data DIR --out FILE [hyperparameters...]`.
+/// `retia train --data DIR --out FILE [--resume DIR] [--checkpoint-dir DIR]
+/// [hyperparameters...]`.
 pub fn train(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &["no-tim", "no-eam"])?;
+    let args = Args::parse(raw, &["no-tim", "no-eam", "no-recovery"])?;
     let trace = init_obs(&args)?;
     let ds = load_data(&args)?;
     let out = PathBuf::from(args.require("out")?);
-    let cfg = model_config_from(&args)?;
-
     let ctx = TkgContext::new(&ds);
-    let model = Retia::new(&cfg, &ds);
+
     // Progress goes through the tracing pipeline (stderr at the RETIA_LOG
     // level plus any --trace-out sink); per-epoch losses are emitted live by
     // the trainer itself. Stdout stays reserved for the result tables.
-    event!(
-        Level::Info,
-        "train.start",
-        parameters = model.num_parameters(),
-        k = cfg.k,
-        epochs = cfg.epochs;
-        format!(
-            "training RETIA on `{}`: {} parameters, k={}, {} epochs",
-            ds.name,
-            model.num_parameters(),
-            cfg.k,
-            cfg.epochs
-        )
-    );
-    let mut trainer = Trainer::new(model, cfg.clone());
-    trainer.fit(&ctx);
+    let mut trainer = match args.get("resume") {
+        Some(dir) => {
+            // Architecture and hyperparameters come from the checkpoint's
+            // embedded config; only --epochs may override, to extend a
+            // finished run.
+            let dir = PathBuf::from(dir);
+            let mut t = Trainer::resume(&dir, &ds).map_err(|e| e.to_string())?;
+            if let Some(epochs) = args.get("epochs") {
+                t.cfg.epochs = epochs.parse().map_err(|e| format!("bad --epochs: {e}"))?;
+            }
+            event!(
+                Level::Info,
+                "train.resume",
+                epochs_done = t.epochs_done(),
+                steps = t.steps(),
+                epochs = t.cfg.epochs;
+                format!(
+                    "resumed from {} at epoch {}/{} (step {})",
+                    dir.display(),
+                    t.epochs_done(),
+                    t.cfg.epochs,
+                    t.steps()
+                )
+            );
+            t
+        }
+        None => {
+            let cfg = model_config_from(&args)?;
+            let model = Retia::new(&cfg, &ds);
+            event!(
+                Level::Info,
+                "train.start",
+                parameters = model.num_parameters(),
+                k = cfg.k,
+                epochs = cfg.epochs;
+                format!(
+                    "training RETIA on `{}`: {} parameters, k={}, {} epochs",
+                    ds.name,
+                    model.num_parameters(),
+                    cfg.k,
+                    cfg.epochs
+                )
+            );
+            Trainer::new(model, cfg)
+        }
+    };
+
+    // Divergence recovery is on by default: skip non-finite steps, roll
+    // back after a streak, abort when the retry budget runs out.
+    // --no-recovery restores the reference warn-only behavior.
+    if !args.flag("no-recovery") {
+        trainer.set_recovery(Some(retia::RecoveryPolicy::default()));
+    }
+    // RETIA_CHAOS (e.g. `grad-nan@5;grad-inf@10-12`) arms deterministic
+    // fault injection for testing the recovery machinery end to end.
+    let chaos = retia_analyze::ChaosPlan::from_env().map_err(|e| format!("RETIA_CHAOS: {e}"))?;
+    if !chaos.is_empty() {
+        event!(
+            Level::Warn,
+            "chaos.armed";
+            "RETIA_CHAOS fault plan armed: this run will inject gradient faults"
+        );
+        trainer.set_chaos(chaos);
+    }
+    // Periodic full-train-state checkpoints. Resumed runs keep saving into
+    // their source directory unless --checkpoint-dir says otherwise.
+    let ckpt_dir = args
+        .get("checkpoint-dir")
+        .map(PathBuf::from)
+        .or_else(|| args.get("resume").map(PathBuf::from));
+    if let Some(dir) = ckpt_dir {
+        let mut policy = retia::CheckpointPolicy::new(dir);
+        policy.every_epochs = args.get_or("checkpoint-every", 1usize)?;
+        policy.keep = args.get_or("keep", 3usize)?;
+        trainer.set_checkpointing(Some(policy));
+    }
+
+    trainer.try_fit(&ctx).map_err(|e| e.to_string())?;
     let report = trainer.evaluate_offline(&ctx, Split::Valid);
     println!("validation: {}", report.entity_raw);
 
     trainer.model.store().save_file(&out).map_err(|e| e.to_string())?;
     let sidecar = config_sidecar(&out);
-    std::fs::write(&sidecar, cfg.to_json()).map_err(|e| format!("{}: {e}", sidecar.display()))?;
+    std::fs::write(&sidecar, trainer.cfg.to_json())
+        .map_err(|e| format!("{}: {e}", sidecar.display()))?;
     println!("saved checkpoint to {} (+ config sidecar)", out.display());
     print_timing_summary();
     finish_obs(trace);

@@ -63,6 +63,18 @@ COMMANDS:
                --data DIR --out FILE [--dim N] [--k N] [--epochs N] [--channels N]
                [--lr F] [--lambda F] [--seed N] [--no-tim] [--no-eam] [--static-weight F]
                [--log-level L] [--trace-out FILE]
+               fault tolerance:
+               [--checkpoint-dir DIR]  save full train state there every epoch
+               [--checkpoint-every N]  save cadence in epochs (default 1)
+               [--keep K]              checkpoints retained by rotation, plus
+                                       the best-validation one (default 3)
+               [--resume DIR]          continue from DIR's latest checkpoint,
+                                       bit-identically to an uninterrupted run
+                                       (only --epochs may override the stored
+                                       config, to extend a finished run)
+               [--no-recovery]         disable divergence recovery (skip bad
+                                       steps / rollback / lr backoff), keeping
+                                       the reference warn-only behavior
     evaluate   score a checkpoint on a split
                --data DIR --model FILE [--split valid|test] [--online] [--filtered]
                [--log-level L] [--trace-out FILE]

@@ -46,15 +46,17 @@
 //! 3–8 are all fields of [`RetiaConfig`]: [`RelationMode`], [`HyperrelMode`],
 //! `use_tim`, `use_eam`, `online`.
 
+mod checkpoint;
 mod config;
 mod context;
 mod model;
 mod trainer;
 mod validate;
 
+pub use checkpoint::CheckpointPolicy;
 pub use config::{HyperrelMode, RelationMode, RetiaConfig};
 pub use context::{Split, TkgContext};
 pub use model::{entity_queries, relation_queries, EvolvedState, Retia};
 pub use retia_analyze::{ShapeIssue, ShapeReport};
-pub use trainer::{EpochLoss, EvalReport, Trainer};
+pub use trainer::{DivergenceReport, EpochLoss, EvalReport, RecoveryPolicy, TrainError, Trainer};
 pub use validate::validate_config;

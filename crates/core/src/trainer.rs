@@ -1,12 +1,24 @@
 //! Training loops: general training with early stopping, and the online
 //! continual training the paper uses at evaluation time (the
 //! time-variability strategy, §III-F).
+//!
+//! Training here is fault-tolerant. A [`RecoveryPolicy`] turns the obs NaN
+//! watchdog from warn-only into a state machine: non-finite losses or
+//! gradients **skip** the optimizer step; a streak of skips **rolls back**
+//! to the last-good in-memory snapshot with learning-rate backoff; an
+//! exhausted retry budget **aborts** with a [`DivergenceReport`] instead of
+//! training on garbage. A [`crate::CheckpointPolicy`] additionally persists
+//! full train state ([`crate::checkpoint`]) so a killed process resumes
+//! bit-identically. Faults can be injected on purpose via
+//! [`retia_analyze::ChaosPlan`] to prove all of this works.
 
+use retia_analyze::ChaosPlan;
 use retia_eval::{collect_paired_metrics, rank_of, rank_of_filtered, FilterSet, Metrics};
 use retia_graph::Snapshot;
 use retia_tensor::optim::{clip_grad_norm, Adam};
-use retia_tensor::Graph;
+use retia_tensor::{Graph, ParamStore};
 
+use crate::checkpoint::CheckpointPolicy;
 use crate::config::RetiaConfig;
 use crate::context::{Split, TkgContext};
 use crate::model::{entity_queries, last_k, relation_queries, Retia};
@@ -36,6 +48,102 @@ pub struct EvalReport {
     pub relation_filtered: Metrics,
 }
 
+/// How the trainer reacts to non-finite losses/gradients. Without a policy
+/// (the default) the watchdog only warns and training proceeds as the
+/// reference implementation would — NaNs and all.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Consecutive bad (skipped) steps tolerated before rolling back.
+    pub max_bad_steps: u64,
+    /// Rollbacks allowed before the run aborts with [`TrainError::Diverged`].
+    pub max_rollbacks: u64,
+    /// Learning-rate multiplier applied at each rollback (0 < backoff < 1).
+    pub lr_backoff: f32,
+    /// Applied (non-skipped) steps between refreshes of the last-good
+    /// in-memory snapshot.
+    pub snapshot_every: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_bad_steps: 3, max_rollbacks: 4, lr_backoff: 0.5, snapshot_every: 8 }
+    }
+}
+
+/// Diagnostic attached to [`TrainError::Diverged`]: what the run looked
+/// like when the recovery budget ran out.
+#[derive(Clone, Copy, Debug)]
+pub struct DivergenceReport {
+    /// Global step at which the run aborted.
+    pub step: u64,
+    /// Rollbacks performed before giving up.
+    pub rollbacks: u64,
+    /// Learning rate after all backoffs.
+    pub final_lr: f32,
+    /// Last observed joint loss (typically NaN/inf).
+    pub last_loss: f64,
+}
+
+impl std::fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training diverged: recovery budget exhausted at step {} after {} rollback(s) \
+             (lr backed off to {:.3e}, last joint loss {}). Likely causes: learning rate too \
+             high, corrupt input batch, or a numerically unstable configuration",
+            self.step, self.rollbacks, self.final_lr, self.last_loss
+        )
+    }
+}
+
+/// Training/resume failure.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The run diverged beyond the [`RecoveryPolicy`] budget.
+    Diverged(DivergenceReport),
+    /// A checkpoint could not be written or read.
+    Checkpoint(retia_tensor::CheckpointError),
+    /// A checkpoint directory/manifest/config was structurally invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged(report) => report.fmt(f),
+            TrainError::Checkpoint(e) => e.fmt(f),
+            TrainError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<retia_tensor::CheckpointError> for TrainError {
+    fn from(e: retia_tensor::CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Last-good state the recovery machine can roll back to. The [`ParamStore`]
+/// clone carries values *and* Adam moments; `adam_t` restores the
+/// bias-correction schedule.
+struct GoodState {
+    store: ParamStore,
+    adam_t: u64,
+}
+
+#[derive(Default)]
+struct RecoveryState {
+    snapshot: Option<GoodState>,
+    /// Consecutive bad steps since the last applied step.
+    streak: u64,
+    /// Rollbacks performed so far in this run.
+    rollbacks: u64,
+    /// Applied steps since the snapshot was last refreshed.
+    applied: u64,
+}
+
 /// Drives general training, online continual training and evaluation of a
 /// [`Retia`] model (and is reused by the RE-GCN-style baselines, which are
 /// ablated `Retia` configurations).
@@ -44,26 +152,106 @@ pub struct Trainer {
     pub model: Retia,
     /// Training hyperparameters (shared with the model's config).
     pub cfg: RetiaConfig,
-    opt: Adam,
-    step_seed: u64,
-    steps: u64,
-    /// Loss history of the last `fit` call.
+    pub(crate) opt: Adam,
+    pub(crate) step_seed: u64,
+    pub(crate) steps: u64,
+    /// Loss history of the last `fit` call (including epochs restored from
+    /// a checkpoint when resuming).
     pub loss_history: Vec<EpochLoss>,
+    /// Epochs completed so far; `fit` continues from here after a resume.
+    pub(crate) epochs_done: usize,
+    pub(crate) best_mrr: f64,
+    pub(crate) best_params: Option<ParamStore>,
+    pub(crate) bad_epochs: usize,
+    pub(crate) last_valid_mrr: Option<f64>,
+    recovery: Option<RecoveryPolicy>,
+    recovery_state: RecoveryState,
+    chaos: ChaosPlan,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Trainer {
-    /// Creates a trainer around a model.
+    /// Creates a trainer around a model. Divergence recovery, chaos
+    /// injection and periodic checkpointing are all off by default; see
+    /// [`Trainer::set_recovery`], [`Trainer::set_chaos`],
+    /// [`Trainer::set_checkpointing`].
     pub fn new(model: Retia, cfg: RetiaConfig) -> Self {
         // Results are bit-identical at any thread count, so applying the
         // config knob here never changes what a run computes — only how fast.
         retia_tensor::parallel::set_num_threads(cfg.num_threads);
         let opt = Adam::new(cfg.lr);
-        Trainer { model, cfg, opt, step_seed: 0x5EED, steps: 0, loss_history: Vec::new() }
+        Trainer {
+            model,
+            cfg,
+            opt,
+            step_seed: 0x5EED,
+            steps: 0,
+            loss_history: Vec::new(),
+            epochs_done: 0,
+            best_mrr: f64::NEG_INFINITY,
+            best_params: None,
+            bad_epochs: 0,
+            last_valid_mrr: None,
+            recovery: None,
+            recovery_state: RecoveryState::default(),
+            chaos: ChaosPlan::none(),
+            checkpoint: None,
+        }
+    }
+
+    /// Enables (or disables) the divergence-recovery state machine.
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+        self.recovery_state = RecoveryState::default();
+    }
+
+    /// Arms a deterministic fault plan (testing). Chaos steps are
+    /// zero-based over `train_step` invocations.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = plan;
+    }
+
+    /// Enables (or disables) periodic train-state checkpoints during `fit`.
+    pub fn set_checkpointing(&mut self, policy: Option<CheckpointPolicy>) {
+        self.checkpoint = policy;
+    }
+
+    /// Global gradient steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Epochs of `fit` completed so far (nonzero after a resume).
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
     }
 
     /// One gradient step: forecast snapshot `target_idx` from its history.
     /// Returns the (entity, relation, joint) loss values.
+    ///
+    /// Infallible wrapper over [`Trainer::try_train_step`] for callers
+    /// without a recovery policy (where no error path exists).
     pub fn train_step(&mut self, ctx: &TkgContext, target_idx: usize) -> EpochLoss {
+        self.try_train_step(ctx, target_idx)
+            .map_err(|e| e.to_string())
+            .expect("training diverged beyond the recovery budget; use try_train_step to handle it")
+    }
+
+    /// One gradient step with divergence recovery. Without a
+    /// [`RecoveryPolicy`] this never fails and behaves exactly like the
+    /// reference implementation (NaNs flow into the optimizer); with one,
+    /// bad steps are skipped/rolled back and an exhausted budget returns
+    /// [`TrainError::Diverged`].
+    pub fn try_train_step(
+        &mut self,
+        ctx: &TkgContext,
+        target_idx: usize,
+    ) -> Result<EpochLoss, TrainError> {
+        // Seed the last-good snapshot from the pre-step state so a rollback
+        // target exists even if the very first step diverges.
+        if self.recovery.is_some() && self.recovery_state.snapshot.is_none() {
+            self.refresh_snapshot();
+        }
         self.steps += 1;
         let step = self.steps;
         let _t = retia_obs::span!("train.step", step = step);
@@ -83,21 +271,106 @@ impl Trainer {
             let _bw = retia_obs::span!("backward.autodiff");
             g.backward(loss, self.model.store_mut());
         }
+        // Chaos injection point: poison gradients between backward and the
+        // optimizer step, exactly where a real numerical blow-up lands.
+        // Chaos steps are zero-based.
+        if let Some(fault) = self.chaos.grad_fault(step - 1) {
+            for (_, grad) in self.model.store_mut().iter_grads_mut() {
+                if let Some(x) = grad.data_mut().first_mut() {
+                    *x = fault.value();
+                }
+            }
+        }
         {
             let _opt = retia_obs::span!("backward.optim");
             self.check_gradients(step);
-            // clip_grad_norm returns the pre-clip global norm: a free
-            // training-health gauge. NaN gradients pass through clipping
-            // unscaled (`NaN > max` is false), which is why the watchdog
-            // scan above sits between backward and the optimizer step.
-            let norm = clip_grad_norm(self.model.store_mut(), self.cfg.grad_clip);
-            retia_obs::metrics::set_gauge("grad.norm", norm as f64);
-            retia_obs::metrics::observe("grad.norm", norm as f64);
-            self.opt.step(self.model.store_mut());
-            self.model.store_mut().zero_grad();
+            let bad = !joint.is_finite() || self.grads_non_finite();
+            match self.recovery {
+                // Legacy path: no recovery, the optimizer steps regardless
+                // (the watchdog above has already warned).
+                None => self.apply_optimizer_step(),
+                Some(policy) if !bad => {
+                    self.recovery_state.streak = 0;
+                    self.apply_optimizer_step();
+                    self.recovery_state.applied += 1;
+                    if self.recovery_state.applied >= policy.snapshot_every {
+                        self.refresh_snapshot();
+                    }
+                }
+                Some(policy) => {
+                    // Bad step: never let non-finite gradients touch the
+                    // parameters or Adam moments.
+                    self.model.store_mut().zero_grad();
+                    self.recovery_state.streak += 1;
+                    retia_obs::watchdog::recovery_skip(step, self.recovery_state.streak);
+                    if self.recovery_state.streak >= policy.max_bad_steps {
+                        self.rollback_or_abort(policy, step, joint)?;
+                    }
+                }
+            }
         }
         retia_obs::metrics::inc("train.steps");
-        EpochLoss { entity: le as f64, relation: lr as f64, joint }
+        Ok(EpochLoss { entity: le as f64, relation: lr as f64, joint })
+    }
+
+    /// Clip → Adam step → zero gradients (the healthy-step tail).
+    fn apply_optimizer_step(&mut self) {
+        // clip_grad_norm returns the pre-clip global norm: a free
+        // training-health gauge. NaN gradients pass through clipping
+        // unscaled (`NaN > max` is false), which is why the watchdog
+        // scan sits between backward and the optimizer step.
+        let norm = clip_grad_norm(self.model.store_mut(), self.cfg.grad_clip);
+        retia_obs::metrics::set_gauge("grad.norm", norm as f64);
+        retia_obs::metrics::observe("grad.norm", norm as f64);
+        self.opt.step(self.model.store_mut());
+        self.model.store_mut().zero_grad();
+    }
+
+    /// Captures the current (post-update) state as the rollback target.
+    fn refresh_snapshot(&mut self) {
+        self.recovery_state.snapshot =
+            Some(GoodState { store: self.model.store().clone(), adam_t: self.opt.steps() });
+        self.recovery_state.applied = 0;
+    }
+
+    /// Rolls back to the last-good snapshot with learning-rate backoff, or
+    /// aborts with a [`DivergenceReport`] when the budget is exhausted.
+    fn rollback_or_abort(
+        &mut self,
+        policy: RecoveryPolicy,
+        step: u64,
+        last_loss: f64,
+    ) -> Result<(), TrainError> {
+        self.recovery_state.rollbacks += 1;
+        let rollbacks = self.recovery_state.rollbacks;
+        if rollbacks > policy.max_rollbacks {
+            retia_obs::watchdog::recovery_abort(step, rollbacks - 1);
+            return Err(TrainError::Diverged(DivergenceReport {
+                step,
+                rollbacks: rollbacks - 1,
+                final_lr: self.opt.lr,
+                last_loss,
+            }));
+        }
+        let snap = self
+            .recovery_state
+            .snapshot
+            .as_ref()
+            .expect("recovery snapshot seeded before the first step");
+        *self.model.store_mut() = snap.store.clone();
+        self.opt.set_steps(snap.adam_t);
+        self.opt.lr *= policy.lr_backoff;
+        retia_obs::watchdog::recovery_rollback(step, rollbacks, self.opt.lr as f64);
+        self.recovery_state.streak = 0;
+        Ok(())
+    }
+
+    /// True if any parameter gradient holds a NaN/±inf.
+    fn grads_non_finite(&self) -> bool {
+        self.model
+            .store()
+            .iter_grads()
+            .any(|(_, g)| retia_obs::watchdog::count_non_finite(g.data()) > 0)
     }
 
     /// Shape dry run (milliseconds, no floating-point work) before
@@ -132,14 +405,30 @@ impl Trainer {
     /// snapshots each epoch, early-stopping when validation entity MRR has
     /// not improved for `cfg.patience` consecutive epochs (the paper's
     /// protocol). Returns the per-epoch loss history.
+    ///
+    /// Infallible wrapper over [`Trainer::try_fit`] for callers without a
+    /// recovery or checkpoint policy (where no error path exists).
     pub fn fit(&mut self, ctx: &TkgContext) -> Vec<EpochLoss> {
-        self.check_wiring();
-        self.loss_history.clear();
-        let mut best_mrr = f64::NEG_INFINITY;
-        let mut best_params: Option<retia_tensor::ParamStore> = None;
-        let mut bad_epochs = 0usize;
+        self.try_fit(ctx)
+            .map_err(|e| e.to_string())
+            .expect("training failed; use try_fit to handle divergence/checkpoint errors")
+    }
 
-        for epoch in 0..self.cfg.epochs {
+    /// [`Trainer::fit`] with divergence recovery and periodic
+    /// checkpointing. Resumed trainers (see `Trainer::resume`) continue
+    /// from `epochs_done` instead of epoch 0, bit-identically to a run
+    /// that was never interrupted.
+    pub fn try_fit(&mut self, ctx: &TkgContext) -> Result<Vec<EpochLoss>, TrainError> {
+        self.check_wiring();
+        if self.epochs_done == 0 {
+            self.loss_history.clear();
+            self.best_mrr = f64::NEG_INFINITY;
+            self.best_params = None;
+            self.bad_epochs = 0;
+            self.last_valid_mrr = None;
+        }
+
+        for epoch in self.epochs_done..self.cfg.epochs {
             let (mut se, mut sr, mut sj) = (0.0f64, 0.0f64, 0.0f64);
             let mut n = 0usize;
             // Skip index 0: there is no history to forecast it from.
@@ -147,7 +436,7 @@ impl Trainer {
                 if idx == 0 {
                     continue;
                 }
-                let l = self.train_step(ctx, idx);
+                let l = self.try_train_step(ctx, idx)?;
                 se += l.entity;
                 sr += l.relation;
                 sj += l.joint;
@@ -172,6 +461,7 @@ impl Trainer {
                 )
             );
 
+            let mut stop = false;
             if self.cfg.patience > 0 {
                 let report = {
                     let _t = retia_obs::span!("eval.validation", epoch = epoch);
@@ -179,13 +469,15 @@ impl Trainer {
                 };
                 let mrr = report.entity_raw.mrr();
                 retia_obs::metrics::set_gauge("valid.entity_mrr", mrr);
-                if mrr > best_mrr {
-                    best_mrr = mrr;
-                    best_params = Some(self.model.store().clone());
-                    bad_epochs = 0;
+                self.last_valid_mrr = Some(mrr);
+                if mrr > self.best_mrr {
+                    self.best_mrr = mrr;
+                    self.best_params = Some(self.model.store().clone());
+                    self.bad_epochs = 0;
                 } else {
-                    bad_epochs += 1;
-                    if bad_epochs >= self.cfg.patience {
+                    self.bad_epochs += 1;
+                    if self.bad_epochs >= self.cfg.patience {
+                        let best_mrr = self.best_mrr;
                         retia_obs::event!(
                             retia_obs::Level::Info,
                             "train.early_stop",
@@ -195,27 +487,50 @@ impl Trainer {
                                 "early stop at epoch {epoch}: validation MRR stalled at {best_mrr:.4}"
                             )
                         );
-                        break;
+                        stop = true;
                     }
                 }
             }
+            self.epochs_done = epoch + 1;
+            if let Some(policy) = self.checkpoint.clone() {
+                if policy.due(self.epochs_done) || stop || self.epochs_done == self.cfg.epochs {
+                    self.save_rotating(&policy)?;
+                }
+            }
+            if stop {
+                break;
+            }
         }
-        if let Some(best) = best_params {
-            self.model.store_mut().copy_values_from(&best);
+        if let Some(best) = &self.best_params {
+            self.model.store_mut().copy_values_from(best);
         }
-        self.loss_history.clone()
+        Ok(self.loss_history.clone())
     }
 
     /// Evaluates a split following `cfg.online`: with online continual
     /// training, each evaluated timestamp's facts are trained on (with
     /// `cfg.online_steps` gradient steps) after being scored, before moving
     /// to the next timestamp — the paper's time-variability strategy.
+    ///
+    /// Infallible wrapper over [`Trainer::try_evaluate`].
     pub fn evaluate(&mut self, ctx: &TkgContext, split: Split) -> EvalReport {
+        self.try_evaluate(ctx, split)
+            .map_err(|e| e.to_string())
+            .expect("online evaluation diverged; use try_evaluate to handle it")
+    }
+
+    /// [`Trainer::evaluate`] with divergence recovery on the online
+    /// continual-training steps.
+    pub fn try_evaluate(
+        &mut self,
+        ctx: &TkgContext,
+        split: Split,
+    ) -> Result<EvalReport, TrainError> {
         self.check_wiring();
         if self.cfg.online {
-            self.evaluate_online(ctx, split)
+            self.try_evaluate_online(ctx, split)
         } else {
-            self.evaluate_offline(ctx, split)
+            Ok(self.evaluate_offline(ctx, split))
         }
     }
 
@@ -228,17 +543,28 @@ impl Trainer {
         report
     }
 
-    /// Evaluation with online continual training.
+    /// Evaluation with online continual training (infallible wrapper).
     pub fn evaluate_online(&mut self, ctx: &TkgContext, split: Split) -> EvalReport {
+        self.try_evaluate_online(ctx, split)
+            .map_err(|e| e.to_string())
+            .expect("online evaluation diverged; use try_evaluate_online to handle it")
+    }
+
+    /// Evaluation with online continual training.
+    pub fn try_evaluate_online(
+        &mut self,
+        ctx: &TkgContext,
+        split: Split,
+    ) -> Result<EvalReport, TrainError> {
         let mut report = EvalReport::default();
         let indices: Vec<usize> = ctx.split_indices(split).to_vec();
         for idx in indices {
             self.score_snapshot(ctx, idx, &mut report);
             for _ in 0..self.cfg.online_steps {
-                self.train_step(ctx, idx);
+                self.try_train_step(ctx, idx)?;
             }
         }
-        report
+        Ok(report)
     }
 
     /// Scores one snapshot's queries into `report`.
@@ -464,6 +790,116 @@ mod tests {
             .filter(|e| e.thread == me && e.name.starts_with("nonfinite."))
             .collect();
         assert!(fired.is_empty(), "healthy run fired the watchdog: {fired:?}");
+    }
+
+    #[test]
+    fn chaos_storm_recovers_with_skip_then_rollback() {
+        let (sink, handle) = retia_obs::CaptureSink::new();
+        let id = retia_obs::add_sink(Box::new(sink));
+        let me = retia_obs::current_thread();
+
+        let (mut trainer, ctx) = tiny_setup(1);
+        trainer.set_recovery(Some(RecoveryPolicy::default()));
+        // NaN gradients at (zero-based) steps 1–3: exactly max_bad_steps
+        // consecutive bad steps, so the machine must skip, skip, skip,
+        // then roll back — in that order.
+        trainer.set_chaos(retia_analyze::ChaosPlan::parse("grad-nan@1-3").unwrap());
+        let idx = *ctx.train_idx.last().unwrap();
+        for _ in 0..8 {
+            trainer.try_train_step(&ctx, idx).unwrap();
+        }
+        retia_obs::remove_sink(id);
+
+        let names: Vec<String> = handle
+            .events()
+            .into_iter()
+            .filter(|e| e.thread == me && e.name.starts_with("recovery."))
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            names,
+            ["recovery.skip", "recovery.skip", "recovery.skip", "recovery.rollback"],
+            "recovery decisions out of order"
+        );
+        // The poisoned gradients must never have reached the parameters.
+        for (name, t) in trainer.model.store().iter() {
+            assert_eq!(
+                retia_obs::watchdog::count_non_finite(t.data()),
+                0,
+                "parameter `{name}` was poisoned despite recovery"
+            );
+        }
+        // Learning rate was backed off exactly once.
+        assert!((trainer.opt.lr - trainer.cfg.lr * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_recovery_budget_returns_diverged() {
+        let (mut trainer, ctx) = tiny_setup(1);
+        trainer.set_recovery(Some(RecoveryPolicy {
+            max_bad_steps: 1,
+            max_rollbacks: 2,
+            ..Default::default()
+        }));
+        // Every step poisoned: each bad step rolls back immediately, so the
+        // budget of 2 rollbacks dies on the third bad step.
+        trainer.set_chaos(retia_analyze::ChaosPlan::parse("grad-inf@0-99").unwrap());
+        let idx = *ctx.train_idx.last().unwrap();
+        let mut last = None;
+        for _ in 0..10 {
+            match trainer.try_train_step(&ctx, idx) {
+                Ok(_) => continue,
+                Err(e) => {
+                    last = Some(e);
+                    break;
+                }
+            }
+        }
+        match last {
+            Some(TrainError::Diverged(report)) => {
+                assert_eq!(report.rollbacks, 2);
+                assert!(report.final_lr < trainer.cfg.lr, "lr was never backed off");
+                let msg = report.to_string();
+                assert!(msg.contains("rollback") && msg.contains("learning rate"), "{msg}");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unprotected_run_is_poisoned_where_recovery_survives() {
+        let plan = retia_analyze::ChaosPlan::parse("grad-nan@0-2").unwrap();
+
+        // A: no recovery — the legacy path steps the optimizer on NaN
+        // gradients and the parameters rot.
+        let (mut unprotected, ctx) = tiny_setup(1);
+        unprotected.set_chaos(plan.clone());
+        let idx = *ctx.train_idx.last().unwrap();
+        for _ in 0..3 {
+            let _ = unprotected.try_train_step(&ctx, idx).unwrap();
+        }
+        let poisoned = unprotected
+            .model
+            .store()
+            .iter()
+            .any(|(_, t)| retia_obs::watchdog::count_non_finite(t.data()) > 0);
+        assert!(poisoned, "chaos plan failed to poison the unprotected run");
+
+        // B: same faults, recovery on — every parameter stays finite.
+        let (mut protected, ctx) = tiny_setup(1);
+        protected.set_recovery(Some(RecoveryPolicy::default()));
+        protected.set_chaos(plan);
+        let idx = *ctx.train_idx.last().unwrap();
+        for _ in 0..6 {
+            protected.try_train_step(&ctx, idx).unwrap();
+        }
+        for (name, t) in protected.model.store().iter() {
+            assert_eq!(
+                retia_obs::watchdog::count_non_finite(t.data()),
+                0,
+                "parameter `{name}` poisoned despite recovery"
+            );
+        }
     }
 
     #[test]

@@ -5,19 +5,89 @@
 //! (integer ids), plus a `stat.txt` with `num_entities\tnum_relations`.
 //! We read and write exactly that layout so real datasets drop in if
 //! available.
+//!
+//! All failures are a typed [`DataError`] carrying the file path and, for
+//! malformed rows, the 1-based line number — a corrupted download points at
+//! the exact cell, not just "parse error".
 
 use std::fs;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use retia_graph::Quad;
 
 use crate::dataset::{Granularity, TkgDataset};
 
+/// Dataset IO/parse failure. Every variant carries the offending file so
+/// multi-file loads ([`load_dataset`]) stay diagnosable.
+#[derive(Debug)]
+pub enum DataError {
+    /// Filesystem failure reading or writing `path`.
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A malformed TSV row.
+    Row {
+        /// File the row came from (empty for in-memory text).
+        path: PathBuf,
+        /// 1-based line number within the file.
+        line: usize,
+        /// What was wrong (`missing object`, `bad timestamp: ...`).
+        problem: String,
+    },
+    /// A malformed `stat.txt` header.
+    Stat {
+        /// The `stat.txt` path.
+        path: PathBuf,
+        /// What was wrong.
+        problem: String,
+    },
+    /// The files parsed but the dataset is internally inconsistent
+    /// (id out of range, empty split, unordered timestamps...).
+    Invalid {
+        /// Description from `TkgDataset::validate`.
+        problem: String,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            DataError::Row { path, line, problem } => {
+                if path.as_os_str().is_empty() {
+                    write!(f, "line {line}: {problem}")
+                } else {
+                    write!(f, "{}:{line}: {problem}", path.display())
+                }
+            }
+            DataError::Stat { path, problem } => write!(f, "{}: {problem}", path.display()),
+            DataError::Invalid { problem } => write!(f, "invalid dataset: {problem}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> DataError + '_ {
+    move |source| DataError::Io { path: path.to_path_buf(), source }
+}
+
 /// Parses quads from TSV text (`s\tr\to\tt` per line; blank lines and `#`
 /// comments ignored). Timestamps may be any non-negative integers; they are
-/// preserved verbatim.
-pub fn parse_quads_tsv(text: &str) -> Result<Vec<Quad>, String> {
+/// preserved verbatim. `origin` names the source file in row errors; pass
+/// an empty path for in-memory text.
+pub fn parse_quads_tsv(text: &str, origin: &Path) -> Result<Vec<Quad>, DataError> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -25,13 +95,18 @@ pub fn parse_quads_tsv(text: &str) -> Result<Vec<Quad>, String> {
             continue;
         }
         let mut fields = line.split('\t');
-        let mut next = |what: &str| -> Result<u32, String> {
+        let mut next = |what: &str| -> Result<u32, DataError> {
+            let row_err = |problem: String| DataError::Row {
+                path: origin.to_path_buf(),
+                line: lineno + 1,
+                problem,
+            };
             fields
                 .next()
-                .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                .ok_or_else(|| row_err(format!("missing {what}")))?
                 .trim()
                 .parse::<u32>()
-                .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+                .map_err(|e| row_err(format!("bad {what}: {e}")))
         };
         let s = next("subject")?;
         let r = next("relation")?;
@@ -43,26 +118,25 @@ pub fn parse_quads_tsv(text: &str) -> Result<Vec<Quad>, String> {
 }
 
 /// Reads quads from a TSV file.
-pub fn load_quads_tsv(path: &Path) -> Result<Vec<Quad>, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    parse_quads_tsv(&text)
+pub fn load_quads_tsv(path: &Path) -> Result<Vec<Quad>, DataError> {
+    let text = fs::read_to_string(path).map_err(io_err(path))?;
+    parse_quads_tsv(&text, path)
 }
 
 /// Writes quads as TSV.
-pub fn save_quads_tsv(path: &Path, quads: &[Quad]) -> Result<(), String> {
-    let file = fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+pub fn save_quads_tsv(path: &Path, quads: &[Quad]) -> Result<(), DataError> {
+    let file = fs::File::create(path).map_err(io_err(path))?;
     let mut w = BufWriter::new(file);
     for q in quads {
-        writeln!(w, "{}\t{}\t{}\t{}", q.s, q.r, q.o, q.t)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        writeln!(w, "{}\t{}\t{}\t{}", q.s, q.r, q.o, q.t).map_err(io_err(path))?;
     }
-    w.flush().map_err(|e| format!("{}: {e}", path.display()))
+    w.flush().map_err(io_err(path))
 }
 
 /// Saves a dataset as a benchmark-layout directory:
 /// `train.txt`, `valid.txt`, `test.txt`, `stat.txt`.
-pub fn save_dataset(dir: &Path, ds: &TkgDataset) -> Result<(), String> {
-    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+pub fn save_dataset(dir: &Path, ds: &TkgDataset) -> Result<(), DataError> {
+    fs::create_dir_all(dir).map_err(io_err(dir))?;
     save_quads_tsv(&dir.join("train.txt"), &ds.train)?;
     save_quads_tsv(&dir.join("valid.txt"), &ds.valid)?;
     save_quads_tsv(&dir.join("test.txt"), &ds.test)?;
@@ -70,32 +144,31 @@ pub fn save_dataset(dir: &Path, ds: &TkgDataset) -> Result<(), String> {
         Granularity::Day => "day",
         Granularity::Year => "year",
     };
-    fs::write(
-        dir.join("stat.txt"),
-        format!("{}\t{}\t{}\t{}\n", ds.num_entities, ds.num_relations, gran, ds.name),
-    )
-    .map_err(|e| format!("{}: {e}", dir.display()))
+    let stat = dir.join("stat.txt");
+    fs::write(&stat, format!("{}\t{}\t{}\t{}\n", ds.num_entities, ds.num_relations, gran, ds.name))
+        .map_err(io_err(&stat))
 }
 
 /// Loads a dataset from a benchmark-layout directory written by
 /// [`save_dataset`] (or a real benchmark release with a compatible
 /// `stat.txt`).
-pub fn load_dataset(dir: &Path) -> Result<TkgDataset, String> {
-    let stat = fs::read_to_string(dir.join("stat.txt"))
-        .map_err(|e| format!("{}: {e}", dir.join("stat.txt").display()))?;
+pub fn load_dataset(dir: &Path) -> Result<TkgDataset, DataError> {
+    let stat_path = dir.join("stat.txt");
+    let stat_err = |problem: String| DataError::Stat { path: stat_path.clone(), problem };
+    let stat = fs::read_to_string(&stat_path).map_err(io_err(&stat_path))?;
     let mut fields = stat.trim().split('\t');
     let num_entities: usize = fields
         .next()
-        .ok_or("stat.txt: missing entity count")?
+        .ok_or_else(|| stat_err("missing entity count".into()))?
         .trim()
         .parse()
-        .map_err(|e| format!("stat.txt: bad entity count: {e}"))?;
+        .map_err(|e| stat_err(format!("bad entity count: {e}")))?;
     let num_relations: usize = fields
         .next()
-        .ok_or("stat.txt: missing relation count")?
+        .ok_or_else(|| stat_err("missing relation count".into()))?
         .trim()
         .parse()
-        .map_err(|e| format!("stat.txt: bad relation count: {e}"))?;
+        .map_err(|e| stat_err(format!("bad relation count: {e}")))?;
     let granularity = match fields.next().map(str::trim) {
         Some("year") => Granularity::Year,
         _ => Granularity::Day,
@@ -111,7 +184,7 @@ pub fn load_dataset(dir: &Path) -> Result<TkgDataset, String> {
         valid: load_quads_tsv(&dir.join("valid.txt"))?,
         test: load_quads_tsv(&dir.join("test.txt"))?,
     };
-    ds.validate()?;
+    ds.validate().map_err(|problem| DataError::Invalid { problem })?;
     Ok(ds)
 }
 
@@ -119,24 +192,63 @@ pub fn load_dataset(dir: &Path) -> Result<TkgDataset, String> {
 mod tests {
     use super::*;
 
+    fn mem() -> PathBuf {
+        PathBuf::new()
+    }
+
     #[test]
     fn parse_basic() {
-        let quads = parse_quads_tsv("0\t1\t2\t3\n4\t5\t6\t7\n").unwrap();
+        let quads = parse_quads_tsv("0\t1\t2\t3\n4\t5\t6\t7\n", &mem()).unwrap();
         assert_eq!(quads, vec![Quad::new(0, 1, 2, 3), Quad::new(4, 5, 6, 7)]);
     }
 
     #[test]
     fn parse_skips_comments_and_blanks() {
-        let quads = parse_quads_tsv("# header\n\n1\t0\t2\t0\n").unwrap();
+        let quads = parse_quads_tsv("# header\n\n1\t0\t2\t0\n", &mem()).unwrap();
         assert_eq!(quads.len(), 1);
     }
 
     #[test]
     fn parse_reports_bad_lines() {
-        let err = parse_quads_tsv("1\t2\tx\t4\n").unwrap_err();
-        assert!(err.contains("line 1"), "{err}");
-        let err = parse_quads_tsv("1\t2\n").unwrap_err();
-        assert!(err.contains("missing"), "{err}");
+        let err = parse_quads_tsv("1\t2\tx\t4\n", &mem()).unwrap_err();
+        match &err {
+            DataError::Row { line, problem, .. } => {
+                assert_eq!(*line, 1);
+                assert!(problem.contains("object"), "{problem}");
+            }
+            other => panic!("expected Row error, got {other:?}"),
+        }
+        let err = parse_quads_tsv("1\t2\n", &mem()).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_row_error_names_file_and_line() {
+        // A corrupted cell on line 3 of a file must surface path, 1-based
+        // line, and the bad field.
+        let dir = std::env::temp_dir().join(format!("retia_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.txt");
+        std::fs::write(&path, "0\t0\t1\t0\n1\t0\t0\t0\n2\t0\tBROKEN\t1\n").unwrap();
+        let err = load_quads_tsv(&path).unwrap_err();
+        match &err {
+            DataError::Row { path: p, line, problem } => {
+                assert_eq!(p, &path);
+                assert_eq!(*line, 3);
+                assert!(problem.contains("object"), "{problem}");
+            }
+            other => panic!("expected Row error, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("train.txt") && msg.contains(":3:"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error_with_path() {
+        let err = load_quads_tsv(Path::new("/nonexistent/retia/train.txt")).unwrap_err();
+        assert!(matches!(err, DataError::Io { .. }), "{err:?}");
+        assert!(err.to_string().contains("train.txt"), "{err}");
     }
 
     #[test]

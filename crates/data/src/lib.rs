@@ -32,6 +32,8 @@ mod vocab;
 
 pub use characterize::{characterize, Characterization};
 pub use dataset::{DatasetStats, Granularity, TkgDataset};
-pub use io::{load_dataset, load_quads_tsv, save_dataset, save_quads_tsv};
+pub use io::{
+    load_dataset, load_quads_tsv, parse_quads_tsv, save_dataset, save_quads_tsv, DataError,
+};
 pub use synthetic::{DatasetProfile, SyntheticConfig};
 pub use vocab::Vocab;

@@ -26,9 +26,22 @@ impl Value {
         Value::Object(Vec::new())
     }
 
-    /// Appends (or replaces) `key` in an object. Panics on non-objects —
-    /// the writer-side code controls the shapes it builds.
-    pub fn insert(&mut self, key: &str, value: Value) -> &mut Value {
+    /// JSON type name of this node (`"object"`, `"array"`, ...).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Appends (or replaces) `key` in an object; fails with [`NotAnObject`]
+    /// when the receiver is any other JSON type.
+    pub fn try_insert(&mut self, key: &str, value: Value) -> Result<&mut Value, NotAnObject> {
+        let actual = self.type_name();
         match self {
             Value::Object(entries) => {
                 if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
@@ -36,10 +49,17 @@ impl Value {
                 } else {
                     entries.push((key.to_string(), value));
                 }
-                self
+                Ok(self)
             }
-            _ => panic!("Value::insert on non-object"),
+            _ => Err(NotAnObject { actual }),
         }
+    }
+
+    /// Appends (or replaces) `key` in an object. The writer-side code
+    /// controls the shapes it builds, so a non-object receiver is a caller
+    /// bug; use [`Value::try_insert`] when the shape is not statically known.
+    pub fn insert(&mut self, key: &str, value: Value) -> &mut Value {
+        self.try_insert(key, value).expect("Value::insert requires an object receiver")
     }
 
     /// Member lookup; `None` on non-objects or absent keys.
@@ -111,6 +131,21 @@ impl Value {
         out
     }
 }
+
+/// Error from [`Value::try_insert`]: the receiver is not a JSON object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotAnObject {
+    /// JSON type name of the actual receiver.
+    pub actual: &'static str,
+}
+
+impl fmt::Display for NotAnObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot insert into JSON {} (expected an object)", self.actual)
+    }
+}
+
+impl std::error::Error for NotAnObject {}
 
 impl From<bool> for Value {
     fn from(b: bool) -> Value {
@@ -234,11 +269,12 @@ fn write_number(out: &mut String, n: f64) {
         // The i64 fast path below would erase the sign of -0.0.
         out.push_str("-0");
     } else if n.fract() == 0.0 && n.abs() < 1e15 {
-        fmt::Write::write_fmt(out, format_args!("{}", n as i64)).unwrap();
+        // Formatting into a String cannot fail; ignore the fmt::Result.
+        let _ = fmt::Write::write_fmt(out, format_args!("{}", n as i64));
     } else {
         // `{}` on f64 is shortest-roundtrip in Rust, so values survive
         // write→parse exactly.
-        fmt::Write::write_fmt(out, format_args!("{n}")).unwrap();
+        let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
     }
 }
 
@@ -252,7 +288,8 @@ fn write_string(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32)).unwrap()
+                // Formatting into a String cannot fail; ignore the fmt::Result.
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
             }
             c => out.push(c),
         }
@@ -483,7 +520,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The consumed bytes are ASCII digits/signs from a &str, but report
+        // a parse error rather than assume it.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError { offset: start, message: "invalid utf-8 in number".into() })?;
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| ParseError { offset: start, message: format!("invalid number '{text}'") })
@@ -561,6 +601,16 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "{\"a\":}"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn try_insert_on_non_object_is_typed_error() {
+        let mut v = Value::from(3.0f64);
+        let err = v.try_insert("k", Value::Null).unwrap_err();
+        assert_eq!(err, NotAnObject { actual: "number" });
+        assert!(err.to_string().contains("number"), "{err}");
+        let mut obj = Value::object();
+        assert!(obj.try_insert("k", Value::Null).is_ok());
     }
 
     #[test]

@@ -72,6 +72,58 @@ fn fire(tag: &str, step: u64, count: u64, total: u64) {
     }
 }
 
+// ---- divergence-recovery events --------------------------------------------
+//
+// The trainer's RecoveryPolicy reports every decision through these helpers
+// so tests (and trace consumers) can assert the exact skip → rollback →
+// abort sequence. Unlike the first-fire warn above, recovery events fire on
+// every occurrence — each one is a distinct decision.
+
+/// The trainer skipped an optimizer step because loss/gradients were
+/// non-finite. `streak` is the current consecutive-bad-step count.
+pub fn recovery_skip(step: u64, streak: u64) {
+    metrics::inc("recovery.skipped_steps");
+    crate::emit_event(
+        Level::Warn,
+        "recovery.skip",
+        &[("step", step as f64), ("streak", streak as f64)],
+        Some(&format!(
+            "step {step}: non-finite loss/gradients — optimizer step skipped \
+             (bad-step streak {streak})"
+        )),
+    );
+}
+
+/// The trainer rolled parameters and optimizer state back to the last-good
+/// snapshot and backed the learning rate off to `new_lr`.
+pub fn recovery_rollback(step: u64, rollbacks: u64, new_lr: f64) {
+    metrics::inc("recovery.rollbacks");
+    metrics::set_gauge("recovery.lr", new_lr);
+    crate::emit_event(
+        Level::Warn,
+        "recovery.rollback",
+        &[("step", step as f64), ("rollbacks", rollbacks as f64), ("lr", new_lr)],
+        Some(&format!(
+            "step {step}: rolled back to last-good snapshot (rollback #{rollbacks}), \
+             learning rate now {new_lr:.3e}"
+        )),
+    );
+}
+
+/// The retry budget is exhausted; the trainer is aborting the run.
+pub fn recovery_abort(step: u64, rollbacks: u64) {
+    metrics::inc("recovery.aborts");
+    crate::emit_event(
+        Level::Error,
+        "recovery.abort",
+        &[("step", step as f64), ("rollbacks", rollbacks as f64)],
+        Some(&format!(
+            "step {step}: divergence recovery budget exhausted after {rollbacks} \
+             rollback(s) — aborting instead of training on garbage"
+        )),
+    );
+}
+
 /// Whether the watchdog has already fired for `tag` in this process.
 pub fn fired(tag: &str) -> bool {
     seen().lock().unwrap_or_else(|e| e.into_inner()).contains(tag)
@@ -137,5 +189,35 @@ mod tests {
         assert!(check_value("loss.test_scalar", 2, f64::NAN));
         assert!(check_value("loss.test_scalar", 3, f64::INFINITY));
         assert!(fired("loss.test_scalar"));
+    }
+
+    #[test]
+    fn recovery_events_fire_every_time() {
+        let _guard = test_lock::lock();
+        crate::metrics::registry().reset();
+        let (sink, handle) = crate::CaptureSink::new();
+        let id = crate::add_sink(Box::new(sink));
+        let me = crate::current_thread();
+
+        recovery_skip(10, 1);
+        recovery_skip(11, 2);
+        recovery_rollback(12, 1, 5e-4);
+        recovery_abort(20, 3);
+        crate::remove_sink(id);
+
+        let names: Vec<String> = handle
+            .events()
+            .into_iter()
+            .filter(|e| e.thread == me && e.name.starts_with("recovery."))
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            names,
+            ["recovery.skip", "recovery.skip", "recovery.rollback", "recovery.abort"]
+        );
+        assert_eq!(crate::metrics::registry().counter("recovery.skipped_steps"), 2);
+        assert_eq!(crate::metrics::registry().counter("recovery.rollbacks"), 1);
+        assert_eq!(crate::metrics::registry().counter("recovery.aborts"), 1);
+        assert_eq!(crate::metrics::registry().gauge("recovery.lr"), Some(5e-4));
     }
 }

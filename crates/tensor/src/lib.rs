@@ -56,7 +56,7 @@ pub mod init;
 pub mod optim;
 pub mod parallel;
 mod param;
-mod serialize;
+pub mod serialize;
 mod tensor;
 
 pub use autodiff::{Graph, NodeId};

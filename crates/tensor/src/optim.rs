@@ -36,6 +36,12 @@ impl Adam {
         self.t
     }
 
+    /// Restores the step counter (bias-correction schedule) from a
+    /// checkpoint so a resumed run continues the exact update sequence.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Applies one update using the gradients currently accumulated in the
     /// store. Does not zero the gradients.
     pub fn step(&mut self, store: &mut ParamStore) {

@@ -155,6 +155,35 @@ impl ParamStore {
         self.params.iter().map(|p| (p.name.as_str(), &p.grad))
     }
 
+    /// Mutable access to every gradient accumulator in registration order.
+    /// Exists for fault injection (the chaos harness poisons gradients
+    /// in-place between backward and the optimizer step).
+    pub fn iter_grads_mut(&mut self) -> impl Iterator<Item = (&str, &mut Tensor)> {
+        self.params.iter_mut().map(|p| (p.name.as_str(), &mut p.grad))
+    }
+
+    /// Iterates over `(name, m, v)` Adam moment estimates in registration
+    /// order. Used by full train-state checkpoints.
+    pub fn iter_moments(&self) -> impl Iterator<Item = (&str, &Tensor, &Tensor)> {
+        self.params.iter().map(|p| (p.name.as_str(), &p.m, &p.v))
+    }
+
+    /// Overwrites one Adam moment estimate (`first == true` selects `m`,
+    /// otherwise `v`). Used when restoring a train-state checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the parameter does not exist (checkpoint loaders validate
+    /// names first and report a typed error).
+    pub fn set_moment(&mut self, name: &str, first: bool, t: Tensor) {
+        let id = self.id(name);
+        let p = &mut self.params[id.0];
+        if first {
+            p.m = t;
+        } else {
+            p.v = t;
+        }
+    }
+
     /// Global gradient L2 norm over all parameters.
     pub fn grad_norm(&self) -> f32 {
         self.params.iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt()

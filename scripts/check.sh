@@ -4,8 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
 
 echo "==> cargo test -q"
 cargo test -q
@@ -15,6 +15,9 @@ cargo run -q -p retia-analyze --bin retia-lint
 
 echo "==> write-set-tracked kernel pass (debug assertions + RETIA_WRITE_TRACK=1)"
 RETIA_WRITE_TRACK=1 cargo test -q -p retia-tensor
+
+echo "==> fault-tolerance suite (chaos injection, corruption sweep, resume bit-identity)"
+cargo test -q --test fault_tolerance --test checkpoint_corruption
 
 echo "==> cargo fmt --check"
 cargo fmt --check
