@@ -313,6 +313,39 @@ pub fn evaluate(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `retia serve --data DIR --resume CKPT_DIR [--port N] [--host H]
+/// [--workers N]`: online inference over HTTP from a checkpoint directory.
+pub fn serve(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let trace = init_obs(&args)?;
+    let ds = load_data(&args)?;
+    let dir = PathBuf::from(args.require("resume")?);
+    // Resume rebuilds the exact trainer state (config + parameters) from
+    // the checkpoint directory; serving freezes its model and never touches
+    // the optimizer again.
+    let trainer = Trainer::resume(&dir, &ds).map_err(|e| e.to_string())?;
+    let ctx = TkgContext::new(&ds);
+    let window = ctx.snapshots.clone();
+
+    let port: u16 = args.get_or("port", 8080u16)?;
+    let host = args.get_or("host", "127.0.0.1".to_string())?;
+    let cfg = retia_serve::ServeConfig {
+        addr: format!("{host}:{port}"),
+        workers: args.get_or("workers", 4usize)?,
+        ..Default::default()
+    };
+    let server = retia_serve::Server::start(retia::FrozenModel::new(trainer.model), window, &cfg)
+        .map_err(|e| format!("{}: {e}", cfg.addr))?;
+    // The smoke test and scripts discover the ephemeral port from this line;
+    // keep its shape stable.
+    println!("listening on http://{}", server.addr());
+    println!("endpoints: POST /v1/query  POST /v1/ingest  GET /healthz  GET /metrics  POST /admin/shutdown");
+    server.wait();
+    println!("drained and stopped");
+    finish_obs(trace);
+    Ok(())
+}
+
 /// `retia report --trace FILE`: per-module time breakdown of a JSONL trace.
 pub fn report(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &[])?;

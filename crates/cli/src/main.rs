@@ -7,6 +7,7 @@
 //! retia train    --data data/icews14 --out model.bin --epochs 10
 //! retia evaluate --data data/icews14 --model model.bin --split test --online
 //! retia predict  --data data/icews14 --model model.bin --subject 3 --relation 2 --topk 5
+//! retia serve    --data data/icews14 --resume ckpts/ --port 8080
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "train" => commands::train(rest),
         "evaluate" => commands::evaluate(rest),
         "predict" => commands::predict(rest),
+        "serve" => commands::serve(rest),
         "report" => commands::report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -80,6 +82,12 @@ COMMANDS:
                [--log-level L] [--trace-out FILE]
     predict    rank candidate objects for a query (s, r, ?) at the first test timestamp
                --data DIR --model FILE --subject N --relation N [--topk N]
+    serve      online inference over HTTP from a train checkpoint directory
+               --data DIR --resume CKPT_DIR [--port N] [--host H] [--workers N]
+               [--log-level L] [--trace-out FILE]
+               port 0 binds an ephemeral port (printed on stdout at startup);
+               endpoints: POST /v1/query, POST /v1/ingest, GET /healthz,
+               GET /metrics, POST /admin/shutdown (drains, then exits)
     report     per-module time breakdown of a JSONL trace written by --trace-out
                --trace FILE
 

@@ -1,0 +1,168 @@
+//! Smoke test for `retia serve`: generate → train → serve on an ephemeral
+//! port → query → ingest → re-query → drain — all through the real binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn retia(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_retia"));
+    cmd.args(args);
+    cmd
+}
+
+fn run(args: &[&str]) {
+    let out = retia(args).output().expect("spawn retia");
+    assert!(
+        out.status.success(),
+        "retia {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Raw HTTP/1.1 exchange; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, json: Option<&str>) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let raw = match json {
+        None => format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n"),
+        Some(body) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    };
+    s.write_all(raw.as_bytes()).expect("send");
+    s.shutdown(Shutdown::Write).expect("half-close");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let status = buf
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("HTTP/1.1 "))
+        .and_then(|l| l.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {buf:?}"));
+    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+/// Kills the child on drop so a failed assertion never leaks a server.
+struct Reap(Child);
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_smoke_query_ingest_requery_shutdown() {
+    let dir = std::env::temp_dir().join(format!("retia-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let data = dir.join("data");
+    let ckpts = dir.join("ckpts");
+    let data_s = data.to_string_lossy().into_owned();
+    let ckpt_s = ckpts.to_string_lossy().into_owned();
+
+    run(&["generate", "--profile", "tiny", "--out", &data_s]);
+    run(&[
+        "train",
+        "--data",
+        &data_s,
+        "--out",
+        &dir.join("model.bin").to_string_lossy(),
+        "--dim",
+        "8",
+        "--channels",
+        "4",
+        "--k",
+        "2",
+        "--epochs",
+        "1",
+        "--checkpoint-dir",
+        &ckpt_s,
+        "--log-level",
+        "off",
+    ]);
+
+    // Port 0 → the kernel picks; the server prints the resolved address.
+    let mut child = Reap(
+        retia(&[
+            "serve",
+            "--data",
+            &data_s,
+            "--resume",
+            &ckpt_s,
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--log-level",
+            "off",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve"),
+    );
+
+    let stdout = child.0.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().expect("server exited before announcing").expect("read stdout");
+    let addr = first
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected startup line: {first:?}"))
+        .to_string();
+
+    let (status, body) = http(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+
+    let query = r#"{"k": 3, "queries": [{"subject": 0, "relation": 0}]}"#;
+    let (status, before) = http(&addr, "POST", "/v1/query", Some(query));
+    assert_eq!(status, 200, "{before}");
+    let before = retia_json::parse(&before).expect("query response is JSON");
+    assert!(before.get("results").is_some(), "{before:?}");
+
+    // Ingest one fact one step past the current window, then re-query: the
+    // window (and therefore the scores' epoch) must advance.
+    let end = before
+        .get("window_end")
+        .and_then(retia_json::Value::as_u64)
+        .expect("window_end in query response");
+    let ingest = format!(
+        r#"{{"facts": [{{"subject": 0, "relation": 0, "object": 1, "timestamp": {}}}]}}"#,
+        end + 1
+    );
+    let (status, body) = http(&addr, "POST", "/v1/ingest", Some(&ingest));
+    assert_eq!(status, 200, "{body}");
+    let body = retia_json::parse(&body).expect("ingest response is JSON");
+    assert_eq!(body.get("accepted").and_then(retia_json::Value::as_u64), Some(1), "{body:?}");
+
+    let (status, after) = http(&addr, "POST", "/v1/query", Some(query));
+    assert_eq!(status, 200, "{after}");
+    let after = retia_json::parse(&after).expect("query response is JSON");
+    assert_eq!(
+        after.get("window_end").and_then(retia_json::Value::as_u64),
+        Some(end + 1),
+        "window did not advance: {after:?}"
+    );
+
+    let (status, _) = http(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+
+    let (status, body) = http(&addr, "POST", "/admin/shutdown", None);
+    assert_eq!(status, 200, "{body}");
+
+    let status = child.0.wait().expect("wait for serve");
+    assert!(status.success(), "serve exited with {status}");
+
+    cleanup(&dir);
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,179 @@
+//! Read-only serving façade over a trained [`Retia`].
+//!
+//! The serving path splits the paper's decode (Eq. 11–14) into two halves
+//! with very different costs: the EAM/RAM/TIM recurrence over the history
+//! window (expensive, query-independent) and the Conv-TransE decode against
+//! the last `k` evolved states (cheap, query-dependent). [`FrozenModel`]
+//! runs the recurrence once in a no-tape inference graph and hands back the
+//! detached last-`k` embedding matrices as a [`FrozenStates`] value that can
+//! be cached per window and decoded against arbitrarily many times — with
+//! scores bit-identical to [`Retia::predict_entity`] on the same window,
+//! because the decode replays the exact same float ops on the exact same
+//! input tensors.
+
+use std::rc::Rc;
+
+use retia_graph::{HyperSnapshot, Snapshot};
+use retia_tensor::{Graph, Tensor};
+
+use crate::config::RetiaConfig;
+use crate::model::{last_k, EvolvedState, Retia};
+
+/// Detached last-`k` evolved embeddings for one history window: the
+/// query-independent half of the decode, safe to cache and share.
+#[derive(Clone, Debug)]
+pub struct FrozenStates {
+    /// `(E_t, R_t)` pairs for the window's last `k` timestamps, oldest
+    /// first. `E_t` is `[N, d]`, `R_t` is `[2M, d]` (inverses included).
+    pub states: Vec<(Tensor, Tensor)>,
+}
+
+impl FrozenStates {
+    /// Approximate resident size in bytes (for cache accounting).
+    pub fn num_bytes(&self) -> usize {
+        self.states
+            .iter()
+            .map(|(e, r)| (e.data().len() + r.data().len()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// An immutable, inference-only view of a trained model. Construction takes
+/// ownership of the [`Retia`]; nothing here can mutate parameters.
+pub struct FrozenModel {
+    model: Retia,
+}
+
+impl FrozenModel {
+    /// Freezes a trained model for serving.
+    pub fn new(model: Retia) -> Self {
+        FrozenModel { model }
+    }
+
+    /// The configuration the model was trained with.
+    pub fn cfg(&self) -> &RetiaConfig {
+        &self.model.cfg
+    }
+
+    /// Number of entities `N`.
+    pub fn num_entities(&self) -> usize {
+        self.model.num_entities()
+    }
+
+    /// Number of original relations `M` (inverses excluded).
+    pub fn num_relations(&self) -> usize {
+        self.model.num_relations()
+    }
+
+    /// Runs the RAM/EAM/TIM recurrence once over `history` in a no-tape
+    /// inference graph and returns the detached last-`k` states.
+    ///
+    /// Panics if the inference graph recorded any tape op — the no-grad
+    /// guarantee the serve engine advertises.
+    pub fn evolve_window(&self, history: &[Snapshot], hypers: &[HyperSnapshot]) -> FrozenStates {
+        let _t = retia_obs::span!("serve.evolve", window = history.len());
+        let mut g = Graph::inference();
+        let states = self.model.evolve(&mut g, history, hypers);
+        let last = last_k(&states, self.model.cfg.k);
+        assert_eq!(g.tape_ops(), 0, "inference evolve must not allocate a tape");
+        FrozenStates {
+            states: last.iter().map(|st| (g.detach(st.entities), g.detach(st.relations))).collect(),
+        }
+    }
+
+    /// Entity decode against cached states: summed per-timestamp
+    /// probabilities `[Q, N]` for queries `(subjects[i], rels[i], ?)`.
+    /// `rels` may contain inverse ids (`r + M`) for subject forecasting.
+    ///
+    /// Bit-identical to [`Retia::predict_entity`] over the window the states
+    /// were evolved from.
+    pub fn decode_entity(
+        &self,
+        states: &FrozenStates,
+        subjects: Vec<u32>,
+        rels: Vec<u32>,
+    ) -> Tensor {
+        let (mut g, evolved) = self.replay(states);
+        let p = self.model.entity_prob_sum(&mut g, &evolved, Rc::new(subjects), Rc::new(rels));
+        assert_eq!(g.tape_ops(), 0, "inference decode must not allocate a tape");
+        g.detach(p)
+    }
+
+    /// Relation decode against cached states: summed probabilities `[Q, M]`
+    /// for queries `(subjects[i], ?, objects[i])`.
+    pub fn decode_relation(
+        &self,
+        states: &FrozenStates,
+        subjects: Vec<u32>,
+        objects: Vec<u32>,
+    ) -> Tensor {
+        let (mut g, evolved) = self.replay(states);
+        let p = self.model.relation_prob_sum(&mut g, &evolved, Rc::new(subjects), Rc::new(objects));
+        assert_eq!(g.tape_ops(), 0, "inference decode must not allocate a tape");
+        g.detach(p)
+    }
+
+    /// Re-inserts cached embedding matrices as constants of a fresh
+    /// inference graph.
+    fn replay(&self, states: &FrozenStates) -> (Graph, Vec<EvolvedState>) {
+        assert!(!states.states.is_empty(), "frozen states must hold at least one timestamp");
+        let mut g = Graph::inference();
+        let evolved = states
+            .states
+            .iter()
+            .map(|(e, r)| EvolvedState {
+                entities: g.constant(e.clone()),
+                relations: g.constant(r.clone()),
+            })
+            .collect();
+        (g, evolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{entity_queries, relation_queries, Retia, RetiaConfig, TkgContext};
+    use retia_data::SyntheticConfig;
+
+    fn setup() -> (FrozenModel, TkgContext) {
+        let ds = SyntheticConfig::tiny(3).generate();
+        let ctx = TkgContext::new(&ds);
+        let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
+        let model = Retia::new(&cfg, &ds);
+        (FrozenModel::new(model), ctx)
+    }
+
+    #[test]
+    fn cached_decode_is_bitwise_identical_to_direct_predict() {
+        let (fm, ctx) = setup();
+        let idx = ctx.test_idx[0];
+        let (history, hypers) = ctx.history(idx, fm.cfg().k);
+        let target = &ctx.snapshots[idx];
+
+        let (subjects, rels, _) = entity_queries(target, ctx.num_relations);
+        let direct = fm.model.predict_entity(history, hypers, subjects.clone(), rels.clone());
+        let frozen = fm.evolve_window(history, hypers);
+        let cached = fm.decode_entity(&frozen, subjects, rels);
+        assert_eq!(direct.data(), cached.data(), "entity scores must be bit-identical");
+
+        let (rs, ro, _) = relation_queries(target);
+        let direct = fm.model.predict_relation(history, hypers, rs.clone(), ro.clone());
+        let cached = fm.decode_relation(&frozen, rs, ro);
+        assert_eq!(direct.data(), cached.data(), "relation scores must be bit-identical");
+    }
+
+    #[test]
+    fn frozen_states_hold_last_k_windows() {
+        let (fm, ctx) = setup();
+        let idx = *ctx.test_idx.last().expect("test split");
+        let (history, hypers) = ctx.history(idx, 5);
+        let frozen = fm.evolve_window(history, hypers);
+        assert_eq!(frozen.states.len(), fm.cfg().k.min(history.len().max(1)));
+        assert!(frozen.num_bytes() > 0);
+        for (e, r) in &frozen.states {
+            assert_eq!(e.shape(), (fm.num_entities(), fm.cfg().dim));
+            assert_eq!(r.shape(), (2 * fm.num_relations(), fm.cfg().dim));
+        }
+    }
+}

@@ -49,6 +49,7 @@
 mod checkpoint;
 mod config;
 mod context;
+mod frozen;
 mod model;
 mod trainer;
 mod validate;
@@ -56,6 +57,7 @@ mod validate;
 pub use checkpoint::CheckpointPolicy;
 pub use config::{HyperrelMode, RelationMode, RetiaConfig};
 pub use context::{Split, TkgContext};
+pub use frozen::{FrozenModel, FrozenStates};
 pub use model::{entity_queries, relation_queries, EvolvedState, Retia};
 pub use retia_analyze::{ShapeIssue, ShapeReport};
 pub use trainer::{DivergenceReport, EpochLoss, EvalReport, RecoveryPolicy, TrainError, Trainer};

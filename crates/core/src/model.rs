@@ -381,7 +381,7 @@ impl Retia {
         subjects: Vec<u32>,
         rels: Vec<u32>,
     ) -> Tensor {
-        let mut g = Graph::new(false, 0);
+        let mut g = Graph::inference();
         let states = self.evolve(&mut g, history, hypers);
         let last = last_k(&states, self.cfg.k);
         let p = self.entity_prob_sum(&mut g, last, Rc::new(subjects), Rc::new(rels));
@@ -396,7 +396,7 @@ impl Retia {
         subjects: Vec<u32>,
         objects: Vec<u32>,
     ) -> Tensor {
-        let mut g = Graph::new(false, 0);
+        let mut g = Graph::inference();
         let states = self.evolve(&mut g, history, hypers);
         let last = last_k(&states, self.cfg.k);
         let p = self.relation_prob_sum(&mut g, last, Rc::new(subjects), Rc::new(objects));

@@ -99,6 +99,45 @@ pub fn rank_of_filtered(scores: &[f32], target: usize, filter: &FilterSet) -> f6
     rank
 }
 
+/// The `k` best-scoring candidate indices, in descending score order, using a
+/// bounded min-heap (`O(n log k)` time, `O(k)` space — the serve path's
+/// per-query cost after the cached decode).
+///
+/// Deterministic total order: ties break toward the lower index, and
+/// non-finite scores sort below every finite score (a diverged score can
+/// never crowd a real candidate out of the top-k). Returns fewer than `k`
+/// entries only when there are fewer than `k` candidates.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Badness key: greater = worse candidate. Non-finite scores are worst,
+    /// then lower (totally-ordered) score, then higher index.
+    fn badness(score: f32, index: u32) -> (Reverse<i32>, u32) {
+        let s = if score.is_finite() { score } else { f32::NEG_INFINITY };
+        // Sign-magnitude float bits → a totally ordered integer key.
+        let bits = s.to_bits() as i32;
+        let ordered = if bits < 0 { !bits | i32::MIN } else { bits };
+        (Reverse(ordered), index)
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    // Max-heap on badness: the root is the worst retained candidate and is
+    // evicted whenever a better one arrives.
+    let mut heap: BinaryHeap<((Reverse<i32>, u32), u32)> = BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        heap.push((badness(s, i as u32), i as u32));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut kept: Vec<((Reverse<i32>, u32), u32)> = heap.into_vec();
+    kept.sort_by_key(|e| e.0);
+    kept.iter().map(|&(_, i)| (i, scores[i as usize])).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +222,50 @@ mod tests {
         let filter = FilterSet::new();
         for t in 0..scores.len() {
             assert_eq!(rank_of(&scores, t), rank_of_filtered(&scores, t, &filter));
+        }
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.4, 0.2, 0.7, 0.1, 0.9];
+        assert_eq!(top_k(&scores, 3), vec![(4, 0.9), (2, 0.7), (0, 0.4)]);
+        assert_eq!(top_k(&scores, 0), vec![]);
+        // k beyond n returns everything, still sorted.
+        assert_eq!(top_k(&scores, 10).len(), 5);
+        assert_eq!(top_k(&scores, 10)[4], (3, 0.1));
+    }
+
+    #[test]
+    fn top_k_ties_break_toward_lower_index() {
+        let scores = [0.5, 0.9, 0.5, 0.9, 0.5];
+        assert_eq!(top_k(&scores, 4), vec![(1, 0.9), (3, 0.9), (0, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    fn top_k_negative_scores_order_correctly() {
+        let scores = [-0.5, -0.1, -2.0, 0.25];
+        assert_eq!(top_k(&scores, 4), vec![(3, 0.25), (1, -0.1), (0, -0.5), (2, -2.0)]);
+    }
+
+    #[test]
+    fn top_k_nonfinite_sorts_last() {
+        let scores = [f32::NAN, 0.2, f32::INFINITY, 0.8, f32::NEG_INFINITY];
+        // +inf is non-finite and therefore untrusted: it must not displace
+        // finite candidates.
+        let got = top_k(&scores, 3);
+        assert_eq!(got[0], (3, 0.8));
+        assert_eq!(got[1], (1, 0.2));
+        assert_eq!(got[2].0, 0); // first non-finite by index
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_on_finite_inputs() {
+        let scores: Vec<f32> = (0..257).map(|i| ((i * 37 % 101) as f32) / 100.0).collect();
+        let mut full: Vec<(u32, f32)> =
+            scores.iter().copied().enumerate().map(|(i, s)| (i as u32, s)).collect();
+        full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for k in [1, 2, 10, 101, 257] {
+            assert_eq!(top_k(&scores, k), full[..k.min(full.len())].to_vec());
         }
     }
 }

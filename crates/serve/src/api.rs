@@ -1,0 +1,241 @@
+//! JSON request/response schemas for the serving endpoints, built on
+//! `retia-json`. Parsing is strict: unknown kinds, missing fields and
+//! non-integer ids are typed 4xx errors, never panics.
+
+use retia_graph::Quad;
+use retia_json::Value;
+
+use crate::engine::{IngestResponse, Query, QueryKind, QueryResponse};
+
+/// Default `k` when a query request does not pick one.
+pub const DEFAULT_TOP_K: usize = 10;
+
+/// Upper bound on `k`, queries per request and facts per ingest — one
+/// request can never force an unbounded amount of decode work.
+pub const MAX_ITEMS_PER_REQUEST: usize = 1024;
+
+/// A schema violation: the body was valid JSON but not a valid request.
+/// Maps to `422 Unprocessable Entity`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn field_u32(item: &Value, key: &str, what: &str) -> Result<u32, SchemaError> {
+    let v = item.get(key).ok_or_else(|| SchemaError(format!("{what}: missing field `{key}`")))?;
+    let n = v.as_u64().ok_or_else(|| {
+        SchemaError(format!("{what}: field `{key}` must be a non-negative integer"))
+    })?;
+    u32::try_from(n)
+        .map_err(|_| SchemaError(format!("{what}: field `{key}` value {n} exceeds u32 range")))
+}
+
+/// Parses `POST /v1/query`:
+///
+/// ```json
+/// {"kind": "entity", "k": 10,
+///  "queries": [{"subject": 3, "relation": 2}, ...]}
+/// ```
+///
+/// `kind` is `"entity"` (fields `subject`, `relation`; inverse relation ids
+/// `r + M` ask for subjects) or `"relation"` (fields `subject`, `object`).
+pub fn parse_query_request(body: &Value) -> Result<Vec<Query>, SchemaError> {
+    let kind = match body.get("kind").and_then(Value::as_str) {
+        Some("entity") | None => QueryKind::Entity,
+        Some("relation") => QueryKind::Relation,
+        Some(other) => {
+            return Err(SchemaError(format!(
+                "unknown query kind {other:?}: expected \"entity\" or \"relation\""
+            )))
+        }
+    };
+    let k = match body.get("k") {
+        None => DEFAULT_TOP_K,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| SchemaError("field `k` must be a non-negative integer".to_string()))?,
+    };
+    if k > MAX_ITEMS_PER_REQUEST {
+        return Err(SchemaError(format!("k of {k} exceeds the cap of {MAX_ITEMS_PER_REQUEST}")));
+    }
+    let queries = body
+        .get("queries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| SchemaError("missing `queries` array".to_string()))?;
+    if queries.len() > MAX_ITEMS_PER_REQUEST {
+        return Err(SchemaError(format!(
+            "{} queries exceed the cap of {MAX_ITEMS_PER_REQUEST} per request",
+            queries.len()
+        )));
+    }
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let what = format!("query #{i}");
+            let subject = field_u32(item, "subject", &what)?;
+            let b = match kind {
+                QueryKind::Entity => field_u32(item, "relation", &what)?,
+                QueryKind::Relation => field_u32(item, "object", &what)?,
+            };
+            Ok(Query { kind, subject, b, k })
+        })
+        .collect()
+}
+
+/// Parses `POST /v1/ingest`:
+///
+/// ```json
+/// {"facts": [{"subject": 3, "relation": 2, "object": 7, "timestamp": 31}]}
+/// ```
+pub fn parse_ingest_request(body: &Value) -> Result<Vec<Quad>, SchemaError> {
+    let facts = body
+        .get("facts")
+        .and_then(Value::as_array)
+        .ok_or_else(|| SchemaError("missing `facts` array".to_string()))?;
+    if facts.len() > MAX_ITEMS_PER_REQUEST {
+        return Err(SchemaError(format!(
+            "{} facts exceed the cap of {MAX_ITEMS_PER_REQUEST} per request",
+            facts.len()
+        )));
+    }
+    facts
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let what = format!("fact #{i}");
+            Ok(Quad::new(
+                field_u32(item, "subject", &what)?,
+                field_u32(item, "relation", &what)?,
+                field_u32(item, "object", &what)?,
+                field_u32(item, "timestamp", &what)?,
+            ))
+        })
+        .collect()
+}
+
+/// Serializes a [`QueryResponse`].
+pub fn query_response_json(resp: &QueryResponse) -> Value {
+    let mut body = Value::object();
+    body.insert("window_end", Value::from(resp.window_end));
+    body.insert("epoch", Value::from(resp.epoch));
+    let results: Vec<Value> = resp
+        .results
+        .iter()
+        .map(|r| {
+            let candidates: Vec<Value> = r
+                .candidates
+                .iter()
+                .map(|&(id, score)| {
+                    let mut c = Value::object();
+                    c.insert("id", Value::from(id));
+                    c.insert("score", Value::from(score));
+                    c
+                })
+                .collect();
+            let mut item = Value::object();
+            item.insert("candidates", Value::from(candidates));
+            item
+        })
+        .collect();
+    body.insert("results", Value::from(results));
+    body
+}
+
+/// Serializes an [`IngestResponse`].
+pub fn ingest_response_json(resp: &IngestResponse) -> Value {
+    let mut window = Value::object();
+    window.insert("start", Value::from(resp.window_start));
+    window.insert("end", Value::from(resp.window_end));
+    window.insert("length", Value::from(resp.window_len));
+    let mut body = Value::object();
+    body.insert("accepted", Value::from(resp.accepted));
+    body.insert("epoch", Value::from(resp.epoch));
+    body.insert("window", window);
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TopK;
+    use retia_json::parse;
+
+    #[test]
+    fn parses_entity_and_relation_queries() {
+        let body = parse(
+            r#"{"kind": "entity", "k": 3,
+                "queries": [{"subject": 1, "relation": 2}, {"subject": 0, "relation": 5}]}"#,
+        )
+        .expect("valid json");
+        let qs = parse_query_request(&body).expect("valid schema");
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].kind, QueryKind::Entity);
+        assert_eq!((qs[1].subject, qs[1].b, qs[1].k), (0, 5, 3));
+
+        let body = parse(r#"{"kind": "relation", "queries": [{"subject": 1, "object": 2}]}"#)
+            .expect("valid json");
+        let qs = parse_query_request(&body).expect("valid schema");
+        assert_eq!(qs[0].kind, QueryKind::Relation);
+        assert_eq!(qs[0].k, DEFAULT_TOP_K);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for bad in [
+            r#"{"queries": "nope"}"#,
+            r#"{}"#,
+            r#"{"kind": "path", "queries": []}"#,
+            r#"{"queries": [{"subject": 1}]}"#,
+            r#"{"queries": [{"subject": -1, "relation": 2}]}"#,
+            r#"{"queries": [{"subject": 1.5, "relation": 2}]}"#,
+            r#"{"k": 100000, "queries": []}"#,
+            r#"{"k": "many", "queries": []}"#,
+            r#"{"queries": [{"subject": 99999999999, "relation": 2}]}"#,
+        ] {
+            let body = parse(bad).expect("valid json");
+            assert!(parse_query_request(&body).is_err(), "must reject {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_and_rejects_ingest() {
+        let body =
+            parse(r#"{"facts": [{"subject": 1, "relation": 0, "object": 2, "timestamp": 9}]}"#)
+                .expect("valid json");
+        let quads = parse_ingest_request(&body).expect("valid schema");
+        assert_eq!(quads, vec![Quad::new(1, 0, 2, 9)]);
+
+        for bad in [r#"{}"#, r#"{"facts": [{"subject": 1}]}"#, r#"{"facts": 3}"#] {
+            let body = parse(bad).expect("valid json");
+            assert!(parse_ingest_request(&body).is_err(), "must reject {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser() {
+        let resp = QueryResponse {
+            window_end: 17,
+            epoch: 3,
+            results: vec![TopK { candidates: vec![(4, 0.5), (1, 0.25)] }],
+        };
+        let text = query_response_json(&resp).to_string_compact();
+        let back = parse(&text).expect("self-produced json parses");
+        assert_eq!(back.get("epoch").and_then(Value::as_u64), Some(3));
+        let results = back.get("results").and_then(Value::as_array).expect("results");
+        let cands = results[0].get("candidates").and_then(Value::as_array).expect("candidates");
+        assert_eq!(cands[0].get("id").and_then(Value::as_u64), Some(4));
+        assert_eq!(cands[0].get("score").and_then(Value::as_f64), Some(0.5));
+
+        let resp =
+            IngestResponse { accepted: 2, window_start: 5, window_end: 9, window_len: 3, epoch: 1 };
+        let text = ingest_response_json(&resp).to_string_compact();
+        let back = parse(&text).expect("self-produced json parses");
+        assert_eq!(back.get("accepted").and_then(Value::as_u64), Some(2));
+        assert_eq!(back.get("window").and_then(|w| w.get("end")).and_then(Value::as_u64), Some(9));
+    }
+}

@@ -1,0 +1,597 @@
+//! The query engine: a single thread owning the frozen model, the history
+//! window and the embedding cache, fed through a job queue.
+//!
+//! Concurrency model: HTTP workers parse requests and enqueue jobs; the
+//! engine thread drains the whole queue each time it wakes, so every burst
+//! of concurrent query jobs is coalesced into **one** decode batch — the
+//! micro-batcher falls out of the queue discipline rather than a timer.
+//! Jobs are processed in arrival order (an ingest between two queries
+//! re-scores the later one against the advanced window), with consecutive
+//! query jobs fused into a single `[Q, N]` / `[Q, M]` scoring matmul.
+//!
+//! The cache holds the detached last-`k` embedding matrices per window
+//! *epoch* (bumped on every ingest), keyed by `(window_end, epoch)`. A query
+//! against a cached epoch is a decode plus a bounded top-k heap; the first
+//! query after an ingest pays one recurrence over the window.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use retia::{FrozenModel, FrozenStates};
+use retia_eval::top_k;
+use retia_graph::{group_by_timestamp, HyperSnapshot, Quad, Snapshot};
+
+/// What a single query predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Object (or subject, via inverse relation ids) prediction
+    /// `(s, r, ?)` over `N` entity candidates.
+    Entity,
+    /// Relation prediction `(s, ?, o)` over the `M` original relations.
+    Relation,
+}
+
+/// One prediction query. For [`QueryKind::Entity`], `b` is a relation id
+/// (possibly an inverse id `r + M`); for [`QueryKind::Relation`], `b` is the
+/// object entity id.
+#[derive(Clone, Copy, Debug)]
+pub struct Query {
+    /// What is predicted.
+    pub kind: QueryKind,
+    /// Subject entity id.
+    pub subject: u32,
+    /// Relation id (entity queries) or object entity id (relation queries).
+    pub b: u32,
+    /// How many candidates to return.
+    pub k: usize,
+}
+
+/// Ranked candidates for one query, best first. Scores are the summed
+/// per-timestamp softmax probabilities of Eq. 13/14 — bit-identical to what
+/// offline evaluation ranks.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    /// `(candidate id, score)`, descending score, index-ascending ties.
+    pub candidates: Vec<(u32, f32)>,
+}
+
+/// Answer to a batch of queries submitted together.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Timestamp of the newest snapshot in the window scores decode from.
+    pub window_end: u32,
+    /// Window epoch the scores were computed against.
+    pub epoch: u64,
+    /// One [`TopK`] per submitted query, in order.
+    pub results: Vec<TopK>,
+}
+
+/// Summary of an accepted ingest.
+#[derive(Clone, Debug)]
+pub struct IngestResponse {
+    /// Facts added to the window.
+    pub accepted: usize,
+    /// Oldest timestamp still inside the window.
+    pub window_start: u32,
+    /// Newest timestamp in the window.
+    pub window_end: u32,
+    /// Snapshots in the window (≤ the config's `k`).
+    pub window_len: usize,
+    /// Epoch after the ingest.
+    pub epoch: u64,
+}
+
+/// Typed engine failures, mapped to HTTP statuses by the server layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced an out-of-range entity/relation id.
+    InvalidQuery(String),
+    /// An ingest payload was empty, out of range, or out of order.
+    InvalidIngest(String),
+    /// The engine has shut down; no further jobs are served.
+    Stopped,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            EngineError::InvalidIngest(m) => write!(f, "invalid ingest: {m}"),
+            EngineError::Stopped => f.write_str("engine stopped"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Reply channel for a job of response type `T`.
+type Reply<T> = mpsc::Sender<Result<T, EngineError>>;
+
+enum Job {
+    Query(Vec<Query>, Reply<QueryResponse>),
+    Ingest(Vec<Quad>, Reply<IngestResponse>),
+    Stop,
+}
+
+#[derive(Default)]
+struct QueueState {
+    stopped: bool,
+    jobs: VecDeque<Job>,
+}
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Shared {
+    /// Enqueues a job; `false` (job dropped) once the engine has stopped,
+    /// so submitters never block on a reply that cannot come.
+    fn push(&self, job: Job) -> bool {
+        let mut state = self.queue.lock().expect("engine queue poisoned");
+        if state.stopped {
+            return false;
+        }
+        state.jobs.push_back(job);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until at least one job is queued, then drains everything —
+    /// the natural micro-batch.
+    fn drain(&self) -> Vec<Job> {
+        let mut state = self.queue.lock().expect("engine queue poisoned");
+        while state.jobs.is_empty() {
+            state = self.ready.wait(state).expect("engine queue poisoned");
+        }
+        state.jobs.drain(..).collect()
+    }
+
+    /// Marks the queue stopped and discards anything still queued (their
+    /// reply channels drop, surfacing [`EngineError::Stopped`]).
+    fn mark_stopped(&self) {
+        let mut state = self.queue.lock().expect("engine queue poisoned");
+        state.stopped = true;
+        state.jobs.clear();
+    }
+}
+
+/// Cheap, cloneable submission handle used by the HTTP workers.
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+impl EngineHandle {
+    /// Scores `queries` against the current window; blocks until the engine
+    /// thread answers.
+    pub fn query(&self, queries: Vec<Query>) -> Result<QueryResponse, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        if !self.shared.push(Job::Query(queries, tx)) {
+            return Err(EngineError::Stopped);
+        }
+        rx.recv().unwrap_or(Err(EngineError::Stopped))
+    }
+
+    /// Appends `facts` to the stream, advancing the window and recomputing
+    /// the embedding cache; blocks until done.
+    pub fn ingest(&self, facts: Vec<Quad>) -> Result<IngestResponse, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        if !self.shared.push(Job::Ingest(facts, tx)) {
+            return Err(EngineError::Stopped);
+        }
+        rx.recv().unwrap_or(Err(EngineError::Stopped))
+    }
+
+    /// Asks the engine thread to exit after the jobs already queued. Jobs
+    /// enqueued after the stop marker get [`EngineError::Stopped`].
+    pub fn stop(&self) {
+        // A second stop after the engine exited is a no-op.
+        let _ = self.shared.push(Job::Stop);
+    }
+}
+
+/// The running engine: the handle plus the thread to join on shutdown.
+pub struct Engine {
+    handle: EngineHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns the engine thread around a frozen model and the initial
+    /// history window (the last `k` snapshots of the training stream;
+    /// possibly empty).
+    pub fn start(model: FrozenModel, window: Vec<Snapshot>) -> std::io::Result<Engine> {
+        let shared = Arc::new(Shared::default());
+        let handle = EngineHandle { shared: Arc::clone(&shared) };
+        let mut state = EngineState::new(model, window);
+        let thread = std::thread::Builder::new()
+            .name("retia-serve-engine".to_string())
+            .spawn(move || state.run(&shared))?;
+        Ok(Engine { handle, thread: Some(thread) })
+    }
+
+    /// The submission handle.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Stops the engine after all queued jobs and joins its thread.
+    pub fn shutdown(mut self) {
+        self.handle.stop();
+        if let Some(t) = self.thread.take() {
+            // A panicked engine already aborted the process's usefulness;
+            // surface it to the joining thread.
+            t.join().expect("engine thread panicked");
+        }
+    }
+}
+
+/// Everything the engine thread owns exclusively.
+struct EngineState {
+    model: FrozenModel,
+    /// `(timestamp, facts)` per window snapshot, oldest first, ≤ `k` long.
+    window: Vec<(u32, Vec<Quad>)>,
+    snaps: Vec<Snapshot>,
+    hypers: Vec<HyperSnapshot>,
+    /// `(epoch, window_end, states)`, most recent last.
+    cache: VecDeque<(u64, u32, FrozenStates)>,
+    cache_cap: usize,
+    epoch: u64,
+}
+
+impl EngineState {
+    fn new(model: FrozenModel, window: Vec<Snapshot>) -> EngineState {
+        let k = model.cfg().k.max(1);
+        let tail = window.len().saturating_sub(k);
+        let window: Vec<(u32, Vec<Quad>)> =
+            window[tail..].iter().map(|s| (s.t, s.facts.clone())).collect();
+        let mut state = EngineState {
+            model,
+            window,
+            snaps: Vec::new(),
+            hypers: Vec::new(),
+            cache: VecDeque::new(),
+            cache_cap: 4,
+            epoch: 0,
+        };
+        state.rebuild_graphs();
+        state
+    }
+
+    fn window_end(&self) -> u32 {
+        self.window.last().map(|(t, _)| *t).unwrap_or(0)
+    }
+
+    fn window_start(&self) -> u32 {
+        self.window.first().map(|(t, _)| *t).unwrap_or(0)
+    }
+
+    /// Recomputes `Snapshot`/`HyperSnapshot` structures from the window's
+    /// raw facts (after construction and after every ingest).
+    fn rebuild_graphs(&mut self) {
+        let n = self.model.num_entities();
+        let m = self.model.num_relations();
+        self.snaps = self
+            .window
+            .iter()
+            .map(|(t, facts)| {
+                let mut snap = Snapshot::from_quads(facts, n, m);
+                snap.t = *t;
+                snap
+            })
+            .collect();
+        self.hypers = self.snaps.iter().map(HyperSnapshot::from_snapshot).collect();
+        retia_obs::metrics::set_gauge("serve.window_end", self.window_end() as f64);
+        retia_obs::metrics::set_gauge("serve.window_len", self.window.len() as f64);
+    }
+
+    /// Makes sure the current epoch's evolved states are cached, recording
+    /// hit/miss counters.
+    fn ensure_states(&mut self) {
+        if self.cache.iter().any(|(e, _, _)| *e == self.epoch) {
+            retia_obs::metrics::inc("serve.cache_hit");
+            return;
+        }
+        retia_obs::metrics::inc("serve.cache_miss");
+        let states = self.model.evolve_window(&self.snaps, &self.hypers);
+        self.cache.push_back((self.epoch, self.window_end(), states));
+        while self.cache.len() > self.cache_cap {
+            self.cache.pop_front();
+        }
+        retia_obs::metrics::set_gauge("serve.cache_entries", self.cache.len() as f64);
+    }
+
+    fn run(&mut self, shared: &Shared) {
+        loop {
+            let batch = shared.drain();
+            let mut i = 0;
+            while i < batch.len() {
+                match &batch[i] {
+                    Job::Stop => {
+                        // Anything after the stop marker is discarded; the
+                        // dropped reply channels surface `Stopped`.
+                        shared.mark_stopped();
+                        return;
+                    }
+                    Job::Ingest(facts, reply) => {
+                        let outcome = self.ingest(facts);
+                        let _ = reply.send(outcome);
+                        i += 1;
+                    }
+                    Job::Query(..) => {
+                        // Fuse the maximal run of consecutive query jobs.
+                        let start = i;
+                        while i < batch.len() && matches!(batch[i], Job::Query(..)) {
+                            i += 1;
+                        }
+                        self.answer_queries(&batch[start..i]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, facts: &[Quad]) -> Result<IngestResponse, EngineError> {
+        let _t = retia_obs::span!("serve.ingest", facts = facts.len());
+        if facts.is_empty() {
+            return Err(EngineError::InvalidIngest("no facts in payload".to_string()));
+        }
+        let n = self.model.num_entities() as u32;
+        let m = self.model.num_relations() as u32;
+        let end = self.window_end();
+        for q in facts {
+            if q.s >= n || q.o >= n {
+                return Err(EngineError::InvalidIngest(format!(
+                    "entity id out of range in ({}, {}, {}, {}): have {n} entities",
+                    q.s, q.r, q.o, q.t
+                )));
+            }
+            if q.r >= m {
+                return Err(EngineError::InvalidIngest(format!(
+                    "relation id {} out of range: have {m} relations",
+                    q.r
+                )));
+            }
+            if !self.window.is_empty() && q.t < end {
+                return Err(EngineError::InvalidIngest(format!(
+                    "timestamp {} precedes the window end {end}; extrapolation ingests \
+                     forward only",
+                    q.t
+                )));
+            }
+        }
+        for (t, group) in group_by_timestamp(facts) {
+            match self.window.last_mut() {
+                Some((last_t, last_facts)) if *last_t == t => last_facts.extend(group),
+                _ => self.window.push((t, group)),
+            }
+        }
+        let k = self.model.cfg().k.max(1);
+        let overflow = self.window.len().saturating_sub(k);
+        self.window.drain(..overflow);
+        self.epoch += 1;
+        self.rebuild_graphs();
+        // Warm the cache eagerly: the recurrence cost lands on the ingest
+        // call instead of the next query.
+        self.ensure_states();
+        retia_obs::metrics::inc_by("serve.ingest_facts", facts.len() as u64);
+        Ok(IngestResponse {
+            accepted: facts.len(),
+            window_start: self.window_start(),
+            window_end: self.window_end(),
+            window_len: self.window.len(),
+            epoch: self.epoch,
+        })
+    }
+
+    /// Validates, batches, decodes and answers a fused run of query jobs.
+    fn answer_queries(&mut self, jobs: &[Job]) {
+        let n = self.model.num_entities() as u32;
+        let m = self.model.num_relations() as u32;
+
+        // Validate each job; invalid ones are answered immediately and
+        // excluded from the decode batch.
+        let mut live: Vec<(&Vec<Query>, &Reply<QueryResponse>)> = Vec::new();
+        for job in jobs {
+            let Job::Query(queries, reply) = job else { continue };
+            match validate_queries(queries, n, m) {
+                Err(e) => {
+                    let _ = reply.send(Err(e));
+                }
+                Ok(()) => live.push((queries, reply)),
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        let total: usize = live.iter().map(|(qs, _)| qs.len()).sum();
+        retia_obs::metrics::observe("serve.batch_queries", total as f64);
+        retia_obs::metrics::observe("serve.batch_jobs", live.len() as f64);
+        let _t = retia_obs::span!("serve.decode", queries = total, jobs = live.len());
+
+        // One scoring matmul per query kind across all fused jobs.
+        let mut ent_args: (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+        let mut rel_args: (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+        for (queries, _) in &live {
+            for q in *queries {
+                match q.kind {
+                    QueryKind::Entity => {
+                        ent_args.0.push(q.subject);
+                        ent_args.1.push(q.b);
+                    }
+                    QueryKind::Relation => {
+                        rel_args.0.push(q.subject);
+                        rel_args.1.push(q.b);
+                    }
+                }
+            }
+        }
+        self.ensure_states();
+        let states = self
+            .cache
+            .iter()
+            .find(|(e, _, _)| *e == self.epoch)
+            .map(|(_, _, s)| s)
+            .expect("states cached by ensure_states above");
+        let model = &self.model;
+        let ent_probs =
+            (!ent_args.0.is_empty()).then(|| model.decode_entity(states, ent_args.0, ent_args.1));
+        let rel_probs =
+            (!rel_args.0.is_empty()).then(|| model.decode_relation(states, rel_args.0, rel_args.1));
+
+        let (window_end, epoch) = (self.window_end(), self.epoch);
+        let (mut ent_row, mut rel_row) = (0usize, 0usize);
+        for (queries, reply) in live {
+            let mut results = Vec::with_capacity(queries.len());
+            for q in queries {
+                let row = match q.kind {
+                    QueryKind::Entity => {
+                        ent_row += 1;
+                        ent_probs.as_ref().map(|p| p.row(ent_row - 1))
+                    }
+                    QueryKind::Relation => {
+                        rel_row += 1;
+                        rel_probs.as_ref().map(|p| p.row(rel_row - 1))
+                    }
+                };
+                let scores = row.expect("probs computed for every query kind present");
+                results.push(TopK { candidates: top_k(scores, q.k) });
+            }
+            let _ = reply.send(Ok(QueryResponse { window_end, epoch, results }));
+        }
+    }
+}
+
+fn validate_queries(queries: &[Query], n: u32, m: u32) -> Result<(), EngineError> {
+    if queries.is_empty() {
+        return Err(EngineError::InvalidQuery("no queries in payload".to_string()));
+    }
+    for q in queries {
+        if q.subject >= n {
+            return Err(EngineError::InvalidQuery(format!(
+                "subject id {} out of range: have {n} entities",
+                q.subject
+            )));
+        }
+        match q.kind {
+            QueryKind::Entity => {
+                if q.b >= 2 * m {
+                    return Err(EngineError::InvalidQuery(format!(
+                        "relation id {} out of range: have {m} relations ({} with inverses)",
+                        q.b,
+                        2 * m
+                    )));
+                }
+            }
+            QueryKind::Relation => {
+                if q.b >= n {
+                    return Err(EngineError::InvalidQuery(format!(
+                        "object id {} out of range: have {n} entities",
+                        q.b
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retia::{FrozenModel, Retia, RetiaConfig, TkgContext};
+    use retia_data::SyntheticConfig;
+
+    fn setup() -> (Engine, TkgContext, RetiaConfig) {
+        let ds = SyntheticConfig::tiny(5).generate();
+        let ctx = TkgContext::new(&ds);
+        let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
+        let model = Retia::new(&cfg, &ds);
+        let window = ctx.snapshots.clone();
+        let engine = Engine::start(FrozenModel::new(model), window).expect("engine thread spawns");
+        (engine, ctx, cfg)
+    }
+
+    #[test]
+    fn query_answers_match_direct_predict() {
+        let (engine, ctx, cfg) = setup();
+        let h = engine.handle();
+        let got = h
+            .query(vec![Query { kind: QueryKind::Entity, subject: 0, b: 1, k: 3 }])
+            .expect("valid query");
+        assert_eq!(got.results.len(), 1);
+        assert_eq!(got.results[0].candidates.len(), 3);
+
+        // Reference: the eval-path forward over the same window.
+        let ds = SyntheticConfig::tiny(5).generate();
+        let model = Retia::new(&cfg, &ds);
+        let last = ctx.snapshots.len() - cfg.k..ctx.snapshots.len();
+        let probs =
+            model.predict_entity(&ctx.snapshots[last.clone()], &ctx.hypers[last], vec![0], vec![1]);
+        let reference = retia_eval::top_k(probs.row(0), 3);
+        assert_eq!(got.results[0].candidates, reference, "serve must match eval bitwise");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_ids_are_typed_errors() {
+        let (engine, ctx, _) = setup();
+        let h = engine.handle();
+        let bad_subject = h.query(vec![Query {
+            kind: QueryKind::Entity,
+            subject: ctx.num_entities as u32,
+            b: 0,
+            k: 1,
+        }]);
+        assert!(matches!(bad_subject, Err(EngineError::InvalidQuery(_))));
+        let bad_rel = h.query(vec![Query {
+            kind: QueryKind::Entity,
+            subject: 0,
+            b: 2 * ctx.num_relations as u32,
+            k: 1,
+        }]);
+        assert!(matches!(bad_rel, Err(EngineError::InvalidQuery(_))));
+        assert!(matches!(h.query(vec![]), Err(EngineError::InvalidQuery(_))));
+        assert!(matches!(h.ingest(vec![]), Err(EngineError::InvalidIngest(_))));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn ingest_advances_window_and_epoch() {
+        let (engine, ctx, cfg) = setup();
+        let h = engine.handle();
+        let before = h
+            .query(vec![Query { kind: QueryKind::Entity, subject: 0, b: 0, k: 2 }])
+            .expect("valid");
+        let t_next = ctx.snapshots.last().expect("nonempty").t + 1;
+        let summary = h.ingest(vec![Quad::new(0, 0, 1, t_next)]).expect("valid ingest");
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.window_end, t_next);
+        assert_eq!(summary.window_len, cfg.k);
+        assert_eq!(summary.epoch, before.epoch + 1);
+
+        let after = h
+            .query(vec![Query { kind: QueryKind::Entity, subject: 0, b: 0, k: 2 }])
+            .expect("valid");
+        assert_eq!(after.epoch, summary.epoch);
+        assert_eq!(after.window_end, t_next);
+
+        // Out-of-order facts are rejected.
+        let stale = h.ingest(vec![Quad::new(0, 0, 1, 0)]);
+        assert!(matches!(stale, Err(EngineError::InvalidIngest(_))));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stopped_engine_reports_stopped() {
+        let (engine, _, _) = setup();
+        let h = engine.handle();
+        engine.shutdown();
+        let r = h.query(vec![Query { kind: QueryKind::Entity, subject: 0, b: 0, k: 1 }]);
+        assert!(matches!(r, Err(EngineError::Stopped)));
+    }
+}

@@ -1,0 +1,334 @@
+//! A dependency-free HTTP/1.1 subset on blocking [`std::io`] streams.
+//!
+//! Exactly what the serving endpoints need and nothing more: one request per
+//! connection (`Connection: close`), request lines and headers parsed into a
+//! [`Request`], bodies bounded by a hard cap, and JSON responses written with
+//! explicit `Content-Length`. Every malformed input maps to a typed
+//! [`HttpError`] carrying the 4xx status to answer with — parsing never
+//! panics, whatever bytes arrive (the chaos tests feed it bit-flipped and
+//! truncated buffers).
+
+use std::io::{Read, Write};
+
+use retia_json::Value;
+
+/// Hard cap on request body size; larger `Content-Length` values are
+/// answered with `413` before any body byte is read.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Cap on the request line + headers block, to bound memory for clients
+/// that never send the terminating blank line.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, lower-cased headers and the raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request path (`/v1/query`), query strings not interpreted.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the request declares a JSON body (`application/json`, any
+    /// parameters ignored). Requests without a body pass trivially.
+    pub fn is_json(&self) -> bool {
+        match self.header("content-type") {
+            None => self.body.is_empty(),
+            Some(ct) => {
+                let mime = ct.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
+                mime == "application/json"
+            }
+        }
+    }
+}
+
+/// Everything that can go wrong between the socket and a parsed [`Request`].
+/// Each variant knows its HTTP status and a stable machine-readable code.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Unparseable request line, header, or a connection that closed before
+    /// the declared body arrived.
+    Malformed(String),
+    /// Declared or actual body beyond [`MAX_BODY_BYTES`].
+    PayloadTooLarge(usize),
+    /// Head block beyond [`MAX_HEAD_BYTES`] without a terminating blank line.
+    HeadTooLarge,
+    /// Socket-level failure (reset, timeout) — no response possible.
+    Io(String),
+}
+
+impl HttpError {
+    /// HTTP status code to answer with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::HeadTooLarge => 431,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// Stable machine-readable error code for the JSON envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(_) => "bad_request",
+            HttpError::PayloadTooLarge(_) => "payload_too_large",
+            HttpError::HeadTooLarge => "headers_too_large",
+            HttpError::Io(_) => "bad_request",
+        }
+    }
+
+    /// Human-readable detail for the JSON envelope.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Malformed(m) => m.clone(),
+            HttpError::PayloadTooLarge(n) => {
+                format!("request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte cap")
+            }
+            HttpError::HeadTooLarge => {
+                format!("request head exceeds the {MAX_HEAD_BYTES}-byte cap")
+            }
+            HttpError::Io(m) => format!("connection error: {m}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// The head is read byte-wise until `\r\n\r\n` (or `\n\n`); the body is then
+/// read to exactly `Content-Length` bytes. All failures are typed; this
+/// function never panics on hostile input.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let head = read_head(stream)?;
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!("unparseable request line: {request_line:?}")))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported protocol version {version:?}")));
+    }
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed(format!("invalid method {method:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line without a colon: {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("invalid header name: {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request =
+        Request { method: method.to_string(), path: path.to_string(), headers, body: Vec::new() };
+
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("unparseable content-length: {v:?}")))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge(length));
+    }
+    if length > 0 {
+        let mut body = vec![0u8; length];
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| HttpError::Malformed(format!("body shorter than content-length: {e}")))?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Reads up to and including the blank line that terminates the head.
+fn read_head(stream: &mut impl Read) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::Malformed(
+                    "connection closed before the request head completed".to_string(),
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a JSON response with `Connection: close`. Write failures are
+/// returned (the peer may already be gone); callers log and move on.
+pub fn write_json(stream: &mut impl Write, status: u16, body: &Value) -> std::io::Result<()> {
+    let payload = body.to_string_compact();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// The typed error envelope every non-2xx response carries:
+/// `{"error": {"code": ..., "message": ...}}`.
+pub fn error_body(code: &str, message: &str) -> Value {
+    let mut err = Value::object();
+    err.insert("code", Value::from(code));
+    err.insert("message", Value::from(message));
+    let mut body = Value::object();
+    body.insert("error", err);
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_basic_post() {
+        let req = parse(
+            b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .expect("well-formed request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, b"{}");
+        assert!(req.is_json());
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").expect("well-formed request");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.is_json());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(raw).expect_err("must reject");
+            assert_eq!(err.status(), 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_head_and_short_body() {
+        let err = parse(b"POST /v1/query HTTP/1.1\r\nContent-Le").expect_err("truncated head");
+        assert_eq!(err.status(), 400);
+        let err = parse(b"POST /v1/query HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}")
+            .expect_err("short body");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let raw =
+            format!("POST /v1/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = parse(raw.as_bytes()).expect_err("oversized");
+        assert_eq!(err.status(), 413);
+        assert_eq!(err.code(), "payload_too_large");
+    }
+
+    #[test]
+    fn rejects_unbounded_heads() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 2));
+        let err = parse(&raw).expect_err("unbounded head");
+        assert_eq!(err, HttpError::HeadTooLarge);
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn header_without_colon_is_malformed() {
+        let err = parse(b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n").expect_err("no colon");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn wrong_content_type_is_detected() {
+        let req = parse(
+            b"POST /v1/query HTTP/1.1\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi",
+        )
+        .expect("parses fine");
+        assert!(!req.is_json());
+        let req = parse(
+            b"POST /v1/query HTTP/1.1\r\nContent-Type: application/json; charset=utf-8\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .expect("parses fine");
+        assert!(req.is_json());
+    }
+
+    #[test]
+    fn response_writer_emits_content_length() {
+        let mut out = Vec::new();
+        write_json(&mut out, 422, &error_body("unprocessable", "bad ids")).expect("vec write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
+        assert!(text.contains("Connection: close"));
+        let body = text.split("\r\n\r\n").nth(1).expect("body present");
+        assert!(text.contains(&format!("Content-Length: {}", body.len())));
+        assert!(body.contains("\"code\":\"unprocessable\""));
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # retia-serve
+//!
+//! Online inference for a trained RETIA model: the subsystem that turns the
+//! repo's batch trainer into something that can answer a live query
+//! `(s, r, ?, t+1)` over HTTP.
+//!
+//! Architecture (one box per thread):
+//!
+//! ```text
+//!        TcpListener (shared, ephemeral port ok)
+//!             │ accept
+//!   ┌─────────┼─────────┐
+//!   worker  worker ... worker      fixed pool: parse HTTP/1.1, route,
+//!   └─────────┼─────────┘          enqueue jobs, write JSON responses
+//!             │ job queue (Mutex + Condvar)
+//!        engine thread             drains the whole queue per wake:
+//!             │                    consecutive query jobs fuse into ONE
+//!             │                    batched Conv-TransE decode (micro-batch)
+//!      ┌──────┴───────┐
+//!      frozen model   embedding cache
+//!      (no-grad       (detached last-k E_t/R_t matrices
+//!       forward)       per window epoch; ingest advances)
+//! ```
+//!
+//! The split mirrors the paper's decode strategy: scores are summed over the
+//! last `k` evolved snapshot states (Eq. 13/14), so those `k` embedding
+//! matrices fully determine every answer until the window moves. The engine
+//! computes them once per window epoch in a no-tape inference graph
+//! ([`retia_tensor::Graph::inference`] via [`retia::FrozenModel`]) and
+//! caches them; per-query work is one decode batch plus a bounded top-k
+//! heap. `POST /v1/ingest` appends facts, advances the window and recomputes
+//! the cache — the online extrapolation setting, minus parameter updates.
+//!
+//! Endpoints: `POST /v1/query`, `POST /v1/ingest`, `GET /healthz`,
+//! `GET /metrics` (the `retia-obs` registry snapshot), `POST
+//! /admin/shutdown` (drains in-flight requests, then stops).
+//!
+//! Everything is `std`-only: no hyper, no tokio, no serde — the offline
+//! build environment rules them out, and a fixed thread pool over blocking
+//! sockets is enough for the paper-scale models this repo trains.
+
+mod api;
+mod engine;
+mod http;
+mod server;
+
+pub use api::{
+    ingest_response_json, parse_ingest_request, parse_query_request, query_response_json,
+    SchemaError, DEFAULT_TOP_K, MAX_ITEMS_PER_REQUEST,
+};
+pub use engine::{
+    Engine, EngineError, EngineHandle, IngestResponse, Query, QueryKind, QueryResponse, TopK,
+};
+pub use http::{
+    error_body, read_request, write_json, HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
+pub use server::{ServeConfig, Server};

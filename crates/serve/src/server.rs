@@ -1,0 +1,293 @@
+//! The std-only HTTP server: a shared [`TcpListener`], a fixed worker-thread
+//! pool, request routing, and graceful shutdown with in-flight drain.
+//!
+//! Workers block in `accept`, parse one request per connection, and either
+//! answer directly (`/healthz`, `/metrics`) or enqueue a job for the engine
+//! thread (`/v1/query`, `/v1/ingest`). `POST /admin/shutdown` flips the
+//! drain gate: workers stop accepting, requests already being handled run to
+//! completion (the engine stops only after every worker has exited), and
+//! [`Server::wait`] unblocks pending `accept` calls with loopback
+//! connections before joining everything.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use retia::FrozenModel;
+use retia_graph::Snapshot;
+use retia_json::Value;
+
+use crate::api;
+use crate::engine::{Engine, EngineError, EngineHandle};
+use crate::http::{error_body, read_request, write_json, HttpError, Request};
+
+/// Server knobs. `addr` with port `0` binds an ephemeral port; the bound
+/// address is on [`Server::addr`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub addr: String,
+    /// Fixed worker-thread pool size.
+    pub workers: usize,
+    /// Per-socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Drain gate shared by workers and the shutdown endpoint.
+struct Gate {
+    draining: AtomicBool,
+    in_flight: AtomicI64,
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            draining: AtomicBool::new(false),
+            in_flight: AtomicI64::new(0),
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn trigger(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        *self.state.lock().expect("gate mutex poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn wait_triggered(&self) {
+        let mut triggered = self.state.lock().expect("gate mutex poisoned");
+        while !*triggered {
+            triggered = self.cv.wait(triggered).expect("gate mutex poisoned");
+        }
+    }
+}
+
+/// A running server. Dropping it does **not** stop the threads; call
+/// [`Server::shutdown`] (or let `POST /admin/shutdown` + [`Server::wait`]
+/// drive the same sequence).
+pub struct Server {
+    addr: SocketAddr,
+    gate: Arc<Gate>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Engine,
+}
+
+impl Server {
+    /// Binds, spawns the engine and the worker pool, and returns
+    /// immediately. `window` is the initial history (the last `k` snapshots
+    /// are kept, matching the paper's decode window).
+    pub fn start(
+        model: FrozenModel,
+        window: Vec<Snapshot>,
+        cfg: &ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let engine = Engine::start(model, window)?;
+        let gate = Arc::new(Gate::new());
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let gate = Arc::clone(&gate);
+                let handle = engine.handle();
+                let timeout = cfg.io_timeout;
+                std::thread::Builder::new()
+                    .name(format!("retia-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&listener, &gate, &handle, timeout))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        retia_obs::event!(
+            retia_obs::Level::Info,
+            "serve.started";
+            format!("listening on {addr} with {} workers", workers.len())
+        );
+        Ok(Server { addr, gate, workers, engine })
+    }
+
+    /// The bound socket address (resolves `--port 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// An engine handle (used by tests and the smoke bench).
+    pub fn engine_handle(&self) -> EngineHandle {
+        self.engine.handle()
+    }
+
+    /// Flips the drain gate, as `POST /admin/shutdown` does.
+    pub fn request_shutdown(&self) {
+        self.gate.trigger();
+    }
+
+    /// Blocks until the drain gate flips (via [`Server::request_shutdown`]
+    /// or the admin endpoint), then drains: unblocks pending accepts, joins
+    /// every worker (in-flight requests complete first), and only then stops
+    /// the engine after all queued jobs.
+    pub fn wait(self) {
+        self.gate.wait_triggered();
+        // Wake workers stuck in accept; their handler sees EOF and exits.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers {
+            // A worker panic is a bug; surface it rather than hang.
+            w.join().expect("serve worker panicked");
+        }
+        self.engine.shutdown();
+        retia_obs::event!(retia_obs::Level::Info, "serve.stopped"; "drained and stopped");
+    }
+
+    /// [`Server::request_shutdown`] + [`Server::wait`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+fn worker_loop(listener: &TcpListener, gate: &Gate, engine: &EngineHandle, timeout: Duration) {
+    loop {
+        if gate.is_draining() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if gate.is_draining() {
+            // Either the wake-up connection from `wait()` or a straggler
+            // client; both get a clean refusal instead of a dead socket.
+            let mut stream = stream;
+            let _ = write_json(&mut stream, 503, &error_body("unavailable", "server draining"));
+            return;
+        }
+        gate.in_flight.fetch_add(1, Ordering::SeqCst);
+        retia_obs::metrics::set_gauge(
+            "serve.in_flight",
+            gate.in_flight.load(Ordering::SeqCst) as f64,
+        );
+        handle_connection(stream, gate, engine, timeout);
+        gate.in_flight.fetch_sub(1, Ordering::SeqCst);
+        retia_obs::metrics::set_gauge(
+            "serve.in_flight",
+            gate.in_flight.load(Ordering::SeqCst) as f64,
+        );
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, gate: &Gate, engine: &EngineHandle, timeout: Duration) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    retia_obs::metrics::inc("serve.requests");
+
+    let (status, body) = match read_request(&mut stream) {
+        Err(e) => http_error_response(&e),
+        Ok(req) => route(&req, gate, engine),
+    };
+    if status >= 400 {
+        retia_obs::metrics::inc("serve.http_errors");
+    }
+    let _ = write_json(&mut stream, status, &body);
+    let _ = stream.flush();
+    retia_obs::metrics::observe("serve.request_ms", started.elapsed().as_secs_f64() * 1e3);
+}
+
+fn http_error_response(e: &HttpError) -> (u16, Value) {
+    (e.status(), error_body(e.code(), &e.message()))
+}
+
+/// Dispatches a parsed request to its endpoint.
+fn route(req: &Request, gate: &Gate, engine: &EngineHandle) -> (u16, Value) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut body = Value::object();
+            body.insert("status", Value::from("ok"));
+            body.insert("draining", Value::from(gate.is_draining()));
+            (200, body)
+        }
+        ("GET", "/metrics") => (200, retia_obs::metrics::registry().snapshot()),
+        ("POST", "/admin/shutdown") => {
+            gate.trigger();
+            let mut body = Value::object();
+            body.insert("draining", Value::from(true));
+            (200, body)
+        }
+        ("POST", "/v1/query") => json_endpoint(req, |body| {
+            let queries = api::parse_query_request(body)
+                .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
+            retia_obs::metrics::inc_by("serve.queries", queries.len() as u64);
+            let resp = engine.query(queries).map_err(engine_error_response)?;
+            Ok(api::query_response_json(&resp))
+        }),
+        ("POST", "/v1/ingest") => json_endpoint(req, |body| {
+            let facts = api::parse_ingest_request(body)
+                .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
+            let resp = engine.ingest(facts).map_err(engine_error_response)?;
+            Ok(api::ingest_response_json(&resp))
+        }),
+        (_, "/healthz" | "/metrics" | "/admin/shutdown" | "/v1/query" | "/v1/ingest") => {
+            (405, error_body("method_not_allowed", &format!("{} not allowed here", req.method)))
+        }
+        (_, path) => (404, error_body("not_found", &format!("no route for {path}"))),
+    }
+}
+
+/// Shared plumbing for the JSON POST endpoints: content-type gate, JSON
+/// parse, then the endpoint body.
+fn json_endpoint(
+    req: &Request,
+    f: impl FnOnce(&Value) -> Result<Value, (u16, Value)>,
+) -> (u16, Value) {
+    if !req.is_json() {
+        return (
+            415,
+            error_body(
+                "unsupported_media_type",
+                "send application/json (set the Content-Type header)",
+            ),
+        );
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(e) => return (400, error_body("bad_request", &format!("body is not UTF-8: {e}"))),
+    };
+    let body = match retia_json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body("bad_request", &format!("body is not valid JSON: {e}"))),
+    };
+    match f(&body) {
+        Ok(v) => (200, v),
+        Err((status, body)) => (status, body),
+    }
+}
+
+fn engine_error_response(e: EngineError) -> (u16, Value) {
+    match &e {
+        EngineError::InvalidQuery(m) => (422, error_body("unprocessable", m)),
+        EngineError::InvalidIngest(m) => (422, error_body("unprocessable", m)),
+        EngineError::Stopped => (503, error_body("unavailable", "engine stopped")),
+    }
+}

@@ -103,10 +103,14 @@ struct Node {
 /// A single forward computation with reverse-mode gradients.
 ///
 /// `training` toggles stochastic ops (dropout masks, RReLU slope sampling);
-/// `seed` makes them reproducible.
+/// `seed` makes them reproducible. A graph built with [`Graph::inference`]
+/// additionally skips the tape: every node is stored as [`Op::Leaf`], so no
+/// backward contexts (index lists, dropout masks, saved softmax outputs) are
+/// allocated and [`Graph::backward`] is unavailable.
 pub struct Graph {
     nodes: Vec<Node>,
     training: bool,
+    record: bool,
     rng: StdRng,
 }
 
@@ -114,7 +118,16 @@ impl Graph {
     /// Creates an empty graph. `training=false` turns dropout into identity
     /// and RReLU into a fixed-slope leaky ReLU.
     pub fn new(training: bool, seed: u64) -> Self {
-        Graph { nodes: Vec::new(), training, rng: StdRng::seed_from_u64(seed) }
+        Graph { nodes: Vec::new(), training, record: true, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Creates an inference-only graph: eval mode (`training=false`) and no
+    /// autodiff tape. Forward values are bitwise identical to a recording
+    /// eval graph — ops compute values before the tape entry is stored, so
+    /// dropping the entry cannot perturb them — but backward contexts are
+    /// never allocated and [`Graph::backward`] panics.
+    pub fn inference() -> Self {
+        Graph { nodes: Vec::new(), training: false, record: false, rng: StdRng::seed_from_u64(0) }
     }
 
     /// Whether stochastic ops are active.
@@ -122,12 +135,26 @@ impl Graph {
         self.training
     }
 
+    /// Whether this graph records an autodiff tape (`false` for
+    /// [`Graph::inference`] graphs).
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
     /// Number of nodes currently in the graph.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Number of nodes carrying backward context (anything other than
+    /// [`Op::Leaf`]). Always `0` for an inference graph — the assertion the
+    /// no-grad tests and the serve engine rely on.
+    pub fn tape_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| !matches!(n.op, Op::Leaf)).count()
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        let op = if self.record { op } else { Op::Leaf };
         self.nodes.push(Node { value, op });
         NodeId(self.nodes.len() - 1)
     }
@@ -545,6 +572,7 @@ impl Graph {
     /// Backpropagates from `loss` (must be `1 x 1`), accumulating parameter
     /// gradients into `store`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert!(self.record, "backward() on an inference graph: no tape was recorded");
         assert_eq!(self.value(loss).shape(), (1, 1), "backward() expects a scalar loss node");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -1403,5 +1431,55 @@ mod tests {
         let mut g = Graph::new(false, 0);
         let x = g.constant(Tensor::ones(2, 2));
         g.backward(x, &mut store);
+    }
+
+    /// A small op mix covering the serve-relevant forward surface: gather,
+    /// matmul, bias, nonlinearity, softmax.
+    fn forward_mix(g: &mut Graph, store: &ParamStore) -> Tensor {
+        let w = g.param(store, "w");
+        let rows = g.gather_rows(w, std::rc::Rc::new(vec![2u32, 0, 1]));
+        let prod = g.matmul_nt(rows, w);
+        let b = g.constant(sample(1, 4, 9));
+        let biased = g.add_bias(prod, b);
+        let act = g.tanh(biased);
+        let p = g.softmax_rows(act);
+        g.detach(p)
+    }
+
+    #[test]
+    fn inference_matches_recording_eval_bitwise() {
+        let mut store = ParamStore::new(0);
+        store.register("w", sample(4, 3, 7));
+
+        let mut rec = Graph::new(false, 0);
+        let expected = forward_mix(&mut rec, &store);
+        assert!(rec.tape_ops() > 0, "recording graph should carry a tape");
+
+        let mut inf = Graph::inference();
+        let got = forward_mix(&mut inf, &store);
+        assert_eq!(expected.data(), got.data(), "inference forward must be bit-identical");
+    }
+
+    #[test]
+    fn inference_allocates_no_tape() {
+        let mut store = ParamStore::new(0);
+        store.register("w", sample(4, 3, 7));
+        let mut g = Graph::inference();
+        let _ = forward_mix(&mut g, &store);
+        assert!(!g.is_recording());
+        assert!(!g.is_training());
+        assert!(g.num_nodes() > 0);
+        assert_eq!(g.tape_ops(), 0, "inference graph must store Leaf ops only");
+    }
+
+    #[test]
+    #[should_panic(expected = "inference graph")]
+    fn backward_rejects_inference_graph() {
+        let mut store = ParamStore::new(0);
+        store.register("w", Tensor::scalar(2.0));
+        let mut g = Graph::inference();
+        let w = g.param(&store, "w");
+        let loss = g.sum_all(w);
+        g.backward(loss, &mut store);
     }
 }

@@ -93,7 +93,8 @@ impl ParamStore {
     /// # Panics
     /// Panics if no such parameter exists.
     pub fn id(&self, name: &str) -> ParamId {
-        *self.by_name.get(name).unwrap_or_else(|| panic!("unknown parameter `{name}`"))
+        assert!(self.by_name.contains_key(name), "unknown parameter `{name}`");
+        self.by_name[name]
     }
 
     /// True if a parameter with this name exists.

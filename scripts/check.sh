@@ -19,6 +19,12 @@ RETIA_WRITE_TRACK=1 cargo test -q -p retia-tensor
 echo "==> fault-tolerance suite (chaos injection, corruption sweep, resume bit-identity)"
 cargo test -q --test fault_tolerance --test checkpoint_corruption
 
+echo "==> serve smoke (ephemeral port: query, ingest, re-query, drain via the real binary)"
+cargo test -q -p retia-cli --test serve_smoke
+
+echo "==> serve robustness suite (chaos HTTP inputs, cache bit-identity, drain-in-flight)"
+cargo test -q --test serve_http
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

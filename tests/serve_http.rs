@@ -1,0 +1,349 @@
+//! End-to-end tests for the `retia-serve` subsystem over real sockets:
+//! score bit-identity with the eval path, cache correctness across ingest,
+//! HTTP robustness under chaos-corrupted inputs, and graceful shutdown that
+//! drains in-flight requests.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use retia::{FrozenModel, Retia, RetiaConfig, TkgContext};
+use retia_data::{SyntheticConfig, TkgDataset};
+use retia_graph::{HyperSnapshot, Quad, Snapshot};
+use retia_json::Value;
+use retia_serve::{ServeConfig, Server};
+
+fn dataset() -> TkgDataset {
+    SyntheticConfig::tiny(6).generate()
+}
+
+fn model_config() -> RetiaConfig {
+    RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() }
+}
+
+fn start_server() -> (Server, TkgContext) {
+    let ds = dataset();
+    let ctx = TkgContext::new(&ds);
+    let model = Retia::new(&model_config(), &ds);
+    let serve_cfg = ServeConfig { workers: 2, ..Default::default() };
+    let server = Server::start(FrozenModel::new(model), ctx.snapshots.clone(), &serve_cfg)
+        .expect("bind ephemeral port");
+    (server, ctx)
+}
+
+/// Sends raw bytes, half-closes the write side, reads the full response.
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    // Sends may fail mid-stream if the server already rejected the request
+    // and reset the connection — that is a valid outcome for hostile input.
+    let _ = s.write_all(raw);
+    let _ = s.shutdown(Shutdown::Write);
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf); // resets are acceptable for hostile input
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    let line = response.lines().next()?;
+    let code = line.strip_prefix("HTTP/1.1 ")?.split(' ').next()?;
+    code.parse().ok()
+}
+
+fn body_of(response: &str) -> Value {
+    let text = response.split("\r\n\r\n").nth(1).expect("response has a body");
+    retia_json::parse(text).expect("response body is JSON")
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, json: Option<&str>) -> (u16, Value) {
+    let raw = match json {
+        None => format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n"),
+        Some(body) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    };
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    let status = status_of(&response).expect("well-formed response");
+    (status, body_of(&response))
+}
+
+/// Extracts `results[i]` as `(id, score)` pairs.
+fn candidates(body: &Value, i: usize) -> Vec<(u32, f32)> {
+    body.get("results")
+        .and_then(Value::as_array)
+        .and_then(|r| r.get(i))
+        .and_then(|r| r.get("candidates"))
+        .and_then(Value::as_array)
+        .expect("candidates array")
+        .iter()
+        .map(|c| {
+            (
+                c.get("id").and_then(Value::as_u64).expect("id") as u32,
+                c.get("score").and_then(Value::as_f64).expect("score") as f32,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn query_scores_are_bit_identical_to_the_eval_forward() {
+    let (server, ctx) = start_server();
+    let addr = server.addr();
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/query",
+        Some(r#"{"kind": "entity", "k": 5, "queries": [{"subject": 0, "relation": 1}]}"#),
+    );
+    assert_eq!(status, 200, "{body:?}");
+
+    // Reference: the offline eval forward over the same last-k window,
+    // through a freshly built identical model.
+    let ds = dataset();
+    let model = Retia::new(&model_config(), &ds);
+    let k = model_config().k;
+    let lo = ctx.snapshots.len() - k;
+    let probs = model.predict_entity(&ctx.snapshots[lo..], &ctx.hypers[lo..], vec![0], vec![1]);
+    let expected = retia_eval::top_k(probs.row(0), 5);
+
+    assert_eq!(candidates(&body, 0), expected, "served scores must match eval bitwise");
+    server.shutdown();
+}
+
+#[test]
+fn relation_queries_and_healthz_work() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("status").and_then(Value::as_str), Some("ok"));
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/query",
+        Some(r#"{"kind": "relation", "k": 2, "queries": [{"subject": 0, "object": 1}]}"#),
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(candidates(&body, 0).len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn ingest_then_query_matches_a_cold_rebuild_bitwise() {
+    let (server, ctx) = start_server();
+    let addr = server.addr();
+    let t_next = ctx.snapshots.last().expect("snapshots").t + 1;
+
+    let ingest = format!(
+        r#"{{"facts": [
+            {{"subject": 0, "relation": 0, "object": 1, "timestamp": {t_next}}},
+            {{"subject": 2, "relation": 1, "object": 0, "timestamp": {t_next}}}]}}"#
+    );
+    let (status, body) = request(addr, "POST", "/v1/ingest", Some(&ingest));
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("accepted").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        body.get("window").and_then(|w| w.get("end")).and_then(Value::as_u64),
+        Some(t_next as u64)
+    );
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/query",
+        Some(r#"{"kind": "entity", "k": 7, "queries": [{"subject": 1, "relation": 0}]}"#),
+    );
+    assert_eq!(status, 200, "{body:?}");
+    let served = candidates(&body, 0);
+
+    // Cold rebuild: a fresh model over the extended history, no cache, no
+    // server — the scores must agree bit for bit.
+    let ds = dataset();
+    let cold = Retia::new(&model_config(), &ds);
+    let mut history = ctx.snapshots.clone();
+    let new_facts = vec![Quad::new(0, 0, 1, t_next), Quad::new(2, 1, 0, t_next)];
+    let mut snap = Snapshot::from_quads(&new_facts, ctx.num_entities, ctx.num_relations);
+    snap.t = t_next;
+    history.push(snap);
+    let hypers: Vec<HyperSnapshot> = history.iter().map(HyperSnapshot::from_snapshot).collect();
+    let lo = history.len() - model_config().k;
+    let probs = cold.predict_entity(&history[lo..], &hypers[lo..], vec![1], vec![0]);
+    let expected = retia_eval::top_k(probs.row(0), 7);
+
+    assert_eq!(served, expected, "post-ingest scores must match a cold rebuild bitwise");
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_never_panics() {
+    let (server, ctx) = start_server();
+    let addr = server.addr();
+
+    // Unknown route / wrong method / wrong content-type / schema violations.
+    let (status, body) = request(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    assert!(body.get("error").is_some());
+    let (status, _) = request(addr, "GET", "/v1/query", None);
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "DELETE", "/healthz", None);
+    assert_eq!(status, 405);
+
+    let raw = "POST /v1/query HTTP/1.1\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi";
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status_of(&response), Some(415));
+
+    let (status, body) = request(addr, "POST", "/v1/query", Some("{not json"));
+    assert_eq!(status, 400);
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    // Valid JSON, invalid schema → 422.
+    let (status, _) = request(addr, "POST", "/v1/query", Some(r#"{"queries": 7}"#));
+    assert_eq!(status, 422);
+    // Valid schema, out-of-range ids → 422 from the engine.
+    let big = ctx.num_entities;
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/query",
+        Some(&format!(r#"{{"queries": [{{"subject": {big}, "relation": 0}}]}}"#)),
+    );
+    assert_eq!(status, 422);
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("unprocessable")
+    );
+
+    // Oversized body cap → 413 without reading the body.
+    let raw = format!(
+        "POST /v1/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        retia_serve::MAX_BODY_BYTES + 1
+    );
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status_of(&response), Some(413));
+
+    // Malformed request line and truncated head → 400 (or a clean close).
+    for raw in ["BOGUS\r\n\r\n", "GET /x HTTP/1.1\r\nTrunca"] {
+        let response = raw_roundtrip(addr, raw.as_bytes());
+        if let Some(status) = status_of(&response) {
+            assert_eq!(status, 400, "raw {raw:?}");
+        }
+    }
+
+    // Still alive after all of that.
+    let (status, _) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn chaos_corrupted_requests_yield_4xx_never_a_panic() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+    let valid = b"POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+                  Content-Length: 45\r\n\r\n{\"queries\": [{\"subject\": 0, \"relation\": 0}]}X";
+    // (Content-Length is deliberately one byte past the JSON so truncation
+    // sweeps also cover the body-shorter-than-declared path.)
+
+    // Bit flips across the whole request, one per offset stride.
+    for bit in (0..valid.len() * 8).step_by(37) {
+        let corrupted = retia_analyze::chaos::bit_flipped(valid, bit);
+        let response = raw_roundtrip(addr, &corrupted);
+        if let Some(status) = status_of(&response) {
+            assert!((200..=599).contains(&status), "bit {bit}: unparseable status in {response:?}");
+        }
+        // No response at all (connection reset) is acceptable for hostile
+        // bytes; a panic is not — the liveness check below catches that.
+    }
+    // Truncations at every prefix length stride.
+    for len in (0..valid.len()).step_by(13) {
+        let corrupted = retia_analyze::chaos::truncated(valid, len);
+        let response = raw_roundtrip(addr, &corrupted);
+        if let Some(status) = status_of(&response) {
+            assert!(status == 400 || status == 200, "len {len}: got {status}");
+        }
+    }
+
+    // Every worker still answers: as many healthz probes as pool slots.
+    for _ in 0..2 {
+        let (status, _) = request(addr, "GET", "/healthz", None);
+        assert_eq!(status, 200, "a worker died during the chaos sweep");
+    }
+    server.shutdown(); // would propagate any worker/engine panic
+}
+
+#[test]
+fn metrics_report_requests_batches_and_cache_traffic() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+
+    for _ in 0..3 {
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/v1/query",
+            Some(r#"{"queries": [{"subject": 0, "relation": 0}]}"#),
+        );
+        assert_eq!(status, 200);
+    }
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let counter = |name: &str| {
+        body.get("counters").and_then(|c| c.get(name)).and_then(Value::as_u64).unwrap_or(0)
+    };
+    assert!(counter("serve.requests") >= 4, "{body:?}");
+    assert!(counter("serve.queries") >= 3, "{body:?}");
+    assert!(counter("serve.cache_miss") >= 1, "{body:?}");
+    assert!(counter("serve.cache_hit") >= 2, "{body:?}");
+    let batches = body
+        .get("histograms")
+        .and_then(|h| h.get("serve.batch_queries"))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(batches >= 3, "{body:?}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+
+    // Open a request and send only the head: the worker is now mid-request,
+    // blocked reading the body.
+    let body = r#"{"queries": [{"subject": 0, "relation": 0}]}"#;
+    let mut in_flight = TcpStream::connect(addr).expect("connect");
+    in_flight.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let head = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    in_flight.write_all(head.as_bytes()).expect("send head");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Trigger the drain through the admin endpoint while that request is in
+    // flight.
+    let (status, resp) = request(addr, "POST", "/admin/shutdown", None);
+    assert_eq!(status, 200);
+    assert_eq!(resp.get("draining").and_then(Value::as_bool), Some(true));
+
+    // Now finish the in-flight request: it must be answered, not dropped.
+    in_flight.write_all(body.as_bytes()).expect("send body");
+    in_flight.shutdown(Shutdown::Write).expect("half-close");
+    let mut buf = Vec::new();
+    in_flight.read_to_end(&mut buf).expect("read response");
+    let response = String::from_utf8_lossy(&buf).into_owned();
+    assert_eq!(status_of(&response), Some(200), "in-flight request dropped during drain");
+    assert!(!candidates(&body_of(&response), 0).is_empty());
+
+    server.wait(); // joins workers + engine; panics if anything was dropped uncleanly
+}
