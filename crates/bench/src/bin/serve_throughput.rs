@@ -1,66 +1,18 @@
-//! Load-tests the `retia-serve` HTTP stack in-process: p50/p99 request
-//! latency and sustained QPS at 1, 4 and 16 concurrent clients, each client
-//! issuing sequential `POST /v1/query` requests over fresh connections (the
-//! server speaks `Connection: close`).
+//! Load-tests the `retia-serve` HTTP stack in-process via the shared
+//! [`retia_serve::loadtest`] generator: p50/p99 request latency and
+//! sustained QPS over **keep-alive** connections at a 1..64 concurrency
+//! ladder, with a query/ingest mix.
 //!
 //! Writes `BENCH_serve.json` in the working directory. `RETIA_FAST=1`
 //! shrinks the run to a smoke test.
 
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::time::{Duration, Instant};
-
 use retia::{FrozenModel, Retia, RetiaConfig, TkgContext};
 use retia_data::SyntheticConfig;
-use retia_json::Value;
+use retia_serve::loadtest::{run, LoadtestConfig};
 use retia_serve::{ServeConfig, Server};
-
-const QUERY: &str = r#"{"k": 10, "queries": [{"subject": 0, "relation": 0}]}"#;
-
-fn one_request(addr: SocketAddr) -> Duration {
-    let t0 = Instant::now();
-    let mut s = TcpStream::connect(addr).expect("connect");
-    let raw = format!(
-        "POST /v1/query HTTP/1.1\r\nHost: b\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n\r\n{QUERY}",
-        QUERY.len()
-    );
-    s.write_all(raw.as_bytes()).expect("send");
-    s.shutdown(Shutdown::Write).expect("half-close");
-    let mut buf = Vec::new();
-    s.read_to_end(&mut buf).expect("read");
-    assert!(buf.starts_with(b"HTTP/1.1 200"), "non-200 under load");
-    t0.elapsed()
-}
-
-/// Runs `clients` threads for `per_client` requests each; returns all
-/// latencies plus the wall-clock time of the whole volley.
-fn volley(addr: SocketAddr, clients: usize, per_client: usize) -> (Vec<f64>, f64) {
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|_| {
-            std::thread::spawn(move || {
-                (0..per_client).map(|_| one_request(addr).as_secs_f64() * 1e3).collect::<Vec<_>>()
-            })
-        })
-        .collect();
-    let mut lat: Vec<f64> = Vec::new();
-    for h in handles {
-        lat.extend(h.join().expect("client thread"));
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    (lat, wall)
-}
-
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    let i = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[i]
-}
 
 fn main() {
     let fast = std::env::var("RETIA_FAST").map(|v| v == "1").unwrap_or(false);
-    let per_client = if fast { 10 } else { 120 };
 
     let ds = SyntheticConfig::tiny(6).generate();
     let ctx = TkgContext::new(&ds);
@@ -69,34 +21,36 @@ fn main() {
     let serve_cfg = ServeConfig { workers: 8, ..Default::default() };
     let server = Server::start(FrozenModel::new(model), ctx.snapshots.clone(), &serve_cfg)
         .expect("bind ephemeral port");
-    let addr = server.addr();
 
-    // Warm the embedding cache so the volley measures steady-state decode,
-    // not the one-time recurrence.
-    one_request(addr);
-
-    let mut runs = Vec::new();
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "clients", "requests", "p50 ms", "p99 ms", "qps");
-    for clients in [1usize, 4, 16] {
-        let (lat, wall) = volley(addr, clients, per_client);
-        let (p50, p99) = (quantile(&lat, 0.5), quantile(&lat, 0.99));
-        let qps = lat.len() as f64 / wall;
-        println!("{clients:>8} {:>10} {p50:>10.3} {p99:>10.3} {qps:>10.1}", lat.len());
-        let mut row = Value::object();
-        row.insert("clients", Value::from(clients as u64));
-        row.insert("requests", Value::from(lat.len() as u64));
-        row.insert("p50_ms", Value::from(p50));
-        row.insert("p99_ms", Value::from(p99));
-        row.insert("qps", Value::from(qps));
-        runs.push(row);
-    }
+    let lt = LoadtestConfig {
+        addr: server.addr(),
+        levels: if fast { vec![1, 4] } else { vec![1, 2, 4, 8, 16, 32, 64] },
+        requests_per_conn: if fast { 15 } else { 120 },
+        ingest_every: 20,
+        k: 10,
+        entities: ds.num_entities as u32,
+        relations: ds.num_relations as u32,
+        ..Default::default()
+    };
+    let report = run(&lt).expect("loadtest against in-process server");
     server.shutdown();
 
-    let mut root = Value::object();
-    root.insert("bench", Value::from("serve_throughput"));
-    root.insert("workers", Value::from(serve_cfg.workers as u64));
-    root.insert("fast", Value::from(fast));
-    root.insert("runs", Value::Array(runs));
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        "conns", "completed", "p50 ms", "p99 ms", "qps", "429", "5xx"
+    );
+    for l in &report.levels {
+        println!(
+            "{:>8} {:>10} {:>10.3} {:>10.3} {:>10.1} {:>6} {:>6}",
+            l.connections, l.completed, l.p50_ms, l.p99_ms, l.qps, l.shed_429, l.status_5xx
+        );
+    }
+    assert_eq!(report.total_5xx(), 0, "5xx under load");
+    assert!(report.total_completed() > 0, "no request succeeded");
+
+    let mut root = report.to_json(&lt);
+    root.insert("workers", retia_json::Value::from(serve_cfg.workers as u64));
+    root.insert("fast", retia_json::Value::from(fast));
     let path = "BENCH_serve.json";
     std::fs::write(path, root.to_string_pretty()).expect("write BENCH_serve.json");
     println!("wrote {path}");

@@ -329,10 +329,13 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
 
     let port: u16 = args.get_or("port", 8080u16)?;
     let host = args.get_or("host", "127.0.0.1".to_string())?;
+    let defaults = retia_serve::ServeConfig::default();
     let cfg = retia_serve::ServeConfig {
         addr: format!("{host}:{port}"),
         workers: args.get_or("workers", 4usize)?,
-        ..Default::default()
+        queue_cap: args.get_or("queue-cap", defaults.queue_cap)?,
+        decode_shards: args.get_or("decode-shards", defaults.decode_shards)?,
+        ..defaults
     };
     let server = retia_serve::Server::start(retia::FrozenModel::new(trainer.model), window, &cfg)
         .map_err(|e| format!("{}: {e}", cfg.addr))?;
@@ -343,6 +346,94 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     server.wait();
     println!("drained and stopped");
     finish_obs(trace);
+    Ok(())
+}
+
+/// `retia loadtest [--addr HOST:PORT] [--connections LIST] [--requests N]
+/// [--ingest-every N] [--k N] [--out FILE]`: replay a synthetic query/ingest
+/// mix over keep-alive connections at a ladder of concurrency levels and
+/// write p50/p99/QPS per level as `BENCH_serve.json`.
+///
+/// Without `--addr` it self-hosts a tiny untrained model on an ephemeral
+/// port (so CI can smoke the whole serving stack with one command); the
+/// self-hosted server honors `--workers`, `--queue-cap` and
+/// `--decode-shards`. Exits nonzero if any response was a 5xx or no request
+/// succeeded at all.
+pub fn loadtest(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[])?;
+    let levels: Vec<usize> = args
+        .get("connections")
+        .unwrap_or("1,2,4,8,16,32,64")
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad --connections `{s}`: {e}")))
+        .collect::<Result<_, _>>()?;
+    let out = PathBuf::from(args.get("out").unwrap_or("BENCH_serve.json"));
+
+    // Target a live server, or self-host a tiny synthetic one on port 0.
+    let (addr, entities, relations, server) = match args.get("addr") {
+        Some(a) => {
+            let addr = a.parse().map_err(|e| format!("bad --addr `{a}`: {e}"))?;
+            // Ids 0..entities must be valid on the target server; the
+            // defaults stay minimal so any model accepts them.
+            (addr, args.get_or("entities", 1u32)?, args.get_or("relations", 1u32)?, None)
+        }
+        None => {
+            let ds = SyntheticConfig::tiny(7).generate();
+            let ctx = TkgContext::new(&ds);
+            let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
+            let model = Retia::new(&cfg, &ds);
+            let defaults = retia_serve::ServeConfig::default();
+            let scfg = retia_serve::ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: args.get_or("workers", 4usize)?,
+                queue_cap: args.get_or("queue-cap", defaults.queue_cap)?,
+                decode_shards: args.get_or("decode-shards", defaults.decode_shards)?,
+                ..defaults
+            };
+            let server =
+                retia_serve::Server::start(retia::FrozenModel::new(model), ctx.snapshots, &scfg)
+                    .map_err(|e| format!("{}: {e}", scfg.addr))?;
+            println!("self-hosted tiny model at http://{}", server.addr());
+            (server.addr(), ds.num_entities as u32, ds.num_relations as u32, Some(server))
+        }
+    };
+
+    let cfg = retia_serve::loadtest::LoadtestConfig {
+        addr,
+        levels,
+        requests_per_conn: args.get_or("requests", 50usize)?,
+        ingest_every: args.get_or("ingest-every", 25usize)?,
+        k: args.get_or("k", 5usize)?,
+        entities,
+        relations,
+        ..Default::default()
+    };
+    let result = retia_serve::loadtest::run(&cfg);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let report = result?;
+
+    println!(
+        "{:>5}  {:>9}  {:>8}  {:>8}  {:>9}  {:>4}  {:>4}",
+        "conns", "qps", "p50_ms", "p99_ms", "completed", "429", "5xx"
+    );
+    for l in &report.levels {
+        println!(
+            "{:>5}  {:>9.1}  {:>8.2}  {:>8.2}  {:>9}  {:>4}  {:>4}",
+            l.connections, l.qps, l.p50_ms, l.p99_ms, l.completed, l.shed_429, l.status_5xx
+        );
+    }
+    std::fs::write(&out, report.to_json(&cfg).to_string_compact())
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+
+    if report.total_completed() == 0 {
+        return Err("loadtest failed: no request succeeded".to_string());
+    }
+    if report.total_5xx() > 0 {
+        return Err(format!("loadtest failed: {} responses were 5xx", report.total_5xx()));
+    }
     Ok(())
 }
 

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(rest),
         "predict" => commands::predict(rest),
         "serve" => commands::serve(rest),
+        "loadtest" => commands::loadtest(rest),
         "report" => commands::report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -84,10 +85,22 @@ COMMANDS:
                --data DIR --model FILE --subject N --relation N [--topk N]
     serve      online inference over HTTP from a train checkpoint directory
                --data DIR --resume CKPT_DIR [--port N] [--host H] [--workers N]
+               [--queue-cap N] [--decode-shards N]
                [--log-level L] [--trace-out FILE]
                port 0 binds an ephemeral port (printed on stdout at startup);
                endpoints: POST /v1/query, POST /v1/ingest, GET /healthz,
-               GET /metrics, POST /admin/shutdown (drains, then exits)
+               GET /metrics, POST /admin/shutdown (drains, then exits);
+               --queue-cap bounds the engine queue (overflow answers 429 with
+               Retry-After), --decode-shards fans candidate scoring out over
+               N threads with bit-identical ranks
+    loadtest   replay a synthetic query/ingest mix and write BENCH_serve.json
+               (p50/p99 latency and QPS per concurrency level)
+               [--addr HOST:PORT] [--connections 1,2,4,...] [--requests N]
+               [--ingest-every N] [--k N] [--out FILE]
+               [--entities N] [--relations N]   id spaces for --addr targets
+               without --addr, self-hosts a tiny untrained model (honoring
+               [--workers N] [--queue-cap N] [--decode-shards N]); exits
+               nonzero on any 5xx or if no request succeeded
     report     per-module time breakdown of a JSONL trace written by --trace-out
                --trace FILE
 

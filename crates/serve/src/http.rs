@@ -1,12 +1,20 @@
-//! A dependency-free HTTP/1.1 subset on blocking [`std::io`] streams.
+//! A dependency-free HTTP/1.1 subset on [`std::io`] streams, with
+//! keep-alive in mind.
 //!
-//! Exactly what the serving endpoints need and nothing more: one request per
-//! connection (`Connection: close`), request lines and headers parsed into a
-//! [`Request`], bodies bounded by a hard cap, and JSON responses written with
-//! explicit `Content-Length`. Every malformed input maps to a typed
-//! [`HttpError`] carrying the 4xx status to answer with — parsing never
-//! panics, whatever bytes arrive (the chaos tests feed it bit-flipped and
-//! truncated buffers).
+//! The core is [`RequestBuffer`], an incremental parser: bytes arrive in
+//! whatever chunks the socket delivers, complete requests come out, and
+//! leftover bytes stay buffered for the next pipelined request — exactly the
+//! state a keep-alive connection must carry between requests. Request lines
+//! and headers parse into a [`Request`], bodies are bounded by a hard cap,
+//! and JSON responses are written with explicit `Content-Length`. Every
+//! malformed input maps to a typed [`HttpError`] carrying the 4xx status to
+//! answer with — parsing never panics, whatever bytes arrive (the chaos
+//! tests feed it bit-flipped and truncated buffers).
+//!
+//! Request-smuggling-shaped inputs are rejected outright: a `Content-Length`
+//! that is not a plain digit string (`+10`, `-1`, `0x1f`) and duplicate
+//! `Content-Length` headers that disagree are both typed 400s, never
+//! silently reinterpreted.
 
 use std::io::{Read, Write};
 
@@ -20,13 +28,16 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 /// that never send the terminating blank line.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// A parsed request: method, path, lower-cased headers and the raw body.
+/// A parsed request: method, path, version, lower-cased headers and the raw
+/// body.
 #[derive(Debug)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), as sent.
     pub method: String,
     /// Request path (`/v1/query`), query strings not interpreted.
     pub path: String,
+    /// Protocol version as sent (`HTTP/1.1` or `HTTP/1.0`).
+    pub version: String,
     /// Header `(name, value)` pairs; names lower-cased, values trimmed.
     pub headers: Vec<(String, String)>,
     /// Raw request body (exactly `Content-Length` bytes).
@@ -34,7 +45,9 @@ pub struct Request {
 }
 
 impl Request {
-    /// First value of a header, by lower-case name.
+    /// First value of a header, by lower-case name. Headers where duplicates
+    /// are dangerous (`Content-Length`) are validated during parsing, before
+    /// this accessor can be reached.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
@@ -50,32 +63,67 @@ impl Request {
             }
         }
     }
+
+    /// Whether the connection may carry another request after this one:
+    /// HTTP/1.1 defaults to keep-alive unless the client sends
+    /// `Connection: close`; HTTP/1.0 defaults to close unless the client
+    /// opts in with `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let has_token = |token: &str| {
+            self.header("connection")
+                .map(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+                .unwrap_or(false)
+        };
+        if has_token("close") {
+            return false;
+        }
+        if self.version == "HTTP/1.0" {
+            return has_token("keep-alive");
+        }
+        true
+    }
 }
 
 /// Everything that can go wrong between the socket and a parsed [`Request`].
 /// Each variant knows its HTTP status and a stable machine-readable code.
 #[derive(Debug, PartialEq, Eq)]
 pub enum HttpError {
-    /// Unparseable request line, header, or a connection that closed before
-    /// the declared body arrived.
+    /// Unparseable request line, header, smuggling-shaped `Content-Length`,
+    /// or a connection that closed before the declared body arrived.
     Malformed(String),
     /// Declared or actual body beyond [`MAX_BODY_BYTES`].
     PayloadTooLarge(usize),
     /// Head block beyond [`MAX_HEAD_BYTES`] without a terminating blank line.
     HeadTooLarge,
-    /// Socket-level failure (reset, timeout) — no response possible.
+    /// The peer stayed silent past the read deadline with a request
+    /// outstanding — answered with `408 Request Timeout`.
+    Timeout,
+    /// Socket-level failure (reset, broken pipe): the transport itself is
+    /// gone, so **no response is possible** — callers log and drop the
+    /// connection instead of writing to a dead socket (see
+    /// [`HttpError::wants_response`]).
     Io(String),
 }
 
 impl HttpError {
-    /// HTTP status code to answer with.
+    /// HTTP status code to answer with. [`HttpError::Io`] has no peer left
+    /// to answer (guard with [`HttpError::wants_response`]); its nominal
+    /// status is 500 and is never written to a socket.
     pub fn status(&self) -> u16 {
         match self {
             HttpError::Malformed(_) => 400,
             HttpError::PayloadTooLarge(_) => 413,
             HttpError::HeadTooLarge => 431,
-            HttpError::Io(_) => 400,
+            HttpError::Timeout => 408,
+            HttpError::Io(_) => 500,
         }
+    }
+
+    /// Whether a response can and should be written back to the peer.
+    /// `false` only for genuine socket failures, where the callers' duty is
+    /// to log the event and drop the connection.
+    pub fn wants_response(&self) -> bool {
+        !matches!(self, HttpError::Io(_))
     }
 
     /// Stable machine-readable error code for the JSON envelope.
@@ -84,7 +132,8 @@ impl HttpError {
             HttpError::Malformed(_) => "bad_request",
             HttpError::PayloadTooLarge(_) => "payload_too_large",
             HttpError::HeadTooLarge => "headers_too_large",
-            HttpError::Io(_) => "bad_request",
+            HttpError::Timeout => "request_timeout",
+            HttpError::Io(_) => "io_error",
         }
     }
 
@@ -98,19 +147,118 @@ impl HttpError {
             HttpError::HeadTooLarge => {
                 format!("request head exceeds the {MAX_HEAD_BYTES}-byte cap")
             }
+            HttpError::Timeout => "request not completed before the read deadline".to_string(),
             HttpError::Io(m) => format!("connection error: {m}"),
         }
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// Maps a socket read failure to the right [`HttpError`]: a timeout on a
+/// blocking socket (`WouldBlock`/`TimedOut`, depending on the platform) is
+/// answerable with 408; anything else means the transport is gone.
+pub fn classify_read_error(e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// Parsed head awaiting its body.
+struct PendingHead {
+    request: Request,
+    head_len: usize,
+    total_len: usize,
+}
+
+/// Incremental request parser for one connection.
 ///
-/// The head is read byte-wise until `\r\n\r\n` (or `\n\n`); the body is then
-/// read to exactly `Content-Length` bytes. All failures are typed; this
-/// function never panics on hostile input.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
-    let head = read_head(stream)?;
-    let text = String::from_utf8_lossy(&head);
+/// Feed raw bytes with [`RequestBuffer::extend`]; pull complete requests
+/// with [`RequestBuffer::try_next`]. Bytes past the end of a request stay
+/// buffered and seed the next one — pipelined requests on a keep-alive
+/// connection parse back-to-back without touching the socket. The
+/// head-terminator scan is resumable, so parsing is `O(bytes)` regardless of
+/// how the input is chunked (the old implementation read one byte per
+/// syscall, which keep-alive made untenable).
+#[derive(Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+    /// Bytes already scanned for the head terminator (no byte is re-scanned).
+    scanned: usize,
+    /// Parsed head waiting for `total_len` buffered bytes.
+    pending: Option<PendingHead>,
+}
+
+impl RequestBuffer {
+    /// A fresh, empty buffer.
+    pub fn new() -> RequestBuffer {
+        RequestBuffer::default()
+    }
+
+    /// Appends bytes read from the connection.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when nothing is buffered: no partial request is outstanding, so
+    /// the connection is idle and safe to reap silently.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && self.pending.is_none()
+    }
+
+    /// Tries to parse one complete request from the buffered bytes.
+    ///
+    /// `Ok(None)` means "need more bytes". Errors are terminal for the
+    /// connection: the caller answers (if [`HttpError::wants_response`]) and
+    /// closes.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.pending.is_none() {
+            let Some(head_len) = self.scan_head_end() else {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                return Ok(None);
+            };
+            let request = parse_head(&self.buf[..head_len])?;
+            let length = content_length(&request)?;
+            if length > MAX_BODY_BYTES {
+                return Err(HttpError::PayloadTooLarge(length));
+            }
+            self.pending = Some(PendingHead { request, head_len, total_len: head_len + length });
+        }
+        let total = match &self.pending {
+            Some(p) => p.total_len,
+            None => return Ok(None),
+        };
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let Some(mut p) = self.pending.take() else { return Ok(None) };
+        p.request.body = self.buf[p.head_len..p.total_len].to_vec();
+        self.buf.drain(..p.total_len);
+        self.scanned = 0;
+        Ok(Some(p.request))
+    }
+
+    /// Resumable scan for the earliest head terminator (`\r\n\r\n` or
+    /// `\n\n`); returns the head length including the terminator.
+    fn scan_head_end(&mut self) -> Option<usize> {
+        let b = &self.buf;
+        let mut i = self.scanned;
+        while i < b.len() {
+            if (i >= 3 && &b[i - 3..=i] == b"\r\n\r\n") || (i >= 1 && &b[i - 1..=i] == b"\n\n") {
+                self.scanned = i + 1;
+                return Some(i + 1);
+            }
+            i += 1;
+        }
+        self.scanned = b.len();
+        None
+    }
+}
+
+/// Parses the request line and headers from a complete head block.
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let text = String::from_utf8_lossy(head);
     let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
 
     let request_line = lines.next().unwrap_or("");
@@ -142,47 +290,68 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let mut request =
-        Request { method: method.to_string(), path: path.to_string(), headers, body: Vec::new() };
-
-    let length = match request.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("unparseable content-length: {v:?}")))?,
-    };
-    if length > MAX_BODY_BYTES {
-        return Err(HttpError::PayloadTooLarge(length));
-    }
-    if length > 0 {
-        let mut body = vec![0u8; length];
-        stream
-            .read_exact(&mut body)
-            .map_err(|e| HttpError::Malformed(format!("body shorter than content-length: {e}")))?;
-        request.body = body;
-    }
-    Ok(request)
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        version: version.to_string(),
+        headers,
+        body: Vec::new(),
+    })
 }
 
-/// Reads up to and including the blank line that terminates the head.
-fn read_head(stream: &mut impl Read) -> Result<Vec<u8>, HttpError> {
-    let mut head = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
+/// Hardened `Content-Length` extraction.
+///
+/// Two request-smuggling-shaped inputs are rejected with typed 400s rather
+/// than reinterpreted: values that are not plain digit strings (Rust's
+/// `usize::from_str` would happily accept a leading `+`, so `+10` must be
+/// refused *before* parsing), and duplicate headers that disagree (taking
+/// the first silently would let a front proxy and this server frame the
+/// stream differently). Identical duplicates are tolerated per RFC 9110
+/// §8.6.
+fn content_length(req: &Request) -> Result<usize, HttpError> {
+    let mut values =
+        req.headers.iter().filter(|(n, _)| n == "content-length").map(|(_, v)| v.as_str());
+    let Some(first) = values.next() else { return Ok(0) };
+    for other in values {
+        if other != first {
+            return Err(HttpError::Malformed(format!(
+                "conflicting content-length headers: {first:?} vs {other:?}"
+            )));
+        }
+    }
+    if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::Malformed(format!("unparseable content-length: {first:?}")));
+    }
+    match first.parse::<usize>() {
+        Ok(n) => Ok(n),
+        // All digits but overflows usize: far beyond any cap.
+        Err(_) => Err(HttpError::PayloadTooLarge(usize::MAX)),
+    }
+}
+
+/// Reads and parses one request from a blocking `stream`.
+///
+/// Reads in 4 KiB chunks through a [`RequestBuffer`] (not one byte per
+/// syscall) until a full request is buffered. All failures are typed; this
+/// function never panics on hostile input. A read timeout configured on the
+/// stream surfaces as [`HttpError::Timeout`]; other socket failures as
+/// [`HttpError::Io`].
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut rb = RequestBuffer::new();
+    let mut chunk = [0u8; 4096];
     loop {
-        match stream.read(&mut byte) {
+        if let Some(req) = rb.try_next()? {
+            return Ok(req);
+        }
+        match stream.read(&mut chunk) {
             Ok(0) => {
                 return Err(HttpError::Malformed(
-                    "connection closed before the request head completed".to_string(),
+                    "connection closed before the request completed".to_string(),
                 ))
             }
-            Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(HttpError::Io(e.to_string())),
-        }
-        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-            return Ok(head);
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::HeadTooLarge);
+            Ok(n) => rb.extend(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(classify_read_error(&e)),
         }
     }
 }
@@ -193,9 +362,11 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         415 => "Unsupported Media Type",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
@@ -205,13 +376,36 @@ fn reason(status: u16) -> &'static str {
 /// Writes a JSON response with `Connection: close`. Write failures are
 /// returned (the peer may already be gone); callers log and move on.
 pub fn write_json(stream: &mut impl Write, status: u16, body: &Value) -> std::io::Result<()> {
+    write_json_response(stream, status, body, false, &[])
+}
+
+/// Full-control JSON response writer: chooses the `Connection` header
+/// (keep-alive vs close) and carries extra headers such as `Retry-After`.
+pub fn write_json_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &Value,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
     let payload = body.to_string_compact();
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         status,
         reason(status),
         payload.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
     stream.write_all(head.as_bytes())?;
     stream.write_all(payload.as_bytes())?;
     stream.flush()
@@ -245,8 +439,10 @@ mod tests {
         .expect("well-formed request");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.body, b"{}");
         assert!(req.is_json());
+        assert!(req.keep_alive());
         assert_eq!(req.header("host"), Some("x"));
     }
 
@@ -292,6 +488,13 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_content_length_is_payload_too_large() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n")
+            .expect_err("overflow");
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
     fn rejects_unbounded_heads() {
         let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
         raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 2));
@@ -304,6 +507,97 @@ mod tests {
     fn header_without_colon_is_malformed() {
         let err = parse(b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n").expect_err("no colon");
         assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn plus_prefixed_content_length_is_rejected() {
+        // usize::from_str accepts "+10"; the wire format must not.
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: +10\r\n\r\n0123456789")
+            .expect_err("smuggling-shaped length");
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("content-length"), "{}", err.message());
+        for bad in ["-1", " 10", "1 0", "0x10", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length:{bad}\r\n\r\n");
+            let err = parse(raw.as_bytes()).expect_err("bad length must reject");
+            assert_eq!(err.status(), 400, "content-length {bad:?}");
+        }
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!")
+            .expect_err("conflicting lengths");
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("conflicting"), "{}", err.message());
+
+        // Identical duplicates are tolerated (RFC 9110 §8.6).
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi")
+            .expect("identical duplicates are one value");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn read_timeout_maps_to_408_and_io_to_drop() {
+        struct TimesOut;
+        impl Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "timed out"))
+            }
+        }
+        let err = read_request(&mut TimesOut).expect_err("timeout");
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), 408);
+        assert!(err.wants_response());
+        assert_eq!(reason(408), "Request Timeout");
+
+        struct Resets;
+        impl Read for Resets {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer reset"))
+            }
+        }
+        let err = read_request(&mut Resets).expect_err("reset");
+        assert!(matches!(err, HttpError::Io(_)));
+        assert!(!err.wants_response(), "io errors must be log-and-drop");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back_with_leftovers() {
+        let mut rb = RequestBuffer::new();
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\nGET /c";
+        // Feed in awkward 7-byte chunks to exercise the resumable scan.
+        let mut got = Vec::new();
+        for chunk in raw.chunks(7) {
+            rb.extend(chunk);
+            while let Some(req) = rb.try_next().expect("valid pipeline") {
+                got.push((req.method.clone(), req.path.clone(), req.body.clone()));
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                ("POST".to_string(), "/a".to_string(), b"hi".to_vec()),
+                ("GET".to_string(), "/b".to_string(), Vec::new()),
+            ]
+        );
+        // The trailing partial request stays buffered.
+        assert!(!rb.is_empty());
+        rb.extend(b" HTTP/1.1\r\n\r\n");
+        let req = rb.try_next().expect("completes").expect("third request");
+        assert_eq!(req.path, "/c");
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive());
+        let req = parse(b"GET /x HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive());
+        let req = parse(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").expect("parses");
+        assert!(req.keep_alive());
+        let req = parse(b"GET /x HTTP/1.1\r\nConnection: upgrade, close\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive());
     }
 
     #[test]
@@ -330,5 +624,22 @@ mod tests {
         let body = text.split("\r\n\r\n").nth(1).expect("body present");
         assert!(text.contains(&format!("Content-Length: {}", body.len())));
         assert!(body.contains("\"code\":\"unprocessable\""));
+    }
+
+    #[test]
+    fn response_writer_keep_alive_and_extra_headers() {
+        let mut out = Vec::new();
+        write_json_response(
+            &mut out,
+            429,
+            &error_body("overloaded", "queue full"),
+            true,
+            &[("Retry-After", "1".to_string())],
+        )
+        .expect("vec write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive"));
     }
 }

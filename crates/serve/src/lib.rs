@@ -9,19 +9,24 @@
 //! Architecture (one box per thread):
 //!
 //! ```text
-//!        TcpListener (shared, ephemeral port ok)
-//!             │ accept
+//!        TcpListener (shared, non-blocking, ephemeral port ok)
+//!             │ accept (polled)
 //!   ┌─────────┼─────────┐
-//!   worker  worker ... worker      fixed pool: parse HTTP/1.1, route,
-//!   └─────────┼─────────┘          enqueue jobs, write JSON responses
-//!             │ job queue (Mutex + Condvar)
+//!   worker  worker ... worker      fixed pool of keep-alive poll loops:
+//!   └─────────┼─────────┘          each owns its connections, parses
+//!             │                    pipelined HTTP/1.1 incrementally, reaps
+//!             │                    idle sockets, writes JSON responses
+//!             │ BOUNDED job queue (Mutex + Condvar; overflow → 429)
 //!        engine thread             drains the whole queue per wake:
 //!             │                    consecutive query jobs fuse into ONE
 //!             │                    batched Conv-TransE decode (micro-batch)
-//!      ┌──────┴───────┐
-//!      frozen model   embedding cache
-//!      (no-grad       (detached last-k E_t/R_t matrices
-//!       forward)       per window epoch; ingest advances)
+//!      ┌──────┼────────────┐
+//!      frozen model        embedding cache
+//!      (no-grad forward)   (detached last-k E_t/R_t per window epoch)
+//!             │ entity decode: scoped shard threads
+//!   ┌─────────┼─────────┐
+//!   shard   shard ...  shard       q_t @ E_t[lo..hi]^T per entity range;
+//!   └─────────┼─────────┘          merged ranks bit-identical to 1 thread
 //! ```
 //!
 //! The split mirrors the paper's decode strategy: scores are summed over the
@@ -38,12 +43,15 @@
 //! /admin/shutdown` (drains in-flight requests, then stops).
 //!
 //! Everything is `std`-only: no hyper, no tokio, no serde — the offline
-//! build environment rules them out, and a fixed thread pool over blocking
-//! sockets is enough for the paper-scale models this repo trains.
+//! build environment rules them out. Readiness is `set_nonblocking` polling
+//! with short adaptive sleeps (no `epoll` binding without dependencies);
+//! workers holding a single connection park in a blocking read instead, so
+//! the common ping-pong client pays no poll latency.
 
 mod api;
 mod engine;
 mod http;
+pub mod loadtest;
 mod server;
 
 pub use api::{
@@ -51,9 +59,11 @@ pub use api::{
     SchemaError, DEFAULT_TOP_K, MAX_ITEMS_PER_REQUEST,
 };
 pub use engine::{
-    Engine, EngineError, EngineHandle, IngestResponse, Query, QueryKind, QueryResponse, TopK,
+    Engine, EngineError, EngineHandle, EngineOptions, IngestResponse, PauseGuard, Query, QueryKind,
+    QueryResponse, TopK,
 };
 pub use http::{
-    error_body, read_request, write_json, HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+    error_body, read_request, write_json, write_json_response, HttpError, Request, RequestBuffer,
+    MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 pub use server::{ServeConfig, Server};

@@ -1,15 +1,48 @@
-//! The std-only HTTP server: a shared [`TcpListener`], a fixed worker-thread
-//! pool, request routing, and graceful shutdown with in-flight drain.
+//! The std-only HTTP server: a shared non-blocking [`TcpListener`], a fixed
+//! pool of poll-loop workers, request routing, admission control, and
+//! graceful shutdown with in-flight drain.
 //!
-//! Workers block in `accept`, parse one request per connection, and either
-//! answer directly (`/healthz`, `/metrics`) or enqueue a job for the engine
-//! thread (`/v1/query`, `/v1/ingest`). `POST /admin/shutdown` flips the
-//! drain gate: workers stop accepting, requests already being handled run to
-//! completion (the engine stops only after every worker has exited), and
-//! [`Server::wait`] unblocks pending `accept` calls with loopback
-//! connections before joining everything.
+//! ## Event loop
+//!
+//! Dependency-free readiness on `std::net`: the listener and every accepted
+//! socket run in non-blocking mode, and each worker owns a set of
+//! connections it polls in a loop — accept new sockets, read whatever bytes
+//! are available into each connection's [`RequestBuffer`], answer every
+//! complete request (pipelined requests are answered back-to-back), reap
+//! idle connections, then sleep briefly only if the whole pass made no
+//! progress. A connection lives through many requests (`keep-alive`) and
+//! closes on `Connection: close`, a parse error, EOF, or the idle deadline.
+//!
+//! One latency refinement: a worker whose set holds exactly one connection
+//! parks in a *blocking* read with a short timeout instead of polling — the
+//! common ping-pong client costs no poll-interval latency, while fan-in
+//! (many connections per worker) uses the non-blocking sweep.
+//!
+//! Connection states:
+//!
+//! ```text
+//!   accept → READ → (buffer has full request?) → ROUTE → WRITE ─┐
+//!     ▲       │  no                                   keep-alive │
+//!     │       ▼                                                  │
+//!     │   idle > deadline? ──► 408 (mid-request) / silent close  │
+//!     └──────────────────────────────────────────────────────────┘
+//!   parse error → typed 4xx, close;  socket error → log, drop (no write)
+//! ```
+//!
+//! ## Admission control
+//!
+//! `/v1/query` and `/v1/ingest` enqueue into the engine's **bounded** queue;
+//! when it is full the submission bounces and the client gets `429 Too Many
+//! Requests` with a `Retry-After` header — load sheds at the edge instead of
+//! accumulating unbounded latency. `/healthz` and `/metrics` are answered by
+//! the worker directly and always succeed.
+//!
+//! `POST /admin/shutdown` flips the drain gate: workers stop accepting,
+//! connections with a request in flight (bytes buffered) finish that
+//! request, everything else closes, and the engine stops only after every
+//! worker has exited.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -21,8 +54,16 @@ use retia_graph::Snapshot;
 use retia_json::Value;
 
 use crate::api;
-use crate::engine::{Engine, EngineError, EngineHandle};
-use crate::http::{error_body, read_request, write_json, HttpError, Request};
+use crate::engine::{Engine, EngineError, EngineHandle, EngineOptions};
+use crate::http::{error_body, write_json_response, HttpError, Request, RequestBuffer};
+
+/// Sleep between no-progress poll passes while connections are open.
+const POLL_SLEEP: Duration = Duration::from_micros(200);
+/// Sleep between poll passes while the worker has no connections at all.
+const IDLE_SLEEP: Duration = Duration::from_millis(2);
+/// Read timeout for the single-connection blocking fast path; bounds how
+/// long a parked worker takes to notice accepts, drain, and deadlines.
+const PARKED_READ_TIMEOUT: Duration = Duration::from_millis(20);
 
 /// Server knobs. `addr` with port `0` binds an ephemeral port; the bound
 /// address is on [`Server::addr`].
@@ -32,24 +73,38 @@ pub struct ServeConfig {
     pub addr: String,
     /// Fixed worker-thread pool size.
     pub workers: usize,
-    /// Per-socket read/write timeout.
+    /// Budget for writing one response to a slow peer.
     pub io_timeout: Duration,
+    /// Keep-alive idle deadline: a connection with no partial request is
+    /// reaped silently; one mid-request gets `408 Request Timeout`.
+    pub idle_timeout: Duration,
+    /// Engine job-queue bound (admission control); overflow → `429`.
+    pub queue_cap: usize,
+    /// Threads the entity decode shards candidate scoring across
+    /// (bit-identical ranks at any value; `1` = fused path).
+    pub decode_shards: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let engine = EngineOptions::default();
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            queue_cap: engine.queue_cap,
+            decode_shards: engine.decode_shards,
         }
     }
 }
 
-/// Drain gate shared by workers and the shutdown endpoint.
+/// Drain gate and connection accounting shared by workers and the shutdown
+/// endpoint.
 struct Gate {
     draining: AtomicBool,
     in_flight: AtomicI64,
+    connections: AtomicI64,
     state: Mutex<bool>,
     cv: Condvar,
 }
@@ -59,6 +114,7 @@ impl Gate {
         Gate {
             draining: AtomicBool::new(false),
             in_flight: AtomicI64::new(0),
+            connections: AtomicI64::new(0),
             state: Mutex::new(false),
             cv: Condvar::new(),
         }
@@ -79,6 +135,11 @@ impl Gate {
         while !*triggered {
             triggered = self.cv.wait(triggered).expect("gate mutex poisoned");
         }
+    }
+
+    fn conn_delta(&self, delta: i64) {
+        let now = self.connections.fetch_add(delta, Ordering::SeqCst) + delta;
+        retia_obs::metrics::set_gauge("serve.connections", now as f64);
     }
 }
 
@@ -102,9 +163,11 @@ impl Server {
         cfg: &ServeConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let listener = Arc::new(listener);
-        let engine = Engine::start(model, window)?;
+        let opts = EngineOptions { queue_cap: cfg.queue_cap, decode_shards: cfg.decode_shards };
+        let engine = Engine::start_with(model, window, opts)?;
         let gate = Arc::new(Gate::new());
 
         let workers = (0..cfg.workers.max(1))
@@ -112,17 +175,22 @@ impl Server {
                 let listener = Arc::clone(&listener);
                 let gate = Arc::clone(&gate);
                 let handle = engine.handle();
-                let timeout = cfg.io_timeout;
+                let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("retia-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&listener, &gate, &handle, timeout))
+                    .spawn(move || worker_loop(&listener, &gate, &handle, &cfg))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
         retia_obs::event!(
             retia_obs::Level::Info,
             "serve.started";
-            format!("listening on {addr} with {} workers", workers.len())
+            format!(
+                "listening on {addr} with {} workers (queue cap {}, {} decode shards)",
+                workers.len(),
+                cfg.queue_cap,
+                cfg.decode_shards
+            )
         );
         Ok(Server { addr, gate, workers, engine })
     }
@@ -143,15 +211,11 @@ impl Server {
     }
 
     /// Blocks until the drain gate flips (via [`Server::request_shutdown`]
-    /// or the admin endpoint), then drains: unblocks pending accepts, joins
-    /// every worker (in-flight requests complete first), and only then stops
-    /// the engine after all queued jobs.
+    /// or the admin endpoint), then drains: every worker's poll loop notices
+    /// the gate, finishes requests already in flight, closes its
+    /// connections and exits; the engine stops after all queued jobs.
     pub fn wait(self) {
         self.gate.wait_triggered();
-        // Wake workers stuck in accept; their handler sees EOF and exits.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
         for w in self.workers {
             // A worker panic is a bug; surface it rather than hang.
             w.join().expect("serve worker panicked");
@@ -167,91 +231,335 @@ impl Server {
     }
 }
 
-fn worker_loop(listener: &TcpListener, gate: &Gate, engine: &EngineHandle, timeout: Duration) {
-    loop {
-        if gate.is_draining() {
-            return;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => continue,
-        };
-        if gate.is_draining() {
-            // Either the wake-up connection from `wait()` or a straggler
-            // client; both get a clean refusal instead of a dead socket.
-            let mut stream = stream;
-            let _ = write_json(&mut stream, 503, &error_body("unavailable", "server draining"));
-            return;
-        }
-        gate.in_flight.fetch_add(1, Ordering::SeqCst);
-        retia_obs::metrics::set_gauge(
-            "serve.in_flight",
-            gate.in_flight.load(Ordering::SeqCst) as f64,
-        );
-        handle_connection(stream, gate, engine, timeout);
-        gate.in_flight.fetch_sub(1, Ordering::SeqCst);
-        retia_obs::metrics::set_gauge(
-            "serve.in_flight",
-            gate.in_flight.load(Ordering::SeqCst) as f64,
-        );
+/// One keep-alive connection owned by a worker.
+struct Conn {
+    stream: TcpStream,
+    buf: RequestBuffer,
+    last_activity: Instant,
+    /// Whether the socket is currently in blocking (parked) mode.
+    parked: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn { stream, buf: RequestBuffer::new(), last_activity: Instant::now(), parked: false }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, gate: &Gate, engine: &EngineHandle, timeout: Duration) {
-    let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
-    retia_obs::metrics::inc("serve.requests");
+/// The per-worker event loop described in the module docs.
+fn worker_loop(listener: &TcpListener, gate: &Gate, engine: &EngineHandle, cfg: &ServeConfig) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        let mut progressed = false;
+        let mut slept = false;
 
-    let (status, body) = match read_request(&mut stream) {
-        Err(e) => http_error_response(&e),
-        Ok(req) => route(&req, gate, engine),
-    };
+        if !gate.is_draining() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+                        retia_obs::metrics::inc("serve.accepted");
+                        gate.conn_delta(1);
+                        conns.push(Conn::new(stream));
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    // Transient accept failures (aborted handshakes etc.):
+                    // fall through to the connection sweep, retry next pass.
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let parked_mode = conns.len() == 1;
+        let mut idx = 0;
+        while idx < conns.len() {
+            let keep = service_conn(
+                &mut conns[idx],
+                parked_mode,
+                gate,
+                engine,
+                cfg,
+                &mut progressed,
+                &mut slept,
+            );
+            if keep {
+                idx += 1;
+            } else {
+                drop(conns.swap_remove(idx));
+                gate.conn_delta(-1);
+            }
+        }
+
+        if gate.is_draining() && conns.is_empty() {
+            return;
+        }
+        if !progressed && !slept {
+            std::thread::sleep(if conns.is_empty() { IDLE_SLEEP } else { POLL_SLEEP });
+        }
+    }
+}
+
+/// Reads, parses and answers on one connection. Returns `false` when the
+/// connection must close (error, EOF, `Connection: close`, deadline, drain).
+fn service_conn(
+    c: &mut Conn,
+    park: bool,
+    gate: &Gate,
+    engine: &EngineHandle,
+    cfg: &ServeConfig,
+    progressed: &mut bool,
+    slept: &mut bool,
+) -> bool {
+    if park != c.parked {
+        let switched = if park {
+            c.stream
+                .set_nonblocking(false)
+                .and_then(|()| c.stream.set_read_timeout(Some(PARKED_READ_TIMEOUT)))
+        } else {
+            c.stream.set_nonblocking(true)
+        };
+        if switched.is_err() {
+            return false;
+        }
+        c.parked = park;
+    }
+
+    let mut eof = false;
+    let mut chunk = [0u8; 4096];
+    if c.parked {
+        // Blocking fast path: the read itself paces the worker loop.
+        *slept = true;
+        match c.stream.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => {
+                c.buf.extend(&chunk[..n]);
+                c.last_activity = Instant::now();
+                *progressed = true;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => {
+                drop_for_io_error(&e);
+                return false;
+            }
+        }
+    } else {
+        loop {
+            match c.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    c.buf.extend(&chunk[..n]);
+                    c.last_activity = Instant::now();
+                    *progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    drop_for_io_error(&e);
+                    return false;
+                }
+            }
+        }
+    }
+
+    // Answer every complete request buffered so far (pipelining).
+    loop {
+        match c.buf.try_next() {
+            Ok(Some(req)) => {
+                *progressed = true;
+                let keep = req.keep_alive() && !gate.is_draining();
+                let written = respond(&mut c.stream, &req, keep, gate, engine, cfg);
+                c.last_activity = Instant::now();
+                if !written || !keep {
+                    return false;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // A malformed request mid-pipeline: answer it (when the
+                // transport still works) and close — bytes after a framing
+                // error cannot be trusted.
+                answer_parse_error(&mut c.stream, &e, cfg);
+                return false;
+            }
+        }
+    }
+
+    if eof {
+        if !c.buf.is_empty() {
+            // FIN with an incomplete request buffered: the request can never
+            // complete, so answer 400 while the write side may still be open
+            // (half-closing clients read it), then close.
+            let e = HttpError::Malformed("connection closed before the request completed".into());
+            answer_parse_error(&mut c.stream, &e, cfg);
+        }
+        return false;
+    }
+
+    if c.last_activity.elapsed() >= cfg.idle_timeout {
+        if c.buf.is_empty() {
+            // Idle keep-alive connection: reap silently.
+            retia_obs::metrics::inc("serve.reaped_idle");
+            return false;
+        }
+        // Mid-request silence: the client gets a typed 408.
+        answer_parse_error(&mut c.stream, &HttpError::Timeout, cfg);
+        return false;
+    }
+
+    // Draining with nothing buffered: nothing in flight to finish.
+    if gate.is_draining() && c.buf.is_empty() {
+        return false;
+    }
+    true
+}
+
+/// Routes one request and writes the response. Returns `false` when the
+/// write failed (connection must close).
+fn respond(
+    stream: &mut TcpStream,
+    req: &Request,
+    keep_alive: bool,
+    gate: &Gate,
+    engine: &EngineHandle,
+    cfg: &ServeConfig,
+) -> bool {
+    let started = Instant::now();
+    retia_obs::metrics::inc("serve.requests");
+    gate.in_flight.fetch_add(1, Ordering::SeqCst);
+    retia_obs::metrics::set_gauge("serve.in_flight", gate.in_flight.load(Ordering::SeqCst) as f64);
+    let (endpoint, status, body) = route(req, gate, engine);
+    gate.in_flight.fetch_sub(1, Ordering::SeqCst);
+    retia_obs::metrics::set_gauge("serve.in_flight", gate.in_flight.load(Ordering::SeqCst) as f64);
     if status >= 400 {
         retia_obs::metrics::inc("serve.http_errors");
     }
-    let _ = write_json(&mut stream, status, &body);
-    let _ = stream.flush();
-    retia_obs::metrics::observe("serve.request_ms", started.elapsed().as_secs_f64() * 1e3);
+    // Backpressure hint: every 429 carries Retry-After.
+    let mut headers: Vec<(&str, String)> = Vec::new();
+    if status == 429 {
+        headers.push(("Retry-After", "1".to_string()));
+    }
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    retia_obs::metrics::observe("serve.request_ms", ms);
+    retia_obs::metrics::observe(&format!("serve.request_ms.{endpoint}"), ms);
+
+    let mut out = Vec::with_capacity(512);
+    write_json_response(&mut out, status, &body, keep_alive, &headers)
+        .expect("writing to a Vec cannot fail");
+    write_all_with_deadline(stream, &out, cfg.io_timeout)
 }
 
-fn http_error_response(e: &HttpError) -> (u16, Value) {
-    (e.status(), error_body(e.code(), &e.message()))
+/// Answers a parse/framing error when the transport still works; socket
+/// errors are logged and dropped (never written to a dead peer).
+fn answer_parse_error(stream: &mut TcpStream, e: &HttpError, cfg: &ServeConfig) {
+    if !e.wants_response() {
+        retia_obs::metrics::inc("serve.io_dropped");
+        retia_obs::event!(
+            retia_obs::Level::Warn,
+            "serve.io_error";
+            format!("dropping connection: {}", e.message())
+        );
+        return;
+    }
+    retia_obs::metrics::inc("serve.requests");
+    retia_obs::metrics::inc("serve.http_errors");
+    let mut out = Vec::with_capacity(256);
+    write_json_response(&mut out, e.status(), &error_body(e.code(), &e.message()), false, &[])
+        .expect("writing to a Vec cannot fail");
+    write_all_with_deadline(stream, &out, cfg.io_timeout);
 }
 
-/// Dispatches a parsed request to its endpoint.
-fn route(req: &Request, gate: &Gate, engine: &EngineHandle) -> (u16, Value) {
+/// The log-and-drop half of the Io/Timeout split: no bytes are written.
+fn drop_for_io_error(e: &std::io::Error) {
+    retia_obs::metrics::inc("serve.io_dropped");
+    retia_obs::event!(retia_obs::Level::Warn, "serve.io_error"; format!("dropping connection: {e}"));
+}
+
+/// Writes all of `bytes` to a (possibly non-blocking) socket, retrying
+/// `WouldBlock` until `timeout` elapses. Returns `false` on failure.
+fn write_all_with_deadline(stream: &mut TcpStream, mut bytes: &[u8], timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !bytes.is_empty() {
+        match stream.write(bytes) {
+            Ok(0) => return false,
+            Ok(n) => bytes = &bytes[n..],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    drop_for_io_error(&e);
+                    return false;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                drop_for_io_error(&e);
+                return false;
+            }
+        }
+    }
+    stream.flush().is_ok()
+}
+
+/// Dispatches a parsed request to its endpoint; returns the metrics label,
+/// status and body.
+fn route(req: &Request, gate: &Gate, engine: &EngineHandle) -> (&'static str, u16, Value) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let mut body = Value::object();
             body.insert("status", Value::from("ok"));
             body.insert("draining", Value::from(gate.is_draining()));
-            (200, body)
+            ("healthz", 200, body)
         }
-        ("GET", "/metrics") => (200, retia_obs::metrics::registry().snapshot()),
+        ("GET", "/metrics") => ("metrics", 200, retia_obs::metrics::registry().snapshot()),
         ("POST", "/admin/shutdown") => {
             gate.trigger();
             let mut body = Value::object();
             body.insert("draining", Value::from(true));
-            (200, body)
+            ("shutdown", 200, body)
         }
-        ("POST", "/v1/query") => json_endpoint(req, |body| {
-            let queries = api::parse_query_request(body)
-                .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
-            retia_obs::metrics::inc_by("serve.queries", queries.len() as u64);
-            let resp = engine.query(queries).map_err(engine_error_response)?;
-            Ok(api::query_response_json(&resp))
-        }),
-        ("POST", "/v1/ingest") => json_endpoint(req, |body| {
-            let facts = api::parse_ingest_request(body)
-                .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
-            let resp = engine.ingest(facts).map_err(engine_error_response)?;
-            Ok(api::ingest_response_json(&resp))
-        }),
-        (_, "/healthz" | "/metrics" | "/admin/shutdown" | "/v1/query" | "/v1/ingest") => {
-            (405, error_body("method_not_allowed", &format!("{} not allowed here", req.method)))
+        ("POST", "/v1/query") => {
+            let (status, body) = json_endpoint(req, |body| {
+                let queries = api::parse_query_request(body)
+                    .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
+                retia_obs::metrics::inc_by("serve.queries", queries.len() as u64);
+                let resp = engine.query(queries).map_err(engine_error_response)?;
+                Ok(api::query_response_json(&resp))
+            });
+            ("query", status, body)
         }
-        (_, path) => (404, error_body("not_found", &format!("no route for {path}"))),
+        ("POST", "/v1/ingest") => {
+            let (status, body) = json_endpoint(req, |body| {
+                let facts = api::parse_ingest_request(body)
+                    .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
+                let resp = engine.ingest(facts).map_err(engine_error_response)?;
+                Ok(api::ingest_response_json(&resp))
+            });
+            ("ingest", status, body)
+        }
+        (_, "/healthz" | "/metrics" | "/admin/shutdown" | "/v1/query" | "/v1/ingest") => (
+            "other",
+            405,
+            error_body("method_not_allowed", &format!("{} not allowed here", req.method)),
+        ),
+        (_, path) => ("other", 404, error_body("not_found", &format!("no route for {path}"))),
     }
 }
 
@@ -289,5 +597,8 @@ fn engine_error_response(e: EngineError) -> (u16, Value) {
         EngineError::InvalidQuery(m) => (422, error_body("unprocessable", m)),
         EngineError::InvalidIngest(m) => (422, error_body("unprocessable", m)),
         EngineError::Stopped => (503, error_body("unavailable", "engine stopped")),
+        EngineError::Overloaded => {
+            (429, error_body("overloaded", "job queue full; retry after the queue drains"))
+        }
     }
 }

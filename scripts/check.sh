@@ -25,6 +25,10 @@ cargo test -q -p retia-cli --test serve_smoke
 echo "==> serve robustness suite (chaos HTTP inputs, cache bit-identity, drain-in-flight)"
 cargo test -q --test serve_http
 
+echo "==> loadtest smoke (self-hosted on port 0; the command exits nonzero on any 5xx or zero QPS)"
+./target/release/retia loadtest --connections 1,4 --requests 25 --ingest-every 10 \
+  --out target/BENCH_serve_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -22,10 +22,15 @@ fn model_config() -> RetiaConfig {
 }
 
 fn start_server() -> (Server, TkgContext) {
+    start_server_with(|_| {})
+}
+
+fn start_server_with(tune: impl FnOnce(&mut ServeConfig)) -> (Server, TkgContext) {
     let ds = dataset();
     let ctx = TkgContext::new(&ds);
     let model = Retia::new(&model_config(), &ds);
-    let serve_cfg = ServeConfig { workers: 2, ..Default::default() };
+    let mut serve_cfg = ServeConfig { workers: 2, ..Default::default() };
+    tune(&mut serve_cfg);
     let server = Server::start(FrozenModel::new(model), ctx.snapshots.clone(), &serve_cfg)
         .expect("bind ephemeral port");
     (server, ctx)
@@ -346,4 +351,253 @@ fn shutdown_drains_in_flight_requests() {
     assert!(!candidates(&body_of(&response), 0).is_empty());
 
     server.wait(); // joins workers + engine; panics if anything was dropped uncleanly
+}
+
+const QUERY_JSON: &str = r#"{"queries": [{"subject": 0, "relation": 0}]}"#;
+
+fn query_raw() -> String {
+    format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{QUERY_JSON}",
+        QUERY_JSON.len()
+    )
+}
+
+/// Reads exactly one response (head + declared body) off a keep-alive
+/// socket, leaving any pipelined follow-up bytes in `carry`.
+fn read_one_response(s: &mut TcpStream, carry: &mut Vec<u8>) -> String {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(p) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        let n = s.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed before a full response head");
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length").then(|| v.trim().parse().ok()).flatten()
+        })
+        .expect("response declares Content-Length");
+    while carry.len() < head_end + len {
+        let n = s.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed before the full response body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let resp = String::from_utf8_lossy(&carry[..head_end + len]).into_owned();
+    carry.drain(..head_end + len);
+    resp
+}
+
+#[test]
+fn keep_alive_connection_serves_many_sequential_requests() {
+    let (server, _ctx) = start_server();
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut carry = Vec::new();
+    // One socket, several request/response round trips — the old transport
+    // answered `Connection: close` and died after the first.
+    for i in 0..5 {
+        s.write_all(query_raw().as_bytes()).expect("send");
+        let resp = read_one_response(&mut s, &mut carry);
+        assert_eq!(status_of(&resp), Some(200), "round trip {i}");
+        assert!(!candidates(&body_of(&resp), 0).is_empty(), "round trip {i}");
+    }
+    // An explicit `Connection: close` is honored: response, then EOF.
+    let raw = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{QUERY_JSON}",
+        QUERY_JSON.len()
+    );
+    s.write_all(raw.as_bytes()).expect("send");
+    let resp = read_one_response(&mut s, &mut carry);
+    assert_eq!(status_of(&resp), Some(200));
+    let mut rest = Vec::new();
+    s.read_to_end(&mut rest).expect("read eof");
+    assert!(rest.is_empty(), "server wrote past Connection: close");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (server, _ctx) = start_server();
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    // Three requests in one write, no waiting in between: HTTP/1.1
+    // pipelining. All three must come back, in order, on this socket.
+    let burst = query_raw().repeat(3);
+    s.write_all(burst.as_bytes()).expect("send burst");
+    let mut carry = Vec::new();
+    for i in 0..3 {
+        let resp = read_one_response(&mut s, &mut carry);
+        assert_eq!(status_of(&resp), Some(200), "pipelined response {i}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_mid_pipeline_answers_400_and_closes() {
+    let (server, _ctx) = start_server();
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    // Valid request, then garbage, then another valid request. The valid
+    // one is answered; the garbage gets a 400 and the connection closes —
+    // the third request must NOT be answered (the parser cannot resync).
+    let burst = format!("{}BOGUS GARBAGE\r\n\r\n{}", query_raw(), query_raw());
+    s.write_all(burst.as_bytes()).expect("send burst");
+    let mut carry = Vec::new();
+    let first = read_one_response(&mut s, &mut carry);
+    assert_eq!(status_of(&first), Some(200));
+    let second = read_one_response(&mut s, &mut carry);
+    assert_eq!(status_of(&second), Some(400));
+    let mut rest = Vec::new();
+    s.read_to_end(&mut rest).expect("read eof");
+    assert!(rest.is_empty(), "server kept answering after a malformed request: {rest:?}");
+    server.shutdown();
+}
+
+#[test]
+fn smuggling_shaped_content_lengths_are_rejected() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+    // Conflicting duplicate Content-Length: the classic request-smuggling
+    // shape. Must be 400, never "pick one and keep parsing".
+    let raw = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nContent-Length: 0\r\n\r\n{QUERY_JSON}",
+        QUERY_JSON.len()
+    );
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status_of(&response), Some(400), "{response:?}");
+
+    // Sign-prefixed length (`+44`): Rust's usize parser accepts it, RFC
+    // 9110 does not. Must be 400, not a 44-byte body read.
+    let raw = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: +{}\r\n\r\n{QUERY_JSON}",
+        QUERY_JSON.len()
+    );
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status_of(&response), Some(400), "{response:?}");
+
+    // Identical duplicates are legal (RFC 9110 §8.6) and still served.
+    let raw = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {0}\r\nContent-Length: {0}\r\n\r\n{QUERY_JSON}",
+        QUERY_JSON.len()
+    );
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status_of(&response), Some(200), "{response:?}");
+    server.shutdown();
+}
+
+#[test]
+fn queue_overflow_answers_429_with_retry_after() {
+    // Cap below the worker count, so concurrent requests overflow the
+    // engine queue instead of serializing in the workers.
+    let (server, _ctx) = start_server_with(|cfg| {
+        cfg.workers = 4;
+        cfg.queue_cap = 2;
+    });
+    let addr = server.addr();
+    let handle = server.engine_handle();
+    // Park the engine between jobs; admitted queries now pile up unpopped.
+    let guard = handle.pause().expect("engine accepts the pause job");
+
+    // Two queries fill the queue to its cap. Each goes on its own thread
+    // because the sender blocks until the engine resumes — and each must be
+    // *queued* before the next connects, so the connections land on
+    // distinct workers (a worker blocked in the engine cannot accept).
+    let mut fillers = Vec::new();
+    for i in 0..2usize {
+        fillers.push(std::thread::spawn(move || {
+            let response = raw_roundtrip(addr, query_raw().as_bytes());
+            status_of(&response)
+        }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.queue_depth() < i + 1 {
+            assert!(std::time::Instant::now() < deadline, "queue never reached depth {}", i + 1);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // The queue is full: the next query must be shed with 429 and a
+    // Retry-After hint, synchronously, while the engine is still parked.
+    let response = raw_roundtrip(addr, query_raw().as_bytes());
+    assert_eq!(status_of(&response), Some(429), "{response:?}");
+    assert!(
+        response.lines().any(|l| l.trim().eq_ignore_ascii_case("retry-after: 1")),
+        "429 without Retry-After: {response:?}"
+    );
+    let body = body_of(&response);
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("overloaded")
+    );
+
+    // Resume: the queued requests complete normally — shed, not dropped.
+    drop(guard);
+    for f in fillers {
+        assert_eq!(f.join().expect("filler thread"), Some(200));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stalled_partial_request_gets_408_and_idle_sockets_reap_silently() {
+    let (server, _ctx) = start_server_with(|cfg| {
+        cfg.idle_timeout = Duration::from_millis(150);
+    });
+    let addr = server.addr();
+
+    // Half a request head, then silence: the idle deadline converts the
+    // stall into 408 Request Timeout (the head was seen, so a response is
+    // owed) and closes.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stalled.write_all(b"POST /v1/query HTTP/1.1\r\nHos").expect("send partial");
+    let mut buf = Vec::new();
+    stalled.read_to_end(&mut buf).expect("read");
+    let response = String::from_utf8_lossy(&buf).into_owned();
+    assert_eq!(status_of(&response), Some(408), "{response:?}");
+    assert_eq!(
+        body_of(&response).get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("request_timeout")
+    );
+
+    // A connection that never sent a byte is reaped silently — EOF, no
+    // response bytes wasted on it.
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut buf = Vec::new();
+    idle.read_to_end(&mut buf).expect("read");
+    assert!(buf.is_empty(), "idle socket got bytes: {buf:?}");
+    server.shutdown();
+}
+
+#[test]
+fn sharded_server_answers_bit_identical_to_fused_server() {
+    // Identically seeded models behind different shard counts must serve
+    // byte-identical candidate lists (same ids, same score bits — JSON
+    // float formatting is deterministic, so string equality is bit
+    // equality).
+    let query = r#"{"kind": "entity", "k": 9, "queries": [{"subject": 0, "relation": 1}, {"subject": 2, "relation": 0}]}"#;
+    let mut reference: Option<Vec<Vec<(u32, f32)>>> = None;
+    for shards in [1usize, 2, 3] {
+        let (server, _ctx) = start_server_with(|cfg| cfg.decode_shards = shards);
+        let (status, body) = request(server.addr(), "POST", "/v1/query", Some(query));
+        assert_eq!(status, 200, "shards={shards}: {body:?}");
+        let got = vec![candidates(&body, 0), candidates(&body, 1)];
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                assert_eq!(want, &got, "decode_shards={shards} changed served ranks/scores");
+            }
+        }
+        server.shutdown();
+    }
 }
