@@ -1,6 +1,6 @@
 //! Repo-specific source lint (the `retia-lint` binary).
 //!
-//! Five rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as the
+//! Six rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as the
 //! evidence corpus for the kernel rule):
 //!
 //! - **no-unwrap** — library crates must not call `.unwrap()`, `panic!`, or
@@ -16,6 +16,11 @@
 //!   `retia_obs::kernel_span("name")` in `crates/tensor/src` must be named in
 //!   a test under `crates/tensor/tests`, keeping the thread-count
 //!   bit-identity sweep in lockstep with the kernel set.
+//! - **stage-span** — every serve pipeline stage constant declared in
+//!   `crates/serve/src/stages.rs` must have an emission site: a `span!` or
+//!   `record_stage` call naming the constant (or its string literal, in
+//!   crates that cannot depend on retia-serve) somewhere under
+//!   `crates/*/src`, keeping the request-trace taxonomy from drifting.
 //! - **layer-validate** — every public NN layer struct in `crates/nn/src`
 //!   must expose a `validate` method replaying its shapes through
 //!   [`crate::ShapeCtx`].
@@ -368,6 +373,97 @@ fn scan_kernel_rule(files: &[SourceFile], violations: &mut Vec<Violation>) {
     }
 }
 
+/// Path of the serve pipeline's canonical stage-name constants.
+const STAGES_PATH: &str = "crates/serve/src/stages.rs";
+
+/// How many lines after a `span!(`/`record_stage(` call head still count as
+/// part of that call when looking for the stage argument (rustfmt wraps the
+/// arguments of long calls onto following lines).
+const STAGE_EVIDENCE_WINDOW: usize = 4;
+
+/// Occurrences of `ident` in `line` bounded by non-identifier characters on
+/// both sides (unlike [`token_hits`], which only checks the left side) — so
+/// `DECODE` does not match inside `DECODE_SHARD`.
+fn ident_hit(line: &str, ident: &str) -> bool {
+    line.match_indices(ident).any(|(pos, _)| {
+        let left_ok = !line[..pos].ends_with(|c: char| c.is_alphanumeric() || c == '_');
+        let right_ok =
+            !line[pos + ident.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_');
+        left_ok && right_ok
+    })
+}
+
+/// Rule `stage-span`: every stage constant declared in
+/// `crates/serve/src/stages.rs` (`pub const NAME: &str = "serve...";`) must
+/// have an emission site — a `span!(` or `record_stage(` call referencing
+/// the constant, or (for crates that cannot depend on retia-serve) its
+/// string literal — somewhere under `crates/*/src`. This keeps the span
+/// taxonomy the docs and the trace store rely on in lockstep with the code:
+/// a renamed or orphaned stage fails the lint instead of silently vanishing
+/// from request traces.
+fn scan_stage_span_rule(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    let Some(stage_file) = files.iter().find(|f| f.path == STAGES_PATH) else {
+        return;
+    };
+    // Declarations: names from the stripped lines (comment-proof), literals
+    // from the raw line (stripping blanks string contents).
+    let stripped = strip_code(&stage_file.content);
+    let raw_lines: Vec<&str> = stage_file.content.lines().collect();
+    let mut stages: Vec<(usize, String, String)> = Vec::new();
+    for (idx, line) in stripped.iter().enumerate() {
+        let Some(pos) = line.find("const ") else { continue };
+        let rest = &line[pos + "const ".len()..];
+        if !rest.contains(": &str") {
+            continue;
+        }
+        let ident: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        let Some(lit) = raw_lines.get(idx).and_then(|raw| raw.split('"').nth(1)) else {
+            continue;
+        };
+        if !ident.is_empty() {
+            stages.push((idx + 1, ident, lit.to_string()));
+        }
+    }
+    // Evidence: for every span!/record_stage call head in library sources,
+    // the stripped lines of the call window (for identifier references) and
+    // the raw lines (for string literals — stripping blanked them).
+    let mut ident_corpus: Vec<String> = Vec::new();
+    let mut literal_corpus: Vec<String> = Vec::new();
+    for file in files {
+        if file.path == STAGES_PATH
+            || !file.path.starts_with("crates/")
+            || !file.path.contains("/src/")
+        {
+            continue;
+        }
+        let s = strip_code(&file.content);
+        let raws: Vec<&str> = file.content.lines().collect();
+        for (idx, line) in s.iter().enumerate() {
+            if line.contains("span!(") || line.contains("record_stage(") {
+                let end = (idx + STAGE_EVIDENCE_WINDOW).min(s.len());
+                ident_corpus.push(s[idx..end].join(" "));
+                literal_corpus.push(raws[idx..end.min(raws.len())].join(" "));
+            }
+        }
+    }
+    for (lineno, ident, lit) in stages {
+        let quoted = format!("\"{lit}\"");
+        let emitted = ident_corpus.iter().any(|w| ident_hit(w, &ident))
+            || literal_corpus.iter().any(|w| w.contains(&quoted));
+        if !emitted {
+            violations.push(Violation {
+                path: STAGES_PATH.to_string(),
+                line: lineno,
+                rule: "stage-span",
+                detail: format!(
+                    "stage constant `{ident}` (\"{lit}\") has no span!/record_stage emission \
+                     site under crates/*/src — emit it or retire the stage"
+                ),
+            });
+        }
+    }
+}
+
 /// Rule `layer-validate`: every `pub struct` in `crates/nn/src` must have a
 /// `validate` method in one of its `impl` blocks (same file).
 fn scan_layer_validate_rule(files: &[SourceFile], violations: &mut Vec<Violation>) {
@@ -454,6 +550,7 @@ pub fn scan_sources(files: &[SourceFile]) -> Vec<Violation> {
         scan_in_library_rules(file, &mut violations);
     }
     scan_kernel_rule(files, &mut violations);
+    scan_stage_span_rule(files, &mut violations);
     scan_layer_validate_rule(files, &mut violations);
     violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     violations
@@ -692,6 +789,56 @@ mod tests {\n\
             content: "fn t() { sweep(\"mystery_kernel\"); }\n".to_string(),
         };
         assert!(scan_sources(&[kernel, test]).is_empty());
+    }
+
+    fn stages_file(content: &str) -> SourceFile {
+        SourceFile { path: STAGES_PATH.to_string(), content: content.to_string() }
+    }
+
+    #[test]
+    fn stage_span_rule_requires_an_emission_site() {
+        let stages = stages_file("pub const RECV: &str = \"serve.recv\";\n");
+        // No emission anywhere: one violation at the declaration line.
+        let v = scan_sources(std::slice::from_ref(&stages));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("stage-span", 1));
+        // A span! call naming the constant satisfies the rule, including
+        // when rustfmt wraps the argument onto the next line.
+        let emit = SourceFile {
+            path: "crates/serve/src/server.rs".to_string(),
+            content: "fn f() { let _t = retia_obs::span!(\n    stages::RECV,\n); }\n".to_string(),
+        };
+        assert!(scan_sources(&[stages.clone(), emit]).is_empty());
+        // A record_stage call carrying the string literal (another crate
+        // that cannot name the constant) also satisfies it.
+        let literal = SourceFile {
+            path: "crates/core/src/frozen.rs".to_string(),
+            content: "fn g() { trace::record_stage(&fr, \"serve.recv\", 0, 1); }\n".to_string(),
+        };
+        assert!(scan_sources(&[stages.clone(), literal]).is_empty());
+        // The constant mentioned outside any span!/record_stage call does
+        // NOT count as an emission site.
+        let mere_use = SourceFile {
+            path: "crates/serve/src/server.rs".to_string(),
+            content: "fn h() { let _ = stages::RECV; }\n".to_string(),
+        };
+        assert_eq!(scan_sources(&[stages, mere_use]).len(), 1);
+    }
+
+    #[test]
+    fn stage_span_rule_idents_need_both_boundaries() {
+        // Emitting only DECODE_SHARD must not satisfy a DECODE constant.
+        let stages = stages_file(
+            "pub const DECODE: &str = \"serve.decode\";\n\
+             pub const DECODE_SHARD: &str = \"serve.decode.shard\";\n",
+        );
+        let emit = SourceFile {
+            path: "crates/serve/src/engine.rs".to_string(),
+            content: "fn f() { let _t = retia_obs::span!(stages::DECODE_SHARD); }\n".to_string(),
+        };
+        let v = scan_sources(&[stages, emit]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("`DECODE`"), "{v:?}");
     }
 
     #[test]

@@ -313,6 +313,59 @@ pub fn evaluate(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a comma-separated `--slo` list. Each entry is
+/// `name:objective:threshold_ms[:window_s]` — e.g. `query:99:50` ("99% of
+/// query requests under 50ms") or `query:0.999:25:600`. `name` doubles as
+/// the endpoint label: the server evaluates the objective against the
+/// `serve.request_ms.<name>` histogram. The objective accepts a percentile
+/// (`99`, `99.9`) or a fraction (`0.99`); the window defaults to 300s.
+fn parse_slos(spec: &str) -> Result<Vec<retia_serve::SloSpec>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        if !(3..=4).contains(&parts.len()) {
+            return Err(format!(
+                "bad --slo entry `{entry}`: expected name:objective:threshold_ms[:window_s]"
+            ));
+        }
+        let name = parts[0].to_string();
+        if name.is_empty() {
+            return Err(format!("bad --slo entry `{entry}`: empty name"));
+        }
+        let mut objective: f64 =
+            parts[1].parse().map_err(|e| format!("bad --slo objective in `{entry}`: {e}"))?;
+        if objective > 1.0 {
+            objective /= 100.0; // percentile spelling: 99 -> 0.99
+        }
+        if !(0.0..1.0).contains(&objective) {
+            return Err(format!(
+                "bad --slo objective in `{entry}`: must be a fraction in [0, 1) or a \
+                 percentile in (1, 100)"
+            ));
+        }
+        let threshold_ms: f64 =
+            parts[2].parse().map_err(|e| format!("bad --slo threshold in `{entry}`: {e}"))?;
+        if !threshold_ms.is_finite() || threshold_ms <= 0.0 {
+            return Err(format!("bad --slo threshold in `{entry}`: must be positive"));
+        }
+        let window_s: f64 = match parts.get(3) {
+            None => 300.0,
+            Some(w) => w.parse().map_err(|e| format!("bad --slo window in `{entry}`: {e}"))?,
+        };
+        if !window_s.is_finite() || window_s <= 0.0 {
+            return Err(format!("bad --slo window in `{entry}`: must be positive"));
+        }
+        out.push(retia_serve::SloSpec {
+            metric: format!("serve.request_ms.{name}"),
+            name,
+            objective,
+            threshold_ms,
+            window_s,
+        });
+    }
+    Ok(out)
+}
+
 /// `retia serve --data DIR --resume CKPT_DIR [--port N] [--host H]
 /// [--workers N]`: online inference over HTTP from a checkpoint directory.
 pub fn serve(raw: &[String]) -> Result<(), String> {
@@ -335,6 +388,12 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         workers: args.get_or("workers", 4usize)?,
         queue_cap: args.get_or("queue-cap", defaults.queue_cap)?,
         decode_shards: args.get_or("decode-shards", defaults.decode_shards)?,
+        slos: match args.get("slo") {
+            Some(spec) => parse_slos(spec)?,
+            None => Vec::new(),
+        },
+        trace_slow_ms: args.get_or("trace-slow-ms", defaults.trace_slow_ms)?,
+        trace_sample_every: args.get_or("trace-sample", defaults.trace_sample_every)?,
         ..defaults
     };
     let server = retia_serve::Server::start(retia::FrozenModel::new(trainer.model), window, &cfg)
@@ -342,7 +401,10 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     // The smoke test and scripts discover the ephemeral port from this line;
     // keep its shape stable.
     println!("listening on http://{}", server.addr());
-    println!("endpoints: POST /v1/query  POST /v1/ingest  GET /healthz  GET /metrics  POST /admin/shutdown");
+    println!(
+        "endpoints: POST /v1/query  POST /v1/ingest  GET /healthz  GET /metrics  \
+         GET /v1/traces  POST /admin/shutdown"
+    );
     server.wait();
     println!("drained and stopped");
     finish_obs(trace);
@@ -406,6 +468,10 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
         k: args.get_or("k", 5usize)?,
         entities,
         relations,
+        slos: match args.get("slo") {
+            Some(spec) => parse_slos(spec)?,
+            None => Vec::new(),
+        },
         ..Default::default()
     };
     let result = retia_serve::loadtest::run(&cfg);
@@ -428,20 +494,52 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", out.display()))?;
     println!("wrote {}", out.display());
 
+    if !cfg.slos.is_empty() {
+        println!("SLO verdicts (client-measured latencies):");
+        for l in &report.levels {
+            for s in &l.slos {
+                println!(
+                    "  {:>5} conns  {:<12} {:>6.2}% <= {:>7.2}ms  (objective {:>6.2}%)  \
+                     burn {:>6.2}x  {}",
+                    l.connections,
+                    s.name,
+                    s.compliance * 100.0,
+                    s.threshold_ms,
+                    s.objective * 100.0,
+                    s.burn,
+                    if s.burning { "BURNING" } else { "ok" }
+                );
+            }
+        }
+    }
+
     if report.total_completed() == 0 {
         return Err("loadtest failed: no request succeeded".to_string());
     }
     if report.total_5xx() > 0 {
         return Err(format!("loadtest failed: {} responses were 5xx", report.total_5xx()));
     }
+    let burning = report.burning_slos();
+    if !burning.is_empty() {
+        return Err(format!("loadtest failed: SLO burn\n  {}", burning.join("\n  ")));
+    }
     Ok(())
 }
 
-/// `retia report --trace FILE`: per-module time breakdown of a JSONL trace.
+/// `retia report --trace FILE [--requests]`: per-module time breakdown of a
+/// JSONL trace, or — with `--requests` — per-request stage trees from a
+/// saved `GET /v1/traces` document (`curl .../v1/traces > traces.json`).
 pub fn report(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
+    let args = Args::parse(raw, &["requests"])?;
     let path = PathBuf::from(args.require("trace")?);
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if args.flag("requests") {
+        let doc = retia_json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rendered = retia_obs::report::render_requests(&doc)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        print!("{rendered}");
+        return Ok(());
+    }
     let events =
         retia_obs::report::parse_trace(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let rows = retia_obs::report::module_breakdown(&events);

@@ -86,23 +86,39 @@ COMMANDS:
     serve      online inference over HTTP from a train checkpoint directory
                --data DIR --resume CKPT_DIR [--port N] [--host H] [--workers N]
                [--queue-cap N] [--decode-shards N]
+               [--slo LIST] [--trace-slow-ms F] [--trace-sample N]
                [--log-level L] [--trace-out FILE]
                port 0 binds an ephemeral port (printed on stdout at startup);
                endpoints: POST /v1/query, POST /v1/ingest, GET /healthz,
-               GET /metrics, POST /admin/shutdown (drains, then exits);
+               GET /metrics (?format=prom for Prometheus text), GET /v1/traces
+               (tail-sampled request traces), POST /admin/shutdown (drains,
+               then exits);
                --queue-cap bounds the engine queue (overflow answers 429 with
                Retry-After), --decode-shards fans candidate scoring out over
-               N threads with bit-identical ranks
+               N threads with bit-identical ranks; --slo installs latency
+               objectives exported as slo.* burn-rate gauges; every request
+               slower than --trace-slow-ms (plus a 1-in---trace-sample
+               deterministic sample) is kept in the trace store
     loadtest   replay a synthetic query/ingest mix and write BENCH_serve.json
                (p50/p99 latency and QPS per concurrency level)
                [--addr HOST:PORT] [--connections 1,2,4,...] [--requests N]
-               [--ingest-every N] [--k N] [--out FILE]
+               [--ingest-every N] [--k N] [--out FILE] [--slo LIST]
                [--entities N] [--relations N]   id spaces for --addr targets
                without --addr, self-hosts a tiny untrained model (honoring
                [--workers N] [--queue-cap N] [--decode-shards N]); exits
-               nonzero on any 5xx or if no request succeeded
+               nonzero on any 5xx, if no request succeeded, or if any --slo
+               objective burns against the client-measured latencies
     report     per-module time breakdown of a JSONL trace written by --trace-out
-               --trace FILE
+               --trace FILE [--requests]
+               with --requests, FILE is a saved GET /v1/traces document and
+               the output is one stage tree per request (offset, duration,
+               exclusive time per stage)
+
+SLO SPECS (--slo):
+    comma-separated name:objective:threshold_ms[:window_s] entries, e.g.
+    `query:99:50` = 99% of /v1/query requests under 50ms (window 300s).
+    serve evaluates them against the serve.request_ms.<name> histograms;
+    loadtest evaluates them against its own measured latencies.
 
 OBSERVABILITY:
     --log-level L     stderr log verbosity: off|error|warn|info|debug|trace

@@ -1,5 +1,6 @@
 //! Smoke test for `retia serve`: generate → train → serve on an ephemeral
-//! port → query → ingest → re-query → drain — all through the real binary.
+//! port → query → ingest → re-query → inspect the trace store, Prometheus
+//! exposition and SLO gauges → drain — all through the real binary.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -101,6 +102,13 @@ fn serve_smoke_query_ingest_requery_shutdown() {
             "0",
             "--workers",
             "2",
+            // Keep every request in the trace store (sample 1-in-1) and
+            // install a latency SLO nothing in a smoke run can miss, so the
+            // endpoints below have data to show.
+            "--trace-sample",
+            "1",
+            "--slo",
+            "query:99:30000",
             "--log-level",
             "off",
         ])
@@ -151,8 +159,48 @@ fn serve_smoke_query_ingest_requery_shutdown() {
         "window did not advance: {after:?}"
     );
 
-    let (status, _) = http(&addr, "GET", "/metrics", None);
+    let (status, body) = http(&addr, "GET", "/metrics", None);
     assert_eq!(status, 200);
+    let metrics = retia_json::parse(&body).expect("metrics snapshot is JSON");
+    assert_eq!(
+        metrics
+            .get("gauges")
+            .and_then(|g| g.get("slo.query.objective"))
+            .and_then(retia_json::Value::as_f64),
+        Some(0.99),
+        "--slo did not surface as gauges: {metrics:?}"
+    );
+
+    // Prometheus text exposition of the same registry.
+    let (status, prom) = http(&addr, "GET", "/metrics?format=prom", None);
+    assert_eq!(status, 200);
+    assert!(prom.lines().any(|l| l == "# TYPE serve_requests counter"), "{prom}");
+    assert!(prom.contains("serve_request_ms_bucket{le="), "{prom}");
+
+    // With 1-in-1 sampling every request above is in the trace store; the
+    // query traces carry the full stage tree.
+    let (status, body) = http(&addr, "GET", "/v1/traces", None);
+    assert_eq!(status, 200);
+    let traces = retia_json::parse(&body).expect("traces document is JSON");
+    let arr = traces
+        .get("traces")
+        .and_then(retia_json::Value::as_array)
+        .expect("traces array in /v1/traces");
+    assert!(!arr.is_empty(), "trace store is empty after served traffic");
+    let query_trace = arr
+        .iter()
+        .find(|t| t.get("endpoint").and_then(retia_json::Value::as_str) == Some("/v1/query"))
+        .expect("a /v1/query trace is stored");
+    let stage_names: Vec<&str> = query_trace
+        .get("stages")
+        .and_then(retia_json::Value::as_array)
+        .expect("stages array")
+        .iter()
+        .filter_map(|s| s.get("name").and_then(retia_json::Value::as_str))
+        .collect();
+    for want in ["serve.recv", "serve.queue_wait", "serve.decode", "serve.write"] {
+        assert!(stage_names.contains(&want), "stage {want} missing: {stage_names:?}");
+    }
 
     let (status, body) = http(&addr, "POST", "/admin/shutdown", None);
     assert_eq!(status, 200, "{body}");

@@ -141,13 +141,22 @@ impl FrozenModel {
         // Phase 2: shard threads score candidate ranges. Only the detached
         // tensors are borrowed into the scope, and results come back in
         // shard order via the join handles, so the merge is deterministic.
+        // Each shard adopts the request traces active on the engine thread,
+        // so its `serve.decode.shard` span lands in every request of the
+        // fused batch with per-shard timings.
+        let frames = retia_obs::trace::current_frames();
         let per_shard: Vec<Vec<Tensor>> = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .iter()
-                .map(|&(lo, hi)| {
+                .enumerate()
+                .map(|(shard, &(lo, hi))| {
                     let reprs = &reprs;
                     let frozen = &states.states;
+                    let frames = frames.clone();
                     scope.spawn(move || {
+                        let _adopted = retia_obs::trace::adopt(frames);
+                        let _s =
+                            retia_obs::span!("serve.decode.shard", shard = shard, lo = lo, hi = hi);
                         reprs
                             .iter()
                             .zip(frozen.iter())

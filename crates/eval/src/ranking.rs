@@ -155,6 +155,9 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
 /// construction). This is the reduction step of the entity-sharded decode;
 /// the equivalence is asserted across shard counts in the tests.
 pub fn top_k_sharded(scores: &[f32], k: usize, shards: usize) -> Vec<(u32, f32)> {
+    // Timed so request traces can attribute merge cost per shard count (the
+    // span is inert unless timing, sinks or a live trace are active).
+    let _t = retia_obs::span!("eval.topk_merge", candidates = scores.len(), shards = shards);
     let mut merged: Vec<(u32, f32)> = Vec::with_capacity(k.saturating_mul(2));
     for (lo, hi) in shard_ranges(scores.len(), shards) {
         merged.extend(top_k(&scores[lo..hi], k).into_iter().map(|(i, s)| (i + lo as u32, s)));

@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use retia_json::Value;
 
+use crate::trace::TraceCtx;
 use crate::Level;
 
 /// Whether an [`Event`] is a completed timing span or a point-in-time event.
@@ -50,6 +51,9 @@ pub struct Event {
     pub fields: Vec<(String, f64)>,
     /// Optional free-text message.
     pub message: Option<String>,
+    /// Request-trace correlation, when the emitting thread had adopted
+    /// trace frames (see [`crate::trace`]).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Event {
@@ -74,6 +78,11 @@ impl Event {
         }
         if let Some(m) = &self.message {
             doc.insert("msg", Value::from(m.as_str()));
+        }
+        if let Some(t) = &self.trace {
+            doc.insert("trace_id", Value::from(t.trace_id));
+            doc.insert("span_id", Value::from(t.span_id));
+            doc.insert("parent_span", Value::from(t.parent));
         }
         doc
     }
@@ -103,6 +112,14 @@ impl Event {
             None => Vec::new(),
             Some(_) => return Err("event `fields` must be an object".to_string()),
         };
+        // Trace correlation is optional; all three ids travel together.
+        let opt_u64 = |key: &str| doc.get(key).and_then(Value::as_u64);
+        let trace = match (opt_u64("trace_id"), opt_u64("span_id"), opt_u64("parent_span")) {
+            (Some(trace_id), Some(span_id), Some(parent)) => {
+                Some(TraceCtx { trace_id, span_id, parent })
+            }
+            _ => None,
+        };
         Ok(Event {
             kind,
             level,
@@ -113,6 +130,7 @@ impl Event {
             dur_ns: doc.get("dur_ns").and_then(Value::as_u64),
             fields,
             message: doc.get("msg").and_then(Value::as_str).map(str::to_string),
+            trace,
         })
     }
 
@@ -226,12 +244,15 @@ mod tests {
             dur_ns: dur,
             fields: vec![("step".to_string(), 7.0), ("loss".to_string(), 0.25)],
             message: Some("hello \"world\"\n".to_string()),
+            trace: None,
         }
     }
 
     #[test]
     fn json_roundtrip_preserves_every_field() {
-        for ev in [sample(EventKind::Span, Some(42_000)), sample(EventKind::Point, None)] {
+        let mut traced = sample(EventKind::Span, Some(9_000));
+        traced.trace = Some(TraceCtx { trace_id: 11, span_id: 12, parent: 3 });
+        for ev in [sample(EventKind::Span, Some(42_000)), sample(EventKind::Point, None), traced] {
             let text = ev.to_json().to_string_compact();
             let back = Event::from_json(&retia_json::parse(&text).unwrap()).unwrap();
             assert_eq!(ev, back);

@@ -34,7 +34,9 @@ mod event;
 mod level;
 pub mod metrics;
 pub mod report;
+pub mod slo;
 mod span;
+pub mod trace;
 pub mod watchdog;
 
 pub use event::{CaptureHandle, CaptureSink, Event, EventKind, JsonlSink, Sink};
@@ -174,6 +176,7 @@ pub fn emit_event(level: Level, name: &str, fields: &[(&str, f64)], message: Opt
         dur_ns: None,
         fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         message: message.map(str::to_string),
+        trace: None,
     });
 }
 

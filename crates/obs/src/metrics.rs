@@ -25,17 +25,24 @@ pub struct HistogramSummary {
     pub p99: f64,
 }
 
-/// Power-of-two-bucketed histogram over absolute magnitudes: bucket `i`
-/// holds values with `2^(i-64) <= |v| < 2^(i-63)` (bucket 0 also absorbs
-/// zero and anything smaller). Quantiles are bucket upper bounds — within a
-/// factor of 2, which is plenty for loss/duration dashboards.
+/// Bucket count: 128 power-of-two octaves × 4 linear sub-buckets each.
+const BUCKETS: usize = 512;
+
+/// Log-bucketed histogram over absolute magnitudes with 4 linear sub-buckets
+/// per power-of-two octave: a value with `2^e <= |v| < 2^(e+1)` lands in
+/// sub-bucket `floor((|v| / 2^e - 1) * 4)` of octave `e + 64` (bucket 0 also
+/// absorbs zero and anything below `2^-64`; the last bucket absorbs
+/// non-finite and anything at or above `2^64`). Quantiles interpolate
+/// linearly inside the landing bucket, so the relative error is bounded by
+/// the 1.25× sub-bucket width — tight enough to regression-gate p99
+/// latencies.
 #[derive(Clone, Debug)]
 struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
-    buckets: [u64; 128],
+    buckets: [u64; BUCKETS],
 }
 
 impl Histogram {
@@ -45,20 +52,40 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            buckets: [0; 128],
+            buckets: [0; BUCKETS],
         }
     }
 
     fn bucket_of(v: f64) -> usize {
         let mag = v.abs();
         if !mag.is_finite() {
-            return 127;
+            return BUCKETS - 1;
         }
         if mag == 0.0 {
             return 0;
         }
-        // exponent in [-64, 63] clamped into buckets [0, 127].
-        (mag.log2().floor() as i64 + 64).clamp(0, 127) as usize
+        let oct = mag.log2().floor() as i64;
+        if oct < -64 {
+            return 0;
+        }
+        if oct > 63 {
+            return BUCKETS - 1;
+        }
+        let base = (2.0f64).powi(oct as i32);
+        // Linear position inside the octave, in quarters of the base.
+        let sub = ((mag / base - 1.0) * 4.0).floor().clamp(0.0, 3.0) as usize;
+        ((oct + 64) as usize) * 4 + sub
+    }
+
+    /// `[lo, hi)` value range of bucket `i` (bucket 0 reaches down to zero,
+    /// the last bucket up to infinity).
+    fn bucket_range(i: usize) -> (f64, f64) {
+        let oct = (i / 4) as i32 - 64;
+        let sub = (i % 4) as f64;
+        let base = (2.0f64).powi(oct);
+        let lo = if i == 0 { 0.0 } else { base * (1.0 + sub / 4.0) };
+        let hi = if i == BUCKETS - 1 { f64::INFINITY } else { base * (1.0 + (sub + 1.0) / 4.0) };
+        (lo, hi)
     }
 
     fn observe(&mut self, v: f64) {
@@ -73,16 +100,48 @@ impl Histogram {
         if self.count == 0 {
             return f64::NAN;
         }
-        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let rank = (q * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
             seen += c;
-            if seen >= rank {
-                // Upper bound of bucket i: 2^(i - 63).
-                return (2.0f64).powi(i as i32 - 63);
+            if seen as f64 >= rank {
+                // Interpolate on rank position inside the landing bucket.
+                let (lo, hi) = Self::bucket_range(i);
+                let hi = if hi.is_finite() { hi } else { self.max };
+                let frac = ((rank - before as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
             }
         }
         self.max
+    }
+
+    /// Interpolated number of observations at or below `threshold`
+    /// (fractional inside the threshold's bucket). The SLO engine's "good
+    /// event" count.
+    fn count_below(&self, threshold: f64) -> f64 {
+        if self.count == 0 || threshold < self.min {
+            return 0.0;
+        }
+        if threshold >= self.max {
+            return self.count as f64;
+        }
+        let b = Self::bucket_of(threshold);
+        let below: u64 = self.buckets[..b].iter().sum();
+        let c = self.buckets[b];
+        if c == 0 {
+            return below as f64;
+        }
+        let (lo, hi) = Self::bucket_range(b);
+        let frac = if hi.is_finite() && hi > lo {
+            ((threshold - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        below as f64 + c as f64 * frac
     }
 
     fn summary(&self) -> HistogramSummary {
@@ -169,6 +228,13 @@ impl Registry {
         self.lock().histograms.get(name).map(Histogram::summary)
     }
 
+    /// `(total, good)` for a histogram: observations recorded and the
+    /// (interpolated) number at or below `threshold`. `None` when the
+    /// histogram does not exist. The SLO engine's compliance input.
+    pub fn histogram_count_below(&self, name: &str, threshold: f64) -> Option<(u64, f64)> {
+        self.lock().histograms.get(name).map(|h| (h.count, h.count_below(threshold)))
+    }
+
     /// Every metric as one JSON document (`counters` / `gauges` /
     /// `histograms` objects, keys in lexicographic order).
     pub fn snapshot(&self) -> Value {
@@ -208,6 +274,93 @@ impl Registry {
         g.gauges.clear();
         g.histograms.clear();
     }
+
+    /// Every metric in the Prometheus text exposition format (version
+    /// 0.0.4), dependency-free: counters and gauges as single samples,
+    /// histograms as cumulative `_bucket{le="..."}` series (occupied buckets
+    /// plus `+Inf`) with `_sum` and `_count`. Metric names are sanitized to
+    /// the Prometheus charset; non-finite sample values render as `NaN` /
+    /// `+Inf` / `-Inf` per the format.
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let g = self.lock();
+        let mut out = String::new();
+        for (k, v) in &g.counters {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, v) in &g.gauges {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", prom_f64(*v));
+        }
+        for (k, h) in &g.histograms {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let (_, hi) = Histogram::bucket_range(i);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", prom_f64(hi));
+            }
+            if cum < h.count {
+                // Bucket counts always cover every observation; keep +Inf
+                // consistent with _count regardless.
+                cum = h.count;
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{name}_sum {}", prom_f64(h.sum));
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric name to the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (every other byte becomes `_`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a sample value: finite values via Rust's shortest form, which
+/// Prometheus parses; non-finite as the format's spellings.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value for the exposition format (`\` → `\\`, `"` → `\"`,
+/// newline → `\n`). Exposed for anything composing labeled series by hand.
+pub fn prom_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Shorthand for `registry().inc(name)`.
@@ -228,6 +381,11 @@ pub fn set_gauge(name: &str, v: f64) {
 /// Shorthand for `registry().observe(name, v)`.
 pub fn observe(name: &str, v: f64) {
     registry().observe(name, v);
+}
+
+/// Shorthand for `registry().prometheus()`.
+pub fn prometheus() -> String {
+    registry().prometheus()
 }
 
 #[cfg(test)]
@@ -291,9 +449,120 @@ mod tests {
     #[test]
     fn extreme_magnitudes_land_in_end_buckets() {
         assert_eq!(Histogram::bucket_of(0.0), 0);
-        assert_eq!(Histogram::bucket_of(f64::INFINITY), 127);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), BUCKETS - 1);
         assert_eq!(Histogram::bucket_of(1e-300), 0);
-        assert_eq!(Histogram::bucket_of(1e300), 127);
-        assert_eq!(Histogram::bucket_of(1.5), 64);
+        assert_eq!(Histogram::bucket_of(1e300), BUCKETS - 1);
+        // 1.5 sits in octave 0 (values [1, 2)), sub-bucket 2 ([1.5, 1.75)).
+        assert_eq!(Histogram::bucket_of(1.5), 64 * 4 + 2);
+        // Bucket ranges tile the line without gaps.
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(lo < hi, "bucket {i}");
+            assert_eq!(Histogram::bucket_range(i + 1).0, hi, "bucket {i} tiles");
+            assert_eq!(Histogram::bucket_of(lo), i, "lower bound of {i} maps back");
+        }
+    }
+
+    /// SplitMix64 (same generator the loadtest uses) for fixed-seed samples.
+    fn mix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        // Latency-shaped fixed-seed sample: a log-uniform body over
+        // ~[0.5ms, 500ms] plus a heavy tail.
+        let mut seed = 0x5EED_u64;
+        let mut h = Histogram::new();
+        let mut exact: Vec<f64> = Vec::new();
+        for i in 0..4000 {
+            let u = (mix(&mut seed) >> 11) as f64 / (1u64 << 53) as f64;
+            let mut v = 0.5 * (1000.0f64).powf(u);
+            if i % 97 == 0 {
+                v *= 20.0; // stragglers
+            }
+            h.observe(v);
+            exact.push(v);
+        }
+        exact.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let approx = h.quantile(q);
+            let rank = ((q * exact.len() as f64).ceil().max(1.0) as usize).min(exact.len());
+            let truth = exact[rank - 1];
+            let rel = (approx - truth).abs() / truth;
+            assert!(rel <= 0.25, "q={q}: approx {approx} vs exact {truth} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn count_below_interpolates_against_exact_counts() {
+        let mut seed = 7u64;
+        let mut h = Histogram::new();
+        let mut values = Vec::new();
+        for _ in 0..1000 {
+            let v = (mix(&mut seed) % 10_000) as f64 / 10.0; // [0, 1000) ms
+            h.observe(v);
+            values.push(v);
+        }
+        for threshold in [1.0, 25.0, 250.0, 990.0] {
+            let exact = values.iter().filter(|v| **v <= threshold).count() as f64;
+            let approx = h.count_below(threshold);
+            assert!(
+                (approx - exact).abs() <= 0.25 * exact.max(8.0),
+                "threshold {threshold}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count_below(f64::INFINITY), 1000.0);
+        assert_eq!(h.count_below(-1.0), 0.0);
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_and_labels_escaped() {
+        assert_eq!(prom_name("serve.request_ms./v1/query"), "serve_request_ms__v1_query");
+        assert_eq!(prom_name("0day"), "_day");
+        assert_eq!(prom_name("ok:name_9"), "ok:name_9");
+        assert_eq!(prom_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_consistent_with_snapshot() {
+        let _guard = test_lock::lock();
+        registry().reset();
+        registry().inc_by("serve.requests", 3);
+        registry().set_gauge("serve.queue_depth", 2.0);
+        for v in [1.0, 2.0, 4.0, 1000.0] {
+            registry().observe("serve.request_ms./v1/query", v);
+        }
+        let text = registry().prometheus();
+        registry().reset();
+        assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+        assert!(text.contains("serve_requests 3"), "{text}");
+        assert!(text.contains("serve_queue_depth 2"), "{text}");
+        let h = "serve_request_ms__v1_query";
+        assert!(text.contains(&format!("# TYPE {h} histogram")), "{text}");
+        // Cumulative buckets: `le` ascending, counts non-decreasing, +Inf
+        // equals _count, and _sum/_count match the JSON snapshot values.
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        let mut inf_cum = None;
+        for line in text.lines().filter(|l| l.starts_with(&format!("{h}_bucket"))) {
+            let le_part = line.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            let le = if le_part == "+Inf" { f64::INFINITY } else { le_part.parse().unwrap() };
+            assert!(le > last_le, "le not ascending: {line}");
+            assert!(cum >= last_cum, "bucket counts not cumulative: {line}");
+            last_le = le;
+            last_cum = cum;
+            if le == f64::INFINITY {
+                inf_cum = Some(cum);
+            }
+        }
+        assert_eq!(inf_cum, Some(4), "+Inf bucket must count every observation");
+        assert!(text.contains(&format!("{h}_count 4")), "{text}");
+        assert!(text.contains(&format!("{h}_sum 1007")), "{text}");
     }
 }

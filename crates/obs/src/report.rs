@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::{Event, EventKind};
+use retia_json::Value;
 
 /// Aggregated time for one module (first dotted segment of span names).
 #[derive(Clone, Debug, PartialEq)]
@@ -116,6 +117,117 @@ pub fn render_breakdown(rows: &[ModuleShare]) -> String {
     out
 }
 
+/// One stage row extracted from a `/v1/traces` document.
+struct RequestStage {
+    name: String,
+    span_id: u64,
+    parent: u64,
+    thread: u64,
+    offset_ms: f64,
+    dur_ms: f64,
+    exclusive_ms: f64,
+}
+
+/// Renders a `/v1/traces` document (the serve layer's tail-sampled request
+/// trace store) as one tree per request: every stage indented under its
+/// parent span, with its offset from the first received byte, inclusive
+/// duration, and exclusive time (children subtracted). Traces arrive newest
+/// first and are printed in that order.
+pub fn render_requests(doc: &Value) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let traces = doc
+        .get("traces")
+        .and_then(Value::as_array)
+        .ok_or("not a /v1/traces document: missing `traces` array")?;
+    let mut out = String::new();
+    if traces.is_empty() {
+        out.push_str("no traces stored (is the server idle, or the store freshly reset?)\n");
+        return Ok(out);
+    }
+    for t in traces {
+        let trace_id = t.get("trace_id").and_then(Value::as_u64).unwrap_or(0);
+        let endpoint = t.get("endpoint").and_then(Value::as_str).unwrap_or("?");
+        let status = t.get("status").and_then(Value::as_u64).unwrap_or(0);
+        let total_ms = t.get("total_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let kept = t.get("kept").and_then(Value::as_str).unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "trace {trace_id}  {endpoint}  status={status}  total={total_ms:.3}ms  kept={kept}"
+        );
+        let stages: Vec<RequestStage> = t
+            .get("stages")
+            .and_then(Value::as_array)
+            .map(|arr| {
+                arr.iter()
+                    .map(|s| RequestStage {
+                        name: s.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                        span_id: s.get("span_id").and_then(Value::as_u64).unwrap_or(0),
+                        parent: s.get("parent").and_then(Value::as_u64).unwrap_or(0),
+                        thread: s.get("thread").and_then(Value::as_u64).unwrap_or(0),
+                        offset_ms: s.get("offset_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                        dur_ms: s.get("dur_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                        exclusive_ms: s.get("exclusive_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Children grouped by parent span id, each group in start order.
+        let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, s) in stages.iter().enumerate() {
+            children.entry(s.parent).or_default().push(i);
+        }
+        for v in children.values_mut() {
+            v.sort_by(|&a, &b| {
+                stages[a]
+                    .offset_ms
+                    .total_cmp(&stages[b].offset_ms)
+                    .then(stages[a].span_id.cmp(&stages[b].span_id))
+            });
+        }
+        // Depth-first walk from the request root (parent 0); a stage whose
+        // parent never appears (stray frame) is surfaced at the root rather
+        // than dropped. A visited mask guards against malformed cycles.
+        let span_ids: std::collections::HashSet<u64> = stages.iter().map(|s| s.span_id).collect();
+        let mut roots: Vec<usize> = (0..stages.len())
+            .filter(|&i| stages[i].parent == 0 || !span_ids.contains(&stages[i].parent))
+            .collect();
+        roots.sort_by(|&a, &b| {
+            stages[a]
+                .offset_ms
+                .total_cmp(&stages[b].offset_ms)
+                .then(stages[a].span_id.cmp(&stages[b].span_id))
+        });
+        let mut visited = vec![false; stages.len()];
+        let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            if std::mem::replace(&mut visited[i], true) {
+                continue;
+            }
+            let s = &stages[i];
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<w$} +{:>9.3}ms  dur {:>9.3}ms  excl {:>9.3}ms  [t{}]",
+                "",
+                s.name,
+                s.offset_ms,
+                s.dur_ms,
+                s.exclusive_ms,
+                s.thread,
+                indent = depth * 2,
+                w = 24usize.saturating_sub(depth * 2),
+            );
+            if let Some(kids) = children.get(&s.span_id) {
+                // Self-parented stages would loop; the visited mask above
+                // and this skip keep malformed input from recursing.
+                for &k in kids.iter().rev().filter(|&&k| k != i) {
+                    stack.push((k, depth + 1));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +244,7 @@ mod tests {
             dur_ns: Some(dur_ns),
             fields: Vec::new(),
             message: None,
+            trace: None,
         }
     }
 
@@ -171,6 +284,33 @@ mod tests {
         let err = parse_trace(&text).unwrap_err();
         assert!(err.starts_with("line 3"), "{err}");
         assert_eq!(parse_trace(&good).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn render_requests_builds_an_indented_tree() {
+        let doc = retia_json::parse(
+            r#"{"traces":[{"trace_id":7,"endpoint":"/v1/query","status":200,
+                "start_ms":0.0,"total_ms":12.5,"kept":"slow","stages":[
+                {"name":"serve.recv","span_id":1,"parent":0,"thread":0,
+                 "offset_ms":0.0,"dur_ms":0.1,"exclusive_ms":0.1},
+                {"name":"serve.decode","span_id":2,"parent":0,"thread":1,
+                 "offset_ms":1.0,"dur_ms":10.0,"exclusive_ms":4.0},
+                {"name":"serve.cache","span_id":3,"parent":2,"thread":1,
+                 "offset_ms":1.5,"dur_ms":6.0,"exclusive_ms":6.0}]}]}"#,
+        )
+        .expect("hand-written traces doc parses");
+        let text = render_requests(&doc).expect("renders");
+        assert!(text.contains("trace 7  /v1/query  status=200"), "{text}");
+        let recv = text.find("serve.recv").expect("recv row");
+        let decode = text.find("serve.decode").expect("decode row");
+        let cache = text.find("  serve.cache").expect("cache row indented under decode");
+        assert!(recv < decode && decode < cache, "{text}");
+        // Not a traces document → typed error, not a panic.
+        let bad = retia_json::parse(r#"{"other":1}"#).expect("parses");
+        assert!(render_requests(&bad).is_err());
+        // Empty store renders a hint instead of nothing.
+        let empty = retia_json::parse(r#"{"traces":[]}"#).expect("parses");
+        assert!(render_requests(&empty).expect("renders").contains("no traces"));
     }
 
     #[test]

@@ -179,6 +179,9 @@ struct ActiveSpan {
     start: Instant,
     start_ns: u64,
     depth: u32,
+    /// `(span_id, adopted frames)` when the thread is recording into live
+    /// request traces (see [`crate::trace`]).
+    trace: Option<(u64, Vec<crate::trace::TraceFrame>)>,
 }
 
 /// RAII guard for one timing span; created by the [`crate::span!`] macro.
@@ -190,9 +193,11 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    /// Opens a span (inert when tracing is inactive).
+    /// Opens a span (inert when tracing is inactive and no request trace is
+    /// adopted on this thread).
     pub fn enter(name: &str, fields: &[(&str, f64)]) -> SpanGuard {
-        if !spans_active() {
+        let trace = crate::trace::span_enter();
+        if !spans_active() && trace.is_none() {
             return SpanGuard { active: None };
         }
         let depth = CHILD_NS.with(|s| {
@@ -207,6 +212,7 @@ impl SpanGuard {
                 start: Instant::now(),
                 start_ns: now_ns(),
                 depth,
+                trace,
             }),
         }
     }
@@ -225,6 +231,15 @@ impl Drop for SpanGuard {
             own_children
         });
         record_module(&span.name, dur_ns, dur_ns.saturating_sub(child_ns));
+        let mut trace_ctx = None;
+        if let Some((span_id, frames)) = &span.trace {
+            crate::trace::span_exit(frames, *span_id, &span.name, span.start_ns, dur_ns);
+            trace_ctx = frames.first().map(|f| crate::trace::TraceCtx {
+                trace_id: f.trace_id,
+                span_id: *span_id,
+                parent: f.parent,
+            });
+        }
         if have_sinks() || log_level() >= Level::Debug {
             crate::emit(Event {
                 kind: EventKind::Span,
@@ -236,6 +251,7 @@ impl Drop for SpanGuard {
                 dur_ns: Some(dur_ns),
                 fields: span.fields,
                 message: None,
+                trace: trace_ctx,
             });
         }
     }

@@ -118,11 +118,21 @@ pub fn parse_ingest_request(body: &Value) -> Result<Vec<Quad>, SchemaError> {
         .collect()
 }
 
+/// The `"timing"` object engine-backed responses carry: queue wait vs
+/// engine service time, in milliseconds.
+fn timing_json(queue_wait_ns: u64, service_ns: u64) -> Value {
+    let mut t = Value::object();
+    t.insert("queue_wait_ms", Value::from(queue_wait_ns as f64 / 1e6));
+    t.insert("service_ms", Value::from(service_ns as f64 / 1e6));
+    t
+}
+
 /// Serializes a [`QueryResponse`].
 pub fn query_response_json(resp: &QueryResponse) -> Value {
     let mut body = Value::object();
     body.insert("window_end", Value::from(resp.window_end));
     body.insert("epoch", Value::from(resp.epoch));
+    body.insert("timing", timing_json(resp.queue_wait_ns, resp.service_ns));
     let results: Vec<Value> = resp
         .results
         .iter()
@@ -156,6 +166,7 @@ pub fn ingest_response_json(resp: &IngestResponse) -> Value {
     body.insert("accepted", Value::from(resp.accepted));
     body.insert("epoch", Value::from(resp.epoch));
     body.insert("window", window);
+    body.insert("timing", timing_json(resp.queue_wait_ns, resp.service_ns));
     body
 }
 
@@ -222,17 +233,29 @@ mod tests {
             window_end: 17,
             epoch: 3,
             results: vec![TopK { candidates: vec![(4, 0.5), (1, 0.25)] }],
+            queue_wait_ns: 2_000_000,
+            service_ns: 3_000_000,
         };
         let text = query_response_json(&resp).to_string_compact();
         let back = parse(&text).expect("self-produced json parses");
         assert_eq!(back.get("epoch").and_then(Value::as_u64), Some(3));
+        let timing = back.get("timing").expect("timing object");
+        assert_eq!(timing.get("queue_wait_ms").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(timing.get("service_ms").and_then(Value::as_f64), Some(3.0));
         let results = back.get("results").and_then(Value::as_array).expect("results");
         let cands = results[0].get("candidates").and_then(Value::as_array).expect("candidates");
         assert_eq!(cands[0].get("id").and_then(Value::as_u64), Some(4));
         assert_eq!(cands[0].get("score").and_then(Value::as_f64), Some(0.5));
 
-        let resp =
-            IngestResponse { accepted: 2, window_start: 5, window_end: 9, window_len: 3, epoch: 1 };
+        let resp = IngestResponse {
+            accepted: 2,
+            window_start: 5,
+            window_end: 9,
+            window_len: 3,
+            epoch: 1,
+            queue_wait_ns: 0,
+            service_ns: 1_500_000,
+        };
         let text = ingest_response_json(&resp).to_string_compact();
         let back = parse(&text).expect("self-produced json parses");
         assert_eq!(back.get("accepted").and_then(Value::as_u64), Some(2));

@@ -28,10 +28,14 @@
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use retia::{FrozenModel, FrozenStates};
 use retia_eval::{top_k, top_k_sharded};
 use retia_graph::{group_by_timestamp, HyperSnapshot, Quad, Snapshot};
+use retia_obs::trace::{self, TraceFrame};
+
+use crate::stages;
 
 /// What a single query predicts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +80,12 @@ pub struct QueryResponse {
     pub epoch: u64,
     /// One [`TopK`] per submitted query, in order.
     pub results: Vec<TopK>,
+    /// Nanoseconds this job waited in the engine queue before service began
+    /// (includes jobs ahead of it in the same drained batch).
+    pub queue_wait_ns: u64,
+    /// Nanoseconds of engine service time; shared by every job of a fused
+    /// decode batch (the batch is one unit of work).
+    pub service_ns: u64,
 }
 
 /// Summary of an accepted ingest.
@@ -91,6 +101,10 @@ pub struct IngestResponse {
     pub window_len: usize,
     /// Epoch after the ingest.
     pub epoch: u64,
+    /// Nanoseconds this job waited in the engine queue before service began.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds the ingest itself took (validation through cache warm).
+    pub service_ns: u64,
 }
 
 /// Typed engine failures, mapped to HTTP statuses by the server layer.
@@ -141,9 +155,36 @@ impl Default for EngineOptions {
 /// Reply channel for a job of response type `T`.
 type Reply<T> = mpsc::Sender<Result<T, EngineError>>;
 
+/// Request-scoped context captured at submission time: when the job entered
+/// the queue (so the engine can attribute queue wait) and which trace frames
+/// the submitting request carries (so engine-side spans land in its trace).
+struct JobMeta {
+    enqueued: Instant,
+    enqueue_ns: u64,
+    frames: Vec<TraceFrame>,
+}
+
+impl JobMeta {
+    fn capture() -> JobMeta {
+        JobMeta {
+            enqueued: Instant::now(),
+            enqueue_ns: retia_obs::now_ns(),
+            frames: trace::current_frames(),
+        }
+    }
+
+    /// Records the queue-wait segment (enqueue → `service_start`) into the
+    /// submitting request's trace and returns it in nanoseconds.
+    fn queue_wait(&self, service_start: Instant) -> u64 {
+        let wait_ns = service_start.saturating_duration_since(self.enqueued).as_nanos() as u64;
+        trace::record_stage(&self.frames, stages::QUEUE_WAIT, self.enqueue_ns, wait_ns);
+        wait_ns
+    }
+}
+
 enum Job {
-    Query(Vec<Query>, Reply<QueryResponse>),
-    Ingest(Vec<Quad>, Reply<IngestResponse>),
+    Query(Vec<Query>, Reply<QueryResponse>, JobMeta),
+    Ingest(Vec<Quad>, Reply<IngestResponse>, JobMeta),
     /// Test/ops hook: ack on the sender, then block until the receiver's
     /// sender side drops. Exempt from the queue cap (like `Stop`), so a
     /// paused engine can still be stopped.
@@ -249,7 +290,7 @@ impl EngineHandle {
     /// thread answers.
     pub fn query(&self, queries: Vec<Query>) -> Result<QueryResponse, EngineError> {
         let (tx, rx) = mpsc::channel();
-        match self.shared.push(Job::Query(queries, tx)) {
+        match self.shared.push(Job::Query(queries, tx, JobMeta::capture())) {
             Admission::Stopped => Err(EngineError::Stopped),
             Admission::Overloaded => Err(EngineError::Overloaded),
             Admission::Accepted => rx.recv().unwrap_or(Err(EngineError::Stopped)),
@@ -260,7 +301,7 @@ impl EngineHandle {
     /// the embedding cache; blocks until done.
     pub fn ingest(&self, facts: Vec<Quad>) -> Result<IngestResponse, EngineError> {
         let (tx, rx) = mpsc::channel();
-        match self.shared.push(Job::Ingest(facts, tx)) {
+        match self.shared.push(Job::Ingest(facts, tx, JobMeta::capture())) {
             Admission::Stopped => Err(EngineError::Stopped),
             Admission::Overloaded => Err(EngineError::Overloaded),
             Admission::Accepted => rx.recv().unwrap_or(Err(EngineError::Stopped)),
@@ -401,9 +442,12 @@ impl EngineState {
     }
 
     /// Makes sure the current epoch's evolved states are cached, recording
-    /// hit/miss counters.
+    /// hit/miss counters. The whole consultation is one `serve.cache` stage
+    /// in request traces; on a miss the `serve.evolve` span nests under it.
     fn ensure_states(&mut self) {
-        if self.cache.iter().any(|(e, _, _)| *e == self.epoch) {
+        let hit = self.cache.iter().any(|(e, _, _)| *e == self.epoch);
+        let _t = retia_obs::span!(stages::CACHE, hit = u8::from(hit));
+        if hit {
             retia_obs::metrics::inc("serve.cache_hit");
             return;
         }
@@ -428,8 +472,15 @@ impl EngineState {
                         shared.mark_stopped();
                         return;
                     }
-                    Job::Ingest(facts, reply) => {
-                        let outcome = self.ingest(facts);
+                    Job::Ingest(facts, reply, meta) => {
+                        let service_start = Instant::now();
+                        let queue_wait_ns = meta.queue_wait(service_start);
+                        let _scope = trace::adopt(meta.frames.clone());
+                        let mut outcome = self.ingest(facts);
+                        if let Ok(resp) = &mut outcome {
+                            resp.queue_wait_ns = queue_wait_ns;
+                            resp.service_ns = service_start.elapsed().as_nanos() as u64;
+                        }
                         let _ = reply.send(outcome);
                         i += 1;
                     }
@@ -454,7 +505,7 @@ impl EngineState {
     }
 
     fn ingest(&mut self, facts: &[Quad]) -> Result<IngestResponse, EngineError> {
-        let _t = retia_obs::span!("serve.ingest", facts = facts.len());
+        let _t = retia_obs::span!(stages::INGEST, facts = facts.len());
         if facts.is_empty() {
             return Err(EngineError::InvalidIngest("no facts in payload".to_string()));
         }
@@ -503,95 +554,127 @@ impl EngineState {
             window_end: self.window_end(),
             window_len: self.window.len(),
             epoch: self.epoch,
+            // Filled by the run loop, which owns the queue-wait measurement.
+            queue_wait_ns: 0,
+            service_ns: 0,
         })
     }
 
     /// Validates, batches, decodes and answers a fused run of query jobs.
     fn answer_queries(&mut self, jobs: &[Job]) {
+        let service_start = Instant::now();
         let n = self.model.num_entities() as u32;
         let m = self.model.num_relations() as u32;
 
         // Validate each job; invalid ones are answered immediately and
-        // excluded from the decode batch.
-        let mut live: Vec<(&Vec<Query>, &Reply<QueryResponse>)> = Vec::new();
+        // excluded from the decode batch. Queue wait is recorded for every
+        // job — an invalid request waited too.
+        let mut live: Vec<(&Vec<Query>, &Reply<QueryResponse>, u64)> = Vec::new();
+        let mut batch_frames: Vec<TraceFrame> = Vec::new();
         for job in jobs {
-            let Job::Query(queries, reply) = job else { continue };
+            let Job::Query(queries, reply, meta) = job else { continue };
+            let queue_wait_ns = meta.queue_wait(service_start);
             match validate_queries(queries, n, m) {
                 Err(e) => {
                     let _ = reply.send(Err(e));
                 }
-                Ok(()) => live.push((queries, reply)),
+                Ok(()) => {
+                    batch_frames.extend(meta.frames.iter().copied());
+                    live.push((queries, reply, queue_wait_ns));
+                }
             }
         }
         if live.is_empty() {
             return;
         }
 
-        let total: usize = live.iter().map(|(qs, _)| qs.len()).sum();
-        retia_obs::metrics::observe("serve.batch_queries", total as f64);
-        retia_obs::metrics::observe("serve.batch_jobs", live.len() as f64);
-        let _t = retia_obs::span!("serve.decode", queries = total, jobs = live.len());
+        let (window_end, epoch) = (self.window_end(), self.epoch);
+        // Answers are buffered and sent only after the decode spans close:
+        // a reply unblocks its worker, which may finish the request's trace
+        // immediately — stages recorded after that would be lost.
+        let mut answered: Vec<(&Reply<QueryResponse>, QueryResponse)> =
+            Vec::with_capacity(live.len());
+        {
+            // The fused batch serves every live request at once: adopt all
+            // their trace frames so the shared decode spans land in each
+            // trace.
+            let _scope = trace::adopt(batch_frames);
 
-        // One scoring matmul per query kind across all fused jobs.
-        let mut ent_args: (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
-        let mut rel_args: (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
-        for (queries, _) in &live {
-            for q in *queries {
-                match q.kind {
-                    QueryKind::Entity => {
-                        ent_args.0.push(q.subject);
-                        ent_args.1.push(q.b);
-                    }
-                    QueryKind::Relation => {
-                        rel_args.0.push(q.subject);
-                        rel_args.1.push(q.b);
+            let total: usize = live.iter().map(|(qs, _, _)| qs.len()).sum();
+            retia_obs::metrics::observe("serve.batch_queries", total as f64);
+            retia_obs::metrics::observe("serve.batch_jobs", live.len() as f64);
+            let _t = retia_obs::span!(stages::DECODE, queries = total, jobs = live.len());
+
+            // One scoring matmul per query kind across all fused jobs.
+            let mut ent_args: (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+            let mut rel_args: (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+            for (queries, _, _) in &live {
+                for q in *queries {
+                    match q.kind {
+                        QueryKind::Entity => {
+                            ent_args.0.push(q.subject);
+                            ent_args.1.push(q.b);
+                        }
+                        QueryKind::Relation => {
+                            rel_args.0.push(q.subject);
+                            rel_args.1.push(q.b);
+                        }
                     }
                 }
             }
-        }
-        self.ensure_states();
-        let states = self
-            .cache
-            .iter()
-            .find(|(e, _, _)| *e == self.epoch)
-            .map(|(_, _, s)| s)
-            .expect("states cached by ensure_states above");
-        let model = &self.model;
-        let shards = self.decode_shards;
-        // Entity scoring is the O(|E|) hot loop; it shards across threads by
-        // candidate range, bit-identical to the fused path. Relation decode
-        // scores only M candidates and stays fused.
-        let ent_probs = (!ent_args.0.is_empty())
-            .then(|| model.decode_entity_sharded(states, ent_args.0, ent_args.1, shards));
-        let rel_probs =
-            (!rel_args.0.is_empty()).then(|| model.decode_relation(states, rel_args.0, rel_args.1));
+            self.ensure_states();
+            let states = self
+                .cache
+                .iter()
+                .find(|(e, _, _)| *e == self.epoch)
+                .map(|(_, _, s)| s)
+                .expect("states cached by ensure_states above");
+            let model = &self.model;
+            let shards = self.decode_shards;
+            // Entity scoring is the O(|E|) hot loop; it shards across
+            // threads by candidate range, bit-identical to the fused path.
+            // Relation decode scores only M candidates and stays fused.
+            let ent_probs = (!ent_args.0.is_empty())
+                .then(|| model.decode_entity_sharded(states, ent_args.0, ent_args.1, shards));
+            let rel_probs = (!rel_args.0.is_empty())
+                .then(|| model.decode_relation(states, rel_args.0, rel_args.1));
 
-        let (window_end, epoch) = (self.window_end(), self.epoch);
-        let (mut ent_row, mut rel_row) = (0usize, 0usize);
-        for (queries, reply) in live {
-            let mut results = Vec::with_capacity(queries.len());
-            for q in queries {
-                let row = match q.kind {
-                    QueryKind::Entity => {
-                        ent_row += 1;
-                        ent_probs.as_ref().map(|p| p.row(ent_row - 1))
-                    }
-                    QueryKind::Relation => {
-                        rel_row += 1;
-                        rel_probs.as_ref().map(|p| p.row(rel_row - 1))
-                    }
-                };
-                let scores = row.expect("probs computed for every query kind present");
-                // The sharded merge reduction is bit-identical to the plain
-                // scan (same total order); route entity queries through it so
-                // the whole sharded path is exercised end to end.
-                let candidates = match q.kind {
-                    QueryKind::Entity if shards > 1 => top_k_sharded(scores, q.k, shards),
-                    _ => top_k(scores, q.k),
-                };
-                results.push(TopK { candidates });
+            let (mut ent_row, mut rel_row) = (0usize, 0usize);
+            let _topk = retia_obs::span!(stages::TOPK, queries = total);
+            for (queries, reply, queue_wait_ns) in live {
+                let mut results = Vec::with_capacity(queries.len());
+                for q in queries {
+                    let row = match q.kind {
+                        QueryKind::Entity => {
+                            ent_row += 1;
+                            ent_probs.as_ref().map(|p| p.row(ent_row - 1))
+                        }
+                        QueryKind::Relation => {
+                            rel_row += 1;
+                            rel_probs.as_ref().map(|p| p.row(rel_row - 1))
+                        }
+                    };
+                    let scores = row.expect("probs computed for every query kind present");
+                    // The sharded merge reduction is bit-identical to the
+                    // plain scan (same total order); route entity queries
+                    // through it so the whole sharded path is exercised end
+                    // to end.
+                    let candidates = match q.kind {
+                        QueryKind::Entity if shards > 1 => top_k_sharded(scores, q.k, shards),
+                        _ => top_k(scores, q.k),
+                    };
+                    results.push(TopK { candidates });
+                }
+                answered.push((
+                    reply,
+                    QueryResponse { window_end, epoch, results, queue_wait_ns, service_ns: 0 },
+                ));
             }
-            let _ = reply.send(Ok(QueryResponse { window_end, epoch, results }));
+        }
+        let service_ns = service_start.elapsed().as_nanos() as u64;
+        for (reply, mut resp) in answered {
+            resp.service_ns = service_ns;
+            let _ = reply.send(Ok(resp));
         }
     }
 }

@@ -186,6 +186,9 @@ pub struct RequestBuffer {
     scanned: usize,
     /// Parsed head waiting for `total_len` buffered bytes.
     pending: Option<PendingHead>,
+    /// When the first byte of the request being assembled arrived
+    /// (trace-epoch nanoseconds) — the start of the `serve.recv` stage.
+    recv_start_ns: Option<u64>,
 }
 
 impl RequestBuffer {
@@ -196,7 +199,17 @@ impl RequestBuffer {
 
     /// Appends bytes read from the connection.
     pub fn extend(&mut self, bytes: &[u8]) {
+        if self.recv_start_ns.is_none() && !bytes.is_empty() {
+            self.recv_start_ns = Some(retia_obs::now_ns());
+        }
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// When the first byte of the request currently being assembled arrived,
+    /// in trace-epoch nanoseconds. Read it *before* [`RequestBuffer::try_next`]
+    /// hands the request out (which re-arms the clock for the next one).
+    pub fn recv_start_ns(&self) -> Option<u64> {
+        self.recv_start_ns
     }
 
     /// True when nothing is buffered: no partial request is outstanding, so
@@ -236,6 +249,9 @@ impl RequestBuffer {
         p.request.body = self.buf[p.head_len..p.total_len].to_vec();
         self.buf.drain(..p.total_len);
         self.scanned = 0;
+        // Re-arm the recv clock: pipelined bytes already buffered belong to
+        // the next request, which effectively "arrived" now.
+        self.recv_start_ns = (!self.buf.is_empty()).then(retia_obs::now_ns);
         Ok(Some(p.request))
     }
 
@@ -389,10 +405,36 @@ pub fn write_json_response(
     extra_headers: &[(&str, String)],
 ) -> std::io::Result<()> {
     let payload = body.to_string_compact();
+    write_response(stream, status, "application/json", &payload, keep_alive, extra_headers)
+}
+
+/// Plain-text sibling of [`write_json_response`] with an explicit
+/// `Content-Type` — the Prometheus exposition (`text/plain; version=0.0.4`)
+/// goes through here.
+pub fn write_text_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    write_response(stream, status, content_type, body, keep_alive, extra_headers)
+}
+
+fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    payload: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason(status),
+        content_type,
         payload.len(),
     );
     for (name, value) in extra_headers {

@@ -39,8 +39,17 @@
 //! the cache — the online extrapolation setting, minus parameter updates.
 //!
 //! Endpoints: `POST /v1/query`, `POST /v1/ingest`, `GET /healthz`,
-//! `GET /metrics` (the `retia-obs` registry snapshot), `POST
-//! /admin/shutdown` (drains in-flight requests, then stops).
+//! `GET /metrics` (the `retia-obs` registry snapshot; `?format=prom` for the
+//! Prometheus text exposition), `GET /v1/traces` (the tail-sampled request
+//! trace store, newest first), `POST /admin/shutdown` (drains in-flight
+//! requests, then stops).
+//!
+//! Every request is traced: a trace id is assigned when its first bytes
+//! arrive (echoed back as `X-Trace-Id`), the `serve.recv`/`serve.queue_wait`
+//! /`serve.decode`/`serve.write` stages reconstruct its lifecycle as a tree
+//! (see [`stages`]), and the store keeps slow outliers plus a deterministic
+//! 1-in-N sample. Latency SLOs from [`ServeConfig::slos`] are evaluated over
+//! the per-endpoint histograms and exported as `slo.*` gauges.
 //!
 //! Everything is `std`-only: no hyper, no tokio, no serde — the offline
 //! build environment rules them out. Readiness is `set_nonblocking` polling
@@ -53,6 +62,7 @@ mod engine;
 mod http;
 pub mod loadtest;
 mod server;
+pub mod stages;
 
 pub use api::{
     ingest_response_json, parse_ingest_request, parse_query_request, query_response_json,
@@ -63,7 +73,8 @@ pub use engine::{
     QueryResponse, TopK,
 };
 pub use http::{
-    error_body, read_request, write_json, write_json_response, HttpError, Request, RequestBuffer,
-    MAX_BODY_BYTES, MAX_HEAD_BYTES,
+    error_body, read_request, write_json, write_json_response, write_text_response, HttpError,
+    Request, RequestBuffer, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
+pub use retia_obs::slo::SloSpec;
 pub use server::{ServeConfig, Server};

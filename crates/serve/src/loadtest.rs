@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use retia_json::Value;
+use retia_obs::slo::{self, SloSpec};
 
 /// What to replay and against whom.
 #[derive(Clone, Debug)]
@@ -39,6 +40,11 @@ pub struct LoadtestConfig {
     pub relations: u32,
     /// Per-request socket timeout.
     pub timeout: Duration,
+    /// Latency SLOs evaluated **client-side** against each level's measured
+    /// latencies (the spec's `metric` is ignored here — the samples are the
+    /// loadtest's own stopwatch, not a server histogram). Any burning
+    /// objective marks the run as failed.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for LoadtestConfig {
@@ -52,11 +58,30 @@ impl Default for LoadtestConfig {
             entities: 1,
             relations: 1,
             timeout: Duration::from_secs(30),
+            slos: Vec::new(),
         }
     }
 }
 
-/// One concurrency level's aggregate results.
+/// One SLO evaluated against a level's client-measured latencies.
+#[derive(Clone, Debug)]
+pub struct SloOutcome {
+    /// The spec's name.
+    pub name: String,
+    /// Required fraction of requests at or below the threshold.
+    pub objective: f64,
+    /// Latency threshold in milliseconds.
+    pub threshold_ms: f64,
+    /// Observed fraction at or below the threshold (1.0 when no samples).
+    pub compliance: f64,
+    /// Error-budget burn rate: miss fraction over allowed miss fraction.
+    pub burn: f64,
+    /// Whether the budget burns faster than it accrues (`burn > 1.0`).
+    pub burning: bool,
+}
+
+/// One concurrency level's aggregate results. `slos` holds the client-side
+/// verdict for every configured objective.
 #[derive(Clone, Debug)]
 pub struct LevelStats {
     /// Connections (client threads) at this level.
@@ -79,6 +104,8 @@ pub struct LevelStats {
     pub p50_ms: f64,
     /// 99th-percentile per-request latency (ms).
     pub p99_ms: f64,
+    /// Each configured SLO evaluated against this level's latencies.
+    pub slos: Vec<SloOutcome>,
 }
 
 /// The full ladder, ready to serialize as `BENCH_serve.json`.
@@ -97,6 +124,28 @@ impl LoadtestReport {
     /// Total successful requests across all levels.
     pub fn total_completed(&self) -> usize {
         self.levels.iter().map(|l| l.completed).sum()
+    }
+
+    /// Human-readable description of every burning SLO across the ladder —
+    /// empty means all objectives held. The CLI turns a non-empty list into
+    /// a nonzero exit.
+    pub fn burning_slos(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for l in &self.levels {
+            for s in l.slos.iter().filter(|s| s.burning) {
+                out.push(format!(
+                    "{} conns: `{}` burning — {:.2}% of requests <= {}ms (objective {:.2}%, \
+                     burn {:.1}x)",
+                    l.connections,
+                    s.name,
+                    s.compliance * 100.0,
+                    s.threshold_ms,
+                    s.objective * 100.0,
+                    s.burn
+                ));
+            }
+        }
+        out
     }
 
     /// The `BENCH_serve.json` document.
@@ -123,6 +172,23 @@ impl LoadtestReport {
                 v.insert("qps", Value::from(l.qps));
                 v.insert("p50_ms", Value::from(l.p50_ms));
                 v.insert("p99_ms", Value::from(l.p99_ms));
+                if !l.slos.is_empty() {
+                    let slos: Vec<Value> = l
+                        .slos
+                        .iter()
+                        .map(|s| {
+                            let mut o = Value::object();
+                            o.insert("name", Value::from(s.name.as_str()));
+                            o.insert("objective", Value::from(s.objective));
+                            o.insert("threshold_ms", Value::from(s.threshold_ms));
+                            o.insert("compliance", Value::from(s.compliance));
+                            o.insert("burn", Value::from(s.burn));
+                            o.insert("burning", Value::from(s.burning));
+                            o
+                        })
+                        .collect();
+                    v.insert("slos", Value::from(slos));
+                }
                 v
             })
             .collect();
@@ -213,6 +279,27 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
+/// Evaluates each SLO spec against one level's merged latency samples using
+/// the same budget arithmetic the server-side engine applies to its
+/// histograms ([`slo::burn_of_samples`]).
+fn evaluate_slos(specs: &[SloSpec], latencies_ms: &[f64]) -> Vec<SloOutcome> {
+    specs
+        .iter()
+        .map(|s| {
+            let (compliance, burn) =
+                slo::burn_of_samples(latencies_ms, s.objective, s.threshold_ms);
+            SloOutcome {
+                name: s.name.clone(),
+                objective: s.objective,
+                threshold_ms: s.threshold_ms,
+                compliance,
+                burn,
+                burning: burn > 1.0,
+            }
+        })
+        .collect()
+}
+
 /// SplitMix64 — deterministic id mixing without a RNG dependency.
 fn mix(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -290,6 +377,7 @@ pub fn run(cfg: &LoadtestConfig) -> Result<LoadtestReport, String> {
             qps: merged.completed as f64 / wall_s,
             p50_ms: percentile(&merged.latencies_ms, 50.0),
             p99_ms: percentile(&merged.latencies_ms, 99.0),
+            slos: evaluate_slos(&cfg.slos, &merged.latencies_ms),
         });
     }
     Ok(LoadtestReport { levels })
@@ -390,6 +478,68 @@ mod tests {
             let fact = &ing.get("facts").and_then(Value::as_array).expect("array")[0];
             assert_eq!(fact.get("timestamp").and_then(Value::as_u64), Some(42));
         }
+    }
+
+    #[test]
+    fn slo_outcomes_flag_burning_objectives() {
+        let specs = vec![
+            SloSpec {
+                name: "strict".to_string(),
+                metric: String::new(),
+                objective: 0.99,
+                threshold_ms: 10.0,
+                window_s: 60.0,
+            },
+            SloSpec {
+                name: "loose".to_string(),
+                metric: String::new(),
+                objective: 0.5,
+                threshold_ms: 10.0,
+                window_s: 60.0,
+            },
+        ];
+        // 80 fast + 20 slow requests: 80% compliance.
+        let mut samples = vec![1.0; 80];
+        samples.extend(vec![100.0; 20]);
+        let out = evaluate_slos(&specs, &samples);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].compliance - 0.8).abs() < 1e-9);
+        assert!(out[0].burning, "20% misses against a 1% budget must burn: {out:?}");
+        assert!(out[0].burn > 10.0, "burn {} should be ~20x", out[0].burn);
+        assert!(!out[1].burning, "20% misses fit a 50% budget: {out:?}");
+        // No samples: perfectly compliant, nothing burns.
+        let idle = evaluate_slos(&specs, &[]);
+        assert!(idle.iter().all(|o| o.compliance == 1.0 && !o.burning));
+    }
+
+    #[test]
+    fn burning_slos_render_per_level_lines() {
+        let level = LevelStats {
+            connections: 4,
+            completed: 10,
+            shed_429: 0,
+            other_4xx: 0,
+            status_5xx: 0,
+            io_errors: 0,
+            wall_s: 1.0,
+            qps: 10.0,
+            p50_ms: 1.0,
+            p99_ms: 100.0,
+            slos: vec![SloOutcome {
+                name: "p99".to_string(),
+                objective: 0.99,
+                threshold_ms: 50.0,
+                compliance: 0.8,
+                burn: 20.0,
+                burning: true,
+            }],
+        };
+        let report = LoadtestReport { levels: vec![level] };
+        let lines = report.burning_slos();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("`p99`") && lines[0].contains("4 conns"), "{lines:?}");
+        let json = report.to_json(&LoadtestConfig::default()).to_string_compact();
+        assert!(json.contains("\"burning\":true"), "{json}");
     }
 
     #[test]

@@ -52,10 +52,15 @@ use std::time::{Duration, Instant};
 use retia::FrozenModel;
 use retia_graph::Snapshot;
 use retia_json::Value;
+use retia_obs::slo::SloSpec;
+use retia_obs::trace::{self, TracePolicy};
 
 use crate::api;
 use crate::engine::{Engine, EngineError, EngineHandle, EngineOptions};
-use crate::http::{error_body, write_json_response, HttpError, Request, RequestBuffer};
+use crate::http::{
+    error_body, write_json_response, write_text_response, HttpError, Request, RequestBuffer,
+};
+use crate::stages;
 
 /// Sleep between no-progress poll passes while connections are open.
 const POLL_SLEEP: Duration = Duration::from_micros(200);
@@ -83,11 +88,22 @@ pub struct ServeConfig {
     /// Threads the entity decode shards candidate scoring across
     /// (bit-identical ranks at any value; `1` = fused path).
     pub decode_shards: usize,
+    /// Service-level objectives evaluated against the per-endpoint latency
+    /// histograms and exported as `slo.*` gauges on `/metrics`.
+    pub slos: Vec<SloSpec>,
+    /// Tail-sampling: every request at least this slow (total ms) keeps its
+    /// trace in the `/v1/traces` store.
+    pub trace_slow_ms: f64,
+    /// Of the fast requests, 1 in this many keeps its trace (0 = none).
+    pub trace_sample_every: u64,
+    /// Bound on stored traces; the oldest is evicted beyond it.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let engine = EngineOptions::default();
+        let tracing = TracePolicy::default();
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
@@ -95,6 +111,10 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             queue_cap: engine.queue_cap,
             decode_shards: engine.decode_shards,
+            slos: Vec::new(),
+            trace_slow_ms: tracing.slow_ms,
+            trace_sample_every: tracing.sample_every,
+            trace_capacity: tracing.capacity,
         }
     }
 }
@@ -166,6 +186,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let listener = Arc::new(listener);
+        trace::set_policy(TracePolicy {
+            slow_ms: cfg.trace_slow_ms,
+            sample_every: cfg.trace_sample_every,
+            capacity: cfg.trace_capacity,
+        });
+        // An empty objective list leaves any previously configured SLOs in
+        // place (several servers share the process in tests).
+        if !cfg.slos.is_empty() {
+            retia_obs::slo::configure(cfg.slos.clone());
+        }
         let opts = EngineOptions { queue_cap: cfg.queue_cap, decode_shards: cfg.decode_shards };
         let engine = Engine::start_with(model, window, opts)?;
         let gate = Arc::new(Gate::new());
@@ -377,11 +407,14 @@ fn service_conn(
 
     // Answer every complete request buffered so far (pipelining).
     loop {
+        // Read the recv clock before try_next hands the request out and
+        // re-arms it for the next pipelined request.
+        let recv_start_ns = c.buf.recv_start_ns();
         match c.buf.try_next() {
             Ok(Some(req)) => {
                 *progressed = true;
                 let keep = req.keep_alive() && !gate.is_draining();
-                let written = respond(&mut c.stream, &req, keep, gate, engine, cfg);
+                let written = respond(&mut c.stream, &req, keep, recv_start_ns, gate, engine, cfg);
                 c.last_activity = Instant::now();
                 if !written || !keep {
                     return false;
@@ -427,39 +460,94 @@ fn service_conn(
     true
 }
 
+/// The Prometheus text exposition content type (`/metrics?format=prom`).
+const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A routed response body: JSON for the API endpoints, raw text (with its
+/// content type) for the Prometheus exposition.
+enum Payload {
+    Json(Value),
+    Text(&'static str, String),
+}
+
 /// Routes one request and writes the response. Returns `false` when the
 /// write failed (connection must close).
+///
+/// This is where a request's trace lives: it opens at the first received
+/// byte (`recv_start_ns`, measured by the connection's [`RequestBuffer`]),
+/// records the `serve.recv` and `serve.write` edges explicitly, adopts the
+/// root frame around `route` so engine-side spans attach to it, and finishes
+/// with the response status — at which point the tail sampler decides
+/// whether `/v1/traces` keeps it.
 fn respond(
     stream: &mut TcpStream,
     req: &Request,
     keep_alive: bool,
+    recv_start_ns: Option<u64>,
     gate: &Gate,
     engine: &EngineHandle,
     cfg: &ServeConfig,
 ) -> bool {
     let started = Instant::now();
+    let start_ns = retia_obs::now_ns();
     retia_obs::metrics::inc("serve.requests");
+    let trace_start_ns = recv_start_ns.unwrap_or(start_ns).min(start_ns);
+    let handle = trace::begin(&req.path, trace_start_ns);
+    let root = handle.root_frame();
+    trace::record_stage(
+        &[root],
+        stages::RECV,
+        trace_start_ns,
+        start_ns.saturating_sub(trace_start_ns),
+    );
+
     gate.in_flight.fetch_add(1, Ordering::SeqCst);
     retia_obs::metrics::set_gauge("serve.in_flight", gate.in_flight.load(Ordering::SeqCst) as f64);
-    let (endpoint, status, body) = route(req, gate, engine);
+    let mut queue_wait_ns: Option<u64> = None;
+    let (endpoint, status, body) = {
+        let _scope = trace::adopt(vec![root]);
+        route(req, gate, engine, &mut queue_wait_ns)
+    };
     gate.in_flight.fetch_sub(1, Ordering::SeqCst);
     retia_obs::metrics::set_gauge("serve.in_flight", gate.in_flight.load(Ordering::SeqCst) as f64);
     if status >= 400 {
         retia_obs::metrics::inc("serve.http_errors");
     }
-    // Backpressure hint: every 429 carries Retry-After.
-    let mut headers: Vec<(&str, String)> = Vec::new();
+    // Trace correlation for clients; backpressure hint on every 429.
+    let mut headers: Vec<(&str, String)> = vec![("X-Trace-Id", handle.trace_id().to_string())];
     if status == 429 {
         headers.push(("Retry-After", "1".to_string()));
     }
+    // Latency split: the engine reports how long the job sat in its queue;
+    // the rest of the route wall time is service. The legacy request_ms
+    // series is exactly their sum.
     let ms = started.elapsed().as_secs_f64() * 1e3;
+    let wait_ms = (queue_wait_ns.unwrap_or(0) as f64 / 1e6).min(ms);
+    let service_ms = ms - wait_ms;
+    retia_obs::metrics::observe("serve.queue_wait_ms", wait_ms);
+    retia_obs::metrics::observe(&format!("serve.queue_wait_ms.{endpoint}"), wait_ms);
+    retia_obs::metrics::observe("serve.service_ms", service_ms);
+    retia_obs::metrics::observe(&format!("serve.service_ms.{endpoint}"), service_ms);
     retia_obs::metrics::observe("serve.request_ms", ms);
     retia_obs::metrics::observe(&format!("serve.request_ms.{endpoint}"), ms);
 
     let mut out = Vec::with_capacity(512);
-    write_json_response(&mut out, status, &body, keep_alive, &headers)
-        .expect("writing to a Vec cannot fail");
-    write_all_with_deadline(stream, &out, cfg.io_timeout)
+    match &body {
+        Payload::Json(v) => write_json_response(&mut out, status, v, keep_alive, &headers),
+        Payload::Text(ct, t) => write_text_response(&mut out, status, ct, t, keep_alive, &headers),
+    }
+    .expect("writing to a Vec cannot fail");
+    let write_start_ns = retia_obs::now_ns();
+    let written = write_all_with_deadline(stream, &out, cfg.io_timeout);
+    trace::record_stage(
+        &[root],
+        stages::WRITE,
+        write_start_ns,
+        retia_obs::now_ns().saturating_sub(write_start_ns),
+    );
+    trace::finish(handle, status);
+    retia_obs::slo::tick();
+    written
 }
 
 /// Answers a parse/framing error when the transport still works; socket
@@ -519,21 +607,41 @@ fn write_all_with_deadline(stream: &mut TcpStream, mut bytes: &[u8], timeout: Du
 }
 
 /// Dispatches a parsed request to its endpoint; returns the metrics label,
-/// status and body.
-fn route(req: &Request, gate: &Gate, engine: &EngineHandle) -> (&'static str, u16, Value) {
-    match (req.method.as_str(), req.path.as_str()) {
+/// status and body. `queue_wait_ns` reports the engine queue wait for the
+/// endpoints that go through the job queue (the latency-split metrics).
+fn route(
+    req: &Request,
+    gate: &Gate,
+    engine: &EngineHandle,
+    queue_wait_ns: &mut Option<u64>,
+) -> (&'static str, u16, Payload) {
+    let (path, query_string) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             let mut body = Value::object();
             body.insert("status", Value::from("ok"));
             body.insert("draining", Value::from(gate.is_draining()));
-            ("healthz", 200, body)
+            ("healthz", 200, Payload::Json(body))
         }
-        ("GET", "/metrics") => ("metrics", 200, retia_obs::metrics::registry().snapshot()),
+        ("GET", "/metrics") => {
+            // A scrape should see current SLO state, not quarter-second-old
+            // gauges.
+            retia_obs::slo::force_tick();
+            if query_string.split('&').any(|kv| kv == "format=prom") {
+                ("metrics", 200, Payload::Text(PROM_CONTENT_TYPE, retia_obs::metrics::prometheus()))
+            } else {
+                ("metrics", 200, Payload::Json(retia_obs::metrics::registry().snapshot()))
+            }
+        }
+        ("GET", "/v1/traces") => ("traces", 200, Payload::Json(trace::traces_json())),
         ("POST", "/admin/shutdown") => {
             gate.trigger();
             let mut body = Value::object();
             body.insert("draining", Value::from(true));
-            ("shutdown", 200, body)
+            ("shutdown", 200, Payload::Json(body))
         }
         ("POST", "/v1/query") => {
             let (status, body) = json_endpoint(req, |body| {
@@ -541,25 +649,35 @@ fn route(req: &Request, gate: &Gate, engine: &EngineHandle) -> (&'static str, u1
                     .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
                 retia_obs::metrics::inc_by("serve.queries", queries.len() as u64);
                 let resp = engine.query(queries).map_err(engine_error_response)?;
+                *queue_wait_ns = Some(resp.queue_wait_ns);
                 Ok(api::query_response_json(&resp))
             });
-            ("query", status, body)
+            ("query", status, Payload::Json(body))
         }
         ("POST", "/v1/ingest") => {
             let (status, body) = json_endpoint(req, |body| {
                 let facts = api::parse_ingest_request(body)
                     .map_err(|e| (422, error_body("unprocessable", &e.0)))?;
                 let resp = engine.ingest(facts).map_err(engine_error_response)?;
+                *queue_wait_ns = Some(resp.queue_wait_ns);
                 Ok(api::ingest_response_json(&resp))
             });
-            ("ingest", status, body)
+            ("ingest", status, Payload::Json(body))
         }
-        (_, "/healthz" | "/metrics" | "/admin/shutdown" | "/v1/query" | "/v1/ingest") => (
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/traces" | "/admin/shutdown" | "/v1/query" | "/v1/ingest",
+        ) => (
             "other",
             405,
-            error_body("method_not_allowed", &format!("{} not allowed here", req.method)),
+            Payload::Json(error_body(
+                "method_not_allowed",
+                &format!("{} not allowed here", req.method),
+            )),
         ),
-        (_, path) => ("other", 404, error_body("not_found", &format!("no route for {path}"))),
+        (_, path) => {
+            ("other", 404, Payload::Json(error_body("not_found", &format!("no route for {path}"))))
+        }
     }
 }
 

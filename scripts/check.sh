@@ -19,15 +19,15 @@ RETIA_WRITE_TRACK=1 cargo test -q -p retia-tensor
 echo "==> fault-tolerance suite (chaos injection, corruption sweep, resume bit-identity)"
 cargo test -q --test fault_tolerance --test checkpoint_corruption
 
-echo "==> serve smoke (ephemeral port: query, ingest, re-query, drain via the real binary)"
+echo "==> serve + trace smoke (query, ingest, re-query, /v1/traces, ?format=prom, slo.* gauges, drain via the real binary)"
 cargo test -q -p retia-cli --test serve_smoke
 
-echo "==> serve robustness suite (chaos HTTP inputs, cache bit-identity, drain-in-flight)"
+echo "==> serve robustness suite (chaos HTTP inputs, cache bit-identity, drain-in-flight, trace trees, SLO export)"
 cargo test -q --test serve_http
 
-echo "==> loadtest smoke (self-hosted on port 0; the command exits nonzero on any 5xx or zero QPS)"
+echo "==> loadtest smoke (self-hosted on port 0; exits nonzero on any 5xx, zero QPS, or a burning --slo objective)"
 ./target/release/retia loadtest --connections 1,4 --requests 25 --ingest-every 10 \
-  --out target/BENCH_serve_smoke.json
+  --slo query:99:30000 --out target/BENCH_serve_smoke.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check

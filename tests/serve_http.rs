@@ -579,6 +579,293 @@ fn stalled_partial_request_gets_408_and_idle_sockets_reap_silently() {
     server.shutdown();
 }
 
+// ---- request tracing, SLOs, Prometheus -------------------------------------
+
+/// Extracts a response header value, case-insensitively.
+fn header_of(response: &str, name: &str) -> Option<String> {
+    response.split("\r\n\r\n").next()?.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
+}
+
+fn trace_id_of(response: &str) -> u64 {
+    header_of(response, "X-Trace-Id")
+        .expect("every response carries X-Trace-Id")
+        .parse()
+        .expect("trace id is a decimal u64")
+}
+
+/// Polls `GET /v1/traces` until the given trace id shows up (the store is
+/// written a hair after the response bytes) or the deadline passes.
+fn find_trace(addr: SocketAddr, trace_id: u64, deadline: Duration) -> Option<Value> {
+    let until = std::time::Instant::now() + deadline;
+    loop {
+        let (status, body) = request(addr, "GET", "/v1/traces", None);
+        assert_eq!(status, 200, "{body:?}");
+        let hit = body.get("traces").and_then(Value::as_array).and_then(|arr| {
+            arr.iter().find(|t| t.get("trace_id").and_then(Value::as_u64) == Some(trace_id))
+        });
+        if let Some(t) = hit {
+            return Some(t.clone());
+        }
+        if std::time::Instant::now() > until {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn stage<'a>(t: &'a Value, name: &str) -> Option<&'a Value> {
+    t.get("stages")
+        .and_then(Value::as_array)
+        .expect("trace has a stages array")
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+}
+
+fn span_id_of(s: &Value) -> u64 {
+    s.get("span_id").and_then(Value::as_u64).expect("stage has a span id")
+}
+
+fn parent_of(s: &Value) -> u64 {
+    s.get("parent").and_then(Value::as_u64).expect("stage has a parent")
+}
+
+fn dur_ms_of(s: &Value) -> f64 {
+    s.get("dur_ms").and_then(Value::as_f64).expect("stage has a duration")
+}
+
+/// Asserts one query's trace reconstructs the pipeline as a tree: socket
+/// read, queue wait and response write at the root; cache, top-k (and the
+/// shard fan-out when sharded) nested under the decode span.
+fn assert_query_trace_tree(trace_id: u64, t: &Value, shards: usize) {
+    assert_eq!(t.get("trace_id").and_then(Value::as_u64), Some(trace_id));
+    assert_eq!(t.get("endpoint").and_then(Value::as_str), Some("/v1/query"));
+    assert_eq!(t.get("status").and_then(Value::as_u64), Some(200));
+    for name in ["serve.recv", "serve.queue_wait", "serve.write"] {
+        let s = stage(t, name).unwrap_or_else(|| panic!("missing stage {name} in {t:?}"));
+        assert_eq!(parent_of(s), 0, "{name} must parent at the request root");
+    }
+    let decode = stage(t, "serve.decode").expect("decode stage");
+    assert_eq!(parent_of(decode), 0, "decode parents at the request root");
+    let cache = stage(t, "serve.cache").expect("cache stage");
+    assert_eq!(parent_of(cache), span_id_of(decode), "cache nests under decode");
+    let topk = stage(t, "serve.topk").expect("topk stage");
+    assert_eq!(parent_of(topk), span_id_of(decode), "topk nests under decode");
+    // A cache miss runs the window evolve inside the cache consultation.
+    if let Some(evolve) = stage(t, "serve.evolve") {
+        assert_eq!(parent_of(evolve), span_id_of(cache), "evolve nests under cache");
+    }
+    if shards > 1 {
+        let fan = stage(t, "serve.decode_sharded").expect("sharded fan-out stage");
+        assert_eq!(parent_of(fan), span_id_of(decode));
+        let shard_stages: Vec<&Value> = t
+            .get("stages")
+            .and_then(Value::as_array)
+            .expect("stages")
+            .iter()
+            .filter(|s| s.get("name").and_then(Value::as_str) == Some("serve.decode.shard"))
+            .collect();
+        assert_eq!(shard_stages.len(), shards, "one shard span per decode shard");
+        for s in shard_stages {
+            assert_eq!(parent_of(s), span_id_of(fan), "shard spans nest under the fan-out");
+        }
+    }
+    // Queue wait and service segments fit inside the request total.
+    let total = t.get("total_ms").and_then(Value::as_f64).expect("total_ms");
+    let wait = dur_ms_of(stage(t, "serve.queue_wait").expect("queue_wait stage"));
+    let decode_ms = dur_ms_of(decode);
+    assert!(
+        wait + decode_ms <= total + 1.0,
+        "queue wait {wait}ms + decode {decode_ms}ms exceed the trace total {total}ms"
+    );
+}
+
+/// Three pipelined queries on one keep-alive socket must come back as three
+/// distinct, fully-parented trace trees. The trace policy is process-global
+/// and every `Server::start` (including concurrent tests') re-asserts its
+/// own, so keep re-arming keep-everything sampling and retry until one burst
+/// runs wholly under it.
+fn pipelined_queries_trace_case(shards: usize) {
+    let (server, _ctx) = start_server_with(|cfg| {
+        cfg.decode_shards = shards;
+        cfg.trace_sample_every = 1;
+    });
+    let addr = server.addr();
+    let mut captured: Option<Vec<(u64, Value)>> = None;
+    'attempt: for _ in 0..50 {
+        retia_obs::trace::set_policy(retia_obs::trace::TracePolicy {
+            sample_every: 1,
+            ..Default::default()
+        });
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        s.write_all(query_raw().repeat(3).as_bytes()).expect("send burst");
+        let mut carry = Vec::new();
+        let mut ids = Vec::new();
+        let begun = std::time::Instant::now();
+        for i in 0..3 {
+            let resp = read_one_response(&mut s, &mut carry);
+            assert_eq!(status_of(&resp), Some(200), "pipelined response {i}");
+            ids.push(trace_id_of(&resp));
+            let timing = body_of(&resp).get("timing").cloned().expect("timing object");
+            let wait = timing.get("queue_wait_ms").and_then(Value::as_f64).expect("queue_wait_ms");
+            let service = timing.get("service_ms").and_then(Value::as_f64).expect("service_ms");
+            assert!(wait >= 0.0 && service >= 0.0, "negative timing segment: {timing:?}");
+            let wall_ms = begun.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                wait + service <= wall_ms + 1.0,
+                "queue wait {wait}ms + engine service {service}ms exceed the client wall \
+                 clock {wall_ms}ms"
+            );
+        }
+        let distinct: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "pipelined requests must get distinct trace ids: {ids:?}");
+        let mut found = Vec::new();
+        for &id in &ids {
+            match find_trace(addr, id, Duration::from_millis(500)) {
+                Some(t) => found.push((id, t)),
+                // A concurrent Server::start stomped the sampling policy
+                // mid-burst; re-arm and try again.
+                None => continue 'attempt,
+            }
+        }
+        captured = Some(found);
+        break;
+    }
+    let captured = captured.expect("no burst of 3 queries survived the sampling policy races");
+    for (id, t) in &captured {
+        assert_query_trace_tree(*id, t, shards);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_queries_produce_three_distinct_trace_trees() {
+    pipelined_queries_trace_case(1);
+}
+
+#[test]
+fn pipelined_queries_trace_per_shard_spans_under_sharded_decode() {
+    pipelined_queries_trace_case(2);
+}
+
+#[test]
+fn paused_engine_query_is_tail_sampled_with_nonzero_queue_wait() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+    let handle = server.engine_handle();
+
+    // Park the engine, land one query in its queue, and keep it waiting
+    // long past the 250ms slow threshold before releasing.
+    let guard = handle.pause().expect("engine accepts the pause job");
+    let worker = std::thread::spawn(move || raw_roundtrip(addr, query_raw().as_bytes()));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.queue_depth() < 1 {
+        assert!(std::time::Instant::now() < deadline, "query never reached the engine queue");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    drop(guard);
+
+    let response = worker.join().expect("query thread");
+    assert_eq!(status_of(&response), Some(200), "{response:?}");
+    let trace_id = trace_id_of(&response);
+    let timing = body_of(&response).get("timing").cloned().expect("timing object");
+    let wait_ms = timing.get("queue_wait_ms").and_then(Value::as_f64).expect("queue_wait_ms");
+    assert!(wait_ms >= 250.0, "engine parked ~400ms but queue_wait_ms is {wait_ms}");
+
+    // Tail sampling must keep the outlier as "slow" (no policy in this test
+    // binary raises slow_ms above the 250ms default), with the queue-wait
+    // segment explicit in the tree.
+    let t = find_trace(addr, trace_id, Duration::from_secs(5))
+        .expect("slow query missing from /v1/traces");
+    assert_eq!(t.get("kept").and_then(Value::as_str), Some("slow"));
+    assert_query_trace_tree(trace_id, &t, 1);
+    let wait_stage_ms = dur_ms_of(stage(&t, "serve.queue_wait").expect("queue_wait stage"));
+    assert!(wait_stage_ms >= 250.0, "queue_wait stage records {wait_stage_ms}ms");
+    let total = t.get("total_ms").and_then(Value::as_f64).expect("total_ms");
+    assert!(total >= wait_stage_ms, "total {total}ms below its queue wait {wait_stage_ms}ms");
+    server.shutdown();
+}
+
+#[test]
+fn prometheus_exposition_round_trips_over_http() {
+    let (server, _ctx) = start_server();
+    let addr = server.addr();
+    for _ in 0..3 {
+        let (status, _) = request(addr, "POST", "/v1/query", Some(QUERY_JSON));
+        assert_eq!(status, 200);
+    }
+    let raw = "GET /metrics?format=prom HTTP/1.1\r\nHost: t\r\n\r\n";
+    let response = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status_of(&response), Some(200), "{response:?}");
+    let ct = header_of(&response, "Content-Type").expect("Content-Type header");
+    assert!(ct.starts_with("text/plain"), "prom exposition content type: {ct}");
+    let body = response.split("\r\n\r\n").nth(1).expect("text body");
+
+    assert!(
+        body.lines().any(|l| l == "# TYPE serve_requests counter"),
+        "missing counter TYPE line:\n{body}"
+    );
+    assert!(
+        body.lines().any(|l| l == "# TYPE serve_request_ms histogram"),
+        "missing histogram TYPE line:\n{body}"
+    );
+    // The request_ms histogram: bucket counts cumulative in le order, the
+    // +Inf bucket equal to _count, and at least our three queries counted
+    // (the registry is process-global, so other tests may add more).
+    let mut prev = 0.0f64;
+    let mut inf: Option<f64> = None;
+    let mut count: Option<f64> = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("serve_request_ms_bucket{le=\"") {
+            let (le, val) = rest.split_once("\"} ").expect("bucket line shape");
+            let v: f64 = val.trim().parse().expect("bucket count parses");
+            assert!(v >= prev, "bucket counts must be cumulative: {line}");
+            prev = v;
+            if le == "+Inf" {
+                inf = Some(v);
+            }
+        } else if let Some(v) = line.strip_prefix("serve_request_ms_count ") {
+            count = Some(v.trim().parse().expect("count parses"));
+        }
+    }
+    let (inf, count) = (inf.expect("+Inf bucket line"), count.expect("_count line"));
+    assert_eq!(inf, count, "+Inf bucket must equal _count");
+    assert!(count >= 3.0, "at least this test's queries are counted");
+    server.shutdown();
+}
+
+#[test]
+fn configured_slos_export_burn_rate_gauges() {
+    let (server, _ctx) = start_server_with(|cfg| {
+        cfg.slos = vec![retia_serve::SloSpec {
+            name: "query".to_string(),
+            metric: "serve.request_ms.query".to_string(),
+            objective: 0.99,
+            threshold_ms: 30_000.0, // nothing in a test run misses this
+            window_s: 300.0,
+        }];
+    });
+    let addr = server.addr();
+    for _ in 0..3 {
+        let (status, _) = request(addr, "POST", "/v1/query", Some(QUERY_JSON));
+        assert_eq!(status, 200);
+    }
+    // /metrics force-ticks the SLO engine, so the gauges are fresh.
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let gauge = |name: &str| body.get("gauges").and_then(|g| g.get(name)).and_then(Value::as_f64);
+    assert_eq!(gauge("slo.query.objective"), Some(0.99), "{body:?}");
+    let compliance = gauge("slo.query.compliance").expect("compliance gauge");
+    assert!(compliance >= 0.99, "a 30s threshold cannot be missed in tests: {compliance}");
+    assert_eq!(gauge("slo.query.burning"), Some(0.0), "{body:?}");
+    assert!(gauge("slo.query.burn_long").is_some() && gauge("slo.query.burn_short").is_some());
+    server.shutdown();
+}
+
 #[test]
 fn sharded_server_answers_bit_identical_to_fused_server() {
     // Identically seeded models behind different shard counts must serve
