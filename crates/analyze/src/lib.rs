@@ -1,7 +1,5 @@
 //! Static analysis and fault injection for the RETIA stack.
 //!
-//! Three parts, all dependency-free:
-//!
 //! - [`shape`] — an abstract shape interpreter. [`ShapeCtx`] replays the
 //!   model's op sequence over [`ShapeTensor`]s (shapes only, no allocation),
 //!   so a full EAM→RAM→TIM→decode→loss→backward pass can be dry-run at
@@ -9,9 +7,18 @@
 //!   module and paper-equation name attached. NN layers expose `validate`
 //!   methods built on this; `retia check` and the pre-`train`/`eval` guard
 //!   in the CLI surface it.
+//! - [`value`] + [`gradflow`] — a value-domain abstract interpreter over the
+//!   same op vocabulary: an interval + finiteness domain ([`AuditCtx`])
+//!   driven by the per-op transfer functions in `retia_tensor::transfer`,
+//!   gradient-flow reachability from the loss (declared-frozen parameters
+//!   and detach boundaries included), and reduction-order sensitivity
+//!   declarations. NN layers expose `audit` twins of `validate`; the
+//!   `retia audit` subcommand, the trainer pre-flight, and the serve boot
+//!   check surface it.
 //! - [`lint`] — the repo-specific source lint behind the `retia-lint` binary
 //!   (`cargo run -p retia-analyze --bin retia-lint`), with an exact-count
-//!   allowlist ratchet in `scripts/lint-allowlist.txt`.
+//!   allowlist ratchet in `scripts/lint-allowlist.txt` and a drift check of
+//!   the reduction-order map in `scripts/reduction-order.txt`.
 //! - [`chaos`] — deterministic fault injection ([`ChaosPlan`]): NaN/inf
 //!   gradient storms at scheduled steps, checkpoint bit-flips and
 //!   truncation, crash-mid-write writers, and dataset-row corruption. The
@@ -19,11 +26,16 @@
 //!   fault-tolerance integration suite uses the byte-level helpers.
 //!
 //! The parallel-plan race prover lives next to the kernels it checks, in
-//! `retia_tensor::parallel`, because the plan type is private to that crate.
+//! `retia_tensor::parallel`, because the plan type is private to that crate;
+//! likewise the transfer functions and reduction-order map live in
+//! `retia_tensor::transfer`, next to the op enum they describe.
 
 pub mod chaos;
+pub mod gradflow;
 pub mod lint;
 pub mod shape;
+pub mod value;
 
 pub use chaos::{ChaosPlan, GradFault};
 pub use shape::{ShapeCtx, ShapeIssue, ShapeReport, ShapeTensor};
+pub use value::{AuditCtx, AuditIssue, AuditKind, AuditReport, FrozenParam};

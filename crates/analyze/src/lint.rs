@@ -1,7 +1,7 @@
 //! Repo-specific source lint (the `retia-lint` binary).
 //!
-//! Six rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as the
-//! evidence corpus for the kernel rule):
+//! Seven rules, scanned over `crates/*/src` (plus `crates/tensor/tests` as
+//! the evidence corpus for the kernel rule):
 //!
 //! - **no-unwrap** — library crates must not call `.unwrap()`, `panic!`, or
 //!   `.expect("")` (an `expect` with an actionable message is fine). The CLI
@@ -24,6 +24,19 @@
 //! - **layer-validate** — every public NN layer struct in `crates/nn/src`
 //!   must expose a `validate` method replaying its shapes through
 //!   [`crate::ShapeCtx`].
+//! - **no-as-cast** — `crates/tensor/src` must not use bare `as` numeric
+//!   casts: `as` silently truncates, wraps, and saturates, which is exactly
+//!   the class of value bug the abstract interpreter exists to rule out.
+//!   Use `From`/`TryFrom` (e.g. `f64::from(x)`, `u32::try_from(n)`) so the
+//!   lossy conversions are explicit. Existing sites are grandfathered with
+//!   exact per-file counts.
+//!
+//! Beyond the per-line rules, [`run`] also diffs the rendered
+//! reduction-order sensitivity map
+//! ([`retia_tensor::transfer::render_reduction_map`]) against the
+//! checked-in `scripts/reduction-order.txt`, so a new accumulation loop (or
+//! a reclassification of an existing one) cannot land without showing up in
+//! review. Regenerate with `retia-lint --write-reduction-map`.
 //!
 //! Grandfathered sites live in `scripts/lint-allowlist.txt` as exact
 //! `path rule count` entries. The ratchet is two-sided: more violations than
@@ -504,6 +517,46 @@ fn scan_layer_validate_rule(files: &[SourceFile], violations: &mut Vec<Violation
     }
 }
 
+/// Numeric primitive types a bare `as` cast can target. `as` between these
+/// silently truncates (`f64 as f32`), wraps (`usize as u32`), or saturates
+/// (`f32 as i64`) — the exact value bugs the interval domain tracks.
+const CAST_TARGETS: [&str; 12] =
+    ["f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"];
+
+/// Rule `no-as-cast`: no bare `as` numeric casts in `crates/tensor/src`.
+/// The kernel crate is where a silently-lossy conversion does the most
+/// damage (it feeds every downstream layer), so conversions there must go
+/// through `From`/`TryFrom`, which name their failure mode.
+fn scan_as_cast_rule(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if !file.path.starts_with("crates/tensor/src/") {
+        return;
+    }
+    let stripped = strip_code(&file.content);
+    let mask = test_block_mask(&stripped);
+    for (idx, line) in stripped.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        for (pos, _) in line.match_indices(" as ") {
+            let target: String = line[pos + " as ".len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if CAST_TARGETS.contains(&target.as_str()) {
+                violations.push(Violation {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: "no-as-cast",
+                    detail: format!(
+                        "bare `as {target}` cast in the kernel crate: use `From`/`TryFrom` so \
+                         the lossy conversion is explicit"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// True if any `impl <name>` block in `stripped` contains `needle`.
 fn impl_blocks_contain(stripped: &[String], name: &str, needle: &str) -> bool {
     let mut idx = 0usize;
@@ -548,6 +601,7 @@ pub fn scan_sources(files: &[SourceFile]) -> Vec<Violation> {
     let mut violations = Vec::new();
     for file in files {
         scan_in_library_rules(file, &mut violations);
+        scan_as_cast_rule(file, &mut violations);
     }
     scan_kernel_rule(files, &mut violations);
     scan_stage_span_rule(files, &mut violations);
@@ -632,6 +686,48 @@ pub fn apply_allowlist(
     failures
 }
 
+// ---- reduction-order map ---------------------------------------------------
+
+/// Path of the checked-in reduction-order sensitivity map, relative to the
+/// workspace root.
+pub const REDUCTION_MAP_PATH: &str = "scripts/reduction-order.txt";
+
+/// Diffs the checked-in reduction-order map against the one rendered from
+/// [`retia_tensor::transfer::REDUCTION_SITES`]. Returns failure lines
+/// (empty = in sync). A missing file fails with regeneration instructions.
+pub fn check_reduction_map(root: &Path) -> std::io::Result<Vec<String>> {
+    let expected = retia_tensor::transfer::render_reduction_map();
+    let path = root.join(REDUCTION_MAP_PATH);
+    let actual = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(vec![format!(
+                "{REDUCTION_MAP_PATH}: missing — generate it with \
+                 `cargo run -p retia-analyze --bin retia-lint -- --write-reduction-map`"
+            )])
+        }
+        Err(e) => return Err(e),
+    };
+    if actual == expected {
+        return Ok(Vec::new());
+    }
+    let mut failures = vec![format!(
+        "{REDUCTION_MAP_PATH}: out of sync with retia_tensor::transfer::REDUCTION_SITES — \
+         regenerate with `retia-lint -- --write-reduction-map` and review the diff"
+    )];
+    let got: Vec<&str> = actual.lines().collect();
+    let want: Vec<&str> = expected.lines().collect();
+    for i in 0..got.len().max(want.len()) {
+        let g = got.get(i).copied().unwrap_or("<missing>");
+        let w = want.get(i).copied().unwrap_or("<missing>");
+        if g != w {
+            failures.push(format!("    line {}: checked in `{g}`, code renders `{w}`", i + 1));
+            break;
+        }
+    }
+    Ok(failures)
+}
+
 // ---- filesystem driver -----------------------------------------------------
 
 fn push_rs_files(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
@@ -691,6 +787,7 @@ pub fn run(root: &Path) -> std::io::Result<LintOutcome> {
         }
         Err(e) => outcome.failures.push(e),
     }
+    outcome.failures.extend(check_reduction_map(root)?);
     Ok(outcome)
 }
 
@@ -858,6 +955,56 @@ mod tests {\n\
                 .to_string(),
         };
         assert!(scan_sources(&[present]).is_empty());
+    }
+
+    #[test]
+    fn as_cast_rule_fires_only_in_the_tensor_crate() {
+        let v = scan_sources(&[lib_file("fn f(n: usize) -> f64 { n as f64 }\n")]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-as-cast");
+        assert!(v[0].detail.contains("as f64"), "{v:?}");
+        // Other crates may cast (their values never feed a kernel directly).
+        let other = SourceFile {
+            path: "crates/nn/src/x.rs".to_string(),
+            content: "fn f(n: usize) -> f64 { n as f64 }\n".to_string(),
+        };
+        assert!(scan_sources(&[other]).is_empty());
+        // `use ... as _` renames and casts in comments/tests are not hits.
+        let ok = lib_file(
+            "use std::fmt::Write as _;\n\
+             // let x = n as f32;\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn g(n: usize) -> f32 { n as f32 }\n}\n",
+        );
+        let ok_hits = scan_sources(std::slice::from_ref(&ok));
+        assert!(ok_hits.is_empty(), "{ok_hits:?}");
+        // Non-numeric `as` (trait objects, pointer syntax in macros) is fine.
+        let dyn_ok = lib_file("fn f(e: E) -> Box<dyn Err> { Box::new(e) as Box<dyn Err> }\n");
+        assert!(scan_sources(&[dyn_ok]).is_empty());
+    }
+
+    #[test]
+    fn reduction_map_check_catches_drift_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("retia-lint-map-{}", std::process::id()));
+        let scripts = dir.join("scripts");
+        std::fs::create_dir_all(&scripts).expect("create temp scripts dir");
+        // Missing file: fails with regeneration instructions.
+        let missing = check_reduction_map(&dir).expect("io ok");
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("--write-reduction-map"), "{missing:?}");
+        // Exact render: clean.
+        let map_path = scripts.join("reduction-order.txt");
+        std::fs::write(&map_path, retia_tensor::transfer::render_reduction_map())
+            .expect("write map");
+        assert!(check_reduction_map(&dir).expect("io ok").is_empty());
+        // One flipped classification: drift reported with the line.
+        let tampered =
+            retia_tensor::transfer::render_reduction_map().replacen("sensitive", "invariant", 1);
+        std::fs::write(&map_path, tampered).expect("write tampered map");
+        let drift = check_reduction_map(&dir).expect("io ok");
+        assert_eq!(drift.len(), 2, "{drift:?}");
+        assert!(drift[0].contains("out of sync"), "{drift:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

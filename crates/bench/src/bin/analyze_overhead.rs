@@ -1,0 +1,65 @@
+//! Measures what the value audit (`retia audit` / the trainer and serve
+//! pre-flights) costs: wall time for one full abstract interpretation of the
+//! model step — intervals, gradient-flow reachability, reduction-order
+//! checks — at smoke dims and at the paper's ICEWS14 dims.
+//!
+//! Writes `BENCH_analyze.json` in the working directory. The budget
+//! (DESIGN.md §8) is **under 1 second at paper dims**: the audit runs on
+//! every trainer construction and serve boot, so it must stay negligible
+//! next to a single training epoch. `RETIA_FAST=1` shrinks the run to a
+//! smoke test.
+
+use std::time::Instant;
+
+use retia::{audit_config, RetiaConfig};
+use retia_json::Value;
+
+const PAPER_BUDGET_S: f64 = 1.0;
+
+/// Mean seconds per audit over `rounds` runs, plus the op count of one run.
+fn time_audit(cfg: &RetiaConfig, ents: usize, rels: usize, rounds: usize) -> (f64, u64) {
+    let report = audit_config(cfg, ents, rels);
+    assert!(report.is_clean(), "bench config must audit clean:\n{report}");
+    let ops = report.ops_checked as u64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let r = audit_config(cfg, ents, rels);
+        assert!(r.is_clean());
+    }
+    (t0.elapsed().as_secs_f64() / rounds as f64, ops)
+}
+
+fn main() {
+    let fast = std::env::var("RETIA_FAST").map(|v| v == "1").unwrap_or(false);
+    let rounds = if fast { 2usize } else { 10usize };
+
+    // Smoke dims: what `retia audit` uses without a dataset on disk.
+    let tiny = RetiaConfig { dim: 32, channels: 8, k: 3, ..Default::default() };
+    let (tiny_s, tiny_ops) = time_audit(&tiny, 128, 16, rounds);
+
+    // Paper dims: ICEWS14 entity/relation counts at the published model size.
+    let paper = RetiaConfig { dim: 200, channels: 50, k: 3, ..Default::default() };
+    let (paper_s, paper_ops) = time_audit(&paper, 23_033, 256, rounds);
+
+    let mut root = Value::object();
+    root.insert("bench", Value::from("analyze_overhead"));
+    root.insert("rounds", Value::from(rounds as u64));
+    root.insert("tiny_s_per_audit", Value::from(tiny_s));
+    root.insert("tiny_ops_checked", Value::from(tiny_ops));
+    root.insert("paper_s_per_audit", Value::from(paper_s));
+    root.insert("paper_ops_checked", Value::from(paper_ops));
+    root.insert("paper_budget_s", Value::from(PAPER_BUDGET_S));
+    root.insert("within_budget", Value::from(paper_s < PAPER_BUDGET_S));
+    let path = "BENCH_analyze.json";
+    std::fs::write(path, root.to_string_pretty()).expect("write BENCH_analyze.json");
+
+    println!(
+        "tiny {:.2} ms/audit ({} ops), paper {:.2} ms/audit ({} ops, budget {}s), wrote {}",
+        tiny_s * 1e3,
+        tiny_ops,
+        paper_s * 1e3,
+        paper_ops,
+        PAPER_BUDGET_S,
+        path
+    );
+}

@@ -171,6 +171,82 @@ pub fn check(raw: &[String]) -> Result<(), String> {
     }
 }
 
+/// `retia audit [--data DIR] [--all-configs] [hyperparameters...]`: value
+/// audit of one full training step — interval/finiteness abstract
+/// interpretation, gradient-flow reachability from the loss, and
+/// reduction-order declarations — without touching any floating-point
+/// tensor data. With `--all-configs`, sweeps every relation/hyperrelation
+/// ablation mode the paper exercises.
+pub fn audit(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["no-tim", "no-eam", "all-configs"])?;
+    let cfg = model_config_from(&args)?;
+    let (name, n, m) = match args.get("data") {
+        Some(_) => {
+            let ds = load_data(&args)?;
+            (ds.name.clone(), ds.num_entities, ds.num_relations)
+        }
+        // No dataset on hand: audit against a stand-in shape (the findings
+        // this catches are independent of N and M).
+        None => ("stand-in shape".to_string(), 128, 16),
+    };
+    let start = std::time::Instant::now();
+    if args.flag("all-configs") {
+        let mut ops = 0usize;
+        let mut configs = 0usize;
+        for rm in [
+            retia::RelationMode::None,
+            retia::RelationMode::Static,
+            retia::RelationMode::Mp,
+            retia::RelationMode::MpLstm,
+            retia::RelationMode::MpLstmAgg,
+        ] {
+            for hm in
+                [retia::HyperrelMode::Init, retia::HyperrelMode::Hmp, retia::HyperrelMode::HmpHlstm]
+            {
+                for (tim, eam) in [(true, true), (false, true), (true, false)] {
+                    let cfg = RetiaConfig {
+                        relation_mode: rm,
+                        hyperrel_mode: hm,
+                        use_tim: tim,
+                        use_eam: eam,
+                        ..cfg.clone()
+                    };
+                    let report = retia::audit_config(&cfg, n, m);
+                    if !report.is_clean() {
+                        return Err(format!(
+                            "value audit failed for {rm:?}/{hm:?}/tim={tim}/eam={eam} \
+                             against `{name}` ({n} entities, {m} relations):\n{report}"
+                        ));
+                    }
+                    ops += report.ops_checked;
+                    configs += 1;
+                }
+            }
+        }
+        println!(
+            "ok: {ops} ops value-audited across {configs} configurations against \
+             `{name}` ({n} entities, {m} relations) in {:.1?}",
+            start.elapsed()
+        );
+        return Ok(());
+    }
+    let report = retia::audit_config(&cfg, n, m);
+    if report.is_clean() {
+        println!(
+            "ok: {} ops value-audited against `{name}` ({n} entities, {m} relations) in \
+             {:.1?} — {} param(s) declared, {} reached, {} declared detach(es)",
+            report.ops_checked,
+            start.elapsed(),
+            report.params_declared,
+            report.params_reached,
+            report.detaches.len()
+        );
+        Ok(())
+    } else {
+        Err(format!("value audit failed against `{name}` ({n} entities, {m} relations):\n{report}"))
+    }
+}
+
 /// `retia train --data DIR --out FILE [--resume DIR] [--checkpoint-dir DIR]
 /// [hyperparameters...]`.
 pub fn train(raw: &[String]) -> Result<(), String> {

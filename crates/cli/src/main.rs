@@ -4,6 +4,7 @@
 //! retia generate --profile icews14 --out data/icews14      # synthesize a dataset
 //! retia stats    --data data/icews14                       # Table-V statistics + temporal structure
 //! retia check    --data data/icews14 --dim 200             # dry-run the model's shapes (no training)
+//! retia audit    --data data/icews14 --dim 200             # value audit: finiteness + gradient flow
 //! retia train    --data data/icews14 --out model.bin --epochs 10
 //! retia evaluate --data data/icews14 --model model.bin --split test --online
 //! retia predict  --data data/icews14 --model model.bin --subject 3 --relation 2 --topk 5
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
         "check" => commands::check(rest),
+        "audit" => commands::audit(rest),
         "train" => commands::train(rest),
         "evaluate" => commands::evaluate(rest),
         "predict" => commands::predict(rest),
@@ -62,6 +64,13 @@ COMMANDS:
                backward) without training; reports every mismatch with the
                module and paper-equation name
                [--data DIR] [--dim N] [--k N] [--channels N] [--no-tim] [--no-eam]
+    audit      value audit of a configuration (no training): interval/finiteness
+               abstract interpretation of evolve -> decode -> loss under the
+               parameter envelope, gradient-flow reachability reconciled with
+               the configuration's frozen set, and reduction-order checks;
+               --all-configs sweeps every ablation mode
+               [--data DIR] [--all-configs] [--dim N] [--k N] [--channels N]
+               [--no-tim] [--no-eam]
     train      train a RETIA model and write a checkpoint
                --data DIR --out FILE [--dim N] [--k N] [--epochs N] [--channels N]
                [--lr F] [--lambda F] [--seed N] [--no-tim] [--no-eam] [--static-weight F]

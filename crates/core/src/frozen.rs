@@ -13,7 +13,10 @@
 
 use std::rc::Rc;
 
+use retia_analyze::value::PARAM_BOUND;
+use retia_analyze::{AuditCtx, AuditReport};
 use retia_graph::{HyperSnapshot, Snapshot};
+use retia_tensor::transfer::Interval;
 use retia_tensor::{Graph, Tensor};
 
 use crate::config::RetiaConfig;
@@ -138,6 +141,12 @@ impl FrozenModel {
         assert_eq!(g.tape_ops(), 0, "inference decode must not allocate a tape");
 
         let ranges: Vec<(usize, usize)> = retia_eval::shard_ranges(n, shards);
+        // Interval-overlap proof for the column sharding: the shard ranges
+        // must partition the candidate columns exactly, or two threads
+        // would score (and later stitch) the same logit column.
+        let col_plan: Vec<std::ops::Range<usize>> = ranges.iter().map(|&(lo, hi)| lo..hi).collect();
+        let plan = retia_tensor::parallel::verify_col_plan(n, &col_plan);
+        assert!(plan.is_ok(), "decode shard plan failed the column race prover: {plan:?}");
         // Phase 2: shard threads score candidate ranges. Only the detached
         // tensors are borrowed into the scope, and results come back in
         // shard order via the join handles, so the merge is deterministic.
@@ -201,6 +210,78 @@ impl FrozenModel {
         let p = self.model.relation_prob_sum(&mut g, &evolved, Rc::new(subjects), Rc::new(objects));
         assert_eq!(g.tape_ops(), 0, "inference decode must not allocate a tape");
         g.detach(p)
+    }
+
+    /// Value audit of the serving decode: replays the cached-state decode
+    /// (Eq. 11–14 without the loss) over the interval domain, with the
+    /// frozen window states entering as *declared* detach boundaries and
+    /// the decoder weights as constant sources — then proves the abstract
+    /// tape declares zero trainable parameters, which is exactly the
+    /// no-grad guarantee the `tape_ops() == 0` asserts enforce at runtime.
+    /// The sharded decode's column split is declared as a reorder of the
+    /// `matmul_nt` output lanes, which the sensitivity map must rule legal.
+    ///
+    /// The serve boot check runs this before accepting traffic.
+    pub fn audit(&self) -> AuditReport {
+        let mut ctx = AuditCtx::new();
+        let cfg = self.cfg();
+        let n = self.num_entities();
+        let m = self.num_relations();
+        let m2 = 2 * m;
+        let d = cfg.dim;
+        let k = cfg.k.max(1);
+        let env = Interval::new(-PARAM_BOUND, PARAM_BOUND);
+        let queries = 8; // abstract query count; intervals are row-uniform
+
+        ctx.scoped("serve", None, |ctx| {
+            // The entity-sharded decode splits candidate columns across
+            // threads: a reorder of the scoring matmul's output lanes.
+            ctx.reorder("matmul_nt", "output-lanes");
+
+            let states: Vec<_> = (0..k)
+                .map(|_| {
+                    let e_raw = ctx.source(n, d, env);
+                    let e = ctx.detach(
+                        e_raw,
+                        "frozen window states: evolve_window detaches the last-k \
+                         entity embeddings",
+                    );
+                    let r_raw = ctx.source(m2, d, env);
+                    let r = ctx.detach(
+                        r_raw,
+                        "frozen window states: evolve_window detaches the last-k \
+                         relation embeddings",
+                    );
+                    (e, r)
+                })
+                .collect();
+
+            ctx.scoped("decode.entity", Some("Eq. 11/13"), |ctx| {
+                let mut probs = Vec::with_capacity(states.len());
+                for &(e_t, r_t) in &states {
+                    let s_emb = ctx.gather_rows(e_t, queries);
+                    let r_emb = ctx.gather_rows(r_t, queries);
+                    let logits = self.model.dec_entity.audit_frozen(ctx, s_emb, r_emb, e_t);
+                    probs.push(ctx.softmax_rows(logits));
+                }
+                ctx.add_n(&probs)
+            });
+
+            ctx.scoped("decode.relation", Some("Eq. 12/14"), |ctx| {
+                let mut probs = Vec::with_capacity(states.len());
+                for &(e_t, r_t) in &states {
+                    let s_emb = ctx.gather_rows(e_t, queries);
+                    let o_emb = ctx.gather_rows(e_t, queries);
+                    let cand = ctx.gather_rows(r_t, m);
+                    let logits = self.model.dec_relation.audit_frozen(ctx, s_emb, o_emb, cand);
+                    probs.push(ctx.softmax_rows(logits));
+                }
+                ctx.add_n(&probs)
+            });
+        });
+
+        ctx.check_no_trainable_params();
+        ctx.finish()
     }
 
     /// Re-inserts cached embedding matrices as constants of a fresh
@@ -279,6 +360,16 @@ mod tests {
         // shards=1 must route through the fused path unchanged.
         let one = fm.decode_entity_sharded(&frozen, subjects, rels, 1);
         assert_eq!(one.data(), fused.data());
+    }
+
+    #[test]
+    fn serving_audit_is_clean_with_zero_params_and_declared_detaches() {
+        let (fm, _) = setup();
+        let report = fm.audit();
+        assert!(report.is_clean(), "serving audit found:\n{report}");
+        assert_eq!(report.params_declared, 0, "inference replay declared trainable params");
+        assert!(!report.detaches.is_empty(), "frozen-state detaches were not declared");
+        assert!(report.ops_checked > 10);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! 3–8 are all fields of [`RetiaConfig`]: [`RelationMode`], [`HyperrelMode`],
 //! `use_tim`, `use_eam`, `online`.
 
+mod audit;
 mod checkpoint;
 mod config;
 mod context;
@@ -54,11 +55,12 @@ mod model;
 mod trainer;
 mod validate;
 
+pub use audit::audit_config;
 pub use checkpoint::CheckpointPolicy;
 pub use config::{HyperrelMode, RelationMode, RetiaConfig};
 pub use context::{Split, TkgContext};
 pub use frozen::{FrozenModel, FrozenStates};
 pub use model::{entity_queries, relation_queries, EvolvedState, Retia};
-pub use retia_analyze::{ShapeIssue, ShapeReport};
+pub use retia_analyze::{AuditIssue, AuditReport, ShapeIssue, ShapeReport};
 pub use trainer::{DivergenceReport, EpochLoss, EvalReport, RecoveryPolicy, TrainError, Trainer};
 pub use validate::validate_config;

@@ -31,12 +31,12 @@ pub struct Retia {
     store: ParamStore,
     pub(crate) ram_rgcn: RelationRgcn,
     pub(crate) eam_rgcn: EntityRgcn,
-    rel_gru: GruCell,
-    ent_gru: GruCell,
-    tim_lstm: LstmCell,
-    hyper_lstm: LstmCell,
-    dec_entity: ConvTransE,
-    dec_relation: ConvTransE,
+    pub(crate) rel_gru: GruCell,
+    pub(crate) ent_gru: GruCell,
+    pub(crate) tim_lstm: LstmCell,
+    pub(crate) hyper_lstm: LstmCell,
+    pub(crate) dec_entity: ConvTransE,
+    pub(crate) dec_relation: ConvTransE,
 }
 
 impl Retia {

@@ -50,7 +50,7 @@ impl ModelWiring {
 /// index spaces: entity ids `0` and `N-1`, relation ids `0` and `M-1`, so
 /// any gather/scatter whose index space is off-by-one or mis-sized is
 /// caught without running on real data.
-fn synthetic_window(
+pub(crate) fn synthetic_window(
     num_entities: usize,
     num_relations: usize,
 ) -> (Vec<Snapshot>, Vec<HyperSnapshot>, Snapshot) {

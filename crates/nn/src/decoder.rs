@@ -11,7 +11,9 @@
 //! layer norm here (our substrate has no running-statistics batch norm);
 //! the substitution is recorded in DESIGN.md.
 
-use retia_analyze::{ShapeCtx, ShapeTensor};
+use retia_analyze::value::{AbsId, PARAM_BOUND};
+use retia_analyze::{AuditCtx, ShapeCtx, ShapeTensor};
+use retia_tensor::transfer::Interval;
 use retia_tensor::{Graph, NodeId, ParamStore};
 
 /// Convolutional decoder producing `[queries, candidates]` score matrices.
@@ -146,6 +148,61 @@ impl ConvTransE {
             let normed2 = ctx.unary("layer_norm_rows", proj);
             let act2 = ctx.unary("relu", normed2);
             let q = ctx.unary("dropout", act2);
+            ctx.matmul_nt(q, candidates)
+        })
+    }
+
+    /// Value-domain replay of the query embedding (the part of
+    /// [`ConvTransE::forward`] before candidate scoring), declaring the
+    /// conv/projection weights by their store names.
+    pub fn audit_query_repr(&self, ctx: &mut AuditCtx, a: AbsId, b: AbsId) -> AbsId {
+        ctx.scoped("ConvTransE", Some("Eq. 11/12"), |ctx| {
+            let stacked = ctx.concat_cols(a, b);
+            let x = ctx.dropout(stacked, f64::from(self.dropout));
+            let cw = ctx.param(&self.conv_w, self.channels, 2 * self.ksize);
+            let cb = ctx.param(&self.conv_b, 1, self.channels);
+            let conv = ctx.conv1d(x, cw, cb, 2, self.channels, self.ksize);
+            let normed = ctx.layer_norm_rows(conv);
+            let act = ctx.relu(normed);
+            let act = ctx.dropout(act, f64::from(self.dropout));
+            let fw = ctx.param(&self.fc_w, self.channels * self.dim, self.dim);
+            let fb = ctx.param(&self.fc_b, 1, self.dim);
+            let proj = ctx.matmul(act, fw);
+            let proj = ctx.add_bias(proj, fb);
+            let normed2 = ctx.layer_norm_rows(proj);
+            let act2 = ctx.relu(normed2);
+            ctx.dropout(act2, f64::from(self.dropout))
+        })
+    }
+
+    /// Value-domain replay of [`ConvTransE::forward`].
+    pub fn audit(&self, ctx: &mut AuditCtx, a: AbsId, b: AbsId, candidates: AbsId) -> AbsId {
+        let q = self.audit_query_repr(ctx, a, b);
+        ctx.scoped("ConvTransE", Some("Eq. 11/12"), |ctx| ctx.matmul_nt(q, candidates))
+    }
+
+    /// Value-domain replay of [`ConvTransE::forward`] for the frozen
+    /// serving path: the weights enter as constant sources under the
+    /// parameter envelope instead of trainable declarations, so an
+    /// inference-graph audit can prove the tape holds zero parameters.
+    pub fn audit_frozen(&self, ctx: &mut AuditCtx, a: AbsId, b: AbsId, candidates: AbsId) -> AbsId {
+        ctx.scoped("ConvTransE", Some("Eq. 11/12"), |ctx| {
+            let env = Interval::new(-PARAM_BOUND, PARAM_BOUND);
+            let stacked = ctx.concat_cols(a, b);
+            let x = ctx.dropout(stacked, f64::from(self.dropout));
+            let cw = ctx.source(self.channels, 2 * self.ksize, env);
+            let cb = ctx.source(1, self.channels, env);
+            let conv = ctx.conv1d(x, cw, cb, 2, self.channels, self.ksize);
+            let normed = ctx.layer_norm_rows(conv);
+            let act = ctx.relu(normed);
+            let act = ctx.dropout(act, f64::from(self.dropout));
+            let fw = ctx.source(self.channels * self.dim, self.dim, env);
+            let fb = ctx.source(1, self.dim, env);
+            let proj = ctx.matmul(act, fw);
+            let proj = ctx.add_bias(proj, fb);
+            let normed2 = ctx.layer_norm_rows(proj);
+            let act2 = ctx.relu(normed2);
+            let q = ctx.dropout(act2, f64::from(self.dropout));
             ctx.matmul_nt(q, candidates)
         })
     }

@@ -23,6 +23,11 @@
 //! mismatches in a [`retia_analyze::ShapeCtx`] instead of panicking. The
 //! model-level dry run in `retia`'s `validate` module composes these to
 //! check an entire configuration before any training step.
+//!
+//! Layers likewise expose an `audit` twin — a value-domain replay over
+//! interval abstractions in a [`retia_analyze::AuditCtx`] that declares the
+//! layer's trainable parameters by store name, so the model-level audit can
+//! prove finiteness and gradient-flow reachability (`retia audit`).
 
 mod decoder;
 mod linear;
@@ -32,6 +37,6 @@ mod rnn;
 
 pub use decoder::ConvTransE;
 pub use linear::Linear;
-pub use pooling::{mean_pool_segments, validate_mean_pool_segments};
+pub use pooling::{audit_mean_pool_segments, mean_pool_segments, validate_mean_pool_segments};
 pub use rgcn::{EntityRgcn, RelationRgcn, WeightMode};
 pub use rnn::{GruCell, LstmCell};

@@ -2,7 +2,9 @@
 
 use std::rc::Rc;
 
-use retia_analyze::{ShapeCtx, ShapeTensor};
+use retia_analyze::value::AbsId;
+use retia_analyze::{AuditCtx, ShapeCtx, ShapeTensor};
+use retia_tensor::transfer::Interval;
 use retia_tensor::{Graph, NodeId};
 
 /// Mean-pools rows of `x` (`[n, d]`) over `segments`: output row `i` is the
@@ -55,6 +57,26 @@ pub fn validate_mean_pool_segments(
         let gathered = ctx.gather_rows(x, &flat);
         let summed = ctx.scatter_add_rows(gathered, &seg_ids, num_segments);
         ctx.row_scale(summed, num_segments)
+    })
+}
+
+/// Value-domain replay of [`mean_pool_segments`]. The per-segment
+/// `1/count` weights live in `(0, 1]` (exactly 0 for empty segments), so
+/// the pooled rows stay inside the hull of the inputs and zero.
+pub fn audit_mean_pool_segments(ctx: &mut AuditCtx, x: AbsId, segments: &[Vec<u32>]) -> AbsId {
+    ctx.scoped("mean_pool_segments", Some("Eq. 7/9"), |ctx| {
+        let num_segments = segments.len();
+        let total: usize = segments.iter().map(Vec::len).sum();
+        if total == 0 {
+            // All segments empty: a zero constant with no gradient path —
+            // mirrored so the flow walk sees the same disconnection the
+            // real graph has.
+            let (_, d) = ctx.shape(x);
+            return ctx.source(num_segments, d, Interval::point(0.0));
+        }
+        let gathered = ctx.gather_rows(x, total);
+        let summed = ctx.scatter_add_rows(gathered, num_segments);
+        ctx.row_scale(summed, Interval::new(0.0, 1.0))
     })
 }
 

@@ -16,8 +16,10 @@
 
 use std::rc::Rc;
 
-use retia_analyze::{ShapeCtx, ShapeTensor};
+use retia_analyze::value::AbsId;
+use retia_analyze::{AuditCtx, ShapeCtx, ShapeTensor};
 use retia_graph::{HyperSnapshot, Snapshot, NUM_HYPERRELS_WITH_INV};
+use retia_tensor::transfer::Interval;
 use retia_tensor::{Graph, NodeId, ParamStore};
 
 /// How per-edge-type transforms are parameterized.
@@ -233,6 +235,92 @@ impl RgcnCore {
             ctx.unary("dropout", activated)
         })
     }
+
+    /// Value-domain replay of [`RgcnCore::layer`], declaring every layer
+    /// parameter the real graph would touch for these edge arrays. In
+    /// `PerRelation` mode, `w{r}` for an edge type with an empty range in
+    /// this window is *not* declared — mirroring the real graph, which never
+    /// creates that param node; the model-level audit declares such params
+    /// frozen with a "type absent from the audit window" reason.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_layer(
+        &self,
+        ctx: &mut AuditCtx,
+        layer: usize,
+        h_nodes: AbsId,
+        edge_emb: AbsId,
+        num_edges: usize,
+        type_ranges: &[(usize, usize)],
+        num_nodes: usize,
+    ) -> AbsId {
+        let scope = format!("layer {layer}");
+        ctx.scoped(&scope, None, |ctx| {
+            let w0 = ctx.param(&format!("{}.l{layer}.wself", self.prefix), self.dim, self.dim);
+            let self_part = ctx.matmul(h_nodes, w0);
+            let mut out = self_part;
+            if num_edges > 0 {
+                let h_src = ctx.gather_rows(h_nodes, num_edges);
+                let e_edge = ctx.gather_rows(edge_emb, num_edges);
+                let raw = ctx.add(h_src, e_edge);
+                // Degree norms are 1/c_{o,r} in (0, 1].
+                let msg = ctx.row_scale(raw, Interval::new(0.0, 1.0));
+                let transformed = match self.mode {
+                    WeightMode::Basis(nb) => {
+                        let coef = ctx.param(
+                            &format!("{}.l{layer}.coef", self.prefix),
+                            self.num_edge_types,
+                            nb,
+                        );
+                        let coef_per_edge = ctx.gather_rows(coef, num_edges);
+                        let mut acc: Option<AbsId> = None;
+                        for b in 0..nb {
+                            let vb = ctx.param(
+                                &format!("{}.l{layer}.basis{b}", self.prefix),
+                                self.dim,
+                                self.dim,
+                            );
+                            let xb = ctx.matmul(msg, vb);
+                            let cb = ctx.slice_cols(coef_per_edge, b, b + 1);
+                            let scaled = ctx.mul_col(xb, cb);
+                            acc = Some(match acc {
+                                Some(a) => ctx.add(a, scaled),
+                                None => scaled,
+                            });
+                        }
+                        let t = acc.unwrap_or(msg);
+                        ctx.scatter_add_rows(t, num_nodes)
+                    }
+                    WeightMode::PerRelation => {
+                        let mut acc: Option<AbsId> = None;
+                        for (r, &(a, b)) in type_ranges.iter().enumerate() {
+                            if b == a {
+                                continue;
+                            }
+                            let mr = ctx.gather_rows(msg, b - a);
+                            let wr = ctx.param(
+                                &format!("{}.l{layer}.w{r}", self.prefix),
+                                self.dim,
+                                self.dim,
+                            );
+                            let t = ctx.matmul(mr, wr);
+                            let part = ctx.scatter_add_rows(t, num_nodes);
+                            acc = Some(match acc {
+                                Some(x) => ctx.add(x, part),
+                                None => part,
+                            });
+                        }
+                        match acc {
+                            Some(x) => x,
+                            None => ctx.source(num_nodes, self.dim, Interval::point(0.0)),
+                        }
+                    }
+                };
+                out = ctx.add(out, transformed);
+            }
+            let activated = ctx.rrelu(out);
+            ctx.dropout(activated, f64::from(self.dropout))
+        })
+    }
 }
 
 /// The entity-aggregating R-GCN (Eq. 4).
@@ -323,6 +411,32 @@ impl EntityRgcn {
                     &snap.rel,
                     &snap.dst,
                     &snap.edge_norm,
+                    &snap.rel_ranges,
+                    snap.num_entities,
+                );
+            }
+            h
+        })
+    }
+
+    /// Value-domain replay of [`EntityRgcn::forward`] over `snap`'s real
+    /// edge arrays, declaring the layer weights the real graph would touch.
+    pub fn audit(
+        &self,
+        ctx: &mut AuditCtx,
+        entities: AbsId,
+        relations: AbsId,
+        snap: &Snapshot,
+    ) -> AbsId {
+        ctx.scoped("EntityRgcn", None, |ctx| {
+            let mut h = entities;
+            for l in 0..self.core.num_layers {
+                h = self.core.audit_layer(
+                    ctx,
+                    l,
+                    h,
+                    relations,
+                    snap.num_edges(),
                     &snap.rel_ranges,
                     snap.num_entities,
                 );
@@ -432,6 +546,32 @@ impl RelationRgcn {
                     &hyper.hrel,
                     &hyper.dst,
                     &hyper.edge_norm,
+                    &hyper.hrel_ranges,
+                    hyper.num_rel_nodes,
+                );
+            }
+            h
+        })
+    }
+
+    /// Value-domain replay of [`RelationRgcn::forward`] over `hyper`'s real
+    /// edge arrays.
+    pub fn audit(
+        &self,
+        ctx: &mut AuditCtx,
+        relations: AbsId,
+        hyperrelations: AbsId,
+        hyper: &HyperSnapshot,
+    ) -> AbsId {
+        ctx.scoped("RelationRgcn", None, |ctx| {
+            let mut h = relations;
+            for l in 0..self.core.num_layers {
+                h = self.core.audit_layer(
+                    ctx,
+                    l,
+                    h,
+                    hyperrelations,
+                    hyper.num_edges(),
                     &hyper.hrel_ranges,
                     hyper.num_rel_nodes,
                 );

@@ -13,7 +13,8 @@
 //! into the gate weights, which preserves the information flow. This
 //! deviation is recorded in DESIGN.md.
 
-use retia_analyze::{ShapeCtx, ShapeTensor};
+use retia_analyze::value::AbsId;
+use retia_analyze::{AuditCtx, ShapeCtx, ShapeTensor};
 use retia_tensor::{Graph, NodeId, ParamStore};
 
 /// Gated recurrent unit cell (Cho et al., 2014).
@@ -106,6 +107,37 @@ impl GruCell {
             let r = ctx.add(xr, hr);
             let rhn = ctx.mul(r, hn);
             let n = ctx.add(xn, rhn);
+            let hmn = ctx.sub(h, n);
+            let zh = ctx.mul(z, hmn);
+            ctx.add(n, zh)
+        })
+    }
+
+    /// Value-domain replay of [`GruCell::forward`]: same op sequence over
+    /// intervals, declaring the gate weights by their store names so the
+    /// gradient-flow walk can reconcile them.
+    pub fn audit(&self, ctx: &mut AuditCtx, x: AbsId, h: AbsId) -> AbsId {
+        ctx.scoped("GruCell", None, |ctx| {
+            let d = self.hidden_dim;
+            let w = ctx.param(&self.w, self.input_dim, 3 * d);
+            let u = ctx.param(&self.u, self.hidden_dim, 3 * d);
+            let b = ctx.param(&self.b, 1, 3 * d);
+            let xw = ctx.matmul(x, w);
+            let hu = ctx.matmul(h, u);
+            let xwb = ctx.add_bias(xw, b);
+            let xz = ctx.slice_cols(xwb, 0, d);
+            let xr = ctx.slice_cols(xwb, d, 2 * d);
+            let xn = ctx.slice_cols(xwb, 2 * d, 3 * d);
+            let hz = ctx.slice_cols(hu, 0, d);
+            let hr = ctx.slice_cols(hu, d, 2 * d);
+            let hn = ctx.slice_cols(hu, 2 * d, 3 * d);
+            let z_in = ctx.add(xz, hz);
+            let z = ctx.sigmoid(z_in);
+            let r_in = ctx.add(xr, hr);
+            let r = ctx.sigmoid(r_in);
+            let rhn = ctx.mul(r, hn);
+            let n_in = ctx.add(xn, rhn);
+            let n = ctx.tanh(n_in);
             let hmn = ctx.sub(h, n);
             let zh = ctx.mul(z, hmn);
             ctx.add(n, zh)
@@ -224,6 +256,35 @@ impl LstmCell {
             let ig = ctx.mul(i, gg);
             let c_new = ctx.add(fc, ig);
             let tc = ctx.unary("tanh", c_new);
+            let h_new = ctx.mul(o, tc);
+            (h_new, c_new)
+        })
+    }
+
+    /// Value-domain replay of [`LstmCell::forward`], declaring the gate
+    /// weights by their store names.
+    pub fn audit(&self, ctx: &mut AuditCtx, x: AbsId, h: AbsId, c: AbsId) -> (AbsId, AbsId) {
+        ctx.scoped("LstmCell", None, |ctx| {
+            let d = self.hidden_dim;
+            let w = ctx.param(&self.w, self.input_dim, 4 * d);
+            let u = ctx.param(&self.u, self.hidden_dim, 4 * d);
+            let b = ctx.param(&self.b, 1, 4 * d);
+            let xw = ctx.matmul(x, w);
+            let hu = ctx.matmul(h, u);
+            let pre0 = ctx.add(xw, hu);
+            let pre = ctx.add_bias(pre0, b);
+            let i_in = ctx.slice_cols(pre, 0, d);
+            let f_in = ctx.slice_cols(pre, d, 2 * d);
+            let g_in = ctx.slice_cols(pre, 2 * d, 3 * d);
+            let o_in = ctx.slice_cols(pre, 3 * d, 4 * d);
+            let i = ctx.sigmoid(i_in);
+            let f = ctx.sigmoid(f_in);
+            let gg = ctx.tanh(g_in);
+            let o = ctx.sigmoid(o_in);
+            let fc = ctx.mul(f, c);
+            let ig = ctx.mul(i, gg);
+            let c_new = ctx.add(fc, ig);
+            let tc = ctx.tanh(c_new);
             let h_new = ctx.mul(o, tc);
             (h_new, c_new)
         })

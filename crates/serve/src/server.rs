@@ -182,6 +182,16 @@ impl Server {
         window: Vec<Snapshot>,
         cfg: &ServeConfig,
     ) -> std::io::Result<Server> {
+        // Boot audit: prove the serving decode cannot produce NaN/inf under
+        // the parameter envelope and that the inference replay reaches zero
+        // trainable parameters — before binding a socket.
+        let audit = model.audit();
+        if !audit.is_clean() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("serve boot audit failed:\n{audit}"),
+            ));
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;

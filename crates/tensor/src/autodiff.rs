@@ -95,6 +95,53 @@ enum Op {
     SoftmaxXent(NodeId, Rc<Vec<u32>>),
 }
 
+impl Op {
+    /// Stable key tying each recorded op to its value-domain transfer
+    /// function and reduction-order entries in [`crate::transfer`].
+    /// `Leaf`/`Param` are inputs, not computations, and have no key. The
+    /// lockstep test below keeps this match and the transfer tables from
+    /// drifting apart.
+    fn transfer_key(&self) -> Option<&'static str> {
+        Some(match self {
+            Op::Leaf | Op::Param(_) => return None,
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::AddBias(..) => "add_bias",
+            Op::MulBias(..) => "mul_bias",
+            Op::MulCol(..) => "mul_col",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::MatMul(..) => "matmul",
+            Op::MatMulNT(..) => "matmul_nt",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Relu(..) => "relu",
+            Op::Sin(..) => "sin",
+            Op::Cos(..) => "cos",
+            Op::LeakyRelu(..) => "rrelu",
+            Op::Abs(..) => "abs",
+            Op::Dropout(..) => "dropout",
+            Op::GatherRows(..) => "gather_rows",
+            Op::ScatterAddRows(..) => "scatter_add_rows",
+            Op::RowScale(..) => "row_scale",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::SliceCols(..) => "slice_cols",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::GatherCols(..) => "gather_cols",
+            Op::Ln(..) => "ln",
+            Op::MeanAll(..) => "mean_all",
+            Op::SumAll(..) => "sum_all",
+            Op::SumRows(..) => "sum_rows",
+            Op::AddN(..) => "add_n",
+            Op::NormalizeRows(..) => "normalize_rows",
+            Op::LayerNormRows(..) => "layer_norm_rows",
+            Op::Conv1d { .. } => "conv1d",
+            Op::SoftmaxXent(..) => "softmax_xent",
+        })
+    }
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -151,6 +198,14 @@ impl Graph {
     /// no-grad tests and the serve engine rely on.
     pub fn tape_ops(&self) -> usize {
         self.nodes.iter().filter(|n| !matches!(n.op, Op::Leaf)).count()
+    }
+
+    /// Transfer keys of every recorded op on the tape, in execution order.
+    /// Lets the abstract interpreter (and its tests) check that each op a
+    /// real forward pass records has a transfer function in
+    /// [`crate::transfer`].
+    pub fn tape_transfer_keys(&self) -> Vec<&'static str> {
+        self.nodes.iter().filter_map(|n| n.op.transfer_key()).collect()
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
@@ -1481,5 +1536,109 @@ mod tests {
         let w = g.param(&store, "w");
         let loss = g.sum_all(w);
         g.backward(loss, &mut store);
+    }
+
+    /// Lockstep between the op vocabulary and the transfer tables: exercise
+    /// every computing op once and check (a) each records a transfer key,
+    /// (b) every reduction-site op in `crate::transfer` is a real key.
+    #[test]
+    fn every_op_has_a_transfer_key_and_reduction_sites_match() {
+        let mut store = ParamStore::new(0);
+        store.register("w", sample(3, 3, 1));
+        let mut g = Graph::new(true, 7);
+        let a = g.param(&store, "w");
+        let b = g.constant(sample(3, 3, 2));
+        let bias = g.constant(sample(1, 3, 3));
+        let col = g.constant(sample(3, 1, 4));
+        let s = g.add(a, b);
+        let s = g.sub(s, b);
+        let s = g.mul(s, b);
+        let s = g.add_bias(s, bias);
+        let s = g.mul_bias(s, bias);
+        let s = g.mul_col(s, col);
+        let s = g.scale(s, 0.5);
+        let s = g.add_scalar(s, 1.0);
+        let s = g.matmul(s, b);
+        let s = g.matmul_nt(s, b);
+        let sig = g.sigmoid(s);
+        let th = g.tanh(s);
+        let re = g.relu(s);
+        let sn = g.sin(s);
+        let co = g.cos(s);
+        let rr = g.rrelu(s);
+        let ab = g.abs(s);
+        let dr = g.dropout(s, 0.5);
+        let mix = g.add_n(&[sig, th, re, sn, co, rr, ab, dr]);
+        let gr = g.gather_rows(mix, Rc::new(vec![0, 2, 1]));
+        let sc = g.scatter_add_rows(gr, Rc::new(vec![1, 1, 0]), 3);
+        let rs = g.row_scale(sc, Rc::new(vec![0.5, 1.0, 2.0]));
+        let cc = g.concat_cols(rs, b);
+        let sl = g.slice_cols(cc, 0, 3);
+        let sm = g.softmax_rows(sl);
+        let gc = g.gather_cols(sm, Rc::new(vec![0, 1, 2]));
+        let ln = g.ln(gc, 1e-6);
+        let nr = g.normalize_rows(sl);
+        let lnorm = g.layer_norm_rows(nr);
+        let cw = g.constant(sample(2, 3, 5));
+        let cb = g.constant(sample(1, 2, 6));
+        let cv = g.conv1d(lnorm, cw, cb, 1, 2, 3);
+        let xe = g.softmax_xent(cv, Rc::new(vec![0, 1, 2]));
+        let srows = g.sum_rows(xe);
+        let sall = g.sum_all(srows);
+        let mall = g.mean_all(sall);
+        let _ = (mall, ln);
+
+        let keys = g.tape_transfer_keys();
+        // Every non-input node recorded a key (the one `Param` node is on
+        // the tape but is an input, not a computation).
+        assert_eq!(keys.len() + 1, g.tape_ops());
+        let expected = [
+            "add",
+            "sub",
+            "mul",
+            "add_bias",
+            "mul_bias",
+            "mul_col",
+            "scale",
+            "add_scalar",
+            "matmul",
+            "matmul_nt",
+            "sigmoid",
+            "tanh",
+            "relu",
+            "sin",
+            "cos",
+            "rrelu",
+            "abs",
+            "dropout",
+            "add_n",
+            "gather_rows",
+            "scatter_add_rows",
+            "row_scale",
+            "concat_cols",
+            "slice_cols",
+            "softmax_rows",
+            "gather_cols",
+            "ln",
+            "normalize_rows",
+            "layer_norm_rows",
+            "conv1d",
+            "softmax_xent",
+            "sum_rows",
+            "sum_all",
+            "mean_all",
+        ];
+        for k in expected {
+            assert!(keys.contains(&k), "op `{k}` missing from the recorded tape keys");
+        }
+        // The reduction-order map only names ops that exist.
+        for site in crate::transfer::REDUCTION_SITES {
+            assert!(
+                expected.contains(&site.op),
+                "reduction site `{} {}` names an unknown op",
+                site.op,
+                site.site
+            );
+        }
     }
 }

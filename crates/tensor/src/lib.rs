@@ -58,6 +58,7 @@ pub mod parallel;
 mod param;
 pub mod serialize;
 mod tensor;
+pub mod transfer;
 
 pub use autodiff::{Graph, NodeId};
 pub use param::{ParamId, ParamStore};

@@ -13,6 +13,9 @@ cargo test -q
 echo "==> retia-lint (source conventions; allowlist: scripts/lint-allowlist.txt)"
 cargo run -q -p retia-analyze --bin retia-lint
 
+echo "==> retia audit gate (interval/finiteness + gradient-flow audit over every ablation config)"
+./target/release/retia audit --all-configs
+
 echo "==> write-set-tracked kernel pass (debug assertions + RETIA_WRITE_TRACK=1)"
 RETIA_WRITE_TRACK=1 cargo test -q -p retia-tensor
 

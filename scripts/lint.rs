@@ -2,8 +2,12 @@
 //!
 //! Run as `cargo run -p retia-analyze --bin retia-lint` (wired into
 //! `scripts/check.sh`). Scans `crates/*/src` with the rules in
-//! `retia_analyze::lint` and applies the exact-count allowlist at
-//! `scripts/lint-allowlist.txt`. Exit code 0 = clean, 1 = violations.
+//! `retia_analyze::lint`, applies the exact-count allowlist at
+//! `scripts/lint-allowlist.txt`, and diffs `scripts/reduction-order.txt`
+//! against the in-code sensitivity map. Exit code 0 = clean, 1 = violations.
+//!
+//! `--write-reduction-map` regenerates `scripts/reduction-order.txt` from
+//! `retia_tensor::transfer::REDUCTION_SITES` and exits.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -12,6 +16,19 @@ fn main() -> ExitCode {
     // CARGO_MANIFEST_DIR is crates/analyze; the workspace root is two up.
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = manifest.ancestors().nth(2).unwrap_or(manifest);
+    if std::env::args().any(|a| a == "--write-reduction-map") {
+        let path = root.join(retia_analyze::lint::REDUCTION_MAP_PATH);
+        return match std::fs::write(&path, retia_tensor::transfer::render_reduction_map()) {
+            Ok(()) => {
+                println!("retia-lint: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("retia-lint: failed to write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     let outcome = match retia_analyze::lint::run(root) {
         Ok(o) => o,
         Err(e) => {
