@@ -44,10 +44,12 @@ impl GradFault {
 }
 
 /// A deterministic fault schedule: which [`GradFault`] (if any) fires at
-/// each zero-based training step.
+/// each zero-based training step, and which continual-training rounds the
+/// online trainer should die in outright (`trainer-panic`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ChaosPlan {
     faults: Vec<(GradFault, u64, u64)>, // (fault, first_step, last_step) inclusive
+    panics: Vec<(u64, u64)>,            // (first_round, last_round) inclusive
 }
 
 impl ChaosPlan {
@@ -58,7 +60,7 @@ impl ChaosPlan {
 
     /// True if the plan has no scheduled faults.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.panics.is_empty()
     }
 
     /// Adds a gradient fault at a single step (builder style).
@@ -78,9 +80,23 @@ impl ChaosPlan {
         self.faults.iter().find(|(_, lo, hi)| (*lo..=*hi).contains(&step)).map(|(f, _, _)| *f)
     }
 
+    /// Schedules a trainer panic over an inclusive round range (builder
+    /// style). Rounds count the online supervisor's training attempts, not
+    /// gradient steps.
+    pub fn with_trainer_panic_range(mut self, first: u64, last: u64) -> Self {
+        self.panics.push((first, last));
+        self
+    }
+
+    /// True if the online trainer should panic in continual-training round
+    /// `round` (zero-based).
+    pub fn trainer_panic(&self, round: u64) -> bool {
+        self.panics.iter().any(|(lo, hi)| (*lo..=*hi).contains(&round))
+    }
+
     /// Parses the `RETIA_CHAOS` grammar: `kind@steps[;kind@steps]` with
-    /// `kind ∈ {grad-nan, grad-inf}` and `steps` a comma list of `N` or
-    /// `N-M` (inclusive). An empty string is the empty plan.
+    /// `kind ∈ {grad-nan, grad-inf, trainer-panic}` and `steps` a comma
+    /// list of `N` or `N-M` (inclusive). An empty string is the empty plan.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = ChaosPlan::none();
         for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
@@ -88,12 +104,13 @@ impl ChaosPlan {
                 .split_once('@')
                 .ok_or_else(|| format!("chaos clause `{clause}`: expected `kind@steps`"))?;
             let fault = match kind.trim() {
-                "grad-nan" => GradFault::Nan,
-                "grad-inf" => GradFault::Inf,
+                "grad-nan" => Some(GradFault::Nan),
+                "grad-inf" => Some(GradFault::Inf),
+                "trainer-panic" => None,
                 other => {
                     return Err(format!(
                         "chaos clause `{clause}`: unknown fault kind `{other}` \
-                         (expected grad-nan or grad-inf)"
+                         (expected grad-nan, grad-inf or trainer-panic)"
                     ));
                 }
             };
@@ -108,7 +125,10 @@ impl ChaosPlan {
                 if lo > hi {
                     return Err(format!("chaos clause `{clause}`: empty range `{part}`"));
                 }
-                plan.faults.push((fault, lo, hi));
+                match fault {
+                    Some(f) => plan.faults.push((f, lo, hi)),
+                    None => plan.panics.push((lo, hi)),
+                }
             }
         }
         Ok(plan)
@@ -194,6 +214,26 @@ mod tests {
         assert_eq!(plan.grad_fault(12), Some(GradFault::Inf));
         assert_eq!(plan.grad_fault(13), None);
         assert_eq!(plan.grad_fault(0), None);
+    }
+
+    #[test]
+    fn parse_trainer_panic_rounds() {
+        let plan = ChaosPlan::parse("trainer-panic@1,4-5;grad-nan@0").unwrap();
+        assert!(!plan.trainer_panic(0));
+        assert!(plan.trainer_panic(1));
+        assert!(plan.trainer_panic(4));
+        assert!(plan.trainer_panic(5));
+        assert!(!plan.trainer_panic(6));
+        assert_eq!(plan.grad_fault(0), Some(GradFault::Nan));
+        assert_eq!(
+            plan,
+            ChaosPlan::none()
+                .with_trainer_panic_range(1, 1)
+                .with_trainer_panic_range(4, 5)
+                .with_grad_fault(GradFault::Nan, 0)
+        );
+        // A panic-only plan is not empty.
+        assert!(!ChaosPlan::parse("trainer-panic@0").unwrap().is_empty());
     }
 
     #[test]

@@ -442,10 +442,39 @@ fn parse_slos(spec: &str) -> Result<Vec<retia_serve::SloSpec>, String> {
     Ok(out)
 }
 
+/// Builds the continual-learning options for `serve --online` /
+/// `loadtest --online` from the shared flag set, arming `RETIA_CHAOS`
+/// fault injection against the online trainer when the env var is set.
+fn parse_online_options(args: &Args) -> Result<retia_serve::OnlineOptions, String> {
+    let d = retia_serve::OnlineOptions::default();
+    let chaos = retia_analyze::ChaosPlan::from_env().map_err(|e| format!("RETIA_CHAOS: {e}"))?;
+    if !chaos.is_empty() {
+        event!(
+            Level::Warn,
+            "chaos.armed";
+            "RETIA_CHAOS fault plan armed: the online trainer will inject faults"
+        );
+    }
+    Ok(retia_serve::OnlineOptions {
+        steps: args.get_or("online-steps", d.steps)?,
+        interval: std::time::Duration::from_millis(
+            args.get_or("online-interval-ms", d.interval.as_millis() as u64)?,
+        ),
+        max_staleness: args.get_or("max-staleness", d.max_staleness)?,
+        drift_threshold: args.get_or("drift-threshold", d.drift_threshold)?,
+        drift_window: args.get_or("drift-window", d.drift_window)?,
+        chaos,
+    })
+}
+
 /// `retia serve --data DIR --resume CKPT_DIR [--port N] [--host H]
-/// [--workers N]`: online inference over HTTP from a checkpoint directory.
+/// [--workers N] [--online] [--ingest-log FILE]`: online inference over HTTP
+/// from a checkpoint directory. `--online` adds the isolated continual
+/// trainer (atomic swaps, drift rollback; tune with `--online-steps`,
+/// `--online-interval-ms`, `--max-staleness`, `--drift-threshold`,
+/// `--drift-window`); `--ingest-log` makes ingests durable across restarts.
 pub fn serve(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
+    let args = Args::parse(raw, &["online"])?;
     let trace = init_obs(&args)?;
     let ds = load_data(&args)?;
     let dir = PathBuf::from(args.require("resume")?);
@@ -470,6 +499,8 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         },
         trace_slow_ms: args.get_or("trace-slow-ms", defaults.trace_slow_ms)?,
         trace_sample_every: args.get_or("trace-sample", defaults.trace_sample_every)?,
+        online: if args.flag("online") { Some(parse_online_options(&args)?) } else { None },
+        ingest_log: args.get("ingest-log").map(PathBuf::from),
         ..defaults
     };
     let server = retia_serve::Server::start(retia::FrozenModel::new(trainer.model), window, &cfg)
@@ -479,8 +510,11 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     println!("listening on http://{}", server.addr());
     println!(
         "endpoints: POST /v1/query  POST /v1/ingest  GET /healthz  GET /metrics  \
-         GET /v1/traces  POST /admin/shutdown"
+         GET /v1/traces  GET /v1/drift  POST /admin/shutdown"
     );
+    if cfg.online.is_some() {
+        println!("online continual trainer enabled (watch GET /v1/drift and /healthz)");
+    }
     server.wait();
     println!("drained and stopped");
     finish_obs(trace);
@@ -497,8 +531,34 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
 /// self-hosted server honors `--workers`, `--queue-cap` and
 /// `--decode-shards`. Exits nonzero if any response was a 5xx or no request
 /// succeeded at all.
+/// Self-hosts the loadtest's tiny synthetic server on an ephemeral port,
+/// optionally with the continual trainer enabled. Returns the server plus
+/// the id spaces the generator may draw from.
+fn self_host_tiny(
+    args: &Args,
+    online: Option<retia_serve::OnlineOptions>,
+) -> Result<(retia_serve::Server, u32, u32), String> {
+    let ds = SyntheticConfig::tiny(7).generate();
+    let ctx = TkgContext::new(&ds);
+    let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
+    let model = Retia::new(&cfg, &ds);
+    let defaults = retia_serve::ServeConfig::default();
+    let scfg = retia_serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: args.get_or("workers", 4usize)?,
+        queue_cap: args.get_or("queue-cap", defaults.queue_cap)?,
+        decode_shards: args.get_or("decode-shards", defaults.decode_shards)?,
+        online,
+        ..defaults
+    };
+    let server = retia_serve::Server::start(retia::FrozenModel::new(model), ctx.snapshots, &scfg)
+        .map_err(|e| format!("{}: {e}", scfg.addr))?;
+    Ok((server, ds.num_entities as u32, ds.num_relations as u32))
+}
+
 pub fn loadtest(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[])?;
+    let args = Args::parse(raw, &["online"])?;
+    let online = args.flag("online");
     let levels: Vec<usize> = args
         .get("connections")
         .unwrap_or("1,2,4,8,16,32,64")
@@ -506,6 +566,11 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
         .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad --connections `{s}`: {e}")))
         .collect::<Result<_, _>>()?;
     let out = PathBuf::from(args.get("out").unwrap_or("BENCH_serve.json"));
+    if online && args.get("addr").is_some() {
+        return Err(
+            "--online self-hosts its train-active server; it cannot target --addr".to_string()
+        );
+    }
 
     // Target a live server, or self-host a tiny synthetic one on port 0.
     let (addr, entities, relations, server) = match args.get("addr") {
@@ -516,23 +581,9 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
             (addr, args.get_or("entities", 1u32)?, args.get_or("relations", 1u32)?, None)
         }
         None => {
-            let ds = SyntheticConfig::tiny(7).generate();
-            let ctx = TkgContext::new(&ds);
-            let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
-            let model = Retia::new(&cfg, &ds);
-            let defaults = retia_serve::ServeConfig::default();
-            let scfg = retia_serve::ServeConfig {
-                addr: "127.0.0.1:0".to_string(),
-                workers: args.get_or("workers", 4usize)?,
-                queue_cap: args.get_or("queue-cap", defaults.queue_cap)?,
-                decode_shards: args.get_or("decode-shards", defaults.decode_shards)?,
-                ..defaults
-            };
-            let server =
-                retia_serve::Server::start(retia::FrozenModel::new(model), ctx.snapshots, &scfg)
-                    .map_err(|e| format!("{}: {e}", scfg.addr))?;
+            let (server, entities, relations) = self_host_tiny(&args, None)?;
             println!("self-hosted tiny model at http://{}", server.addr());
-            (server.addr(), ds.num_entities as u32, ds.num_relations as u32, Some(server))
+            (server.addr(), entities, relations, Some(server))
         }
     };
 
@@ -556,6 +607,22 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
     }
     let report = result?;
 
+    // `--online`: a second identical ladder against a self-hosted server
+    // whose continual trainer is live — every ingest wakes a training round
+    // and atomic swaps land under query load, so the `train_active` section
+    // measures serving latency with training concurrency.
+    let train_active = if online {
+        let (server, _, _) = self_host_tiny(&args, Some(parse_online_options(&args)?))?;
+        println!("train-active pass (online trainer enabled) at http://{}", server.addr());
+        let active_cfg =
+            retia_serve::loadtest::LoadtestConfig { addr: server.addr(), ..cfg.clone() };
+        let result = retia_serve::loadtest::run(&active_cfg);
+        server.shutdown();
+        Some(result?)
+    } else {
+        None
+    };
+
     println!(
         "{:>5}  {:>9}  {:>8}  {:>8}  {:>9}  {:>4}  {:>4}",
         "conns", "qps", "p50_ms", "p99_ms", "completed", "429", "5xx"
@@ -566,8 +633,22 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
             l.connections, l.qps, l.p50_ms, l.p99_ms, l.completed, l.shed_429, l.status_5xx
         );
     }
-    std::fs::write(&out, report.to_json(&cfg).to_string_compact())
-        .map_err(|e| format!("{}: {e}", out.display()))?;
+    if let Some(active) = &train_active {
+        println!("train-active (continual trainer running):");
+        for l in &active.levels {
+            println!(
+                "{:>5}  {:>9.1}  {:>8.2}  {:>8.2}  {:>9}  {:>4}  {:>4}",
+                l.connections, l.qps, l.p50_ms, l.p99_ms, l.completed, l.shed_429, l.status_5xx
+            );
+        }
+    }
+    let mut doc = report.to_json(&cfg);
+    if let Some(active) = &train_active {
+        let mut section = retia_json::Value::object();
+        section.insert("levels", active.levels_json());
+        doc.insert("train_active", section);
+    }
+    std::fs::write(&out, doc.to_string_compact()).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("wrote {}", out.display());
 
     if !cfg.slos.is_empty() {
@@ -594,6 +675,19 @@ pub fn loadtest(raw: &[String]) -> Result<(), String> {
     }
     if report.total_5xx() > 0 {
         return Err(format!("loadtest failed: {} responses were 5xx", report.total_5xx()));
+    }
+    if let Some(active) = &train_active {
+        // The fault-isolation contract: a live trainer must never surface
+        // as 5xx (or total failure) on the serving path.
+        if active.total_completed() == 0 {
+            return Err("loadtest failed: no request succeeded while training".to_string());
+        }
+        if active.total_5xx() > 0 {
+            return Err(format!(
+                "loadtest failed: {} responses were 5xx while training",
+                active.total_5xx()
+            ));
+        }
     }
     let burning = report.burning_slos();
     if !burning.is_empty() {

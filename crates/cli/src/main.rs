@@ -98,16 +98,35 @@ COMMANDS:
                [--slo LIST] [--trace-slow-ms F] [--trace-sample N]
                [--log-level L] [--trace-out FILE]
                port 0 binds an ephemeral port (printed on stdout at startup);
-               endpoints: POST /v1/query, POST /v1/ingest, GET /healthz,
+               endpoints: POST /v1/query, POST /v1/ingest, GET /healthz
+               (?ready=1 for a 503-on-degraded readiness probe),
                GET /metrics (?format=prom for Prometheus text), GET /v1/traces
-               (tail-sampled request traces), POST /admin/shutdown (drains,
-               then exits);
+               (tail-sampled request traces), GET /v1/drift (online drift
+               monitor readout), POST /admin/shutdown (drains, then exits);
                --queue-cap bounds the engine queue (overflow answers 429 with
                Retry-After), --decode-shards fans candidate scoring out over
                N threads with bit-identical ranks; --slo installs latency
                objectives exported as slo.* burn-rate gauges; every request
                slower than --trace-slow-ms (plus a 1-in---trace-sample
                deterministic sample) is kept in the trace store
+               online learning:
+               [--online]              continual trainer: fine-tunes on newly
+                                       ingested windows in an isolated thread,
+                                       publishes via atomic model swaps, rolls
+                                       back on sustained drift; trainer faults
+                                       degrade /healthz, never serving
+               [--online-steps N]      gradient steps per training round (4)
+               [--online-interval-ms N] poll cadence between rounds (200)
+               [--max-staleness N]     ingest epochs the served model may lag
+                                       before /healthz degrades (8)
+               [--drift-threshold F]   relative loss/MRR regression vs the
+                                       boot baseline that counts as a breach (0.5)
+               [--drift-window N]      consecutive breaches before rollback (3)
+               [--ingest-log FILE]     append-only JSONL durability log; every
+                                       accepted ingest is logged before the
+                                       window advances and replayed at boot
+                                       (corrupt tails truncated at the last
+                                       valid record)
     loadtest   replay a synthetic query/ingest mix and write BENCH_serve.json
                (p50/p99 latency and QPS per concurrency level)
                [--addr HOST:PORT] [--connections 1,2,4,...] [--requests N]
@@ -117,6 +136,8 @@ COMMANDS:
                [--workers N] [--queue-cap N] [--decode-shards N]); exits
                nonzero on any 5xx, if no request succeeded, or if any --slo
                objective burns against the client-measured latencies
+               [--online]  adds a second self-hosted ladder with the continual
+               trainer live, written as the train_active section
     report     per-module time breakdown of a JSONL trace written by --trace-out
                --trace FILE [--requests]
                with --requests, FILE is a saved GET /v1/traces document and

@@ -212,6 +212,37 @@ impl FrozenModel {
         g.detach(p)
     }
 
+    /// Builds a fresh trainable [`Retia`] carrying this model's parameter
+    /// values (Adam moments start at zero). The continual trainer seeds
+    /// itself from the served model this way, and the drift monitor uses it
+    /// to rebuild a last-good model for rollback — the frozen model itself
+    /// stays immutable throughout.
+    pub fn clone_model(&self) -> Retia {
+        let mut model =
+            Retia::with_shape(&self.model.cfg, self.num_entities(), self.num_relations());
+        model.store_mut().copy_values_from(self.model.store());
+        model
+    }
+
+    /// Joint forecasting loss of `target` given `history`, computed in a
+    /// no-tape inference graph (no gradients, no parameter mutation). This
+    /// is the drift monitor's signal: the same Eq. 13/14 objective training
+    /// minimizes, evaluated by the served (or candidate) weights on the
+    /// facts that just arrived.
+    pub fn window_loss(
+        &self,
+        history: &[Snapshot],
+        hypers: &[HyperSnapshot],
+        target: &Snapshot,
+    ) -> f64 {
+        let mut g = Graph::inference();
+        let states = self.model.evolve(&mut g, history, hypers);
+        let decode_states = last_k(&states, self.model.cfg.k).to_vec();
+        let (loss, _, _) = self.model.loss(&mut g, &decode_states, target);
+        assert_eq!(g.tape_ops(), 0, "inference loss must not allocate a tape");
+        g.value(loss).item() as f64
+    }
+
     /// Value audit of the serving decode: replays the cached-state decode
     /// (Eq. 11–14 without the loss) over the interval domain, with the
     /// frozen window states entering as *declared* detach boundaries and
@@ -370,6 +401,45 @@ mod tests {
         assert_eq!(report.params_declared, 0, "inference replay declared trainable params");
         assert!(!report.detaches.is_empty(), "frozen-state detaches were not declared");
         assert!(report.ops_checked > 10);
+    }
+
+    #[test]
+    fn clone_model_carries_exact_parameter_values() {
+        let (fm, ctx) = setup();
+        let clone = fm.clone_model();
+        for ((name_a, a), (name_b, b)) in fm.model.store().iter().zip(clone.store().iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(a.data(), b.data(), "param `{name_a}` diverged in the clone");
+        }
+        // The clone decodes bit-identically to the original.
+        let idx = ctx.test_idx[0];
+        let (history, hypers) = ctx.history(idx, fm.cfg().k);
+        let target = &ctx.snapshots[idx];
+        let (subjects, rels, _) = entity_queries(target, ctx.num_relations);
+        let a = fm.model.predict_entity(history, hypers, subjects.clone(), rels.clone());
+        let b = clone.predict_entity(history, hypers, subjects, rels);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn window_loss_is_finite_deterministic_and_pure() {
+        let (fm, ctx) = setup();
+        let idx = ctx.test_idx[0];
+        let (history, hypers) = ctx.history(idx, fm.cfg().k);
+        let target = &ctx.snapshots[idx];
+        let before: Vec<f32> = fm.model.store().value("ent0").data().to_vec();
+        let l1 = fm.window_loss(history, hypers, target);
+        let l2 = fm.window_loss(history, hypers, target);
+        assert!(l1.is_finite() && l1 > 0.0, "joint loss should be a positive NLL: {l1}");
+        assert_eq!(l1.to_bits(), l2.to_bits(), "window loss must be deterministic");
+        assert_eq!(
+            before,
+            fm.model.store().value("ent0").data(),
+            "window loss must not mutate params"
+        );
+        // Empty history decodes from the initial state and still yields a loss.
+        let l0 = fm.window_loss(&[], &[], target);
+        assert!(l0.is_finite());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use retia_analyze::ChaosPlan;
 use retia_eval::{collect_paired_metrics, rank_of, rank_of_filtered, FilterSet, Metrics};
-use retia_graph::Snapshot;
+use retia_graph::{HyperSnapshot, Snapshot};
 use retia_tensor::optim::{clip_grad_norm, Adam};
 use retia_tensor::{Graph, ParamStore};
 
@@ -511,6 +511,64 @@ impl Trainer {
         Ok(self.loss_history.clone())
     }
 
+    /// Incremental fit on a standalone snapshot window (the continual
+    /// trainer's entry point in retia-serve): forecasts the **last**
+    /// snapshot of `snaps` from the preceding ones and takes `steps`
+    /// gradient steps on that objective, returning the mean loss. The
+    /// global step counter keeps advancing across calls, so a chaos plan
+    /// armed on this trainer sweeps its fault window exactly once over the
+    /// whole online run rather than restarting per window.
+    ///
+    /// Divergence recovery and chaos behave exactly as in
+    /// [`Trainer::try_train_step`]; checkpointing stays with the caller.
+    pub fn fit_window(
+        &mut self,
+        snaps: &[Snapshot],
+        hypers: &[HyperSnapshot],
+        steps: usize,
+    ) -> Result<EpochLoss, TrainError> {
+        if snaps.len() < 2 {
+            return Err(TrainError::Invalid(format!(
+                "fit_window needs at least 2 snapshots (history + target), got {}",
+                snaps.len()
+            )));
+        }
+        if snaps.len() != hypers.len() {
+            return Err(TrainError::Invalid(format!(
+                "fit_window: {} snapshots but {} hyper snapshots",
+                snaps.len(),
+                hypers.len()
+            )));
+        }
+        let ctx = TkgContext {
+            snapshots: snaps.to_vec(),
+            hypers: hypers.to_vec(),
+            train_idx: Vec::new(),
+            valid_idx: Vec::new(),
+            test_idx: Vec::new(),
+            num_entities: self.model.num_entities(),
+            num_relations: self.model.num_relations(),
+        };
+        let target_idx = ctx.snapshots.len() - 1;
+        let (mut se, mut sr, mut sj) = (0.0f64, 0.0f64, 0.0f64);
+        let n = steps.max(1);
+        for _ in 0..n {
+            let l = self.try_train_step(&ctx, target_idx)?;
+            se += l.entity;
+            sr += l.relation;
+            sj += l.joint;
+        }
+        let denom = n as f64;
+        Ok(EpochLoss { entity: se / denom, relation: sr / denom, joint: sj / denom })
+    }
+
+    /// Resets the optimizer's learning rate (undoing accumulated recovery
+    /// backoff). The online supervisor calls this when it restores the
+    /// trainer to a last-good parameter snapshot after a divergence.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.opt.lr = lr;
+    }
+
     /// Evaluates a split following `cfg.online`: with online continual
     /// training, each evaluated timestamp's facts are trained on (with
     /// `cfg.online_steps` gradient steps) after being scored, before moving
@@ -656,6 +714,39 @@ mod tests {
         };
         let model = Retia::new(&cfg, &ds);
         (Trainer::new(model, cfg), ctx)
+    }
+
+    #[test]
+    fn fit_window_trains_on_standalone_slices() {
+        let (mut trainer, ctx) = tiny_setup(1);
+        let end = ctx.snapshots.len().min(4);
+        let snaps = &ctx.snapshots[..end];
+        let hypers = &ctx.hypers[..end];
+        let first = trainer.fit_window(snaps, hypers, 4).unwrap();
+        assert!(first.joint.is_finite());
+        assert_eq!(trainer.steps(), 4, "step counter advances across fit_window");
+        let mut last = first.joint;
+        for _ in 0..8 {
+            last = trainer.fit_window(snaps, hypers, 4).unwrap().joint;
+        }
+        assert!(last < first.joint, "repeated window fits should reduce loss: {first:?} -> {last}");
+    }
+
+    #[test]
+    fn fit_window_rejects_degenerate_windows() {
+        let (mut trainer, ctx) = tiny_setup(1);
+        let one = trainer.fit_window(&ctx.snapshots[..1], &ctx.hypers[..1], 2);
+        assert!(matches!(one, Err(TrainError::Invalid(_))));
+        let skewed = trainer.fit_window(&ctx.snapshots[..3], &ctx.hypers[..2], 2);
+        assert!(matches!(skewed, Err(TrainError::Invalid(_))));
+    }
+
+    #[test]
+    fn set_lr_undoes_recovery_backoff() {
+        let (mut trainer, _) = tiny_setup(1);
+        trainer.opt.lr = 1e-5;
+        trainer.set_lr(0.001);
+        assert_eq!(trainer.opt.lr, 0.001);
     }
 
     #[test]

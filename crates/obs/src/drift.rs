@@ -1,0 +1,63 @@
+//! Drift signals for online continual learning (DESIGN.md §12).
+//!
+//! The serve-side drift monitor scores every candidate model against a
+//! pinned baseline on the newest ingest window; this module is where those
+//! readouts become metrics and events. Gauges carry the latest
+//! candidate/baseline loss and MRR (`drift.*`), a counter tracks rollbacks,
+//! and a sustained regression emits the same `recovery.rollback` event name
+//! the training watchdog uses — one grep finds every rollback in a trace,
+//! whether it happened in an offline fit or behind a live server.
+
+use crate::metrics;
+use crate::Level;
+
+/// Records one drift evaluation: candidate-vs-baseline joint loss and
+/// entity MRR on the newest window, plus the current breach streak.
+pub fn record(
+    candidate_loss: f64,
+    baseline_loss: f64,
+    candidate_mrr: f64,
+    baseline_mrr: f64,
+    breach_streak: u64,
+) {
+    metrics::inc("drift.evaluations");
+    metrics::set_gauge("drift.loss.candidate", candidate_loss);
+    metrics::set_gauge("drift.loss.baseline", baseline_loss);
+    metrics::set_gauge("drift.mrr.candidate", candidate_mrr);
+    metrics::set_gauge("drift.mrr.baseline", baseline_mrr);
+    metrics::set_gauge("drift.breach_streak", breach_streak as f64);
+}
+
+/// A sustained regression rolled the served model back to the last-good
+/// swap.
+pub fn rollback(window_epoch: u64, rollbacks: u64) {
+    metrics::inc("drift.rollbacks");
+    crate::emit_event(
+        Level::Warn,
+        "recovery.rollback",
+        &[("window_epoch", window_epoch as f64), ("rollbacks", rollbacks as f64)],
+        Some(&format!(
+            "drift monitor: sustained regression at ingest epoch {window_epoch}; served model \
+             rolled back to last-good swap (rollback #{rollbacks})"
+        )),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn record_sets_gauges_and_rollback_counts() {
+        let _guard = test_lock::lock();
+        metrics::registry().reset();
+        record(1.5, 1.0, 0.2, 0.4, 2);
+        assert_eq!(metrics::registry().gauge("drift.loss.candidate"), Some(1.5));
+        assert_eq!(metrics::registry().gauge("drift.mrr.baseline"), Some(0.4));
+        assert_eq!(metrics::registry().gauge("drift.breach_streak"), Some(2.0));
+        rollback(7, 1);
+        rollback(9, 2);
+        assert_eq!(metrics::registry().counter("drift.rollbacks"), 2);
+    }
+}

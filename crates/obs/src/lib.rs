@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod drift;
 mod event;
 mod level;
 pub mod metrics;

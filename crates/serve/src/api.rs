@@ -6,6 +6,7 @@ use retia_graph::Quad;
 use retia_json::Value;
 
 use crate::engine::{IngestResponse, Query, QueryKind, QueryResponse};
+use crate::online::DriftReport;
 
 /// Default `k` when a query request does not pick one.
 pub const DEFAULT_TOP_K: usize = 10;
@@ -167,6 +168,24 @@ pub fn ingest_response_json(resp: &IngestResponse) -> Value {
     body.insert("epoch", Value::from(resp.epoch));
     body.insert("window", window);
     body.insert("timing", timing_json(resp.queue_wait_ns, resp.service_ns));
+    body
+}
+
+/// Renders `GET /v1/drift`: the online drift monitor's latest readout. When
+/// online learning is off, `enabled` is `false` and every reading is its
+/// zero default.
+pub fn drift_response_json(enabled: bool, report: &DriftReport) -> Value {
+    let mut body = Value::object();
+    body.insert("enabled", Value::from(enabled));
+    body.insert("window_epoch", Value::from(report.window_epoch as f64));
+    body.insert("candidate_loss", Value::from(report.candidate_loss));
+    body.insert("baseline_loss", Value::from(report.baseline_loss));
+    body.insert("candidate_mrr", Value::from(report.candidate_mrr));
+    body.insert("baseline_mrr", Value::from(report.baseline_mrr));
+    body.insert("breach_streak", Value::from(report.breach_streak as f64));
+    body.insert("evaluations", Value::from(report.evaluations as f64));
+    body.insert("swaps", Value::from(report.swaps as f64));
+    body.insert("rollbacks", Value::from(report.rollbacks as f64));
     body
 }
 

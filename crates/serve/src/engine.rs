@@ -26,6 +26,8 @@
 //!   single-thread path uses, so ranks stay bit-identical at any shard count.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -35,6 +37,7 @@ use retia_eval::{top_k, top_k_sharded};
 use retia_graph::{group_by_timestamp, HyperSnapshot, Quad, Snapshot};
 use retia_obs::trace::{self, TraceFrame};
 
+use crate::online::IngestLog;
 use crate::stages;
 
 /// What a single query predicts.
@@ -114,6 +117,9 @@ pub enum EngineError {
     InvalidQuery(String),
     /// An ingest payload was empty, out of range, or out of order.
     InvalidIngest(String),
+    /// A model swap offered a model whose shape does not match the one
+    /// being served (different entity/relation counts or window size).
+    InvalidSwap(String),
     /// The engine has shut down; no further jobs are served.
     Stopped,
     /// The bounded job queue is full: admission control sheds the job
@@ -126,6 +132,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             EngineError::InvalidIngest(m) => write!(f, "invalid ingest: {m}"),
+            EngineError::InvalidSwap(m) => write!(f, "invalid swap: {m}"),
             EngineError::Stopped => f.write_str("engine stopped"),
             EngineError::Overloaded => f.write_str("engine job queue full; retry later"),
         }
@@ -135,7 +142,7 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Engine tuning knobs, surfaced as serve/CLI configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineOptions {
     /// Bound on queued jobs (admission control). Submissions beyond it get
     /// [`EngineError::Overloaded`] instead of queueing without limit.
@@ -144,12 +151,86 @@ pub struct EngineOptions {
     /// (`1` = the fused single-thread path). Any value produces bit-identical
     /// ranks; see `FrozenModel::decode_entity_sharded`.
     pub decode_shards: usize,
+    /// Durability log: accepted ingest facts are appended here as
+    /// CRC-stamped JSONL **before** the epoch bump, so a crashed server
+    /// rebuilds the same window on restart (see [`crate::online::IngestLog`]).
+    pub ingest_log: Option<PathBuf>,
 }
 
 impl Default for EngineOptions {
     fn default() -> EngineOptions {
-        EngineOptions { queue_cap: 256, decode_shards: 1 }
+        EngineOptions { queue_cap: 256, decode_shards: 1, ingest_log: None }
     }
+}
+
+/// Lock-free counters shared between the engine thread, the online
+/// supervisor and `/healthz` — liveness checks must answer without queueing
+/// an engine job behind decode work.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    ingest_epoch: AtomicU64,
+    model_epoch: AtomicU64,
+    trained_epoch: AtomicU64,
+}
+
+impl EngineStats {
+    /// Window epoch: bumped by every accepted `/v1/ingest`.
+    pub fn ingest_epoch(&self) -> u64 {
+        self.ingest_epoch.load(Ordering::Acquire)
+    }
+
+    /// Served-model version: bumped by every atomic swap (0 = boot model).
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch.load(Ordering::Acquire)
+    }
+
+    /// Ingest epoch the served model was trained through.
+    pub fn trained_epoch(&self) -> u64 {
+        self.trained_epoch.load(Ordering::Acquire)
+    }
+
+    /// Ingest epochs the served model lags behind the window — the bounded
+    /// staleness number `/healthz` and the `--max-staleness` breach use.
+    pub fn staleness(&self) -> u64 {
+        self.ingest_epoch().saturating_sub(self.trained_epoch())
+    }
+}
+
+/// A candidate model offered to the engine for an atomic swap.
+pub struct SwapRequest {
+    /// The replacement model; must match the served shape exactly.
+    pub model: FrozenModel,
+    /// Ingest epoch whose window the candidate was trained on. Becomes the
+    /// new [`EngineStats::trained_epoch`].
+    pub trained_epoch: u64,
+    /// States pre-evolved over the `trained_epoch` window, so the swap
+    /// avoids paying the recurrence on the engine thread when no ingest
+    /// raced the trainer. Ignored (and recomputed) if stale.
+    pub states: Option<FrozenStates>,
+}
+
+/// Outcome of an accepted [`SwapRequest`].
+#[derive(Clone, Copy, Debug)]
+pub struct SwapResponse {
+    /// Served-model version after the swap.
+    pub model_epoch: u64,
+    /// Whether the pre-evolved states were installed as-is (`false`: an
+    /// ingest raced the trainer and the engine re-evolved the new window).
+    pub states_reused: bool,
+}
+
+/// Snapshot of the engine's current history window, handed to the online
+/// trainer as its training slice.
+#[derive(Clone)]
+pub struct WindowView {
+    /// Window snapshots, oldest first (≤ the config's `k`).
+    pub snaps: Vec<Snapshot>,
+    /// Twin hyperrelation subgraphs, parallel with `snaps`.
+    pub hypers: Vec<HyperSnapshot>,
+    /// Ingest epoch this view was captured at.
+    pub epoch: u64,
+    /// Newest timestamp in the window.
+    pub window_end: u32,
 }
 
 /// Reply channel for a job of response type `T`.
@@ -185,6 +266,11 @@ impl JobMeta {
 enum Job {
     Query(Vec<Query>, Reply<QueryResponse>, JobMeta),
     Ingest(Vec<Quad>, Reply<IngestResponse>, JobMeta),
+    /// Atomic model swap from the online trainer (boxed: a full model is
+    /// orders of magnitude bigger than the other variants).
+    Swap(Box<SwapRequest>, Reply<SwapResponse>),
+    /// Window snapshot for the online trainer.
+    Window(Reply<WindowView>),
     /// Test/ops hook: ack on the sender, then block until the receiver's
     /// sender side drops. Exempt from the queue cap (like `Stop`), so a
     /// paused engine can still be stopped.
@@ -194,9 +280,12 @@ enum Job {
 
 impl Job {
     /// Control jobs bypass admission control: shedding them would wedge
-    /// shutdown, and they do no decode work.
+    /// shutdown, and they do no decode work. Trainer traffic (swap/window)
+    /// is control too — one job at a time by construction, and shedding a
+    /// swap under query load would starve adaptation exactly when the
+    /// stream is busiest.
     fn is_control(&self) -> bool {
-        matches!(self, Job::Stop | Job::Pause(..))
+        matches!(self, Job::Stop | Job::Pause(..) | Job::Swap(..) | Job::Window(..))
     }
 }
 
@@ -283,6 +372,7 @@ pub struct PauseGuard {
 #[derive(Clone)]
 pub struct EngineHandle {
     shared: Arc<Shared>,
+    stats: Arc<EngineStats>,
 }
 
 impl EngineHandle {
@@ -306,6 +396,36 @@ impl EngineHandle {
             Admission::Overloaded => Err(EngineError::Overloaded),
             Admission::Accepted => rx.recv().unwrap_or(Err(EngineError::Stopped)),
         }
+    }
+
+    /// Atomically replaces the served model (and, when still fresh, its
+    /// pre-evolved states); blocks until the engine thread has installed
+    /// it. Queries drained in the same batch before the swap job see the
+    /// old model; everything after sees the new one — there is no torn
+    /// in-between state to observe.
+    pub fn swap(&self, req: SwapRequest) -> Result<SwapResponse, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        match self.shared.push(Job::Swap(Box::new(req), tx)) {
+            Admission::Stopped => Err(EngineError::Stopped),
+            Admission::Overloaded => Err(EngineError::Overloaded),
+            Admission::Accepted => rx.recv().unwrap_or(Err(EngineError::Stopped)),
+        }
+    }
+
+    /// Snapshot of the current history window (the online trainer's
+    /// training slice); blocks until the engine thread answers.
+    pub fn window(&self) -> Result<WindowView, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        match self.shared.push(Job::Window(tx)) {
+            Admission::Stopped => Err(EngineError::Stopped),
+            Admission::Overloaded => Err(EngineError::Overloaded),
+            Admission::Accepted => rx.recv().unwrap_or(Err(EngineError::Stopped)),
+        }
+    }
+
+    /// The shared lock-free epoch/staleness counters.
+    pub fn stats(&self) -> Arc<EngineStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Blocks the engine thread until the returned guard drops (jobs queued
@@ -355,8 +475,13 @@ impl Engine {
         opts: EngineOptions,
     ) -> std::io::Result<Engine> {
         let shared = Arc::new(Shared::new(opts.queue_cap));
-        let handle = EngineHandle { shared: Arc::clone(&shared) };
-        let mut state = EngineState::new(model, window, opts.decode_shards);
+        let stats = Arc::new(EngineStats::default());
+        let handle = EngineHandle { shared: Arc::clone(&shared), stats: Arc::clone(&stats) };
+        let ingest_log = match &opts.ingest_log {
+            Some(path) => Some(IngestLog::open_append(path)?),
+            None => None,
+        };
+        let mut state = EngineState::new(model, window, opts.decode_shards, stats, ingest_log);
         let thread = std::thread::Builder::new()
             .name("retia-serve-engine".to_string())
             .spawn(move || state.run(&shared))?;
@@ -390,12 +515,22 @@ struct EngineState {
     cache: VecDeque<(u64, u32, FrozenStates)>,
     cache_cap: usize,
     epoch: u64,
+    /// Served-model version; bumped on every swap.
+    model_epoch: u64,
     /// Entity-decode sharding degree (`1` = fused single-thread path).
     decode_shards: usize,
+    stats: Arc<EngineStats>,
+    ingest_log: Option<IngestLog>,
 }
 
 impl EngineState {
-    fn new(model: FrozenModel, window: Vec<Snapshot>, decode_shards: usize) -> EngineState {
+    fn new(
+        model: FrozenModel,
+        window: Vec<Snapshot>,
+        decode_shards: usize,
+        stats: Arc<EngineStats>,
+        ingest_log: Option<IngestLog>,
+    ) -> EngineState {
         let k = model.cfg().k.max(1);
         let tail = window.len().saturating_sub(k);
         let window: Vec<(u32, Vec<Quad>)> =
@@ -408,7 +543,10 @@ impl EngineState {
             cache: VecDeque::new(),
             cache_cap: 4,
             epoch: 0,
+            model_epoch: 0,
             decode_shards: decode_shards.max(1),
+            stats,
+            ingest_log,
         };
         state.rebuild_graphs();
         state
@@ -462,7 +600,7 @@ impl EngineState {
 
     fn run(&mut self, shared: &Shared) {
         loop {
-            let batch = shared.drain();
+            let mut batch = shared.drain();
             let mut i = 0;
             while i < batch.len() {
                 match &batch[i] {
@@ -482,6 +620,25 @@ impl EngineState {
                             resp.service_ns = service_start.elapsed().as_nanos() as u64;
                         }
                         let _ = reply.send(outcome);
+                        i += 1;
+                    }
+                    Job::Swap(..) => {
+                        // Move the request out (it owns a whole model; the
+                        // inert `Stop` left behind is never revisited — `i`
+                        // only advances).
+                        let swap = std::mem::replace(&mut batch[i], Job::Stop);
+                        if let Job::Swap(req, reply) = swap {
+                            let _ = reply.send(self.swap(*req));
+                        }
+                        i += 1;
+                    }
+                    Job::Window(reply) => {
+                        let _ = reply.send(Ok(WindowView {
+                            snaps: self.snaps.clone(),
+                            hypers: self.hypers.clone(),
+                            epoch: self.epoch,
+                            window_end: self.window_end(),
+                        }));
                         i += 1;
                     }
                     Job::Pause(ack, release) => {
@@ -533,6 +690,19 @@ impl EngineState {
                 )));
             }
         }
+        // Durability first: the log must hold the facts before any epoch
+        // observable to clients reflects them. A failed append degrades
+        // durability, not availability — warn and keep serving.
+        if let Some(log) = &mut self.ingest_log {
+            if let Err(e) = log.append(facts) {
+                retia_obs::metrics::inc("serve.ingest_log.write_errors");
+                retia_obs::event!(
+                    retia_obs::Level::Warn,
+                    "serve.ingest_log.write_error";
+                    format!("ingest log append failed ({e}); facts accepted without durability")
+                );
+            }
+        }
         for (t, group) in group_by_timestamp(facts) {
             match self.window.last_mut() {
                 Some((last_t, last_facts)) if *last_t == t => last_facts.extend(group),
@@ -543,6 +713,7 @@ impl EngineState {
         let overflow = self.window.len().saturating_sub(k);
         self.window.drain(..overflow);
         self.epoch += 1;
+        self.stats.ingest_epoch.store(self.epoch, Ordering::Release);
         self.rebuild_graphs();
         // Warm the cache eagerly: the recurrence cost lands on the ingest
         // call instead of the next query.
@@ -558,6 +729,52 @@ impl EngineState {
             queue_wait_ns: 0,
             service_ns: 0,
         })
+    }
+
+    /// Atomically installs a replacement model. The engine thread owns the
+    /// model exclusively, so "atomic" is structural: a query is either
+    /// drained before this job (old model, old cache) or after it (new
+    /// model, fresh states) — never against a half-written mix.
+    fn swap(&mut self, req: SwapRequest) -> Result<SwapResponse, EngineError> {
+        let trained_epoch = req.trained_epoch;
+        let _t = retia_obs::span!(stages::SWAP, trained_epoch = trained_epoch);
+        let (n, m) = (self.model.num_entities(), self.model.num_relations());
+        let (rn, rm) = (req.model.num_entities(), req.model.num_relations());
+        if (rn, rm) != (n, m) {
+            return Err(EngineError::InvalidSwap(format!(
+                "candidate model has {rn} entities / {rm} relations; serving {n} / {m}"
+            )));
+        }
+        if req.model.cfg().k != self.model.cfg().k {
+            return Err(EngineError::InvalidSwap(format!(
+                "candidate window size k={} does not match serving k={}",
+                req.model.cfg().k,
+                self.model.cfg().k
+            )));
+        }
+        self.model = req.model;
+        // Cached states encode the *old* weights; every entry is now stale
+        // regardless of epoch key.
+        self.cache.clear();
+        let states_reused = match req.states {
+            Some(states) if trained_epoch == self.epoch => {
+                self.cache.push_back((self.epoch, self.window_end(), states));
+                true
+            }
+            _ => false,
+        };
+        if !states_reused {
+            // An ingest raced the trainer: pay the recurrence here on the
+            // swap job rather than on the next query.
+            self.ensure_states();
+        }
+        self.model_epoch += 1;
+        self.stats.model_epoch.store(self.model_epoch, Ordering::Release);
+        self.stats.trained_epoch.store(trained_epoch, Ordering::Release);
+        retia_obs::metrics::inc("serve.swaps");
+        retia_obs::metrics::set_gauge("serve.model_epoch", self.model_epoch as f64);
+        retia_obs::metrics::set_gauge("serve.cache_entries", self.cache.len() as f64);
+        Ok(SwapResponse { model_epoch: self.model_epoch, states_reused })
     }
 
     /// Validates, batches, decodes and answers a fused run of query jobs.
@@ -800,6 +1017,70 @@ mod tests {
     }
 
     #[test]
+    fn swap_installs_candidate_and_window_exposes_state() {
+        let (engine, _, cfg) = setup();
+        let h = engine.handle();
+        let stats = h.stats();
+        let q = Query { kind: QueryKind::Entity, subject: 0, b: 0, k: 3 };
+        let before = h.query(vec![q]).expect("valid query");
+        assert_eq!(stats.model_epoch(), 0);
+
+        // The engine's current window, as the online trainer sees it.
+        let view = h.window().expect("window view");
+        assert_eq!(view.epoch, before.epoch);
+        assert_eq!(view.snaps.len(), cfg.k);
+        assert_eq!(view.window_end, before.window_end);
+
+        // Swap in a clone with identical weights, pre-evolved for this
+        // window: answers stay bit-identical and the states are reused.
+        let ds = SyntheticConfig::tiny(5).generate();
+        let clone = FrozenModel::new(Retia::new(&cfg, &ds));
+        let states = clone.evolve_window(&view.snaps, &view.hypers);
+        let resp = h
+            .swap(SwapRequest { model: clone, trained_epoch: view.epoch, states: Some(states) })
+            .expect("same-shape swap succeeds");
+        assert_eq!(resp.model_epoch, 1);
+        assert!(resp.states_reused);
+        assert_eq!(stats.model_epoch(), 1);
+        assert_eq!(stats.trained_epoch(), view.epoch);
+        let after = h.query(vec![q]).expect("valid query");
+        for (a, b) in before.results[0].candidates.iter().zip(after.results[0].candidates.iter()) {
+            assert_eq!(a.0, b.0, "rank order changed across an identical-weights swap");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "score bits changed across swap");
+        }
+
+        // A shape-incompatible candidate is a typed error; nothing installs.
+        let wrong_cfg = RetiaConfig { dim: 8, channels: 4, k: 3, ..Default::default() };
+        let wrong = FrozenModel::new(Retia::new(&wrong_cfg, &ds));
+        let bad = h.swap(SwapRequest { model: wrong, trained_epoch: view.epoch, states: None });
+        assert!(matches!(bad, Err(EngineError::InvalidSwap(_))));
+        assert_eq!(stats.model_epoch(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stats_track_ingest_epoch_and_staleness() {
+        let (engine, ctx, _) = setup();
+        let h = engine.handle();
+        let stats = h.stats();
+        assert_eq!(stats.ingest_epoch(), 0);
+        assert_eq!(stats.staleness(), 0);
+        let t_next = ctx.snapshots.last().expect("nonempty").t + 1;
+        h.ingest(vec![Quad::new(0, 0, 1, t_next)]).expect("valid ingest");
+        assert_eq!(stats.ingest_epoch(), 1);
+        assert_eq!(stats.staleness(), 1, "no training yet: one un-trained ingest epoch");
+        // A swap carrying trained_epoch = the current window epoch clears it.
+        let view = h.window().expect("window view");
+        let ds = SyntheticConfig::tiny(5).generate();
+        let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
+        let clone = FrozenModel::new(Retia::new(&cfg, &ds));
+        h.swap(SwapRequest { model: clone, trained_epoch: view.epoch, states: None })
+            .expect("swap succeeds");
+        assert_eq!(stats.staleness(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
     fn stopped_engine_reports_stopped() {
         let (engine, _, _) = setup();
         let h = engine.handle();
@@ -857,7 +1138,7 @@ mod tests {
         let cfg = RetiaConfig { dim: 8, channels: 4, k: 2, ..Default::default() };
         let model = Retia::new(&cfg, &ds);
         let cap = 3usize;
-        let opts = EngineOptions { queue_cap: cap, decode_shards: 1 };
+        let opts = EngineOptions { queue_cap: cap, decode_shards: 1, ..Default::default() };
         let engine = Engine::start_with(FrozenModel::new(model), ctx.snapshots.clone(), opts)
             .expect("engine thread spawns");
         let h = engine.handle();

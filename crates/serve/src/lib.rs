@@ -38,11 +38,19 @@
 //! heap. `POST /v1/ingest` appends facts, advances the window and recomputes
 //! the cache — the online extrapolation setting, minus parameter updates.
 //!
-//! Endpoints: `POST /v1/query`, `POST /v1/ingest`, `GET /healthz`,
-//! `GET /metrics` (the `retia-obs` registry snapshot; `?format=prom` for the
-//! Prometheus text exposition), `GET /v1/traces` (the tail-sampled request
-//! trace store, newest first), `POST /admin/shutdown` (drains in-flight
-//! requests, then stops).
+//! Endpoints: `POST /v1/query`, `POST /v1/ingest`, `GET /healthz` (status,
+//! model/ingest epochs, staleness and trainer state; `?ready=1` turns it
+//! into a readiness probe that answers 503 while degraded), `GET /metrics`
+//! (the `retia-obs` registry snapshot; `?format=prom` for the Prometheus
+//! text exposition), `GET /v1/traces` (the tail-sampled request trace
+//! store, newest first), `GET /v1/drift` (the continual trainer's drift
+//! monitor readout), `POST /admin/shutdown` (drains in-flight requests,
+//! then stops).
+//!
+//! With [`ServeConfig::online`] set, the [`online`] module runs a continual
+//! trainer beside the engine: newly ingested windows are fine-tuned on an
+//! isolated thread and published via atomic model swaps; trainer faults
+//! degrade `/healthz`, never serving (see DESIGN.md §12).
 //!
 //! Every request is traced: a trace id is assigned when its first bytes
 //! arrive (echoed back as `X-Trace-Id`), the `serve.recv`/`serve.queue_wait`
@@ -61,6 +69,7 @@ mod api;
 mod engine;
 mod http;
 pub mod loadtest;
+pub mod online;
 mod server;
 pub mod stages;
 
@@ -69,12 +78,13 @@ pub use api::{
     SchemaError, DEFAULT_TOP_K, MAX_ITEMS_PER_REQUEST,
 };
 pub use engine::{
-    Engine, EngineError, EngineHandle, EngineOptions, IngestResponse, PauseGuard, Query, QueryKind,
-    QueryResponse, TopK,
+    Engine, EngineError, EngineHandle, EngineOptions, EngineStats, IngestResponse, PauseGuard,
+    Query, QueryKind, QueryResponse, SwapRequest, SwapResponse, TopK, WindowView,
 };
 pub use http::{
     error_body, read_request, write_json, write_json_response, write_text_response, HttpError,
     Request, RequestBuffer, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
+pub use online::{DriftReport, OnlineOptions, OnlineStatus, TrainerState};
 pub use retia_obs::slo::SloSpec;
 pub use server::{ServeConfig, Server};

@@ -157,6 +157,13 @@ impl LoadtestReport {
         c.insert("ingest_every", Value::from(cfg.ingest_every));
         c.insert("k", Value::from(cfg.k));
         doc.insert("config", c);
+        doc.insert("levels", self.levels_json());
+        doc
+    }
+
+    /// Just the per-level stats array — what `to_json` embeds as `levels`
+    /// and what the CLI's `--online` pass embeds under `train_active`.
+    pub fn levels_json(&self) -> Value {
         let levels: Vec<Value> = self
             .levels
             .iter()
@@ -192,8 +199,7 @@ impl LoadtestReport {
                 v
             })
             .collect();
-        doc.insert("levels", Value::from(levels));
-        doc
+        Value::from(levels)
     }
 }
 

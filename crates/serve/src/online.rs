@@ -1,0 +1,858 @@
+//! Self-healing online learning: the continual-trainer supervisor, the
+//! drift monitor with rollback, and the CRC-stamped ingest durability log.
+//!
+//! The supervisor runs on its own thread, completely isolated from the
+//! serving path: it polls the engine for the current history window, runs a
+//! few fault-tolerant gradient steps on a private [`Trainer`], and — only
+//! when the candidate passes the value audit *and* the drift gate — offers
+//! the engine an atomic model swap. Every failure mode folds into the
+//! degradation ladder instead of an outage:
+//!
+//! * **divergence / trainer panic** → parameters restored from the
+//!   last-good snapshot, serving marked `degraded`, retry with exponential
+//!   backoff (queries keep answering from the last-good model throughout);
+//! * **drift** (candidate loss/MRR regressing against the pinned boot
+//!   baseline for `drift_window` consecutive rounds) → the served model is
+//!   rolled back to the last-good swap and the trainer restarts from it,
+//!   with a `recovery.rollback` event and `drift.rollbacks` counter;
+//! * **staleness** (served weights lagging the ingest stream beyond
+//!   `max_staleness` epochs) → surfaced through `/healthz` and metrics,
+//!   never an error path.
+//!
+//! Chaos hooks: the trainer inherits the process's `RETIA_CHAOS` gradient
+//! faults, and `trainer-panic@R` clauses kill training round `R` outright
+//! to prove the isolation boundary holds.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use retia::{entity_queries, FrozenModel, RecoveryPolicy, Retia, TrainError, Trainer};
+use retia_analyze::ChaosPlan;
+use retia_eval::rank_of;
+use retia_graph::{group_by_timestamp, HyperSnapshot, Quad, Snapshot};
+use retia_json::Value;
+use retia_tensor::serialize::crc32;
+
+use crate::engine::{EngineError, EngineHandle, SwapRequest, WindowView};
+use crate::stages;
+
+/// Continual-training knobs, surfaced as `retia serve --online` flags.
+#[derive(Clone, Debug)]
+pub struct OnlineOptions {
+    /// Gradient steps per training round (one round per ingest epoch).
+    pub steps: usize,
+    /// Poll interval between window checks when idle.
+    pub interval: Duration,
+    /// Ingest epochs the served model may lag before `/healthz` degrades.
+    pub max_staleness: u64,
+    /// Allowed relative regression of the candidate against the pinned
+    /// baseline (e.g. `0.5` = candidate loss may be up to 50% worse).
+    /// Negative values reject every candidate — the deterministic rollback
+    /// switch the chaos tests use.
+    pub drift_threshold: f64,
+    /// Consecutive breaching rounds before the drift monitor rolls back.
+    pub drift_window: u64,
+    /// Deterministic fault plan for the trainer (gradient faults and
+    /// `trainer-panic` rounds).
+    pub chaos: ChaosPlan,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> OnlineOptions {
+        OnlineOptions {
+            steps: 4,
+            interval: Duration::from_millis(200),
+            max_staleness: 8,
+            drift_threshold: 0.5,
+            drift_window: 3,
+            chaos: ChaosPlan::none(),
+        }
+    }
+}
+
+/// Trainer activity, encoded as an atomic for lock-free `/healthz` reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainerState {
+    /// Waiting for a new ingest epoch.
+    Idle,
+    /// A training round is running.
+    Training,
+    /// The last round failed; retrying after an exponential backoff.
+    Backoff,
+    /// Online learning is off (`--online` not passed).
+    Disabled,
+}
+
+impl TrainerState {
+    fn from_u8(v: u8) -> TrainerState {
+        match v {
+            0 => TrainerState::Idle,
+            1 => TrainerState::Training,
+            2 => TrainerState::Backoff,
+            _ => TrainerState::Disabled,
+        }
+    }
+
+    /// The `/healthz` wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrainerState::Idle => "idle",
+            TrainerState::Training => "training",
+            TrainerState::Backoff => "backoff",
+            TrainerState::Disabled => "disabled",
+        }
+    }
+}
+
+/// Drift monitor readout: candidate-vs-baseline forecasting quality on the
+/// newest window, served at `GET /v1/drift`.
+#[derive(Clone, Debug, Default)]
+pub struct DriftReport {
+    /// Ingest epoch of the last evaluated window (0 = none yet).
+    pub window_epoch: u64,
+    /// Joint forecasting loss of the newest candidate on that window.
+    pub candidate_loss: f64,
+    /// Joint forecasting loss of the pinned boot baseline on that window.
+    pub baseline_loss: f64,
+    /// Entity MRR of the candidate on that window.
+    pub candidate_mrr: f64,
+    /// Entity MRR of the baseline on that window.
+    pub baseline_mrr: f64,
+    /// Consecutive rounds the candidate has breached the drift threshold.
+    pub breach_streak: u64,
+    /// Drift rollbacks performed since boot.
+    pub rollbacks: u64,
+    /// Training rounds evaluated since boot.
+    pub evaluations: u64,
+    /// Model swaps published since boot.
+    pub swaps: u64,
+}
+
+/// Shared view of the online trainer for `/healthz` and `/v1/drift`.
+/// Everything here is readable without touching the engine queue.
+pub struct OnlineStatus {
+    enabled: bool,
+    max_staleness: u64,
+    state: AtomicU8,
+    degraded: AtomicBool,
+    stop: AtomicBool,
+    drift: Mutex<DriftReport>,
+}
+
+impl OnlineStatus {
+    /// Placeholder status for a server running without `--online`.
+    pub fn disabled() -> Arc<OnlineStatus> {
+        Arc::new(OnlineStatus {
+            enabled: false,
+            max_staleness: u64::MAX,
+            state: AtomicU8::new(TrainerState::Disabled as u8),
+            degraded: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            drift: Mutex::new(DriftReport::default()),
+        })
+    }
+
+    fn enabled(max_staleness: u64) -> Arc<OnlineStatus> {
+        Arc::new(OnlineStatus {
+            enabled: true,
+            max_staleness,
+            state: AtomicU8::new(TrainerState::Idle as u8),
+            degraded: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            drift: Mutex::new(DriftReport::default()),
+        })
+    }
+
+    /// Whether online learning is running.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The staleness budget `/healthz` degrades at (`u64::MAX` = unbounded).
+    pub fn max_staleness(&self) -> u64 {
+        self.max_staleness
+    }
+
+    /// Current trainer activity.
+    pub fn trainer_state(&self) -> TrainerState {
+        TrainerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// True while the trainer is in a failure window (divergence, panic or
+    /// sustained drift) and serving runs from the last-good model.
+    pub fn trainer_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// A copy of the latest drift readout.
+    pub fn drift(&self) -> DriftReport {
+        self.drift.lock().expect("drift report poisoned").clone()
+    }
+
+    fn set_state(&self, s: TrainerState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+}
+
+/// The running supervisor: join handle plus the shared status.
+pub(crate) struct OnlineTrainer {
+    thread: Option<JoinHandle<()>>,
+    status: Arc<OnlineStatus>,
+}
+
+impl OnlineTrainer {
+    /// Spawns the supervisor thread. `baseline` is the pinned drift
+    /// reference (the audited boot model); the trainer starts from a fresh
+    /// copy of its parameters (Adam moments start at zero).
+    pub(crate) fn spawn(
+        engine: EngineHandle,
+        baseline: FrozenModel,
+        opts: OnlineOptions,
+    ) -> std::io::Result<OnlineTrainer> {
+        let status = OnlineStatus::enabled(opts.max_staleness);
+        let shared = Arc::clone(&status);
+        let thread = std::thread::Builder::new()
+            .name("retia-serve-trainer".to_string())
+            .spawn(move || supervise(engine, baseline, opts, &shared))?;
+        Ok(OnlineTrainer { thread: Some(thread), status })
+    }
+
+    pub(crate) fn status(&self) -> Arc<OnlineStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Signals the supervisor to exit and joins it.
+    pub(crate) fn stop(&mut self) {
+        self.status.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            // The supervisor catches training panics itself; a panic here
+            // means the isolation boundary is already broken, so surface it.
+            t.join().expect("online trainer thread panicked");
+        }
+    }
+}
+
+/// Sleeps up to `d`, waking early when a stop is requested. Returns false
+/// once the supervisor should exit.
+fn interruptible_sleep(status: &OnlineStatus, d: Duration) -> bool {
+    let step = Duration::from_millis(20);
+    let mut left = d;
+    while !left.is_zero() {
+        if status.stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let chunk = left.min(step);
+        std::thread::sleep(chunk);
+        left = left.saturating_sub(chunk);
+    }
+    !status.stop.load(Ordering::Acquire)
+}
+
+/// The supervisor loop: poll → train → audit → drift-gate → swap, with
+/// every failure folded into backoff + restore instead of propagation.
+fn supervise(
+    engine: EngineHandle,
+    baseline: FrozenModel,
+    opts: OnlineOptions,
+    status: &OnlineStatus,
+) {
+    let cfg = baseline.cfg().clone();
+    let mut trainer = Trainer::new(baseline.clone_model(), cfg.clone());
+    trainer.set_recovery(Some(RecoveryPolicy::default()));
+    trainer.set_chaos(opts.chaos.clone());
+
+    // Last-good parameter values: what both the served model and a restored
+    // trainer fall back to. Starts as the boot model.
+    let mut good_params = trainer.model.store().clone();
+    let mut good_trained_epoch = 0u64;
+    let mut last_trained_epoch = 0u64;
+    let mut round = 0u64;
+    let mut failures = 0u32;
+
+    loop {
+        let backoff_pow = failures.min(6);
+        let wait = opts.interval * 2u32.saturating_pow(backoff_pow);
+        if !interruptible_sleep(status, wait) {
+            break;
+        }
+        let view = match engine.window() {
+            Ok(v) => v,
+            Err(EngineError::Stopped) => break,
+            Err(_) => continue,
+        };
+        if view.epoch == last_trained_epoch || view.snaps.len() < 2 {
+            if failures == 0 {
+                status.set_state(TrainerState::Idle);
+            }
+            continue;
+        }
+
+        status.set_state(TrainerState::Training);
+        let this_round = round;
+        round += 1;
+        let outcome = train_round(&mut trainer, &view, &opts, this_round);
+        match outcome {
+            Ok(mean_loss) => {
+                retia_obs::metrics::set_gauge("online.train_loss", mean_loss);
+                match publish(
+                    &engine,
+                    &trainer,
+                    &baseline,
+                    &view,
+                    &opts,
+                    status,
+                    &mut good_params,
+                    &mut good_trained_epoch,
+                ) {
+                    Publish::Swapped | Publish::Held => {
+                        last_trained_epoch = view.epoch;
+                        failures = 0;
+                        status.degraded.store(false, Ordering::Release);
+                        status.set_state(TrainerState::Idle);
+                    }
+                    Publish::RolledBack => {
+                        // Drift rollback: the trainer restarts from the
+                        // last-good params; the window that produced the
+                        // drifted candidate is considered handled.
+                        trainer.model.store_mut().copy_values_from(&good_params);
+                        trainer.set_lr(cfg.lr);
+                        trainer.set_recovery(Some(RecoveryPolicy::default()));
+                        last_trained_epoch = view.epoch;
+                        failures = 0;
+                        status.degraded.store(true, Ordering::Release);
+                        status.set_state(TrainerState::Backoff);
+                    }
+                    Publish::EngineGone => break,
+                }
+            }
+            Err(reason) => {
+                // Fault isolation: restore the trainer to the last-good
+                // snapshot and retry the same epoch after a backoff while
+                // serving keeps answering from the last-good model.
+                failures += 1;
+                status.degraded.store(true, Ordering::Release);
+                status.set_state(TrainerState::Backoff);
+                trainer.model.store_mut().copy_values_from(&good_params);
+                trainer.set_lr(cfg.lr);
+                trainer.set_recovery(Some(RecoveryPolicy::default()));
+                retia_obs::metrics::inc("online.train_failures");
+                retia_obs::event!(
+                    retia_obs::Level::Warn,
+                    "online.train_failed",
+                    round = this_round,
+                    failures = failures;
+                    format!(
+                        "continual training round {this_round} failed ({reason}); serving \
+                         degraded on last-good model, retrying with backoff"
+                    )
+                );
+            }
+        }
+    }
+    status.set_state(if status.enabled { TrainerState::Idle } else { TrainerState::Disabled });
+}
+
+/// One isolated training round: the chaos `trainer-panic` hook plus
+/// `fit_window`, with panics contained to this call.
+fn train_round(
+    trainer: &mut Trainer,
+    view: &WindowView,
+    opts: &OnlineOptions,
+    round: u64,
+) -> Result<f64, String> {
+    let _t = retia_obs::span!(stages::TRAIN, round = round, epoch = view.epoch);
+    let chaos = opts.chaos.clone();
+    let steps = opts.steps;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if chaos.trainer_panic(round) {
+            std::panic::panic_any(format!("chaos: trainer-panic round {round}"));
+        }
+        trainer.fit_window(&view.snaps, &view.hypers, steps)
+    }));
+    match result {
+        Ok(Ok(loss)) => Ok(loss.joint),
+        Ok(Err(TrainError::Diverged(report))) => Err(format!("diverged: {report}")),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(panic) => Err(match panic.downcast_ref::<String>() {
+            Some(msg) => format!("panicked: {msg}"),
+            None => "panicked".to_string(),
+        }),
+    }
+}
+
+enum Publish {
+    /// Candidate passed every gate and is now serving.
+    Swapped,
+    /// Candidate breached the drift threshold (streak below the rollback
+    /// window) or failed the audit; the last-good model keeps serving.
+    Held,
+    /// Sustained drift: the engine was rolled back to the last-good model.
+    RolledBack,
+    /// The engine stopped mid-publish.
+    EngineGone,
+}
+
+/// Audit gate → drift gate → atomic swap, updating the shared drift report.
+#[allow(clippy::too_many_arguments)]
+fn publish(
+    engine: &EngineHandle,
+    trainer: &Trainer,
+    baseline: &FrozenModel,
+    view: &WindowView,
+    opts: &OnlineOptions,
+    status: &OnlineStatus,
+    good_params: &mut retia_tensor::ParamStore,
+    good_trained_epoch: &mut u64,
+) -> Publish {
+    let candidate = freeze_candidate(trainer);
+
+    // Pre-swap audit gate (PR-8): the engine must never install a model the
+    // value audit cannot prove NaN-free and tape-free.
+    let audit = candidate.audit();
+    if !audit.is_clean() {
+        retia_obs::metrics::inc("online.audit_rejected");
+        retia_obs::event!(
+            retia_obs::Level::Warn,
+            "online.audit_rejected";
+            format!("candidate model failed the value audit; holding last-good:\n{audit}")
+        );
+        return Publish::Held;
+    }
+
+    // Drift gate: score candidate and pinned baseline on the newest window.
+    let _t = retia_obs::span!(stages::DRIFT, epoch = view.epoch);
+    let (history, target) = view.snaps.split_at(view.snaps.len() - 1);
+    let hyper_history = &view.hypers[..history.len()];
+    let target = &target[0];
+    let cand_loss = candidate.window_loss(history, hyper_history, target);
+    let base_loss = baseline.window_loss(history, hyper_history, target);
+    let cand_mrr = window_mrr(&candidate, history, hyper_history, target);
+    let base_mrr = window_mrr(baseline, history, hyper_history, target);
+    let loss_breach =
+        !cand_loss.is_finite() || cand_loss > base_loss * (1.0 + opts.drift_threshold).max(0.0);
+    let mrr_breach = cand_mrr < base_mrr * (1.0 - opts.drift_threshold).min(1.0);
+    let breached = loss_breach || mrr_breach;
+
+    let (streak, rollbacks) = {
+        let mut drift = status.drift.lock().expect("drift report poisoned");
+        drift.window_epoch = view.epoch;
+        drift.candidate_loss = cand_loss;
+        drift.baseline_loss = base_loss;
+        drift.candidate_mrr = cand_mrr;
+        drift.baseline_mrr = base_mrr;
+        drift.evaluations += 1;
+        drift.breach_streak = if breached { drift.breach_streak + 1 } else { 0 };
+        (drift.breach_streak, drift.rollbacks)
+    };
+    retia_obs::drift::record(cand_loss, base_loss, cand_mrr, base_mrr, streak);
+
+    if breached && streak >= opts.drift_window.max(1) {
+        // Sustained regression: roll the served model back to the
+        // last-good swap and zero the streak.
+        let rolled = engine.swap(SwapRequest {
+            model: rollback_model(baseline, good_params),
+            trained_epoch: *good_trained_epoch,
+            states: None,
+        });
+        if matches!(rolled, Err(EngineError::Stopped)) {
+            return Publish::EngineGone;
+        }
+        {
+            let mut drift = status.drift.lock().expect("drift report poisoned");
+            drift.breach_streak = 0;
+            drift.rollbacks += 1;
+        }
+        retia_obs::drift::rollback(view.epoch, rollbacks + 1);
+        return Publish::RolledBack;
+    }
+    if breached {
+        retia_obs::metrics::inc("online.drift_held");
+        return Publish::Held;
+    }
+
+    // Healthy candidate: pre-evolve its states off the engine thread so the
+    // swap installs them without paying the recurrence under the queue.
+    let states = candidate.evolve_window(&view.snaps, &view.hypers);
+    let next_good = trainer.model.store().clone();
+    match engine.swap(SwapRequest {
+        model: candidate,
+        trained_epoch: view.epoch,
+        states: Some(states),
+    }) {
+        Ok(resp) => {
+            *good_params = next_good;
+            *good_trained_epoch = view.epoch;
+            let mut drift = status.drift.lock().expect("drift report poisoned");
+            drift.swaps += 1;
+            retia_obs::metrics::set_gauge("online.model_epoch", resp.model_epoch as f64);
+            retia_obs::event!(
+                retia_obs::Level::Info,
+                "online.swap",
+                model_epoch = resp.model_epoch,
+                trained_epoch = view.epoch;
+                format!(
+                    "published model epoch {} (trained through ingest epoch {}, states {})",
+                    resp.model_epoch,
+                    view.epoch,
+                    if resp.states_reused { "reused" } else { "re-evolved" }
+                )
+            );
+            Publish::Swapped
+        }
+        Err(EngineError::Stopped) => Publish::EngineGone,
+        Err(e) => {
+            retia_obs::metrics::inc("online.swap_rejected");
+            retia_obs::event!(
+                retia_obs::Level::Warn,
+                "online.swap_rejected";
+                format!("engine rejected the model swap: {e}")
+            );
+            Publish::Held
+        }
+    }
+}
+
+/// A frozen copy of the trainer's current parameters.
+fn freeze_candidate(trainer: &Trainer) -> FrozenModel {
+    let mut model = Retia::with_shape(
+        &trainer.cfg,
+        trainer.model.num_entities(),
+        trainer.model.num_relations(),
+    );
+    model.store_mut().copy_values_from(trainer.model.store());
+    FrozenModel::new(model)
+}
+
+/// The last-good model rebuilt from its parameter snapshot.
+fn rollback_model(baseline: &FrozenModel, good_params: &retia_tensor::ParamStore) -> FrozenModel {
+    let mut model = baseline.clone_model();
+    model.store_mut().copy_values_from(good_params);
+    FrozenModel::new(model)
+}
+
+/// Entity MRR of `model` forecasting `target` from `history` (capped at
+/// [`MRR_QUERY_CAP`] queries to bound the drift monitor's cost).
+fn window_mrr(
+    model: &FrozenModel,
+    history: &[Snapshot],
+    hypers: &[HyperSnapshot],
+    target: &Snapshot,
+) -> f64 {
+    const MRR_QUERY_CAP: usize = 256;
+    let (mut subjects, mut rels, mut targets) = entity_queries(target, model.num_relations());
+    subjects.truncate(MRR_QUERY_CAP);
+    rels.truncate(MRR_QUERY_CAP);
+    targets.truncate(MRR_QUERY_CAP);
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let states = model.evolve_window(history, hypers);
+    let probs = model.decode_entity(&states, subjects, rels);
+    let mut rr = 0.0;
+    for (i, t) in targets.iter().enumerate() {
+        rr += 1.0 / rank_of(probs.row(i), *t as usize);
+    }
+    rr / targets.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// Ingest durability log
+// ---------------------------------------------------------------------------
+
+/// Append-only JSONL durability log for accepted ingest facts. Each line is
+/// `{"crc":C,"facts":[[s,r,o,t],...]}` where `C` is the CRC-32 of the
+/// compact `facts` array text — enough to detect the torn or bit-flipped
+/// tail a crash mid-append leaves behind.
+pub struct IngestLog {
+    file: File,
+}
+
+impl IngestLog {
+    /// Opens (creating if needed) the log for appending.
+    pub fn open_append(path: &Path) -> std::io::Result<IngestLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(IngestLog { file })
+    }
+
+    /// Appends one accepted ingest batch and syncs it to disk.
+    pub fn append(&mut self, facts: &[Quad]) -> std::io::Result<()> {
+        let line = record_line(facts);
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+fn facts_json(facts: &[Quad]) -> String {
+    Value::Array(
+        facts
+            .iter()
+            .map(|q| Value::Array(vec![q.s.into(), q.r.into(), q.o.into(), q.t.into()]))
+            .collect(),
+    )
+    .to_string_compact()
+}
+
+fn record_line(facts: &[Quad]) -> String {
+    let body = facts_json(facts);
+    let crc = crc32(body.as_bytes());
+    format!("{{\"crc\":{crc},\"facts\":{body}}}\n")
+}
+
+/// What boot replay recovered from an ingest log.
+#[derive(Debug, Default)]
+pub struct ReplayOutcome {
+    /// Every fact from the valid prefix, in append order.
+    pub quads: Vec<Quad>,
+    /// Valid records replayed.
+    pub records: usize,
+    /// Byte length the log was truncated to when a corrupt tail was found
+    /// (`None`: the whole log was valid).
+    pub truncated_to: Option<u64>,
+}
+
+/// Reads an ingest log, returning the facts of its valid prefix. A corrupt
+/// tail — torn final write, bit flip, garbage — is detected by the per-line
+/// CRC and **cleanly truncated** in place at the last valid record, so the
+/// next boot sees a wholly valid log.
+pub fn replay_ingest_log(path: &Path) -> std::io::Result<ReplayOutcome> {
+    let _t = retia_obs::span!(stages::REPLAY);
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(ReplayOutcome::default());
+        }
+        Err(e) => return Err(e),
+    };
+    let mut out = ReplayOutcome::default();
+    let mut offset = 0usize;
+    let mut corrupt = false;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let (line, consumed) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..i], i + 1),
+            // No trailing newline: accept the record anyway if it parses
+            // and its CRC matches (the payload is complete; only the
+            // delimiter was lost).
+            None => (rest, rest.len()),
+        };
+        match parse_record(line) {
+            Some(facts) => {
+                out.quads.extend(facts);
+                out.records += 1;
+                offset += consumed;
+            }
+            None => {
+                corrupt = true;
+                break;
+            }
+        }
+    }
+    if corrupt {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(offset as u64)?;
+        file.sync_data()?;
+        out.truncated_to = Some(offset as u64);
+        let dropped = bytes.len() - offset;
+        retia_obs::metrics::inc("serve.ingest_log.truncations");
+        retia_obs::event!(
+            retia_obs::Level::Warn,
+            "serve.ingest_log.truncated",
+            valid_records = out.records,
+            dropped_bytes = dropped;
+            format!(
+                "ingest log tail corrupt after {} valid record(s); truncated {} byte(s)",
+                out.records, dropped
+            )
+        );
+    }
+    retia_obs::metrics::set_gauge("serve.ingest_log.records", out.records as f64);
+    Ok(ReplayOutcome { quads: out.quads, records: out.records, truncated_to: out.truncated_to })
+}
+
+fn parse_record(line: &[u8]) -> Option<Vec<Quad>> {
+    let text = std::str::from_utf8(line).ok()?;
+    if text.trim().is_empty() {
+        return None;
+    }
+    let value = retia_json::parse(text).ok()?;
+    let crc = value.get("crc")?.as_u64()?;
+    let facts = value.get("facts")?;
+    // The CRC covers the compact rendering, which round-trips exactly for
+    // the u32 components a Quad holds.
+    if u64::from(crc32(facts.to_string_compact().as_bytes())) != crc {
+        return None;
+    }
+    let rows = facts.as_array()?;
+    let mut quads = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cols = row.as_array()?;
+        if cols.len() != 4 {
+            return None;
+        }
+        let col = |i: usize| cols[i].as_u64().and_then(|v| u32::try_from(v).ok());
+        quads.push(Quad::new(col(0)?, col(1)?, col(2)?, col(3)?));
+    }
+    Some(quads)
+}
+
+/// Merges replayed facts into a boot window using the engine's ingest
+/// discipline: group by timestamp, extend the newest snapshot on a
+/// timestamp match, append forward-only, trim to the last `k`. Facts that
+/// jumped behind the window end (possible after a dataset change under the
+/// same log) are skipped with a warning rather than rejected.
+pub fn replay_into_window(
+    window: Vec<Snapshot>,
+    quads: &[Quad],
+    num_entities: usize,
+    num_relations: usize,
+    k: usize,
+) -> Vec<Snapshot> {
+    let mut groups: Vec<(u32, Vec<Quad>)> = window.iter().map(|s| (s.t, s.facts.clone())).collect();
+    let mut skipped = 0usize;
+    for (t, group) in group_by_timestamp(quads) {
+        let in_range = group.iter().all(|q| {
+            (q.s as usize) < num_entities
+                && (q.o as usize) < num_entities
+                && (q.r as usize) < num_relations
+        });
+        let end = groups.last().map(|(t, _)| *t);
+        if !in_range || end.is_some_and(|e| t < e) {
+            skipped += group.len();
+            continue;
+        }
+        match groups.last_mut() {
+            Some((last_t, last_facts)) if *last_t == t => last_facts.extend(group),
+            _ => groups.push((t, group)),
+        }
+    }
+    if skipped > 0 {
+        retia_obs::event!(
+            retia_obs::Level::Warn,
+            "serve.ingest_log.skipped",
+            facts = skipped;
+            format!("{skipped} replayed fact(s) out of window/id range; skipped")
+        );
+    }
+    let k = k.max(1);
+    let overflow = groups.len().saturating_sub(k);
+    groups
+        .into_iter()
+        .skip(overflow)
+        .map(|(t, facts)| {
+            let mut snap = Snapshot::from_quads(&facts, num_entities, num_relations);
+            snap.t = t;
+            snap
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("retia-online-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join("ingest.jsonl")
+    }
+
+    fn facts(t: u32) -> Vec<Quad> {
+        vec![Quad::new(0, 0, 1, t), Quad::new(1, 1, 2, t)]
+    }
+
+    #[test]
+    fn ingest_log_roundtrips() {
+        let path = tmp("roundtrip");
+        let mut log = IngestLog::open_append(&path).expect("open");
+        log.append(&facts(5)).expect("append");
+        log.append(&facts(6)).expect("append");
+        let replay = replay_ingest_log(&path).expect("replay");
+        assert_eq!(replay.records, 2);
+        assert_eq!(replay.quads.len(), 4);
+        assert_eq!(replay.quads[0], Quad::new(0, 0, 1, 5));
+        assert_eq!(replay.quads[3], Quad::new(1, 1, 2, 6));
+        assert!(replay.truncated_to.is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_last_valid_record() {
+        let path = tmp("torn");
+        let mut log = IngestLog::open_append(&path).expect("open");
+        log.append(&facts(5)).expect("append");
+        let valid_len = std::fs::metadata(&path).expect("meta").len();
+        log.append(&facts(6)).expect("append");
+        // Tear the second record mid-line (crash during append).
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("tear");
+
+        let replay = replay_ingest_log(&path).expect("replay");
+        assert_eq!(replay.records, 1, "only the intact record survives");
+        assert_eq!(replay.truncated_to, Some(valid_len));
+        assert_eq!(std::fs::metadata(&path).expect("meta").len(), valid_len);
+        // A second replay over the truncated log is clean.
+        let again = replay_ingest_log(&path).expect("replay");
+        assert_eq!(again.records, 1);
+        assert!(again.truncated_to.is_none());
+    }
+
+    #[test]
+    fn bit_flipped_tail_is_detected_by_crc() {
+        let path = tmp("bitflip");
+        let mut log = IngestLog::open_append(&path).expect("open");
+        log.append(&facts(5)).expect("append");
+        log.append(&facts(6)).expect("append");
+        let bytes = std::fs::read(&path).expect("read");
+        // Flip a digit inside the second record's facts payload.
+        let flipped = retia_analyze::chaos::bit_flipped(&bytes, (bytes.len() - 10) * 8);
+        std::fs::write(&path, flipped).expect("write");
+
+        let replay = replay_ingest_log(&path).expect("replay");
+        assert_eq!(replay.records, 1, "crc must reject the flipped record");
+        assert!(replay.truncated_to.is_some());
+    }
+
+    #[test]
+    fn missing_log_replays_empty() {
+        let path = tmp("missing");
+        let replay = replay_ingest_log(&path).expect("replay");
+        assert_eq!(replay.records, 0);
+        assert!(replay.quads.is_empty());
+    }
+
+    #[test]
+    fn replay_into_window_merges_and_trims() {
+        let base = vec![Quad::new(0, 0, 1, 10)];
+        let mut snap = Snapshot::from_quads(&base, 4, 2);
+        snap.t = 10;
+        // Same-timestamp merge, forward append, then trim to k=2.
+        let quads = vec![
+            Quad::new(1, 1, 2, 10),
+            Quad::new(2, 0, 3, 11),
+            Quad::new(0, 1, 1, 12),
+            Quad::new(3, 0, 0, 5),  // behind the window: skipped
+            Quad::new(9, 0, 0, 13), // out of id range: skipped
+        ];
+        let window = replay_into_window(vec![snap], &quads, 4, 2, 2);
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].t, 11);
+        assert_eq!(window[1].t, 12);
+        assert_eq!(window[1].facts, vec![Quad::new(0, 1, 1, 12)]);
+    }
+
+    #[test]
+    fn trainer_state_wire_names() {
+        assert_eq!(TrainerState::Idle.as_str(), "idle");
+        assert_eq!(TrainerState::Training.as_str(), "training");
+        assert_eq!(TrainerState::Backoff.as_str(), "backoff");
+        assert_eq!(TrainerState::Disabled.as_str(), "disabled");
+        let s = OnlineStatus::disabled();
+        assert!(!s.is_enabled());
+        assert_eq!(s.trainer_state(), TrainerState::Disabled);
+    }
+}

@@ -44,6 +44,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -56,10 +57,11 @@ use retia_obs::slo::SloSpec;
 use retia_obs::trace::{self, TracePolicy};
 
 use crate::api;
-use crate::engine::{Engine, EngineError, EngineHandle, EngineOptions};
+use crate::engine::{Engine, EngineError, EngineHandle, EngineOptions, EngineStats};
 use crate::http::{
     error_body, write_json_response, write_text_response, HttpError, Request, RequestBuffer,
 };
+use crate::online::{self, OnlineOptions, OnlineStatus, OnlineTrainer};
 use crate::stages;
 
 /// Sleep between no-progress poll passes while connections are open.
@@ -98,6 +100,13 @@ pub struct ServeConfig {
     pub trace_sample_every: u64,
     /// Bound on stored traces; the oldest is evicted beyond it.
     pub trace_capacity: usize,
+    /// When set, an isolated continual trainer fine-tunes on newly ingested
+    /// windows and publishes via atomic model swaps (DESIGN.md §12).
+    pub online: Option<OnlineOptions>,
+    /// When set, every accepted ingest is appended to this JSONL durability
+    /// log before the window advances, and boot replays it (corrupt tails
+    /// are truncated at the last valid record).
+    pub ingest_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -115,7 +124,30 @@ impl Default for ServeConfig {
             trace_slow_ms: tracing.slow_ms,
             trace_sample_every: tracing.sample_every,
             trace_capacity: tracing.capacity,
+            online: None,
+            ingest_log: None,
         }
+    }
+}
+
+/// Health readout shared with every worker: lock-free engine counters plus
+/// the online trainer's status (always present — [`OnlineStatus::disabled`]
+/// when online learning is off), so `/healthz` and `/v1/drift` answer
+/// without touching the engine queue.
+#[derive(Clone)]
+struct Health {
+    stats: Arc<EngineStats>,
+    status: Arc<OnlineStatus>,
+}
+
+impl Health {
+    /// Degraded = the trainer is in its failure envelope (divergence, panic,
+    /// drift rollback) or the served model is staler than the bound. Either
+    /// way serving continues from the last-good model; this only flips the
+    /// readiness readout.
+    fn degraded(&self) -> bool {
+        self.status.trainer_degraded()
+            || (self.status.is_enabled() && self.stats.staleness() > self.status.max_staleness())
     }
 }
 
@@ -171,6 +203,8 @@ pub struct Server {
     gate: Arc<Gate>,
     workers: Vec<JoinHandle<()>>,
     engine: Engine,
+    online: Option<OnlineTrainer>,
+    health: Health,
 }
 
 impl Server {
@@ -192,6 +226,33 @@ impl Server {
                 format!("serve boot audit failed:\n{audit}"),
             ));
         }
+        // The continual trainer seeds from (and drift-scores against) the
+        // boot model; clone it before the engine takes ownership.
+        let baseline = cfg.online.as_ref().map(|_| FrozenModel::new(model.clone_model()));
+        // Durability replay: facts ingested before the last shutdown (or
+        // crash) re-enter the window before the engine boots, so the served
+        // window survives restarts. A torn or bit-flipped tail is truncated
+        // at the last valid record inside `replay_ingest_log`.
+        let mut window = window;
+        if let Some(path) = &cfg.ingest_log {
+            let replay = online::replay_ingest_log(path)?;
+            if !replay.quads.is_empty() {
+                window = online::replay_into_window(
+                    window,
+                    &replay.quads,
+                    model.num_entities(),
+                    model.num_relations(),
+                    model.cfg().k,
+                );
+                retia_obs::event!(
+                    retia_obs::Level::Info,
+                    "serve.ingest_log.replayed",
+                    records = replay.records as f64,
+                    facts = replay.quads.len() as f64;
+                    format!("replayed {} durable ingest records at boot", replay.records)
+                );
+            }
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -206,9 +267,26 @@ impl Server {
         if !cfg.slos.is_empty() {
             retia_obs::slo::configure(cfg.slos.clone());
         }
-        let opts = EngineOptions { queue_cap: cfg.queue_cap, decode_shards: cfg.decode_shards };
+        let opts = EngineOptions {
+            queue_cap: cfg.queue_cap,
+            decode_shards: cfg.decode_shards,
+            ingest_log: cfg.ingest_log.clone(),
+        };
         let engine = Engine::start_with(model, window, opts)?;
         let gate = Arc::new(Gate::new());
+        let online = match (&cfg.online, baseline) {
+            (Some(online_opts), Some(baseline)) => {
+                Some(OnlineTrainer::spawn(engine.handle(), baseline, online_opts.clone())?)
+            }
+            _ => None,
+        };
+        let health = Health {
+            stats: engine.handle().stats(),
+            status: online
+                .as_ref()
+                .map(OnlineTrainer::status)
+                .unwrap_or_else(OnlineStatus::disabled),
+        };
 
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -216,9 +294,10 @@ impl Server {
                 let gate = Arc::clone(&gate);
                 let handle = engine.handle();
                 let cfg = cfg.clone();
+                let health = health.clone();
                 std::thread::Builder::new()
                     .name(format!("retia-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&listener, &gate, &handle, &cfg))
+                    .spawn(move || worker_loop(&listener, &gate, &handle, &cfg, &health))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
@@ -232,7 +311,7 @@ impl Server {
                 cfg.decode_shards
             )
         );
-        Ok(Server { addr, gate, workers, engine })
+        Ok(Server { addr, gate, workers, engine, online, health })
     }
 
     /// The bound socket address (resolves `--port 0`).
@@ -245,6 +324,12 @@ impl Server {
         self.engine.handle()
     }
 
+    /// The online trainer's status handle ([`OnlineStatus::disabled`] when
+    /// online learning is off) — what `/healthz` and `/v1/drift` read.
+    pub fn online_status(&self) -> Arc<OnlineStatus> {
+        Arc::clone(&self.health.status)
+    }
+
     /// Flips the drain gate, as `POST /admin/shutdown` does.
     pub fn request_shutdown(&self) {
         self.gate.trigger();
@@ -254,11 +339,17 @@ impl Server {
     /// or the admin endpoint), then drains: every worker's poll loop notices
     /// the gate, finishes requests already in flight, closes its
     /// connections and exits; the engine stops after all queued jobs.
-    pub fn wait(self) {
+    pub fn wait(mut self) {
         self.gate.wait_triggered();
         for w in self.workers {
             // A worker panic is a bug; surface it rather than hang.
             w.join().expect("serve worker panicked");
+        }
+        // Stop the continual trainer before the engine: its supervisor loop
+        // blocks on engine control jobs, so the engine must still answer
+        // while the trainer winds down.
+        if let Some(mut online) = self.online.take() {
+            online.stop();
         }
         self.engine.shutdown();
         retia_obs::event!(retia_obs::Level::Info, "serve.stopped"; "drained and stopped");
@@ -287,7 +378,13 @@ impl Conn {
 }
 
 /// The per-worker event loop described in the module docs.
-fn worker_loop(listener: &TcpListener, gate: &Gate, engine: &EngineHandle, cfg: &ServeConfig) {
+fn worker_loop(
+    listener: &TcpListener,
+    gate: &Gate,
+    engine: &EngineHandle,
+    cfg: &ServeConfig,
+    health: &Health,
+) {
     let mut conns: Vec<Conn> = Vec::new();
     loop {
         let mut progressed = false;
@@ -324,6 +421,7 @@ fn worker_loop(listener: &TcpListener, gate: &Gate, engine: &EngineHandle, cfg: 
                 gate,
                 engine,
                 cfg,
+                health,
                 &mut progressed,
                 &mut slept,
             );
@@ -346,12 +444,14 @@ fn worker_loop(listener: &TcpListener, gate: &Gate, engine: &EngineHandle, cfg: 
 
 /// Reads, parses and answers on one connection. Returns `false` when the
 /// connection must close (error, EOF, `Connection: close`, deadline, drain).
+#[allow(clippy::too_many_arguments)]
 fn service_conn(
     c: &mut Conn,
     park: bool,
     gate: &Gate,
     engine: &EngineHandle,
     cfg: &ServeConfig,
+    health: &Health,
     progressed: &mut bool,
     slept: &mut bool,
 ) -> bool {
@@ -424,7 +524,8 @@ fn service_conn(
             Ok(Some(req)) => {
                 *progressed = true;
                 let keep = req.keep_alive() && !gate.is_draining();
-                let written = respond(&mut c.stream, &req, keep, recv_start_ns, gate, engine, cfg);
+                let written =
+                    respond(&mut c.stream, &req, keep, recv_start_ns, gate, engine, cfg, health);
                 c.last_activity = Instant::now();
                 if !written || !keep {
                     return false;
@@ -489,6 +590,7 @@ enum Payload {
 /// root frame around `route` so engine-side spans attach to it, and finishes
 /// with the response status — at which point the tail sampler decides
 /// whether `/v1/traces` keeps it.
+#[allow(clippy::too_many_arguments)]
 fn respond(
     stream: &mut TcpStream,
     req: &Request,
@@ -497,6 +599,7 @@ fn respond(
     gate: &Gate,
     engine: &EngineHandle,
     cfg: &ServeConfig,
+    health: &Health,
 ) -> bool {
     let started = Instant::now();
     let start_ns = retia_obs::now_ns();
@@ -516,7 +619,7 @@ fn respond(
     let mut queue_wait_ns: Option<u64> = None;
     let (endpoint, status, body) = {
         let _scope = trace::adopt(vec![root]);
-        route(req, gate, engine, &mut queue_wait_ns)
+        route(req, gate, engine, health, &mut queue_wait_ns)
     };
     gate.in_flight.fetch_sub(1, Ordering::SeqCst);
     retia_obs::metrics::set_gauge("serve.in_flight", gate.in_flight.load(Ordering::SeqCst) as f64);
@@ -623,6 +726,7 @@ fn route(
     req: &Request,
     gate: &Gate,
     engine: &EngineHandle,
+    health: &Health,
     queue_wait_ns: &mut Option<u64>,
 ) -> (&'static str, u16, Payload) {
     let (path, query_string) = match req.path.split_once('?') {
@@ -631,10 +735,29 @@ fn route(
     };
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
+            // Answered from lock-free counters — never queues behind the
+            // engine, so the probe stays honest under decode load.
+            let staleness = health.stats.staleness();
+            let degraded = health.degraded();
+            retia_obs::metrics::set_gauge("serve.staleness", staleness as f64);
             let mut body = Value::object();
-            body.insert("status", Value::from("ok"));
+            body.insert("status", Value::from(if degraded { "degraded" } else { "ok" }));
             body.insert("draining", Value::from(gate.is_draining()));
-            ("healthz", 200, Payload::Json(body))
+            body.insert("model_epoch", Value::from(health.stats.model_epoch() as f64));
+            body.insert("ingest_epoch", Value::from(health.stats.ingest_epoch() as f64));
+            body.insert("staleness", Value::from(staleness as f64));
+            body.insert("trainer", Value::from(health.status.trainer_state().as_str()));
+            // Liveness always answers 200; the readiness variant (`?ready=1`)
+            // turns "degraded" into a 503 so a load balancer can route away
+            // while the process keeps serving last-good answers.
+            let ready_probe = query_string.split('&').any(|kv| kv == "ready=1");
+            let code = if ready_probe && degraded { 503 } else { 200 };
+            ("healthz", code, Payload::Json(body))
+        }
+        ("GET", "/v1/drift") => {
+            let report = health.status.drift();
+            let enabled = health.status.is_enabled();
+            ("drift", 200, Payload::Json(api::drift_response_json(enabled, &report)))
         }
         ("GET", "/metrics") => {
             // A scrape should see current SLO state, not quarter-second-old
@@ -676,7 +799,8 @@ fn route(
         }
         (
             _,
-            "/healthz" | "/metrics" | "/v1/traces" | "/admin/shutdown" | "/v1/query" | "/v1/ingest",
+            "/healthz" | "/metrics" | "/v1/traces" | "/v1/drift" | "/admin/shutdown" | "/v1/query"
+            | "/v1/ingest",
         ) => (
             "other",
             405,
@@ -724,6 +848,9 @@ fn engine_error_response(e: EngineError) -> (u16, Value) {
     match &e {
         EngineError::InvalidQuery(m) => (422, error_body("unprocessable", m)),
         EngineError::InvalidIngest(m) => (422, error_body("unprocessable", m)),
+        // Swaps come from the in-process trainer, never from HTTP; routing
+        // one here would be a bug, but the map stays total.
+        EngineError::InvalidSwap(m) => (422, error_body("unprocessable", m)),
         EngineError::Stopped => (503, error_body("unavailable", "engine stopped")),
         EngineError::Overloaded => {
             (429, error_body("overloaded", "job queue full; retry after the queue drains"))

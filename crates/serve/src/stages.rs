@@ -25,3 +25,11 @@ pub const TOPK: &str = "serve.topk";
 pub const WRITE: &str = "serve.write";
 /// Window advance: validation, graph rebuild and eager cache warm.
 pub const INGEST: &str = "serve.ingest";
+/// One continual-training round on the online trainer's thread.
+pub const TRAIN: &str = "serve.train";
+/// Atomic installation of a candidate model on the engine thread.
+pub const SWAP: &str = "serve.swap";
+/// Drift gate: candidate-vs-baseline scoring on the newest window.
+pub const DRIFT: &str = "serve.drift";
+/// Boot replay of the ingest durability log.
+pub const REPLAY: &str = "serve.replay";

@@ -28,9 +28,15 @@ cargo test -q -p retia-cli --test serve_smoke
 echo "==> serve robustness suite (chaos HTTP inputs, cache bit-identity, drain-in-flight, trace trees, SLO export)"
 cargo test -q --test serve_http
 
-echo "==> loadtest smoke (self-hosted on port 0; exits nonzero on any 5xx, zero QPS, or a burning --slo objective)"
+echo "==> online-learning suite (NaN storms under load, trainer panics, drift rollback, ingest-log replay)"
+cargo test -q --test serve_online
+
+echo "==> online serve smoke (--online --ingest-log via the real binary; kill -9 + replay)"
+cargo test -q -p retia-cli --test online_smoke
+
+echo "==> loadtest smoke (self-hosted on port 0; exits nonzero on any 5xx, zero QPS, or a burning --slo objective; --online adds a train-active ladder)"
 ./target/release/retia loadtest --connections 1,4 --requests 25 --ingest-every 10 \
-  --slo query:99:30000 --out target/BENCH_serve_smoke.json
+  --slo query:99:30000 --online --out target/BENCH_serve_smoke.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check
