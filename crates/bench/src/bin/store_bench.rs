@@ -1,0 +1,133 @@
+//! Benchmarks the durable temporal-KG store: append throughput through the
+//! CRC'd fact log, compaction latency, and temporal-PageRank latency at two
+//! graph sizes.
+//!
+//! Writes `BENCH_store.json` in the working directory. `RETIA_FAST=1`
+//! shrinks the run to a smoke test.
+
+use std::time::Instant;
+
+use retia_graph::Quad;
+use retia_store::{temporal_pagerank, top_entities, PageRankOptions, Store};
+
+/// Deterministic quad stream (splitmix-style) so every run appends the same
+/// facts and every PageRank result is reproducible.
+fn synth_facts(n: u32, m: u32, timestamps: u32, per_t: usize) -> Vec<Vec<Quad>> {
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..timestamps)
+        .map(|t| {
+            (0..per_t)
+                .map(|_| {
+                    let r = next();
+                    Quad {
+                        s: (r % n as u64) as u32,
+                        r: ((r >> 20) % m as u64) as u32,
+                        o: ((r >> 40) % n as u64) as u32,
+                        t,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct SizeResult {
+    name: &'static str,
+    entities: u32,
+    relations: u32,
+    facts: usize,
+    append_facts_per_s: f64,
+    compact_ms: f64,
+    pagerank_ms: f64,
+    top_entity: u32,
+}
+
+fn bench_size(name: &'static str, n: u32, m: u32, timestamps: u32, per_t: usize) -> SizeResult {
+    let dir = std::env::temp_dir().join(format!("retia-store-bench-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = Store::create(&dir, name, retia_data::Granularity::Day).expect("create store");
+    let ents: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    let rels: Vec<String> = (0..m).map(|i| format!("r{i}")).collect();
+    store.ensure_names(&ents, &rels).expect("seed vocabulary");
+
+    let groups = synth_facts(n, m, timestamps, per_t);
+    let facts: usize = groups.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    for group in &groups {
+        store.append_quads(group).expect("append");
+    }
+    let append_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    store.compact().expect("compact");
+    let compact_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let scores =
+        temporal_pagerank(store.groups(), store.num_entities(), &PageRankOptions::default());
+    let pagerank_ms = start.elapsed().as_secs_f64() * 1e3;
+    let top_entity = top_entities(&scores, 1).first().map(|&(id, _)| id).unwrap_or(0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    SizeResult {
+        name,
+        entities: n,
+        relations: m,
+        facts,
+        append_facts_per_s: facts as f64 / append_s.max(1e-9),
+        compact_ms,
+        pagerank_ms,
+        top_entity,
+    }
+}
+
+fn main() {
+    let fast = std::env::var("RETIA_FAST").map(|v| v == "1").unwrap_or(false);
+    let sizes = if fast {
+        vec![bench_size("small", 200, 10, 10, 100), bench_size("large", 1000, 20, 20, 250)]
+    } else {
+        vec![bench_size("small", 500, 20, 40, 250), bench_size("large", 5000, 50, 80, 1250)]
+    };
+
+    println!(
+        "{:>8} {:>9} {:>9} {:>8} {:>16} {:>12} {:>12}",
+        "size", "entities", "facts", "top", "append facts/s", "compact ms", "pagerank ms"
+    );
+    let mut rows = Vec::new();
+    for s in &sizes {
+        println!(
+            "{:>8} {:>9} {:>9} {:>8} {:>16.0} {:>12.2} {:>12.2}",
+            s.name,
+            s.entities,
+            s.facts,
+            s.top_entity,
+            s.append_facts_per_s,
+            s.compact_ms,
+            s.pagerank_ms
+        );
+        let mut row = retia_json::Value::object();
+        row.insert("name", retia_json::Value::from(s.name));
+        row.insert("entities", retia_json::Value::from(s.entities as u64));
+        row.insert("relations", retia_json::Value::from(s.relations as u64));
+        row.insert("facts", retia_json::Value::from(s.facts as u64));
+        row.insert("append_facts_per_s", retia_json::Value::from(s.append_facts_per_s));
+        row.insert("compact_ms", retia_json::Value::from(s.compact_ms));
+        row.insert("pagerank_ms", retia_json::Value::from(s.pagerank_ms));
+        row.insert("top_entity", retia_json::Value::from(s.top_entity as u64));
+        rows.push(row);
+    }
+    let mut root = retia_json::Value::object();
+    root.insert("bench", retia_json::Value::from("store"));
+    root.insert("fast", retia_json::Value::from(fast));
+    root.insert("sizes", retia_json::Value::Array(rows));
+    let path = "BENCH_store.json";
+    std::fs::write(path, root.to_string_pretty()).expect("write BENCH_store.json");
+    println!("wrote {path}");
+}

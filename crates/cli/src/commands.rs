@@ -16,6 +16,18 @@ fn load_data(args: &Args) -> Result<TkgDataset, String> {
     load_dataset(&dir).map_err(|e| e.to_string())
 }
 
+/// Loads the dataset from `--store DIR` (the durable store, split 80/10/10
+/// by timestamp exactly like a generated dataset) or from `--data DIR`.
+fn load_data_or_store(args: &Args) -> Result<TkgDataset, String> {
+    match args.get("store") {
+        Some(dir) => {
+            let store = retia_store::Store::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            Ok(store.dataset())
+        }
+        None => load_data(args),
+    }
+}
+
 /// Applies the shared observability options: `--log-level` overrides the
 /// `RETIA_LOG` stderr verbosity, `--trace-out FILE` installs a JSONL sink
 /// receiving every span and event, and the per-module timing aggregate is
@@ -93,9 +105,13 @@ pub fn generate(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `retia stats --data DIR`.
+/// `retia stats --data DIR` or `retia stats --store DIR` (store summary +
+/// deterministic graph analytics).
 pub fn stats(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &[])?;
+    if args.get("store").is_some() {
+        return crate::store_commands::store_stats(&args);
+    }
     let ds = load_data(&args)?;
     let s = ds.stats();
     println!("dataset      : {}", ds.name);
@@ -247,12 +263,14 @@ pub fn audit(raw: &[String]) -> Result<(), String> {
     }
 }
 
-/// `retia train --data DIR --out FILE [--resume DIR] [--checkpoint-dir DIR]
-/// [hyperparameters...]`.
+/// `retia train (--data DIR | --store DIR) --out FILE [--resume DIR]
+/// [--checkpoint-dir DIR] [hyperparameters...]`. With `--store`, the
+/// training stream is the durable store's fact history (same 80/10/10
+/// timestamp split a generated dataset gets).
 pub fn train(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["no-tim", "no-eam", "no-recovery"])?;
     let trace = init_obs(&args)?;
-    let ds = load_data(&args)?;
+    let ds = load_data_or_store(&args)?;
     let out = PathBuf::from(args.require("out")?);
     let ctx = TkgContext::new(&ds);
 
@@ -467,23 +485,115 @@ fn parse_online_options(args: &Args) -> Result<retia_serve::OnlineOptions, Strin
     })
 }
 
-/// `retia serve --data DIR --resume CKPT_DIR [--port N] [--host H]
-/// [--workers N] [--online] [--ingest-log FILE]`: online inference over HTTP
-/// from a checkpoint directory. `--online` adds the isolated continual
-/// trainer (atomic swaps, drift rollback; tune with `--online-steps`,
-/// `--online-interval-ms`, `--max-staleness`, `--drift-threshold`,
-/// `--drift-window`); `--ingest-log` makes ingests durable across restarts.
+/// One-per-process deprecation notice for `--ingest-log`.
+static INGEST_LOG_DEPRECATION_WARNED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// `--ingest-log FILE` is a deprecated alias for `--store {FILE}.store`:
+/// creates/opens that store (vocabulary sized to the dataset), migrates the
+/// legacy JSONL into it once (renaming `FILE` → `FILE.migrated`), and
+/// returns the store directory.
+fn migrate_ingest_log(file: &Path, ds: &TkgDataset) -> Result<PathBuf, String> {
+    if !INGEST_LOG_DEPRECATION_WARNED.swap(true, std::sync::atomic::Ordering::SeqCst) {
+        eprintln!(
+            "warning: --ingest-log is deprecated; it now aliases --store {}.store \
+             (binary fact log + compacted segments). Pass --store DIR directly.",
+            file.display()
+        );
+        event!(
+            Level::Warn,
+            "serve.ingest_log.deprecated";
+            "--ingest-log is deprecated: the JSONL log is migrated into a durable store"
+        );
+    }
+    let dir = PathBuf::from(format!("{}.store", file.display()));
+    let mut store = retia_store::Store::open_or_create(&dir, &ds.name, ds.granularity)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let (ents, rels) = crate::store_commands::synthetic_names(ds.num_entities, ds.num_relations);
+    store.ensure_names(&ents, &rels).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if file.exists() {
+        let replay = retia_serve::online::replay_ingest_log(file)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let out = store
+            .append_quads_lenient(&replay.quads)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        let aside = PathBuf::from(format!("{}.migrated", file.display()));
+        std::fs::rename(file, &aside).map_err(|e| format!("{}: {e}", file.display()))?;
+        event!(
+            Level::Info,
+            "serve.ingest_log.migrated",
+            records = replay.records,
+            appended = out.appended,
+            skipped = out.skipped;
+            format!(
+                "migrated {} JSONL ingest record(s) ({} fact(s), {} skipped) into {}; \
+                 the old log is kept at {}",
+                replay.records,
+                out.appended,
+                out.skipped,
+                dir.display(),
+                aside.display()
+            )
+        );
+    }
+    Ok(dir)
+}
+
+/// `retia serve (--data DIR | --store DIR) --resume CKPT_DIR [--port N]
+/// [--host H] [--workers N] [--online] [--ingest-log FILE]`: online
+/// inference over HTTP from a checkpoint directory. With `--store` the boot
+/// window comes from the durable store (the same snapshots `train --store`
+/// saw) and every accepted ingest is appended to it; `--ingest-log` is a
+/// deprecated alias that migrates the legacy JSONL into `{FILE}.store`.
+/// `--online` adds the isolated continual trainer (atomic swaps, drift
+/// rollback; tune with `--online-steps`, `--online-interval-ms`,
+/// `--max-staleness`, `--drift-threshold`, `--drift-window`).
 pub fn serve(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw, &["online"])?;
     let trace = init_obs(&args)?;
-    let ds = load_data(&args)?;
+    if args.get("store").is_some() && args.get("ingest-log").is_some() {
+        return Err(
+            "--ingest-log is a deprecated alias for --store; pass only --store DIR".to_string()
+        );
+    }
+    let ds = load_data_or_store(&args)?;
     let dir = PathBuf::from(args.require("resume")?);
     // Resume rebuilds the exact trainer state (config + parameters) from
     // the checkpoint directory; serving freezes its model and never touches
     // the optimizer again.
-    let trainer = Trainer::resume(&dir, &ds).map_err(|e| e.to_string())?;
+    let trainer = Trainer::resume(&dir, &ds).map_err(|e| {
+        format!(
+            "{e} (the checkpoint must match the boot source: `{}` has {} entities / {} relations)",
+            ds.name, ds.num_entities, ds.num_relations
+        )
+    })?;
     let ctx = TkgContext::new(&ds);
-    let window = ctx.snapshots.clone();
+    let mut window = ctx.snapshots.clone();
+
+    // Durable ingest store: `--store` uses it as both boot source and
+    // append target; the `--ingest-log` alias migrates the legacy JSONL,
+    // then replays the store's facts into the dataset window at every boot
+    // (the store holds only ingested facts in that mode).
+    let store_dir = match (args.get("store"), args.get("ingest-log")) {
+        (Some(dir), None) => Some(PathBuf::from(dir)),
+        (None, Some(file)) => {
+            let store_dir = migrate_ingest_log(Path::new(file), &ds)?;
+            let store = retia_store::Store::open(&store_dir)
+                .map_err(|e| format!("{}: {e}", store_dir.display()))?;
+            let facts = store.all_facts();
+            if !facts.is_empty() {
+                window = retia_serve::online::replay_into_window(
+                    window,
+                    &facts,
+                    ds.num_entities,
+                    ds.num_relations,
+                    trainer.cfg.k.max(1),
+                );
+            }
+            Some(store_dir)
+        }
+        _ => None,
+    };
 
     let port: u16 = args.get_or("port", 8080u16)?;
     let host = args.get_or("host", "127.0.0.1".to_string())?;
@@ -500,7 +610,10 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         trace_slow_ms: args.get_or("trace-slow-ms", defaults.trace_slow_ms)?,
         trace_sample_every: args.get_or("trace-sample", defaults.trace_sample_every)?,
         online: if args.flag("online") { Some(parse_online_options(&args)?) } else { None },
-        ingest_log: args.get("ingest-log").map(PathBuf::from),
+        // The legacy JSONL path was migrated above; both modes append to the
+        // durable store from here on.
+        ingest_log: None,
+        store: store_dir,
         ..defaults
     };
     let server = retia_serve::Server::start(retia::FrozenModel::new(trainer.model), window, &cfg)

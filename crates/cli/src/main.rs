@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod store_commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +35,12 @@ fn main() -> ExitCode {
         "serve" => commands::serve(rest),
         "loadtest" => commands::loadtest(rest),
         "report" => commands::report(rest),
+        "ingest" => store_commands::ingest(rest),
+        "compact" => store_commands::compact(rest),
+        "query" => store_commands::query(rest),
+        "path" => store_commands::path(rest),
+        "communities" => store_commands::communities(rest),
+        "export" => store_commands::export(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -59,7 +66,8 @@ COMMANDS:
     generate   synthesize a benchmark-shaped dataset
                --profile icews14|icews0515|icews18|yago|wiki|tiny  --out DIR [--seed N]
     stats      print dataset statistics and temporal structure
-               --data DIR
+               --data DIR | --store DIR (adds temporal PageRank top-10 and
+               community-evolution totals from the durable store)
     check      dry-run a configuration's shapes (evolve -> decode -> loss ->
                backward) without training; reports every mismatch with the
                module and paper-equation name
@@ -72,7 +80,8 @@ COMMANDS:
                [--data DIR] [--all-configs] [--dim N] [--k N] [--channels N]
                [--no-tim] [--no-eam]
     train      train a RETIA model and write a checkpoint
-               --data DIR --out FILE [--dim N] [--k N] [--epochs N] [--channels N]
+               (--data DIR | --store DIR) --out FILE
+               [--dim N] [--k N] [--epochs N] [--channels N]
                [--lr F] [--lambda F] [--seed N] [--no-tim] [--no-eam] [--static-weight F]
                [--log-level L] [--trace-out FILE]
                fault tolerance:
@@ -93,7 +102,8 @@ COMMANDS:
     predict    rank candidate objects for a query (s, r, ?) at the first test timestamp
                --data DIR --model FILE --subject N --relation N [--topk N]
     serve      online inference over HTTP from a train checkpoint directory
-               --data DIR --resume CKPT_DIR [--port N] [--host H] [--workers N]
+               (--data DIR | --store DIR) --resume CKPT_DIR
+               [--port N] [--host H] [--workers N]
                [--queue-cap N] [--decode-shards N]
                [--slo LIST] [--trace-slow-ms F] [--trace-sample N]
                [--log-level L] [--trace-out FILE]
@@ -122,11 +132,15 @@ COMMANDS:
                [--drift-threshold F]   relative loss/MRR regression vs the
                                        boot baseline that counts as a breach (0.5)
                [--drift-window N]      consecutive breaches before rollback (3)
-               [--ingest-log FILE]     append-only JSONL durability log; every
-                                       accepted ingest is logged before the
-                                       window advances and replayed at boot
-                                       (corrupt tails truncated at the last
-                                       valid record)
+               durability:
+               [--store DIR]           boot the window from the durable store
+                                       and append every accepted ingest to it
+                                       before the window advances; survives
+                                       kill -9 at any byte offset
+               [--ingest-log FILE]     deprecated alias for --store: migrates
+                                       the legacy JSONL log into {FILE}.store
+                                       once (FILE is renamed FILE.migrated)
+                                       and serves from that store thereafter
     loadtest   replay a synthetic query/ingest mix and write BENCH_serve.json
                (p50/p99 latency and QPS per concurrency level)
                [--addr HOST:PORT] [--connections 1,2,4,...] [--requests N]
@@ -143,6 +157,29 @@ COMMANDS:
                with --requests, FILE is a saved GET /v1/traces document and
                the output is one stage tree per request (offset, duration,
                exclusive time per stage)
+
+STORE COMMANDS (durable temporal-KG store: CRC'd fact log + compacted segments):
+    ingest     create a store or append facts to one
+               --store DIR (--facts FILE.tsv | --from-data DIR) [--append]
+               [--name NAME] [--granularity day|year] [--compact]
+               FILE.tsv rows are `subject<TAB>relation<TAB>object<TAB>t`
+               (# comments allowed); new names extend the vocabulary in
+               insertion order and ids are never renumbered; timestamps are
+               forward-only (same-t facts merge into the latest group)
+    compact    seal the fact log into an immutable snapshot segment
+               --store DIR
+    query      filter facts by name or id
+               --store DIR [--subject X] [--relation X] [--object X]
+               [--since T] [--until T] [--limit N] [--json]
+    path       time-respecting path between two entities (each hop leaves no
+               earlier than the previous hop's arrival)
+               --store DIR --from X --to X [--since T] [--max-hops N] [--json]
+    communities connected components per snapshot and their evolution
+               (continued/born/died via best-Jaccard matching)
+               --store DIR [--at T] [--json]
+    export     write the whole store as an interchange document
+               --store DIR --format json|csv|graphml|cypher [--out FILE]
+               all four formats reimport bit-identically via `retia ingest`
 
 SLO SPECS (--slo):
     comma-separated name:objective:threshold_ms[:window_s] entries, e.g.

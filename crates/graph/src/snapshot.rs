@@ -25,7 +25,7 @@ use crate::quad::Quad;
 /// assert_eq!(snap.num_edges(), 2); // the fact plus its inverse
 /// assert_eq!(snap.active_relations(), vec![0, 1]); // r and r + M
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
     /// Timestamp this snapshot represents.
     pub t: u32,

@@ -155,11 +155,16 @@ pub struct EngineOptions {
     /// CRC-stamped JSONL **before** the epoch bump, so a crashed server
     /// rebuilds the same window on restart (see [`crate::online::IngestLog`]).
     pub ingest_log: Option<PathBuf>,
+    /// Durable store directory: accepted ingest facts are appended to the
+    /// store's binary fact log **before** the epoch bump (the successor of
+    /// `ingest_log`; see `retia_store::Appender`). The store must already
+    /// exist — the CLI creates it at boot.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for EngineOptions {
     fn default() -> EngineOptions {
-        EngineOptions { queue_cap: 256, decode_shards: 1, ingest_log: None }
+        EngineOptions { queue_cap: 256, decode_shards: 1, ingest_log: None, store: None }
     }
 }
 
@@ -481,7 +486,12 @@ impl Engine {
             Some(path) => Some(IngestLog::open_append(path)?),
             None => None,
         };
-        let mut state = EngineState::new(model, window, opts.decode_shards, stats, ingest_log);
+        let store = match &opts.store {
+            Some(dir) => Some(retia_store::Appender::open(dir).map_err(std::io::Error::other)?),
+            None => None,
+        };
+        let mut state =
+            EngineState::new(model, window, opts.decode_shards, stats, ingest_log, store);
         let thread = std::thread::Builder::new()
             .name("retia-serve-engine".to_string())
             .spawn(move || state.run(&shared))?;
@@ -521,6 +531,7 @@ struct EngineState {
     decode_shards: usize,
     stats: Arc<EngineStats>,
     ingest_log: Option<IngestLog>,
+    store: Option<retia_store::Appender>,
 }
 
 impl EngineState {
@@ -530,6 +541,7 @@ impl EngineState {
         decode_shards: usize,
         stats: Arc<EngineStats>,
         ingest_log: Option<IngestLog>,
+        store: Option<retia_store::Appender>,
     ) -> EngineState {
         let k = model.cfg().k.max(1);
         let tail = window.len().saturating_sub(k);
@@ -547,6 +559,7 @@ impl EngineState {
             decode_shards: decode_shards.max(1),
             stats,
             ingest_log,
+            store,
         };
         state.rebuild_graphs();
         state
@@ -700,6 +713,16 @@ impl EngineState {
                     retia_obs::Level::Warn,
                     "serve.ingest_log.write_error";
                     format!("ingest log append failed ({e}); facts accepted without durability")
+                );
+            }
+        }
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.append_quads(facts) {
+                retia_obs::metrics::inc("store.append_errors");
+                retia_obs::event!(
+                    retia_obs::Level::Warn,
+                    "store.append_error";
+                    format!("store append failed ({e}); facts accepted without durability")
                 );
             }
         }

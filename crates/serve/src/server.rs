@@ -107,6 +107,11 @@ pub struct ServeConfig {
     /// log before the window advances, and boot replays it (corrupt tails
     /// are truncated at the last valid record).
     pub ingest_log: Option<PathBuf>,
+    /// When set, every accepted ingest is appended to the durable store at
+    /// this directory before the window advances (the store-backed successor
+    /// of `ingest_log`; the caller boots the window from the same store, so
+    /// no separate boot replay happens here).
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +131,7 @@ impl Default for ServeConfig {
             trace_capacity: tracing.capacity,
             online: None,
             ingest_log: None,
+            store: None,
         }
     }
 }
@@ -271,6 +277,7 @@ impl Server {
             queue_cap: cfg.queue_cap,
             decode_shards: cfg.decode_shards,
             ingest_log: cfg.ingest_log.clone(),
+            store: cfg.store.clone(),
         };
         let engine = Engine::start_with(model, window, opts)?;
         let gate = Arc::new(Gate::new());

@@ -1,0 +1,508 @@
+//! Graph analytics over the store's timestamp-grouped fact view.
+//!
+//! Everything here is deterministic by construction: fixed iteration
+//! counts, fixed f64 summation order (entity-id order), and explicit
+//! tie-breaks — the same store bytes always produce the same scores,
+//! community labels, and paths, which is what lets the chaos/CI suites
+//! assert on them.
+
+use std::collections::HashMap;
+
+use retia_graph::Quad;
+
+/// Label given to entities with no incident edge in a snapshot.
+pub const NO_COMMUNITY: u32 = u32::MAX;
+
+/// Knobs for [`temporal_pagerank`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankOptions {
+    /// Damping factor (probability of following an edge vs. teleporting).
+    pub damping: f64,
+    /// Per-step recency decay: a fact `a` timestamp-groups older than the
+    /// newest weighs `decay^a`. 1.0 = plain PageRank over the union graph.
+    pub decay: f64,
+    /// Power iterations (fixed, not convergence-gated, for determinism).
+    pub iterations: usize,
+    /// Number of trailing timestamp groups to aggregate (0 = all).
+    pub window: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions { damping: 0.85, decay: 0.8, iterations: 50, window: 0 }
+    }
+}
+
+/// Temporal PageRank over the recency-weighted union of the trailing
+/// `window` timestamp groups. Edges point subject → object; an edge's
+/// weight is `decay^age` with age measured in group steps from the newest
+/// group. Returns one score per entity, summing to 1.0 (up to rounding).
+pub fn temporal_pagerank(
+    groups: &[(u32, Vec<Quad>)],
+    num_entities: usize,
+    opts: &PageRankOptions,
+) -> Vec<f64> {
+    let n = num_entities;
+    if n == 0 {
+        return Vec::new();
+    }
+    let skip = if opts.window == 0 { 0 } else { groups.len().saturating_sub(opts.window) };
+    let tail = &groups[skip..];
+
+    // Weighted adjacency: out_edges[s] = [(o, w)], deterministic order.
+    let mut out_edges: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut out_weight = vec![0.0f64; n];
+    for (age_rev, (_, group)) in tail.iter().enumerate() {
+        let age = (tail.len() - 1 - age_rev) as i32;
+        let w = opts.decay.powi(age);
+        for q in group {
+            if (q.s as usize) < n && (q.o as usize) < n {
+                out_edges[q.s as usize].push((q.o, w));
+                out_weight[q.s as usize] += w;
+            }
+        }
+    }
+
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..opts.iterations {
+        let base = (1.0 - opts.damping) / n as f64;
+        next.iter_mut().for_each(|v| *v = base);
+        // Dangling entities teleport their whole mass.
+        let dangling: f64 = (0..n).filter(|&i| out_weight[i] == 0.0).map(|i| rank[i]).sum::<f64>();
+        let dangling_share = opts.damping * dangling / n as f64;
+        for v in next.iter_mut() {
+            *v += dangling_share;
+        }
+        for s in 0..n {
+            if out_weight[s] == 0.0 {
+                continue;
+            }
+            let share = opts.damping * rank[s] / out_weight[s];
+            for &(o, w) in &out_edges[s] {
+                next[o as usize] += share * w;
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// The `k` highest-scored entities, ties broken by ascending id.
+pub fn top_entities(scores: &[f64], k: usize) -> Vec<(u32, f64)> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.into_iter().take(k).map(|i| (i, scores[i as usize])).collect()
+}
+
+/// Connected components of one snapshot (edges undirected for grouping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotCommunities {
+    /// Timestamp of the snapshot.
+    pub t: u32,
+    /// Community label per entity; [`NO_COMMUNITY`] for entities with no
+    /// incident edge at this timestamp. Labels are canonical: numbered
+    /// 0, 1, … in order of each community's lowest entity id.
+    pub labels: Vec<u32>,
+    /// Number of communities.
+    pub count: usize,
+}
+
+impl SnapshotCommunities {
+    /// Member ids of every community, index = label.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (e, &label) in self.labels.iter().enumerate() {
+            if label != NO_COMMUNITY {
+                out[label as usize].push(e as u32);
+            }
+        }
+        out
+    }
+}
+
+/// Union-find with path halving.
+struct UnionFind(Vec<u32>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n as u32).collect())
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.0[x as usize] != x {
+            self.0[x as usize] = self.0[self.0[x as usize] as usize];
+            x = self.0[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller root wins: keeps labels canonical for free.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.0[hi as usize] = lo;
+        }
+    }
+}
+
+/// Connected-component communities of one timestamp group.
+pub fn communities_at(t: u32, facts: &[Quad], num_entities: usize) -> SnapshotCommunities {
+    let mut uf = UnionFind::new(num_entities);
+    let mut active = vec![false; num_entities];
+    for q in facts {
+        if (q.s as usize) < num_entities && (q.o as usize) < num_entities {
+            active[q.s as usize] = true;
+            active[q.o as usize] = true;
+            uf.union(q.s, q.o);
+        }
+    }
+    let mut labels = vec![NO_COMMUNITY; num_entities];
+    let mut next = 0u32;
+    let mut relabel: HashMap<u32, u32> = HashMap::new();
+    for e in 0..num_entities as u32 {
+        if !active[e as usize] {
+            continue;
+        }
+        let root = uf.find(e);
+        let label = *relabel.entry(root).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        labels[e as usize] = label;
+    }
+    SnapshotCommunities { t, labels, count: next as usize }
+}
+
+/// How the communities of one timestamp relate to the previous one.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvolutionStep {
+    /// Earlier timestamp.
+    pub t_from: u32,
+    /// Later timestamp.
+    pub t_to: u32,
+    /// Communities at `t_to` whose best Jaccard overlap with a `t_from`
+    /// community is ≥ 0.5 (the community "continued").
+    pub continued: usize,
+    /// Communities at `t_to` with no such match (newly "born").
+    pub born: usize,
+    /// Communities at `t_from` that no `t_to` community matched ("died").
+    pub died: usize,
+    /// Largest Jaccard overlap observed across the step.
+    pub best_jaccard: f64,
+}
+
+/// Tracks community evolution across consecutive snapshots via best-match
+/// Jaccard overlap (threshold 0.5).
+pub fn community_evolution(snapshots: &[SnapshotCommunities]) -> Vec<EvolutionStep> {
+    let mut steps = Vec::new();
+    for pair in snapshots.windows(2) {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        let prev_members = prev.members();
+        let cur_members = cur.members();
+        let mut continued = 0usize;
+        let mut matched_prev = vec![false; prev_members.len()];
+        let mut best_jaccard = 0.0f64;
+        for cur_set in &cur_members {
+            let mut best = 0.0f64;
+            let mut best_i = None;
+            for (i, prev_set) in prev_members.iter().enumerate() {
+                let j = jaccard(cur_set, prev_set);
+                if j > best {
+                    best = j;
+                    best_i = Some(i);
+                }
+            }
+            best_jaccard = best_jaccard.max(best);
+            if best >= 0.5 {
+                continued += 1;
+                if let Some(i) = best_i {
+                    matched_prev[i] = true;
+                }
+            }
+        }
+        steps.push(EvolutionStep {
+            t_from: prev.t,
+            t_to: cur.t,
+            continued,
+            born: cur_members.len() - continued,
+            died: matched_prev.iter().filter(|&&m| !m).count(),
+            best_jaccard,
+        });
+    }
+    steps
+}
+
+/// Jaccard overlap of two ascending-sorted id lists.
+fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// A time-respecting path query.
+#[derive(Clone, Copy, Debug)]
+pub struct PathQuery {
+    /// Start entity.
+    pub from: u32,
+    /// Goal entity.
+    pub to: u32,
+    /// Earliest timestamp the first hop may use.
+    pub start_t: u32,
+    /// Maximum number of hops (edges) in the path.
+    pub max_hops: usize,
+}
+
+/// Finds the earliest-arrival time-respecting path `from → to`: each hop's
+/// timestamp is ≥ the previous hop's (facts are only usable once they have
+/// happened), edges are directed subject → object. Among paths with the
+/// same arrival time, fewer hops win; remaining ties break on entity id.
+/// Returns the hop sequence, or `None` when no path exists within
+/// `max_hops`.
+pub fn time_respecting_path(groups: &[(u32, Vec<Quad>)], q: &PathQuery) -> Option<Vec<Quad>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Outgoing adjacency in (t, r, o) order, deterministic.
+    let mut adj: HashMap<u32, Vec<Quad>> = HashMap::new();
+    for (_, group) in groups {
+        for quad in group {
+            if quad.t >= q.start_t {
+                adj.entry(quad.s).or_default().push(*quad);
+            }
+        }
+    }
+    for edges in adj.values_mut() {
+        edges.sort_by_key(|e| (e.t, e.r, e.o));
+    }
+
+    if q.from == q.to {
+        return Some(Vec::new());
+    }
+
+    // Earliest-arrival Dijkstra: state key (arrival, hops, entity).
+    let mut best: HashMap<u32, (u32, usize)> = HashMap::new();
+    let mut parent: HashMap<u32, Quad> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u32, usize, u32)>> = BinaryHeap::new();
+    best.insert(q.from, (q.start_t, 0));
+    heap.push(Reverse((q.start_t, 0, q.from)));
+    while let Some(Reverse((arrival, hops, at))) = heap.pop() {
+        if best.get(&at).is_some_and(|&(a, h)| (a, h) < (arrival, hops)) {
+            continue;
+        }
+        if at == q.to {
+            // Reconstruct by walking parents back to the start.
+            let mut path = Vec::new();
+            let mut cur = at;
+            while cur != q.from {
+                let hop = *parent.get(&cur)?;
+                cur = hop.s;
+                path.push(hop);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if hops == q.max_hops {
+            continue;
+        }
+        let Some(edges) = adj.get(&at) else { continue };
+        for edge in edges {
+            if edge.t < arrival {
+                continue;
+            }
+            let cand = (edge.t, hops + 1);
+            if best.get(&edge.o).is_none_or(|&(a, h)| cand < (a, h)) {
+                best.insert(edge.o, cand);
+                parent.insert(edge.o, *edge);
+                heap.push(Reverse((edge.t, hops + 1, edge.o)));
+            }
+        }
+    }
+    None
+}
+
+/// A fact filter for `retia query`: every set field must match, timestamps
+/// are an inclusive range.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FactFilter {
+    /// Required subject.
+    pub s: Option<u32>,
+    /// Required relation.
+    pub r: Option<u32>,
+    /// Required object.
+    pub o: Option<u32>,
+    /// Inclusive lower timestamp bound.
+    pub t_min: Option<u32>,
+    /// Inclusive upper timestamp bound.
+    pub t_max: Option<u32>,
+}
+
+impl FactFilter {
+    /// Does `q` satisfy the filter?
+    pub fn matches(&self, q: &Quad) -> bool {
+        self.s.is_none_or(|v| q.s == v)
+            && self.r.is_none_or(|v| q.r == v)
+            && self.o.is_none_or(|v| q.o == v)
+            && self.t_min.is_none_or(|v| q.t >= v)
+            && self.t_max.is_none_or(|v| q.t <= v)
+    }
+}
+
+/// Facts matching `filter`, in timestamp order, capped at `limit`
+/// (0 = unlimited).
+pub fn filter_facts(groups: &[(u32, Vec<Quad>)], filter: &FactFilter, limit: usize) -> Vec<Quad> {
+    let mut out = Vec::new();
+    for (_, group) in groups {
+        for q in group {
+            if filter.matches(q) {
+                out.push(*q);
+                if limit != 0 && out.len() == limit {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped(facts: &[Quad]) -> Vec<(u32, Vec<Quad>)> {
+        retia_graph::group_by_timestamp(facts)
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_the_hub() {
+        // Everyone points at entity 0.
+        let groups = grouped(&[
+            Quad::new(1, 0, 0, 0),
+            Quad::new(2, 0, 0, 0),
+            Quad::new(3, 0, 0, 1),
+            Quad::new(2, 0, 3, 1),
+        ]);
+        let scores = temporal_pagerank(&groups, 4, &PageRankOptions::default());
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9, "mass not conserved");
+        let top = top_entities(&scores, 1);
+        assert_eq!(top[0].0, 0, "hub not top-ranked: {scores:?}");
+    }
+
+    #[test]
+    fn pagerank_is_deterministic() {
+        let groups = grouped(&[
+            Quad::new(0, 0, 1, 0),
+            Quad::new(1, 0, 2, 1),
+            Quad::new(2, 0, 0, 2),
+            Quad::new(2, 1, 1, 2),
+        ]);
+        let a = temporal_pagerank(&groups, 3, &PageRankOptions::default());
+        let b = temporal_pagerank(&groups, 3, &PageRankOptions::default());
+        assert_eq!(a, b, "identical inputs produced different scores");
+    }
+
+    #[test]
+    fn recency_decay_prefers_fresh_edges() {
+        // Old edges favour entity 1, new edges favour entity 2.
+        let groups = grouped(&[
+            Quad::new(0, 0, 1, 0),
+            Quad::new(3, 0, 1, 0),
+            Quad::new(0, 0, 2, 9),
+            Quad::new(3, 0, 2, 9),
+        ]);
+        let opts = PageRankOptions { decay: 0.2, ..Default::default() };
+        let scores = temporal_pagerank(&groups, 4, &opts);
+        assert!(scores[2] > scores[1], "decay ignored: {scores:?}");
+        // With decay 1.0 they tie.
+        let flat =
+            temporal_pagerank(&groups, 4, &PageRankOptions { decay: 1.0, ..Default::default() });
+        assert!((flat[1] - flat[2]).abs() < 1e-12, "no-decay should tie: {flat:?}");
+    }
+
+    #[test]
+    fn communities_are_canonical() {
+        // {0,1} and {2,3} connected; 4 isolated.
+        let facts = vec![Quad::new(3, 0, 2, 0), Quad::new(0, 0, 1, 0)];
+        let c = communities_at(0, &facts, 5);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.labels, vec![0, 0, 1, 1, NO_COMMUNITY]);
+        assert_eq!(c.members(), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn evolution_tracks_birth_death_continuation() {
+        let a = communities_at(0, &[Quad::new(0, 0, 1, 0), Quad::new(2, 0, 3, 0)], 6);
+        // {0,1} persists, {2,3} dissolves, {4,5} is born.
+        let b = communities_at(1, &[Quad::new(0, 0, 1, 1), Quad::new(4, 0, 5, 1)], 6);
+        let steps = community_evolution(&[a, b]);
+        assert_eq!(steps.len(), 1);
+        let s = &steps[0];
+        assert_eq!((s.continued, s.born, s.died), (1, 1, 1), "{s:?}");
+        assert_eq!((s.t_from, s.t_to), (0, 1));
+        assert!((s.best_jaccard - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_respect_time() {
+        // 0 → 1 at t=5, 1 → 2 at t=3 (too early) and t=7 (usable).
+        let groups =
+            grouped(&[Quad::new(0, 0, 1, 5), Quad::new(1, 0, 2, 3), Quad::new(1, 1, 2, 7)]);
+        let q = PathQuery { from: 0, to: 2, start_t: 0, max_hops: 4 };
+        let path = time_respecting_path(&groups, &q).expect("path exists");
+        assert_eq!(path, vec![Quad::new(0, 0, 1, 5), Quad::new(1, 1, 2, 7)]);
+
+        // Starting after t=5 the first hop is gone.
+        let late = PathQuery { start_t: 6, ..q };
+        assert!(time_respecting_path(&groups, &late).is_none(), "time travel");
+
+        // Hop cap.
+        let capped = PathQuery { max_hops: 1, ..q };
+        assert!(time_respecting_path(&groups, &capped).is_none());
+    }
+
+    #[test]
+    fn path_prefers_earliest_arrival() {
+        // Direct hop arrives at t=9; two-hop route arrives at t=2.
+        let groups =
+            grouped(&[Quad::new(0, 0, 3, 9), Quad::new(0, 0, 1, 1), Quad::new(1, 0, 3, 2)]);
+        let q = PathQuery { from: 0, to: 3, start_t: 0, max_hops: 4 };
+        let path = time_respecting_path(&groups, &q).expect("path exists");
+        assert_eq!(path.last().map(|h| h.t), Some(2), "arrival not earliest: {path:?}");
+    }
+
+    #[test]
+    fn trivial_path_is_empty() {
+        let q = PathQuery { from: 2, to: 2, start_t: 0, max_hops: 4 };
+        assert_eq!(time_respecting_path(&[], &q), Some(Vec::new()));
+    }
+
+    #[test]
+    fn filters_compose() {
+        let groups =
+            grouped(&[Quad::new(0, 0, 1, 0), Quad::new(0, 1, 2, 3), Quad::new(1, 0, 0, 5)]);
+        let f = FactFilter { s: Some(0), t_min: Some(1), ..Default::default() };
+        assert_eq!(filter_facts(&groups, &f, 0), vec![Quad::new(0, 1, 2, 3)]);
+        let cap = FactFilter::default();
+        assert_eq!(filter_facts(&groups, &cap, 2).len(), 2);
+    }
+}

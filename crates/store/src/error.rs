@@ -1,0 +1,73 @@
+//! The store's typed error.
+
+/// Everything that can go wrong opening, appending to, compacting,
+/// querying, or importing a store.
+///
+/// The durability contract this type backs: reading a store — any store,
+/// including one a `kill -9` or a cosmic ray left behind — either succeeds
+/// (possibly after cleanly truncating a torn log tail at the last valid
+/// record) or returns one of these variants. It never panics; the chaos
+/// suite sweeps truncation and bit flips over every byte of every store
+/// file to hold the crate to that.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The operating system failed us.
+    Io(std::io::Error),
+    /// A store file is structurally damaged beyond safe reading.
+    Corrupt {
+        /// File the damage was found in (relative to the store directory).
+        file: String,
+        /// What exactly failed to parse or verify.
+        problem: String,
+    },
+    /// The manifest declares a format version newer than this build reads.
+    UnsupportedVersion {
+        /// Version found in the manifest.
+        found: u32,
+        /// Latest version this build understands.
+        supported: u32,
+    },
+    /// A caller violated the store's invariants: appending a backward
+    /// timestamp, referencing an id outside the vocabulary, creating a
+    /// store where one already exists, and so on.
+    Invalid(String),
+    /// An import document (JSON/CSV/GraphML/Cypher) failed to parse.
+    Import(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { file, problem } => {
+                write!(f, "store file `{file}` is corrupt: {problem}")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "store format version {found} is newer than supported {supported}")
+            }
+            StoreError::Invalid(msg) => write!(f, "invalid store operation: {msg}"),
+            StoreError::Import(msg) => write!(f, "import failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Maps a [`retia_tensor::CheckpointError`] from the shared container codec
+/// into a [`StoreError::Corrupt`] carrying the offending file's name.
+pub(crate) fn corrupt(file: &str, e: impl std::fmt::Display) -> StoreError {
+    StoreError::Corrupt { file: file.to_string(), problem: e.to_string() }
+}

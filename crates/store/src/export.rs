@@ -1,0 +1,639 @@
+//! Exporters and importers: JSON, CSV, GraphML, Cypher.
+//!
+//! All four formats round-trip **bit-identically**: for any document `d`,
+//! `export(import(export(d))) == export(d)` — names, granularity,
+//! vocabulary order, and fact order all survive. The importers read the
+//! exporters' line-oriented subset of each format (this is a data
+//! interchange path, not a general-purpose CSV/XML/Cypher parser).
+
+use retia_data::Granularity;
+use retia_graph::Quad;
+use retia_json::Value;
+
+use crate::error::StoreError;
+use crate::manifest::{granularity_token, parse_granularity};
+
+/// A neutral, format-independent view of a store's graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphDoc {
+    /// Graph name.
+    pub name: String,
+    /// Timestamp granularity.
+    pub granularity: Granularity,
+    /// Entity names, id order.
+    pub entities: Vec<String>,
+    /// Relation names, id order.
+    pub relations: Vec<String>,
+    /// Facts, in store (timestamp-grouped) order.
+    pub facts: Vec<Quad>,
+}
+
+impl Default for GraphDoc {
+    fn default() -> Self {
+        GraphDoc {
+            name: String::new(),
+            granularity: Granularity::Day,
+            entities: Vec::new(),
+            relations: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+}
+
+/// The export formats `retia export --format` accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Self-describing JSON document.
+    Json,
+    /// `kind,id,label,s,r,o,t` rows.
+    Csv,
+    /// GraphML (directed, entity nodes, fact edges).
+    Graphml,
+    /// Cypher `CREATE` statements.
+    Cypher,
+}
+
+impl ExportFormat {
+    /// Parses a `--format` token.
+    pub fn parse(token: &str) -> Option<ExportFormat> {
+        match token.to_ascii_lowercase().as_str() {
+            "json" => Some(ExportFormat::Json),
+            "csv" => Some(ExportFormat::Csv),
+            "graphml" => Some(ExportFormat::Graphml),
+            "cypher" => Some(ExportFormat::Cypher),
+            _ => None,
+        }
+    }
+
+    /// Conventional file extension.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            ExportFormat::Json => "json",
+            ExportFormat::Csv => "csv",
+            ExportFormat::Graphml => "graphml",
+            ExportFormat::Cypher => "cypher",
+        }
+    }
+
+    /// Every format, for sweeps.
+    pub const ALL: [ExportFormat; 4] =
+        [ExportFormat::Json, ExportFormat::Csv, ExportFormat::Graphml, ExportFormat::Cypher];
+}
+
+/// Exports `doc` in `format`.
+pub fn export(doc: &GraphDoc, format: ExportFormat) -> String {
+    match format {
+        ExportFormat::Json => export_json(doc),
+        ExportFormat::Csv => export_csv(doc),
+        ExportFormat::Graphml => export_graphml(doc),
+        ExportFormat::Cypher => export_cypher(doc),
+    }
+}
+
+/// Imports a document previously produced by [`export`] in `format`.
+pub fn import(text: &str, format: ExportFormat) -> Result<GraphDoc, StoreError> {
+    match format {
+        ExportFormat::Json => import_json(text),
+        ExportFormat::Csv => import_csv(text),
+        ExportFormat::Graphml => import_graphml(text),
+        ExportFormat::Cypher => import_cypher(text),
+    }
+}
+
+fn bad(msg: impl std::fmt::Display) -> StoreError {
+    StoreError::Import(msg.to_string())
+}
+
+// -- JSON -------------------------------------------------------------------
+
+/// Exports the document as self-describing JSON.
+pub fn export_json(doc: &GraphDoc) -> String {
+    let mut root = Value::object();
+    root.insert("name", Value::String(doc.name.clone()));
+    root.insert("granularity", Value::String(granularity_token(doc.granularity).to_string()));
+    root.insert(
+        "entities",
+        Value::Array(doc.entities.iter().map(|n| Value::String(n.clone())).collect()),
+    );
+    root.insert(
+        "relations",
+        Value::Array(doc.relations.iter().map(|n| Value::String(n.clone())).collect()),
+    );
+    root.insert(
+        "facts",
+        Value::Array(
+            doc.facts
+                .iter()
+                .map(|q| {
+                    Value::Array(
+                        [q.s, q.r, q.o, q.t].iter().map(|&v| Value::Number(f64::from(v))).collect(),
+                    )
+                })
+                .collect(),
+        ),
+    );
+    let mut out = root.to_string_pretty();
+    out.push('\n');
+    out
+}
+
+/// Imports the JSON export format.
+pub fn import_json(text: &str) -> Result<GraphDoc, StoreError> {
+    let root = retia_json::parse(text).map_err(bad)?;
+    let name = root.get("name").and_then(Value::as_str).ok_or_else(|| bad("missing name"))?;
+    let granularity = root
+        .get("granularity")
+        .and_then(Value::as_str)
+        .and_then(parse_granularity)
+        .ok_or_else(|| bad("missing or unknown granularity"))?;
+    let names = |key: &str| -> Result<Vec<String>, StoreError> {
+        root.get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad(format!("missing {key}")))?
+            .iter()
+            .map(|v| v.as_str().map(String::from).ok_or_else(|| bad(format!("non-string {key}"))))
+            .collect()
+    };
+    let mut facts = Vec::new();
+    for row in root.get("facts").and_then(Value::as_array).ok_or_else(|| bad("missing facts"))? {
+        let row = row.as_array().ok_or_else(|| bad("fact is not an array"))?;
+        if row.len() != 4 {
+            return Err(bad("fact is not a 4-tuple"));
+        }
+        let field = |i: usize| -> Result<u32, StoreError> {
+            row[i]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| bad("fact field is not a u32"))
+        };
+        facts.push(Quad::new(field(0)?, field(1)?, field(2)?, field(3)?));
+    }
+    Ok(GraphDoc {
+        name: name.to_string(),
+        granularity,
+        entities: names("entities")?,
+        relations: names("relations")?,
+        facts,
+    })
+}
+
+// -- CSV --------------------------------------------------------------------
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits CSV text into rows of fields, honouring quoted fields (including
+/// embedded newlines and doubled quotes).
+fn csv_rows(text: &str) -> Result<Vec<Vec<String>>, StoreError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut quoted = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() => {
+                quoted = true;
+                any = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => {}
+            '\n' => {
+                if any || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                any = false;
+            }
+            _ => {
+                field.push(c);
+                any = true;
+            }
+        }
+    }
+    if quoted {
+        return Err(bad("unterminated quoted CSV field"));
+    }
+    if any || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Exports the document as `kind,id,label,s,r,o,t` CSV.
+pub fn export_csv(doc: &GraphDoc) -> String {
+    let mut out = String::from("kind,id,label,s,r,o,t\n");
+    out.push_str(&format!("graph,,{},,,,\n", csv_escape(&doc.name)));
+    out.push_str(&format!("granularity,,{},,,,\n", granularity_token(doc.granularity)));
+    for (i, name) in doc.entities.iter().enumerate() {
+        out.push_str(&format!("entity,{i},{},,,,\n", csv_escape(name)));
+    }
+    for (i, name) in doc.relations.iter().enumerate() {
+        out.push_str(&format!("relation,{i},{},,,,\n", csv_escape(name)));
+    }
+    for q in &doc.facts {
+        out.push_str(&format!("fact,,,{},{},{},{}\n", q.s, q.r, q.o, q.t));
+    }
+    out
+}
+
+/// Imports the CSV export format.
+pub fn import_csv(text: &str) -> Result<GraphDoc, StoreError> {
+    let rows = csv_rows(text)?;
+    let mut doc = GraphDoc::default();
+    let mut saw_name = false;
+    for (i, row) in rows.iter().enumerate() {
+        if i == 0 {
+            continue; // header
+        }
+        if row.len() != 7 {
+            return Err(bad(format!("row {}: expected 7 fields, found {}", i + 1, row.len())));
+        }
+        let num = |field: &str, what: &str| -> Result<u32, StoreError> {
+            field.parse().map_err(|e| bad(format!("row {}: bad {what}: {e}", i + 1)))
+        };
+        match row[0].as_str() {
+            "graph" => {
+                doc.name = row[2].clone();
+                saw_name = true;
+            }
+            "granularity" => {
+                doc.granularity = parse_granularity(&row[2])
+                    .ok_or_else(|| bad(format!("row {}: unknown granularity", i + 1)))?;
+            }
+            "entity" => {
+                if num(&row[1], "entity id")? as usize != doc.entities.len() {
+                    return Err(bad(format!("row {}: entity ids out of order", i + 1)));
+                }
+                doc.entities.push(row[2].clone());
+            }
+            "relation" => {
+                if num(&row[1], "relation id")? as usize != doc.relations.len() {
+                    return Err(bad(format!("row {}: relation ids out of order", i + 1)));
+                }
+                doc.relations.push(row[2].clone());
+            }
+            "fact" => doc.facts.push(Quad::new(
+                num(&row[3], "s")?,
+                num(&row[4], "r")?,
+                num(&row[5], "o")?,
+                num(&row[6], "t")?,
+            )),
+            other => return Err(bad(format!("row {}: unknown kind `{other}`", i + 1))),
+        }
+    }
+    if !saw_name {
+        return Err(bad("no graph row"));
+    }
+    Ok(doc)
+}
+
+// -- GraphML ----------------------------------------------------------------
+
+fn xml_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn xml_unescape(text: &str) -> Result<String, StoreError> {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest.find(';').ok_or_else(|| bad("unterminated XML entity"))?;
+        match &rest[..=end] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            "&#10;" => out.push('\n'),
+            "&#13;" => out.push('\r'),
+            other => return Err(bad(format!("unknown XML entity `{other}`"))),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Exports the document as directed GraphML: entities are nodes, facts are
+/// edges carrying `r` (relation id), `rel` (relation name), and `t`.
+pub fn export_graphml(doc: &GraphDoc) -> String {
+    let mut out = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+         \x20 <key id=\"name\" for=\"graph\" attr.name=\"name\" attr.type=\"string\"/>\n\
+         \x20 <key id=\"granularity\" for=\"graph\" attr.name=\"granularity\" attr.type=\"string\"/>\n\
+         \x20 <key id=\"relations\" for=\"graph\" attr.name=\"relations\" attr.type=\"string\"/>\n\
+         \x20 <key id=\"label\" for=\"node\" attr.name=\"label\" attr.type=\"string\"/>\n\
+         \x20 <key id=\"r\" for=\"edge\" attr.name=\"r\" attr.type=\"long\"/>\n\
+         \x20 <key id=\"rel\" for=\"edge\" attr.name=\"rel\" attr.type=\"string\"/>\n\
+         \x20 <key id=\"t\" for=\"edge\" attr.name=\"t\" attr.type=\"long\"/>\n",
+    );
+    out.push_str("  <graph edgedefault=\"directed\">\n");
+    out.push_str(&format!("    <data key=\"name\">{}</data>\n", xml_escape(&doc.name)));
+    out.push_str(&format!(
+        "    <data key=\"granularity\">{}</data>\n",
+        granularity_token(doc.granularity)
+    ));
+    // The relation vocabulary rides as one newline-joined graph attribute so
+    // unused relations and id order survive the round trip.
+    out.push_str(&format!(
+        "    <data key=\"relations\">{}</data>\n",
+        xml_escape(&doc.relations.join("\n"))
+    ));
+    for (i, name) in doc.entities.iter().enumerate() {
+        out.push_str(&format!(
+            "    <node id=\"n{i}\"><data key=\"label\">{}</data></node>\n",
+            xml_escape(name)
+        ));
+    }
+    for q in &doc.facts {
+        let rel = doc.relations.get(q.r as usize).map(String::as_str).unwrap_or("");
+        out.push_str(&format!(
+            "    <edge source=\"n{}\" target=\"n{}\"><data key=\"r\">{}</data>\
+             <data key=\"rel\">{}</data><data key=\"t\">{}</data></edge>\n",
+            q.s,
+            q.o,
+            q.r,
+            xml_escape(rel),
+            q.t
+        ));
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+/// The text between the first `>{` … `}<` pair of `marker…</`: extracts one
+/// `<data key="k">value</data>` value from a line-oriented GraphML element.
+fn graphml_data<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let open = format!("<data key=\"{key}\">");
+    let start = line.find(&open)? + open.len();
+    let end = line[start..].find("</data>")? + start;
+    Some(&line[start..end])
+}
+
+fn graphml_attr<'a>(line: &'a str, attr: &str) -> Option<&'a str> {
+    let open = format!("{attr}=\"");
+    let start = line.find(&open)? + open.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Imports the GraphML export format (the exporter's line-oriented subset).
+pub fn import_graphml(text: &str) -> Result<GraphDoc, StoreError> {
+    let mut doc = GraphDoc::default();
+    let mut saw_graph = false;
+    let mut saw_relations = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("<graph ") {
+            saw_graph = true;
+        } else if line.starts_with("<data key=\"name\">") {
+            doc.name = xml_unescape(graphml_data(line, "name").ok_or_else(|| bad("bad name"))?)?;
+        } else if line.starts_with("<data key=\"granularity\">") {
+            let token = graphml_data(line, "granularity").ok_or_else(|| bad("bad granularity"))?;
+            doc.granularity = parse_granularity(token).ok_or_else(|| bad("unknown granularity"))?;
+        } else if line.starts_with("<data key=\"relations\">") {
+            let joined =
+                xml_unescape(graphml_data(line, "relations").ok_or_else(|| bad("bad relations"))?)?;
+            doc.relations = if joined.is_empty() {
+                Vec::new()
+            } else {
+                joined.split('\n').map(String::from).collect()
+            };
+            saw_relations = true;
+        } else if line.starts_with("<node ") {
+            let id = graphml_attr(line, "id")
+                .and_then(|v| v.strip_prefix('n'))
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| bad("bad node id"))?;
+            if id != doc.entities.len() {
+                return Err(bad("node ids out of order"));
+            }
+            let label = graphml_data(line, "label").ok_or_else(|| bad("node missing label"))?;
+            doc.entities.push(xml_unescape(label)?);
+        } else if line.starts_with("<edge ") {
+            let num = |v: Option<&str>, what: &str| -> Result<u32, StoreError> {
+                v.and_then(|v| v.parse().ok()).ok_or_else(|| bad(format!("edge missing {what}")))
+            };
+            let s = num(graphml_attr(line, "source").and_then(|v| v.strip_prefix('n')), "source")?;
+            let o = num(graphml_attr(line, "target").and_then(|v| v.strip_prefix('n')), "target")?;
+            let r = num(graphml_data(line, "r"), "r")?;
+            let t = num(graphml_data(line, "t"), "t")?;
+            doc.facts.push(Quad::new(s, r, o, t));
+        }
+    }
+    if !saw_graph || !saw_relations {
+        return Err(bad("not a retia GraphML export"));
+    }
+    Ok(doc)
+}
+
+// -- Cypher -----------------------------------------------------------------
+
+/// JSON-escapes a string for use as a Cypher string literal (the JSON and
+/// Cypher escape grammars agree on the subset we emit).
+fn cypher_string(text: &str) -> String {
+    Value::String(text.to_string()).to_string_compact()
+}
+
+/// Parses the trailing `"…"` literal of an export line (the label is always
+/// the last property, so first-quote .. last-quote spans exactly it).
+fn cypher_label(line: &str) -> Result<String, StoreError> {
+    let start = line.find('"').ok_or_else(|| bad("no string literal"))?;
+    let end = line.rfind('"').ok_or_else(|| bad("no string literal"))?;
+    if end <= start {
+        return Err(bad("malformed string literal"));
+    }
+    match retia_json::parse(&line[start..=end]) {
+        Ok(Value::String(s)) => Ok(s),
+        _ => Err(bad("malformed string literal")),
+    }
+}
+
+fn cypher_num(line: &str, key: &str) -> Result<u32, StoreError> {
+    let open = format!("{key}: ");
+    let start = line.find(&open).ok_or_else(|| bad(format!("missing {key}")))? + open.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().map_err(|e| bad(format!("bad {key}: {e}")))
+}
+
+/// Exports the document as Cypher `CREATE` statements. The graph metadata
+/// and relation vocabulary ride in a `// retia:meta` comment so the import
+/// is lossless even for relations no fact uses.
+pub fn export_cypher(doc: &GraphDoc) -> String {
+    let mut meta = Value::object();
+    meta.insert("name", Value::String(doc.name.clone()));
+    meta.insert("granularity", Value::String(granularity_token(doc.granularity).to_string()));
+    meta.insert(
+        "relations",
+        Value::Array(doc.relations.iter().map(|n| Value::String(n.clone())).collect()),
+    );
+    let mut out = format!("// retia:meta {}\n", meta.to_string_compact());
+    for (i, name) in doc.entities.iter().enumerate() {
+        out.push_str(&format!("CREATE (:Entity {{id: {i}, label: {}}});\n", cypher_string(name)));
+    }
+    for q in &doc.facts {
+        let rel = doc.relations.get(q.r as usize).map(String::as_str).unwrap_or("");
+        out.push_str(&format!(
+            "MATCH (s:Entity {{id: {}}}), (o:Entity {{id: {}}}) \
+             CREATE (s)-[:FACT {{r: {}, t: {}, label: {}}}]->(o);\n",
+            q.s,
+            q.o,
+            q.r,
+            q.t,
+            cypher_string(rel)
+        ));
+    }
+    out
+}
+
+/// Imports the Cypher export format.
+pub fn import_cypher(text: &str) -> Result<GraphDoc, StoreError> {
+    let mut doc = GraphDoc::default();
+    let mut saw_meta = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(meta) = line.strip_prefix("// retia:meta ") {
+            let root = retia_json::parse(meta).map_err(bad)?;
+            doc.name = root
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("meta missing name"))?
+                .to_string();
+            doc.granularity = root
+                .get("granularity")
+                .and_then(Value::as_str)
+                .and_then(parse_granularity)
+                .ok_or_else(|| bad("meta missing granularity"))?;
+            doc.relations = root
+                .get("relations")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("meta missing relations"))?
+                .iter()
+                .map(|v| v.as_str().map(String::from).ok_or_else(|| bad("non-string relation")))
+                .collect::<Result<_, _>>()?;
+            saw_meta = true;
+        } else if line.starts_with("CREATE (:Entity ") {
+            if cypher_num(line, "id")? as usize != doc.entities.len() {
+                return Err(bad("entity ids out of order"));
+            }
+            doc.entities.push(cypher_label(line)?);
+        } else if line.starts_with("MATCH (s:Entity ") {
+            let o_open = "(o:Entity {";
+            let o_at = line.find(o_open).ok_or_else(|| bad("fact missing object"))? + o_open.len();
+            let s = cypher_num(line, "id")?;
+            let o = cypher_num(&line[o_at..], "id")?;
+            let r = cypher_num(line, "r")?;
+            let t = cypher_num(line, "t")?;
+            doc.facts.push(Quad::new(s, r, o, t));
+        }
+    }
+    if !saw_meta {
+        return Err(bad("no // retia:meta header"));
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphDoc {
+        GraphDoc {
+            name: "toy, \"quoted\" & <odd>".to_string(),
+            granularity: Granularity::Day,
+            entities: vec![
+                "Alice".to_string(),
+                "Bob, Jr.".to_string(),
+                "C \"quoted\"".to_string(),
+                "D&E <tag>".to_string(),
+            ],
+            relations: vec!["likes".to_string(), "unused 'rel'".to_string()],
+            facts: vec![Quad::new(0, 0, 1, 0), Quad::new(1, 0, 2, 1), Quad::new(2, 0, 3, 1)],
+        }
+    }
+
+    #[test]
+    fn all_formats_roundtrip_bit_identically() {
+        let doc = sample();
+        for format in ExportFormat::ALL {
+            let first = export(&doc, format);
+            let back = import(&first, format).unwrap_or_else(|e| panic!("{format:?}: {e}"));
+            assert_eq!(back, doc, "{format:?} lost information");
+            let second = export(&back, format);
+            assert_eq!(first, second, "{format:?} round trip is not bit-identical");
+        }
+    }
+
+    #[test]
+    fn empty_doc_roundtrips() {
+        let doc = GraphDoc { name: "empty".to_string(), ..Default::default() };
+        for format in ExportFormat::ALL {
+            let text = export(&doc, format);
+            let back = import(&text, format).unwrap_or_else(|e| panic!("{format:?}: {e}"));
+            assert_eq!(back, doc, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_typed_import_error() {
+        for format in ExportFormat::ALL {
+            for garbage in ["", "garbage", "{]", "<xml>", "CREATE nothing"] {
+                assert!(import(garbage, format).is_err(), "{format:?} accepted {garbage:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_quoting_handles_embedded_newline() {
+        let mut doc = sample();
+        doc.entities.push("line\nbreak".to_string());
+        let text = export_csv(&doc);
+        let back = import_csv(&text).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn format_tokens_parse() {
+        assert_eq!(ExportFormat::parse("JSON"), Some(ExportFormat::Json));
+        assert_eq!(ExportFormat::parse("graphml"), Some(ExportFormat::Graphml));
+        assert_eq!(ExportFormat::parse("nope"), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! retia-store: the durable temporal-KG store behind `retia ingest`,
+//! `--store` training/serving, and the query/analytics/export CLI.
+//!
+//! A store directory holds:
+//!
+//! ```text
+//! store/
+//! ├── store.json          atomic manifest (the only mutable pointer)
+//! ├── vocab.bin           vocabulary snapshot as of the last compaction
+//! ├── log-000002.bin      current log generation (append-only, CRC records)
+//! └── segment-00000N.seg  sealed segments (immutable v2 containers)
+//! ```
+//!
+//! The durability contract: once an append returns `Ok`, the facts — and
+//! any vocabulary names they introduced — are fsynced inside one CRC-tagged
+//! record. `kill -9` at any byte offset leaves a store that opens cleanly:
+//! a torn log tail truncates to the last valid record, and compaction flips
+//! between generations with a single atomic rename. The chaos suite sweeps
+//! truncation and bit flips across every byte of every file to hold the
+//! crate to this.
+//!
+//! On top of the store sit deterministic analytics (temporal PageRank,
+//! connected-component communities with evolution tracking, time-respecting
+//! path search) and four bit-identical export/import formats (JSON, CSV,
+//! GraphML, Cypher).
+
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod error;
+pub mod export;
+pub mod log;
+pub mod manifest;
+pub mod segment;
+pub mod store;
+
+pub use analytics::{
+    communities_at, community_evolution, filter_facts, temporal_pagerank, time_respecting_path,
+    top_entities, EvolutionStep, FactFilter, PageRankOptions, PathQuery, SnapshotCommunities,
+    NO_COMMUNITY,
+};
+pub use error::StoreError;
+pub use export::{export, import, ExportFormat, GraphDoc};
+pub use store::{
+    parse_named_tsv, AppendOutcome, Appender, CompactOutcome, NamedFact, Store, StoreStats,
+};

@@ -1,0 +1,274 @@
+//! `store.json`: the atomic root of a store directory.
+//!
+//! The manifest is the only mutable pointer in the store; everything it
+//! names is immutable (segments) or append-only (the current log
+//! generation). It is rewritten with `atomic_write` and changes hands in
+//! one `rename`, which gives compaction its crash-safety argument:
+//!
+//! 1. the new segment and vocabulary snapshot are written (atomically,
+//!    under their final names) while the old manifest still points at the
+//!    old log — a crash here leaves the old store fully intact;
+//! 2. the manifest flips to the new segment list and the *next* log
+//!    generation in one rename — a crash before the rename keeps the old
+//!    view, after it the new one; either is complete;
+//! 3. only then is the sealed log generation deleted — a crash between 2
+//!    and 3 leaves an orphan log file the next open sweeps away (it is not
+//!    named by the manifest, so its facts are already in a segment).
+
+use std::path::{Path, PathBuf};
+
+use retia_data::Granularity;
+use retia_json::Value;
+use retia_tensor::serialize::atomic_write;
+
+use crate::error::{corrupt, StoreError};
+
+/// Store format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "store.json";
+
+/// Vocabulary snapshot file name inside a store directory.
+pub const VOCAB_FILE: &str = "vocab.bin";
+
+/// One sealed segment, in manifest (= time) order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Facts sealed in the segment.
+    pub facts: u64,
+    /// Smallest timestamp in the segment.
+    pub first_t: u32,
+    /// Largest timestamp in the segment.
+    pub last_t: u32,
+}
+
+/// The parsed `store.json`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Graph name (doubles as the dataset name when training from the
+    /// store).
+    pub name: String,
+    /// Timestamp granularity of the facts.
+    pub granularity: Granularity,
+    /// Current log generation; the live log file is
+    /// [`StoreManifest::log_file`]. Bumped by every compaction.
+    pub log_generation: u64,
+    /// Sealed segments, oldest first.
+    pub segments: Vec<SegmentEntry>,
+}
+
+/// The `"day"` / `"year"` token for a granularity (the `stat.txt`
+/// vocabulary, reused here).
+pub fn granularity_token(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Day => "day",
+        Granularity::Year => "year",
+    }
+}
+
+/// Parses a granularity token written by [`granularity_token`].
+pub fn parse_granularity(token: &str) -> Option<Granularity> {
+    match token {
+        "day" => Some(Granularity::Day),
+        "year" => Some(Granularity::Year),
+        _ => None,
+    }
+}
+
+impl StoreManifest {
+    /// A fresh manifest for an empty store.
+    pub fn new(name: &str, granularity: Granularity) -> Self {
+        StoreManifest {
+            version: FORMAT_VERSION,
+            name: name.to_string(),
+            granularity,
+            log_generation: 0,
+            segments: Vec::new(),
+        }
+    }
+
+    /// File name of the current log generation.
+    pub fn log_file(&self) -> String {
+        log_file_name(self.log_generation)
+    }
+
+    /// Renders the manifest as JSON.
+    pub fn to_json(&self) -> String {
+        let mut root = Value::object();
+        root.insert("version", Value::Number(f64::from(self.version)));
+        root.insert("name", Value::String(self.name.clone()));
+        root.insert("granularity", Value::String(granularity_token(self.granularity).to_string()));
+        root.insert("log_generation", Value::Number(self.log_generation as f64));
+        root.insert(
+            "segments",
+            Value::Array(
+                self.segments
+                    .iter()
+                    .map(|s| {
+                        let mut row = Value::object();
+                        row.insert("file", Value::String(s.file.clone()));
+                        row.insert("facts", Value::Number(s.facts as f64));
+                        row.insert("first_t", Value::Number(f64::from(s.first_t)));
+                        row.insert("last_t", Value::Number(f64::from(s.last_t)));
+                        row
+                    })
+                    .collect(),
+            ),
+        );
+        root.to_string_pretty()
+    }
+
+    /// Parses a manifest from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        let bad = |p: &str| corrupt(MANIFEST_FILE, p);
+        let root = retia_json::parse(text).map_err(|e| corrupt(MANIFEST_FILE, e))?;
+        let version = root
+            .get("version")
+            .and_then(Value::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| bad("missing version"))?;
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let name = root
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing name"))?
+            .to_string();
+        let granularity = root
+            .get("granularity")
+            .and_then(Value::as_str)
+            .and_then(parse_granularity)
+            .ok_or_else(|| bad("missing or unknown granularity"))?;
+        let log_generation = root
+            .get("log_generation")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("missing log_generation"))?;
+        let mut segments = Vec::new();
+        for row in root.get("segments").and_then(Value::as_array).unwrap_or(&[]) {
+            let file = row
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("segment entry missing file"))?
+                .to_string();
+            if file.contains('/') || file.contains('\\') || file.contains("..") {
+                return Err(bad("segment file escapes the store directory"));
+            }
+            let facts =
+                row.get("facts").and_then(Value::as_u64).ok_or_else(|| bad("segment facts"))?;
+            let num = |k: &str| {
+                row.get(k)
+                    .and_then(Value::as_u64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| corrupt(MANIFEST_FILE, format!("segment {k}")))
+            };
+            segments.push(SegmentEntry {
+                file,
+                facts,
+                first_t: num("first_t")?,
+                last_t: num("last_t")?,
+            });
+        }
+        Ok(StoreManifest { version, name, granularity, log_generation, segments })
+    }
+
+    /// Loads the manifest from a store directory.
+    pub fn load(dir: &Path) -> Result<Self, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::Invalid(format!(
+                    "no store at {} (missing {MANIFEST_FILE})",
+                    dir.display()
+                ))
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        Self::from_json(&text)
+    }
+
+    /// Atomically writes the manifest into a store directory.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        atomic_write(&dir.join(MANIFEST_FILE), self.to_json().as_bytes())
+            .map_err(|e| corrupt(MANIFEST_FILE, format!("atomic write failed: {e}")))
+    }
+}
+
+/// File name of log generation `gen`.
+pub fn log_file_name(gen: u64) -> String {
+    format!("log-{gen:06}.bin")
+}
+
+/// File name of the `index`-th sealed segment (0-based creation order).
+pub fn segment_file_name(index: usize) -> String {
+    format!("segment-{index:06}.seg")
+}
+
+/// Paths inside `dir` that look like log generations other than `keep` —
+/// orphans a crash between manifest flip and log deletion left behind.
+pub fn stale_log_files(dir: &Path, keep: &str) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("log-") && name.ends_with(".bin") && name != keep {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let mut m = StoreManifest::new("toy", Granularity::Day);
+        m.log_generation = 3;
+        m.segments.push(SegmentEntry {
+            file: segment_file_name(0),
+            facts: 42,
+            first_t: 0,
+            last_t: 9,
+        });
+        let text = m.to_json();
+        let back = StoreManifest::from_json(&text).expect("roundtrip parses");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn future_version_is_rejected_typed() {
+        let text = r#"{"version": 99, "name": "x", "granularity": "day",
+                       "log_generation": 0, "segments": []}"#;
+        match StoreManifest::from_json(text) {
+            Err(StoreError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_typed_corruption() {
+        for bad in ["", "{", "[1,2]", "{\"version\": 1}"] {
+            assert!(StoreManifest::from_json(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn path_escapes_are_rejected() {
+        let text = r#"{"version": 1, "name": "x", "granularity": "day", "log_generation": 0,
+            "segments": [{"file": "../evil", "facts": 0, "first_t": 0, "last_t": 0}]}"#;
+        assert!(StoreManifest::from_json(text).is_err());
+    }
+}

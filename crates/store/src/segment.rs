@@ -1,0 +1,199 @@
+//! Compacted segments and the vocabulary snapshot, both v2 containers.
+//!
+//! A **segment** seals one log generation's facts into an immutable,
+//! whole-file- and per-section-CRC'd container (the same
+//! [`retia_tensor::serialize`] codec the training checkpoints use):
+//!
+//! | section       | payload                                             |
+//! |---------------|-----------------------------------------------------|
+//! | `store.meta`  | `tag u8 (=1) \| first_t u32 \| last_t u32 \| fact_count u64` |
+//! | `store.facts` | `fact_count × (s u32 \| r u32 \| o u32 \| t u32)`   |
+//!
+//! The **vocabulary snapshot** (`vocab.bin`) is a sibling container holding
+//! the full entity/relation name lists as of the last compaction; names
+//! introduced since then live in the log's records:
+//!
+//! | section           | payload                              |
+//! |-------------------|--------------------------------------|
+//! | `store.entities`  | `count u32 \| count × (len u32 \| utf-8)` |
+//! | `store.relations` | same                                 |
+//!
+//! Both are written with `atomic_write` (temp sibling + fsync + rename), so
+//! a crash mid-compaction leaves the previous generation fully readable.
+
+use retia_graph::Quad;
+use retia_tensor::serialize::{read_container, require_section, write_container, Reader};
+
+use crate::error::{corrupt, StoreError};
+
+/// Format tag of the `store.meta` payload this build writes.
+const META_TAG: u8 = 1;
+
+/// A decoded segment: the facts it seals plus their timestamp range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SegmentData {
+    /// Smallest timestamp in the segment.
+    pub first_t: u32,
+    /// Largest timestamp in the segment.
+    pub last_t: u32,
+    /// The facts, in the order they were appended (timestamp-grouped,
+    /// non-decreasing).
+    pub facts: Vec<Quad>,
+}
+
+/// Encodes `facts` (non-empty, timestamp-grouped) as a segment container.
+pub fn encode_segment(facts: &[Quad]) -> Vec<u8> {
+    let first_t = facts.first().map(|q| q.t).unwrap_or(0);
+    let last_t = facts.last().map(|q| q.t).unwrap_or(0);
+    let mut meta = Vec::with_capacity(17);
+    meta.push(META_TAG);
+    meta.extend_from_slice(&first_t.to_le_bytes());
+    meta.extend_from_slice(&last_t.to_le_bytes());
+    meta.extend_from_slice(&(facts.len() as u64).to_le_bytes());
+    let mut payload = Vec::with_capacity(16 * facts.len());
+    for q in facts {
+        for v in [q.s, q.r, q.o, q.t] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    write_container(&[("store.meta", meta), ("store.facts", payload)])
+}
+
+/// Decodes a segment container. Any corruption — truncation, bit flip,
+/// wrong section set, inconsistent counts — is a typed [`StoreError`].
+pub fn decode_segment(file: &str, bytes: &[u8]) -> Result<SegmentData, StoreError> {
+    let sections = read_container(bytes).map_err(|e| corrupt(file, e))?;
+    let meta = require_section(&sections, "store.meta").map_err(|e| corrupt(file, e))?;
+    let mut r = Reader::new(meta);
+    if r.get_u8("meta tag").map_err(|e| corrupt(file, e))? != META_TAG {
+        return Err(corrupt(file, "unknown store.meta tag"));
+    }
+    let first_t = r.get_u32_le("first_t").map_err(|e| corrupt(file, e))?;
+    let last_t = r.get_u32_le("last_t").map_err(|e| corrupt(file, e))?;
+    let count = r.get_u64_le("fact count").map_err(|e| corrupt(file, e))?;
+    r.finish("store.meta").map_err(|e| corrupt(file, e))?;
+
+    let payload = require_section(&sections, "store.facts").map_err(|e| corrupt(file, e))?;
+    if payload.len() as u64 != count.saturating_mul(16) {
+        return Err(corrupt(
+            file,
+            format!("store.facts holds {} bytes, expected {} facts", payload.len(), count),
+        ));
+    }
+    let mut facts = Vec::with_capacity(payload.len() / 16);
+    let mut r = Reader::new(payload);
+    for _ in 0..count {
+        let s = r.get_u32_le("fact s").map_err(|e| corrupt(file, e))?;
+        let rel = r.get_u32_le("fact r").map_err(|e| corrupt(file, e))?;
+        let o = r.get_u32_le("fact o").map_err(|e| corrupt(file, e))?;
+        let t = r.get_u32_le("fact t").map_err(|e| corrupt(file, e))?;
+        facts.push(Quad::new(s, rel, o, t));
+    }
+    for w in facts.windows(2) {
+        if w[1].t < w[0].t {
+            return Err(corrupt(file, "segment facts are not timestamp-ordered"));
+        }
+    }
+    let (lo, hi) =
+        (facts.first().map(|q| q.t).unwrap_or(0), facts.last().map(|q| q.t).unwrap_or(0));
+    if (lo, hi) != (first_t, last_t) {
+        return Err(corrupt(
+            file,
+            format!("meta range [{first_t}, {last_t}] disagrees with facts [{lo}, {hi}]"),
+        ));
+    }
+    Ok(SegmentData { first_t, last_t, facts })
+}
+
+fn encode_names(names: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    for name in names {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    out
+}
+
+fn decode_names(file: &str, payload: &[u8], what: &str) -> Result<Vec<String>, StoreError> {
+    let mut r = Reader::new(payload);
+    let count = r.get_u32_le("name count").map_err(|e| corrupt(file, e))? as usize;
+    if count > r.remaining() / 4 {
+        return Err(corrupt(file, format!("{what}: name count {count} exceeds payload")));
+    }
+    let mut names = Vec::with_capacity(count);
+    for _ in 0..count {
+        names.push(r.get_string(what).map_err(|e| corrupt(file, e))?);
+    }
+    r.finish(what).map_err(|e| corrupt(file, e))?;
+    Ok(names)
+}
+
+/// Encodes the vocabulary snapshot container.
+pub fn encode_vocabs(entities: &[String], relations: &[String]) -> Vec<u8> {
+    write_container(&[
+        ("store.entities", encode_names(entities)),
+        ("store.relations", encode_names(relations)),
+    ])
+}
+
+/// Decodes the vocabulary snapshot container.
+pub fn decode_vocabs(file: &str, bytes: &[u8]) -> Result<(Vec<String>, Vec<String>), StoreError> {
+    let sections = read_container(bytes).map_err(|e| corrupt(file, e))?;
+    let ents = require_section(&sections, "store.entities").map_err(|e| corrupt(file, e))?;
+    let rels = require_section(&sections, "store.relations").map_err(|e| corrupt(file, e))?;
+    Ok((decode_names(file, ents, "entity name")?, decode_names(file, rels, "relation name")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts() -> Vec<Quad> {
+        vec![Quad::new(0, 0, 1, 2), Quad::new(1, 1, 0, 2), Quad::new(0, 1, 1, 5)]
+    }
+
+    #[test]
+    fn segment_roundtrips() {
+        let bytes = encode_segment(&facts());
+        let seg = decode_segment("seg", &bytes).expect("clean segment decodes");
+        assert_eq!(seg.facts, facts());
+        assert_eq!((seg.first_t, seg.last_t), (2, 5));
+    }
+
+    #[test]
+    fn every_bit_flip_is_a_typed_error() {
+        let bytes = encode_segment(&facts());
+        for bit in 0..bytes.len() * 8 {
+            let mut mutated = bytes.clone();
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode_segment("seg", &mutated).is_err(), "bit {bit} accepted");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_segment(&facts());
+        for cut in 0..bytes.len() {
+            assert!(decode_segment("seg", &bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn vocab_roundtrips() {
+        let ents = vec!["Germany".to_string(), "United Nations".to_string()];
+        let rels = vec!["visits".to_string()];
+        let bytes = encode_vocabs(&ents, &rels);
+        let (e2, r2) = decode_vocabs("vocab", &bytes).expect("clean vocab decodes");
+        assert_eq!(e2, ents);
+        assert_eq!(r2, rels);
+    }
+
+    #[test]
+    fn vocab_corruption_is_typed() {
+        let bytes = encode_vocabs(&["a".to_string()], &["b".to_string()]);
+        for cut in 0..bytes.len() {
+            assert!(decode_vocabs("vocab", &bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+}

@@ -19,8 +19,8 @@ echo "==> retia audit gate (interval/finiteness + gradient-flow audit over every
 echo "==> write-set-tracked kernel pass (debug assertions + RETIA_WRITE_TRACK=1)"
 RETIA_WRITE_TRACK=1 cargo test -q -p retia-tensor
 
-echo "==> fault-tolerance suite (chaos injection, corruption sweep, resume bit-identity)"
-cargo test -q --test fault_tolerance --test checkpoint_corruption
+echo "==> fault-tolerance suite (chaos injection, corruption sweep, resume bit-identity, store byte-sweep)"
+cargo test -q --test fault_tolerance --test checkpoint_corruption --test store_durability
 
 echo "==> serve + trace smoke (query, ingest, re-query, /v1/traces, ?format=prom, slo.* gauges, drain via the real binary)"
 cargo test -q -p retia-cli --test serve_smoke
@@ -33,6 +33,29 @@ cargo test -q --test serve_online
 
 echo "==> online serve smoke (--online --ingest-log via the real binary; kill -9 + replay)"
 cargo test -q -p retia-cli --test online_smoke
+
+echo "==> store smoke (generate -> ingest --append x2 -> compact -> train/serve --store -> kill -9 -> restart -> query/path/stats/communities via the real binary)"
+cargo test -q -p retia-cli --test store_smoke
+STORE_SMOKE_DIR=target/store-smoke
+rm -rf "$STORE_SMOKE_DIR" && mkdir -p "$STORE_SMOKE_DIR"
+./target/release/retia generate --profile tiny --out "$STORE_SMOKE_DIR/data"
+./target/release/retia ingest --store "$STORE_SMOKE_DIR/store" --from-data "$STORE_SMOKE_DIR/data"
+printf 'alpha\tr0\te0\t100000\n' > "$STORE_SMOKE_DIR/f1.tsv"
+printf 'e0\tr0\tbeta\t100001\n'  > "$STORE_SMOKE_DIR/f2.tsv"
+./target/release/retia ingest --store "$STORE_SMOKE_DIR/store" --facts "$STORE_SMOKE_DIR/f1.tsv" --append
+./target/release/retia ingest --store "$STORE_SMOKE_DIR/store" --facts "$STORE_SMOKE_DIR/f2.tsv" --append
+./target/release/retia compact --store "$STORE_SMOKE_DIR/store"
+# Capture instead of piping into grep -q: -q closes the pipe on first
+# match, which would kill the writer with SIGPIPE/broken-pipe mid-print.
+QUERY_OUT=$(./target/release/retia query --store "$STORE_SMOKE_DIR/store" --subject alpha)
+grep -q 'alpha' <<< "$QUERY_OUT"
+./target/release/retia path --store "$STORE_SMOKE_DIR/store" --from alpha --to beta > /dev/null
+./target/release/retia stats --store "$STORE_SMOKE_DIR/store" > /dev/null
+./target/release/retia communities --store "$STORE_SMOKE_DIR/store" > /dev/null
+./target/release/retia export --store "$STORE_SMOKE_DIR/store" --format graphml --out "$STORE_SMOKE_DIR/graph.graphml"
+
+echo "==> store bench smoke (append throughput, compaction, temporal PageRank; writes target/BENCH_store.json)"
+(cd target && RETIA_FAST=1 ../target/release/store_bench > /dev/null)
 
 echo "==> loadtest smoke (self-hosted on port 0; exits nonzero on any 5xx, zero QPS, or a burning --slo objective; --online adds a train-active ladder)"
 ./target/release/retia loadtest --connections 1,4 --requests 25 --ingest-every 10 \

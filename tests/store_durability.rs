@@ -1,0 +1,209 @@
+//! Durable-store chaos sweep: **every** truncation offset and **every**
+//! single-bit flip of a store's fact log must load as a valid prefix
+//! (corrupt tail truncated) or a typed [`retia_store::StoreError`] — never
+//! a panic, never an invented fact. Compacted segments are immutable, so
+//! for them *any* corruption must be a typed error. On top of that, the
+//! trainer and the server must see bit-identical windows when booted from
+//! the same store, and every export format must round-trip bit-identically.
+
+use std::path::{Path, PathBuf};
+
+use retia::TkgContext;
+use retia_analyze::chaos;
+use retia_store::{ExportFormat, NamedFact, Store};
+
+/// Fresh scratch directory for one test, removed (best effort) up front so
+/// reruns start clean.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("retia-store-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fact(s: &str, r: &str, o: &str, t: u32) -> NamedFact {
+    NamedFact { s: s.to_string(), r: r.to_string(), o: o.to_string(), t }
+}
+
+/// A small store with several log records (multiple timestamps, growing
+/// vocabulary) and, when `compacted`, one sealed segment plus a live log.
+fn build_store(dir: &Path, compacted: bool) -> Store {
+    let mut store = Store::create(dir, "chaos", retia_data::Granularity::Day).unwrap();
+    store
+        .append_named(&[
+            fact("alice", "knows", "bob", 0),
+            fact("bob", "knows", "carol", 0),
+            fact("carol", "visits", "alice", 1),
+        ])
+        .unwrap();
+    store.append_named(&[fact("dave", "knows", "alice", 2)]).unwrap();
+    if compacted {
+        store.compact().unwrap();
+    }
+    store
+        .append_named(&[fact("erin", "visits", "dave", 3), fact("alice", "knows", "erin", 4)])
+        .unwrap();
+    store
+}
+
+/// Copies a store directory byte-for-byte so a corruption sweep can mutate
+/// one file per iteration without rebuilding the store.
+fn copy_store(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// The live log file of a store directory (exactly one must exist).
+fn log_file(dir: &Path) -> PathBuf {
+    let mut logs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "bin")
+                && p.file_name().is_some_and(|f| f.to_string_lossy().starts_with("log-"))
+        })
+        .collect();
+    logs.sort();
+    assert_eq!(logs.len(), 1, "expected exactly one live log in {}", dir.display());
+    logs.remove(0)
+}
+
+/// Asserts `got` is a prefix of `want` — a corrupted log may lose a tail,
+/// but must never reorder or invent facts.
+fn assert_fact_prefix(got: &[retia_graph::Quad], want: &[retia_graph::Quad], what: &str) {
+    assert!(got.len() <= want.len(), "{what}: more facts after corruption");
+    assert_eq!(got, &want[..got.len()], "{what}: surviving facts are not a prefix");
+}
+
+#[test]
+fn every_log_truncation_loads_a_valid_prefix() {
+    let base = scratch("log-trunc");
+    build_store(&base, false);
+    let full = Store::open(&base).unwrap().all_facts();
+    let log = log_file(&base);
+    let bytes = std::fs::read(&log).unwrap();
+    let work = scratch("log-trunc-work");
+    for len in 0..bytes.len() {
+        copy_store(&base, &work);
+        std::fs::write(log_file(&work), chaos::truncated(&bytes, len)).unwrap();
+        let store = Store::open(&work)
+            .unwrap_or_else(|e| panic!("log truncated to {len}/{} bytes: {e}", bytes.len()));
+        assert_fact_prefix(&store.all_facts(), &full, &format!("truncation at {len}"));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn every_log_bit_flip_loads_a_prefix_or_typed_error() {
+    let base = scratch("log-flip");
+    build_store(&base, false);
+    let full = Store::open(&base).unwrap().all_facts();
+    let log = log_file(&base);
+    let bytes = std::fs::read(&log).unwrap();
+    let work = scratch("log-flip-work");
+    for bit in 0..bytes.len() * 8 {
+        copy_store(&base, &work);
+        std::fs::write(log_file(&work), chaos::bit_flipped(&bytes, bit)).unwrap();
+        // A flipped record fails its CRC and becomes the truncated tail; a
+        // flip that produces in-range but invalid facts (e.g. a timestamp
+        // regression) is a typed error. Either way: no panic, no invention.
+        match Store::open(&work) {
+            Ok(store) => {
+                assert_fact_prefix(&store.all_facts(), &full, &format!("bit flip at {bit}"))
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn every_segment_corruption_is_a_typed_error() {
+    let base = scratch("segment");
+    build_store(&base, true);
+    let seg = base.join("segment-000000.seg");
+    let bytes = std::fs::read(&seg).unwrap();
+    let work = scratch("segment-work");
+    // Bit flips: segments are immutable and whole-container CRC'd, so any
+    // flipped bit must surface as a typed error — never a partial read.
+    for bit in 0..bytes.len() * 8 {
+        copy_store(&base, &work);
+        std::fs::write(work.join("segment-000000.seg"), chaos::bit_flipped(&bytes, bit)).unwrap();
+        match Store::open(&work) {
+            Ok(_) => panic!("segment with bit {bit} flipped opened successfully"),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+    // Truncations, strided to keep the sweep fast (every offset is still
+    // covered for the final 32 bytes, where the container CRC lives).
+    let stride_cut = |len: usize| len.is_multiple_of(7) || len + 32 >= bytes.len();
+    for len in (0..bytes.len()).filter(|&l| stride_cut(l)) {
+        copy_store(&base, &work);
+        std::fs::write(work.join("segment-000000.seg"), chaos::truncated(&bytes, len)).unwrap();
+        assert!(
+            Store::open(&work).is_err(),
+            "segment truncated to {len}/{} bytes opened successfully",
+            bytes.len()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn trainer_and_server_windows_are_bit_identical() {
+    let dir = scratch("window");
+    build_store(&dir, true);
+
+    // The trainer path (`retia train --store`) and the server path
+    // (`retia serve --store`) both boot `TkgContext::new(&store.dataset())`;
+    // two independent opens of the same directory must agree exactly.
+    let trainer_ds = Store::open(&dir).unwrap().dataset();
+    let server_ds = Store::open(&dir).unwrap().dataset();
+    assert_eq!(trainer_ds.train, server_ds.train);
+    assert_eq!(trainer_ds.valid, server_ds.valid);
+    assert_eq!(trainer_ds.test, server_ds.test);
+    assert_eq!(trainer_ds.num_entities, server_ds.num_entities);
+    assert_eq!(trainer_ds.num_relations, server_ds.num_relations);
+    let trainer_window = TkgContext::new(&trainer_ds).snapshots;
+    let server_window = TkgContext::new(&server_ds).snapshots;
+    assert_eq!(trainer_window, server_window);
+
+    // Compaction changes the on-disk layout but must not change the view.
+    let mut store = Store::open(&dir).unwrap();
+    store.compact().unwrap();
+    drop(store);
+    let compacted_window = TkgContext::new(&Store::open(&dir).unwrap().dataset()).snapshots;
+    assert_eq!(trainer_window, compacted_window);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_export_format_roundtrips_bit_identically() {
+    let dir = scratch("export");
+    let store = build_store(&dir, true);
+    let doc = store.doc();
+    for format in ExportFormat::ALL {
+        let text = retia_store::export(&doc, format);
+        let back = retia_store::import(&text, format)
+            .unwrap_or_else(|e| panic!("{format:?} reimport failed: {e}"));
+        assert_eq!(
+            retia_store::export(&back, format),
+            text,
+            "{format:?} export -> import -> export is not bit-identical"
+        );
+        assert_eq!(back.facts, doc.facts, "{format:?} changed the fact list");
+        assert_eq!(back.entities, doc.entities, "{format:?} changed the entity vocabulary");
+        assert_eq!(back.relations, doc.relations, "{format:?} changed the relation vocabulary");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
